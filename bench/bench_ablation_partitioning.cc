@@ -1,0 +1,86 @@
+// Ablation studies beyond the paper's figures:
+//   (1) end-to-end query I/O when the VP index is driven by each of the
+//       three partitioning strategies (Section 5.1's naive approaches as
+//       live baselines, not just scatter plots),
+//   (2) sensitivity to the number of DVA partitions k,
+//   (3) sensitivity to the shared buffer size.
+// CH and SA networks, TPR* base index (the stronger baseline).
+#include "bench_common.h"
+
+int main() {
+  using namespace vpmoi;
+  using namespace vpmoi::bench;
+
+  BenchConfig cfg;
+  const workload::Dataset datasets[] = {workload::Dataset::kChicago,
+                                        workload::Dataset::kSanFrancisco};
+
+  std::printf("== Ablation 1: partitioning strategy (TPR* base) ==\n");
+  std::printf("%-6s %-22s %12s %14s\n", "data", "strategy", "query I/O",
+              "query ms");
+  for (workload::Dataset d : datasets) {
+    struct Entry {
+      const char* name;
+      PartitioningStrategy strategy;
+    };
+    const Entry entries[] = {
+        {"ours (perp k-means)", PartitioningStrategy::kPcaKMeans},
+        {"naive I (PCA only)", PartitioningStrategy::kPcaOnly},
+        {"naive II (centroid)", PartitioningStrategy::kCentroidKMeans},
+    };
+    for (const Entry& e : entries) {
+      VelocityAnalyzerOptions an;
+      an.strategy = e.strategy;
+      const auto m = RunOne(d, IndexVariant::kTprVp, cfg, &an);
+      std::printf("%-6s %-22s %12.2f %14.4f\n",
+                  workload::DatasetName(d).c_str(), e.name, m.avg_query_io,
+                  m.avg_query_ms);
+      std::fflush(stdout);
+    }
+    const auto base = RunOne(d, IndexVariant::kTpr, cfg);
+    std::printf("%-6s %-22s %12.2f %14.4f\n", workload::DatasetName(d).c_str(),
+                "unpartitioned", base.avg_query_io, base.avg_query_ms);
+  }
+
+  std::printf("\n== Ablation 2: number of DVA partitions k (SA, TPR* base) "
+              "==\n");
+  std::printf("%-6s %12s %14s\n", "k", "query I/O", "query ms");
+  for (int k : {1, 2, 3, 4}) {
+    VelocityAnalyzerOptions an;
+    an.k = k;
+    const auto m =
+        RunOne(workload::Dataset::kSanFrancisco, IndexVariant::kTprVp, cfg,
+               &an);
+    std::printf("%-6d %12.2f %14.4f\n", k, m.avg_query_io, m.avg_query_ms);
+    std::fflush(stdout);
+  }
+
+  std::printf("\n== Ablation 3: TPR insertion cost model (CH) ==\n");
+  std::printf("%-26s %-10s %12s\n", "policy", "index", "query I/O");
+  for (bool projected : {false, true}) {
+    BenchConfig c2 = cfg;
+    c2.tpr_projected_area = projected;
+    for (IndexVariant v : {IndexVariant::kTpr, IndexVariant::kTprVp}) {
+      const auto m = RunOne(workload::Dataset::kChicago, v, c2);
+      std::printf("%-26s %-10s %12.2f\n",
+                  projected ? "projected area (classic)"
+                            : "sweep integral (TPR*)",
+                  VariantName(v), m.avg_query_io);
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("\n== Ablation 4: shared buffer size (CH) ==\n");
+  std::printf("%-8s %-10s %12s\n", "pages", "index", "query I/O");
+  for (std::size_t pages : {10ul, 25ul, 50ul, 100ul, 200ul}) {
+    BenchConfig c2 = cfg;
+    c2.buffer_pages = pages;
+    for (IndexVariant v : {IndexVariant::kTpr, IndexVariant::kTprVp}) {
+      const auto m = RunOne(workload::Dataset::kChicago, v, c2);
+      std::printf("%-8zu %-10s %12.2f\n", pages, VariantName(v),
+                  m.avg_query_io);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,198 @@
+// Shared harness for the figure-reproduction benches: paper-default index
+// configurations (Table 1), dataset wiring, experiment execution and table
+// printing.
+//
+// Scale control: benches default to a reduced scale (20k objects, 120 ts,
+// 200 queries) so the whole suite finishes in minutes. Set
+// VPMOI_PAPER_SCALE=1 for the paper's defaults (100k objects, 240 ts).
+#ifndef VPMOI_BENCH_BENCH_COMMON_H_
+#define VPMOI_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bx/bx_tree.h"
+#include "common/moving_object_index.h"
+#include "tpr/tpr_tree.h"
+#include "vp/vp_index.h"
+#include "workload/experiment.h"
+#include "workload/network_presets.h"
+#include "workload/object_simulator.h"
+#include "workload/query_generator.h"
+
+namespace vpmoi {
+namespace bench {
+
+inline bool PaperScale() {
+  const char* env = std::getenv("VPMOI_PAPER_SCALE");
+  return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
+/// One benchmark configuration; defaults follow Table 1 (bold values),
+/// scaled down unless VPMOI_PAPER_SCALE is set.
+struct BenchConfig {
+  Rect domain{{0.0, 0.0}, {100000.0, 100000.0}};
+  std::size_t num_objects = PaperScale() ? 100000 : 20000;
+  double max_speed = 100.0;            // m/ts
+  double max_update_interval = 120.0;  // ts
+  double duration = PaperScale() ? 240.0 : 120.0;
+  std::size_t total_queries = 200;
+  double query_radius = 500.0;   // m
+  double rect_side = 1000.0;     // m (Section 6.8)
+  double predictive_time = 60.0; // ts
+  bool rect_queries = false;
+  std::size_t buffer_pages = 50;
+  std::size_t sample_size = 10000;  // velocity analyzer sample
+  /// Ablation: use the single-timepoint projected-area insertion policy
+  /// instead of the TPR* sweeping-region integral.
+  bool tpr_projected_area = false;
+  std::uint64_t seed = 4242;
+};
+
+inline TprTreeOptions MakeTprOptions(const BenchConfig& cfg) {
+  TprTreeOptions o;
+  o.horizon = cfg.predictive_time;
+  o.query_half_x = 500.0;  // "optimized for query size 1000x1000 m^2"
+  o.query_half_y = 500.0;
+  o.buffer_pages = cfg.buffer_pages;
+  o.insert_policy = cfg.tpr_projected_area ? TprInsertPolicy::kProjectedArea
+                                           : TprInsertPolicy::kSweepIntegral;
+  return o;
+}
+
+inline BxTreeOptions MakeBxOptions(const BenchConfig& cfg,
+                                   const Rect& domain) {
+  BxTreeOptions o;
+  o.domain = domain;
+  o.curve_order = 10;          // 1024x1024 grid cells
+  o.num_buckets = 2;           // "two time buckets"
+  o.bucket_duration = cfg.max_update_interval / 2.0;
+  o.velocity_grid_side = 128;  // histogram granularity
+  o.buffer_pages = cfg.buffer_pages;
+  return o;
+}
+
+enum class IndexVariant { kBx, kBxVp, kTpr, kTprVp };
+
+inline const char* VariantName(IndexVariant v) {
+  switch (v) {
+    case IndexVariant::kBx:
+      return "Bx";
+    case IndexVariant::kBxVp:
+      return "Bx(VP)";
+    case IndexVariant::kTpr:
+      return "TPR*";
+    case IndexVariant::kTprVp:
+      return "TPR*(VP)";
+  }
+  return "?";
+}
+
+inline constexpr IndexVariant kAllVariants[] = {
+    IndexVariant::kBx, IndexVariant::kBxVp, IndexVariant::kTpr,
+    IndexVariant::kTprVp};
+
+/// Builds an index variant. `sample` feeds the velocity analyzer of the VP
+/// variants; `analyzer_overrides` (optional) customizes it.
+inline std::unique_ptr<MovingObjectIndex> MakeVariant(
+    IndexVariant v, const BenchConfig& cfg, const std::vector<Vec2>& sample,
+    const VelocityAnalyzerOptions* analyzer_overrides = nullptr) {
+  switch (v) {
+    case IndexVariant::kBx:
+      return std::make_unique<BxTree>(MakeBxOptions(cfg, cfg.domain));
+    case IndexVariant::kTpr:
+      return std::make_unique<TprStarTree>(MakeTprOptions(cfg));
+    case IndexVariant::kBxVp: {
+      VpIndexOptions vp;
+      vp.domain = cfg.domain;
+      vp.buffer_pages = cfg.buffer_pages;
+      if (analyzer_overrides != nullptr) vp.analyzer = *analyzer_overrides;
+      auto built = VpIndex::Build(
+          [&cfg](BufferPool* pool, const Rect& frame_domain) {
+            return std::make_unique<BxTree>(pool,
+                                            MakeBxOptions(cfg, frame_domain));
+          },
+          vp, sample);
+      return built.ok() ? std::move(built).value() : nullptr;
+    }
+    case IndexVariant::kTprVp: {
+      VpIndexOptions vp;
+      vp.domain = cfg.domain;
+      vp.buffer_pages = cfg.buffer_pages;
+      if (analyzer_overrides != nullptr) vp.analyzer = *analyzer_overrides;
+      auto built = VpIndex::Build(
+          [&cfg](BufferPool* pool, const Rect&) {
+            return std::make_unique<TprStarTree>(pool, MakeTprOptions(cfg));
+          },
+          vp, sample);
+      return built.ok() ? std::move(built).value() : nullptr;
+    }
+  }
+  return nullptr;
+}
+
+/// Builds the simulator for a dataset under `cfg`.
+inline workload::ObjectSimulator MakeSimulator(workload::Dataset dataset,
+                                               const BenchConfig& cfg) {
+  static thread_local std::optional<workload::RoadNetwork> net_holder;
+  net_holder = workload::MakeNetwork(dataset, cfg.domain, cfg.seed);
+  workload::SimulatorOptions so;
+  so.num_objects = cfg.num_objects;
+  so.max_speed = cfg.max_speed;
+  so.max_update_interval = cfg.max_update_interval;
+  so.domain = cfg.domain;
+  so.seed = cfg.seed;
+  return workload::ObjectSimulator(
+      net_holder.has_value() ? &*net_holder : nullptr, so);
+}
+
+inline workload::QueryGeneratorOptions MakeQueryOptions(
+    const BenchConfig& cfg) {
+  workload::QueryGeneratorOptions qo;
+  qo.domain = cfg.domain;
+  qo.region = cfg.rect_queries ? RegionKind::kRectangle : RegionKind::kCircle;
+  qo.radius = cfg.query_radius;
+  qo.rect_side = cfg.rect_side;
+  qo.predictive_time = cfg.predictive_time;
+  qo.seed = cfg.seed + 17;
+  return qo;
+}
+
+/// Runs one (dataset, variant) experiment end to end.
+inline workload::ExperimentMetrics RunOne(
+    workload::Dataset dataset, IndexVariant variant, const BenchConfig& cfg,
+    const VelocityAnalyzerOptions* analyzer_overrides = nullptr) {
+  workload::ObjectSimulator sim = MakeSimulator(dataset, cfg);
+  const auto sample = sim.SampleVelocities(cfg.sample_size, cfg.seed + 5);
+  auto index = MakeVariant(variant, cfg, sample, analyzer_overrides);
+  workload::QueryGenerator qgen(MakeQueryOptions(cfg));
+  workload::ExperimentOptions eo;
+  eo.duration = cfg.duration;
+  eo.total_queries = cfg.total_queries;
+  auto metrics = workload::RunExperiment(index.get(), &sim, &qgen, eo);
+  return metrics;
+}
+
+inline void PrintHeader(const char* title, const char* x_label) {
+  std::printf("\n== %s ==\n", title);
+  std::printf("%-12s %-10s %12s %14s %12s %14s %12s\n", x_label, "index",
+              "query I/O", "query ms", "update I/O", "update ms",
+              "avg results");
+}
+
+inline void PrintRow(const std::string& x, const char* name,
+                     const workload::ExperimentMetrics& m) {
+  std::printf("%-12s %-10s %12.2f %14.4f %12.3f %14.5f %12.1f\n", x.c_str(),
+              name, m.avg_query_io, m.avg_query_ms, m.avg_update_io,
+              m.avg_update_ms, m.avg_result_size);
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace vpmoi
+
+#endif  // VPMOI_BENCH_BENCH_COMMON_H_

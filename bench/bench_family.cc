@@ -1,0 +1,73 @@
+// Index family comparison (Section 3's three families side by side): the
+// R-tree family (TPR*), the B+-tree family (Bx), and the dual-transform
+// family (Bdual), each with and without the VP technique, on the skewed
+// rotated-axes network (SA) and the axis-aligned one (CH).
+//
+// The interesting contrast: Bdual's fixed axis-aligned velocity grid
+// captures axis-aligned skew (CH) but smears a rotated dominant axis (SA)
+// across many cells, while VP adapts its frame to the data — exactly the
+// Section 3.3 argument for why dual transforms do not subsume VP.
+#include "bench_common.h"
+#include "dual/bdual_tree.h"
+
+namespace {
+
+using namespace vpmoi;
+using namespace vpmoi::bench;
+
+BdualTreeOptions MakeBdualOptions(const BenchConfig& cfg, const Rect& domain) {
+  BdualTreeOptions o;
+  o.domain = domain;
+  o.curve_order = 10;
+  o.vel_bits = 2;
+  o.max_speed_hint = cfg.max_speed;
+  o.num_buckets = 2;
+  o.bucket_duration = cfg.max_update_interval / 2.0;
+  o.buffer_pages = cfg.buffer_pages;
+  return o;
+}
+
+workload::ExperimentMetrics RunBdual(workload::Dataset dataset,
+                                     const BenchConfig& cfg, bool with_vp) {
+  workload::ObjectSimulator sim = MakeSimulator(dataset, cfg);
+  std::unique_ptr<MovingObjectIndex> index;
+  if (with_vp) {
+    VpIndexOptions vp;
+    vp.domain = cfg.domain;
+    vp.buffer_pages = cfg.buffer_pages;
+    auto built = VpIndex::Build(
+        [&cfg](BufferPool* pool, const Rect& frame_domain) {
+          return std::make_unique<BdualTree>(
+              pool, MakeBdualOptions(cfg, frame_domain));
+        },
+        vp, sim.SampleVelocities(cfg.sample_size, cfg.seed + 5));
+    index = std::move(built).value();
+  } else {
+    index = std::make_unique<BdualTree>(MakeBdualOptions(cfg, cfg.domain));
+  }
+  workload::QueryGenerator qgen(MakeQueryOptions(cfg));
+  workload::ExperimentOptions eo;
+  eo.duration = cfg.duration;
+  eo.total_queries = cfg.total_queries;
+  return workload::RunExperiment(index.get(), &sim, &qgen, eo);
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig cfg;
+  PrintHeader("Index family comparison (+ Bdual, Section 3.3)", "dataset");
+  for (workload::Dataset d : {workload::Dataset::kChicago,
+                              workload::Dataset::kSanFrancisco,
+                              workload::Dataset::kUniform}) {
+    for (IndexVariant v : kAllVariants) {
+      const auto m = RunOne(d, v, cfg);
+      PrintRow(workload::DatasetName(d), VariantName(v), m);
+    }
+    const auto bd = RunBdual(d, cfg, /*with_vp=*/false);
+    PrintRow(workload::DatasetName(d), "Bdual", bd);
+    const auto bdvp = RunBdual(d, cfg, /*with_vp=*/true);
+    PrintRow(workload::DatasetName(d), "Bdual(VP)", bdvp);
+  }
+  return 0;
+}

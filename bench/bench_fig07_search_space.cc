@@ -1,0 +1,173 @@
+// Figure 7: search-space expansion of unpartitioned vs partitioned
+// TPR*-tree and Bx-tree on the Chicago data set. For the TPR*-tree the
+// series are leaf-MBR expansion rates (VBR width per axis); for the
+// Bx-tree, per-query window expansion rates. Partitioned series are
+// reported in DVA-frame coordinates ("in DVA" vs "orthogonal to DVA"), so
+// a near-1-D expansion shows up as rate_y << rate_x.
+#include <cmath>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace vpmoi;
+using namespace vpmoi::bench;
+
+struct RateStats {
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  std::size_t n = 0;
+
+  void Add(double x, double y) {
+    mean_x += x;
+    mean_y += y;
+    ++n;
+  }
+  void Finish() {
+    if (n > 0) {
+      mean_x /= static_cast<double>(n);
+      mean_y /= static_cast<double>(n);
+    }
+  }
+};
+
+void PrintScatterSample(const char* label,
+                        const std::vector<std::pair<double, double>>& pts) {
+  std::printf("%s: %zu points, first 10 as (x, y):", label, pts.size());
+  for (std::size_t i = 0; i < pts.size() && i < 10; ++i) {
+    std::printf(" (%.1f, %.1f)", pts[i].first, pts[i].second);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig cfg;
+  cfg.predictive_time = 60.0;
+  std::printf("== Figure 7: search space expansion on the CH data set ==\n");
+  std::printf("(x = expansion rate along x / DVA; y = along y / orthogonal; "
+              "m per ts)\n");
+
+  workload::ObjectSimulator sim = MakeSimulator(workload::Dataset::kChicago,
+                                                cfg);
+  const auto sample = sim.SampleVelocities(cfg.sample_size, cfg.seed + 5);
+
+  // --- TPR* variants: leaf VBR expansion rates. ---
+  {
+    auto unpart = std::make_unique<TprStarTree>(MakeTprOptions(cfg));
+    for (const auto& o : sim.InitialObjects()) {
+      (void)unpart->Insert(o);
+    }
+    RateStats stats;
+    std::vector<std::pair<double, double>> pts;
+    for (const TpRect& b : unpart->LeafBounds()) {
+      const double gx = b.vbr.hi.x - b.vbr.lo.x;
+      const double gy = b.vbr.hi.y - b.vbr.lo.y;
+      stats.Add(gx, gy);
+      pts.emplace_back(gx, gy);
+    }
+    stats.Finish();
+    std::printf("\n(a) unpartitioned TPR*: mean rate x = %.1f, y = %.1f "
+                "(2-D expansion)\n", stats.mean_x, stats.mean_y);
+    PrintScatterSample("    leaf VBR rates", pts);
+  }
+  {
+    VpIndexOptions vp;
+    vp.domain = cfg.domain;
+    vp.buffer_pages = cfg.buffer_pages;
+    auto built = VpIndex::Build(
+        [&cfg](BufferPool* pool, const Rect&) {
+          return std::make_unique<TprStarTree>(pool, MakeTprOptions(cfg));
+        },
+        vp, sample);
+    auto& index = *built;
+    for (const auto& o : sim.InitialObjects()) {
+      (void)index->Insert(o);
+    }
+    std::printf("\n(b) partitioned TPR* (frame coords: x = along DVA):\n");
+    for (int p = 0; p < index->DvaCount(); ++p) {
+      auto* tree = dynamic_cast<TprStarTree*>(index->Partition(p));
+      RateStats stats;
+      std::vector<std::pair<double, double>> pts;
+      for (const TpRect& b : tree->LeafBounds()) {
+        const double gx = b.vbr.hi.x - b.vbr.lo.x;
+        const double gy = b.vbr.hi.y - b.vbr.lo.y;
+        stats.Add(gx, gy);
+        pts.emplace_back(gx, gy);
+      }
+      stats.Finish();
+      std::printf("    partition %d (%zu objs): mean rate in-DVA = %.1f, "
+                  "orthogonal = %.1f (near 1-D: ratio %.1fx)\n",
+                  p, index->PartitionSize(p), stats.mean_x, stats.mean_y,
+                  stats.mean_x / std::max(1e-9, stats.mean_y));
+    }
+    std::printf("    outlier partition: %zu objs\n",
+                index->PartitionSize(index->DvaCount()));
+  }
+
+  // --- Bx variants: query window expansion rates. ---
+  // Randomize predictive times over [0, 120]: a query exactly at a bucket
+  // reference time needs no enlargement, so a fixed offset of 60 (== the
+  // bucket label time of the initial population) would show zero rates.
+  workload::QueryGeneratorOptions qo = MakeQueryOptions(cfg);
+  qo.randomize_predictive = true;
+  qo.predictive_time = 120.0;
+  {
+    auto unpart = std::make_unique<BxTree>(MakeBxOptions(cfg, cfg.domain));
+    for (const auto& o : sim.InitialObjects()) {
+      (void)unpart->Insert(o);
+    }
+    unpart->set_collect_expansion(true);
+    workload::QueryGenerator qgen(qo);
+    std::vector<ObjectId> out;
+    for (int i = 0; i < 100; ++i) {
+      (void)unpart->Search(qgen.Next(0.0), &out);
+    }
+    RateStats stats;
+    for (const auto& s : unpart->expansion_samples()) {
+      stats.Add(s.rate_x, s.rate_y);
+    }
+    stats.Finish();
+    std::printf("\n(c) unpartitioned Bx: mean query expansion rate "
+                "x = %.1f, y = %.1f (2-D expansion)\n",
+                stats.mean_x, stats.mean_y);
+  }
+  {
+    VpIndexOptions vp;
+    vp.domain = cfg.domain;
+    vp.buffer_pages = cfg.buffer_pages;
+    auto built = VpIndex::Build(
+        [&cfg](BufferPool* pool, const Rect& frame_domain) {
+          return std::make_unique<BxTree>(pool,
+                                          MakeBxOptions(cfg, frame_domain));
+        },
+        vp, sample);
+    auto& index = *built;
+    for (const auto& o : sim.InitialObjects()) {
+      (void)index->Insert(o);
+    }
+    for (int p = 0; p < index->DvaCount(); ++p) {
+      dynamic_cast<BxTree*>(index->Partition(p))->set_collect_expansion(true);
+    }
+    workload::QueryGenerator qgen(qo);
+    std::vector<ObjectId> out;
+    for (int i = 0; i < 100; ++i) {
+      (void)index->Search(qgen.Next(0.0), &out);
+    }
+    std::printf("\n(d) partitioned Bx (frame coords: x = along DVA):\n");
+    for (int p = 0; p < index->DvaCount(); ++p) {
+      auto* tree = dynamic_cast<BxTree*>(index->Partition(p));
+      RateStats stats;
+      for (const auto& s : tree->expansion_samples()) {
+        stats.Add(s.rate_x, s.rate_y);
+      }
+      stats.Finish();
+      std::printf("    partition %d: mean rate in-DVA = %.1f, orthogonal = "
+                  "%.1f (near 1-D: ratio %.1fx)\n",
+                  p, stats.mean_x, stats.mean_y,
+                  stats.mean_x / std::max(1e-9, stats.mean_y));
+    }
+  }
+  return 0;
+}

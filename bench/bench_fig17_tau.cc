@@ -1,0 +1,39 @@
+// Figure 17: query I/O of Bx(VP) and TPR*(VP) under a sweep of *fixed*
+// outlier thresholds tau, against the automatically chosen tau (the
+// straight line in the paper's plot). Run on the CH and SA road networks.
+#include "bench_common.h"
+
+int main() {
+  using namespace vpmoi;
+  using namespace vpmoi::bench;
+
+  BenchConfig cfg;
+  // tau sweep from the paper's x-axis.
+  const double taus[] = {0, 1, 2, 5, 10, 15, 20, 40, 60};
+  const workload::Dataset datasets[] = {workload::Dataset::kChicago,
+                                        workload::Dataset::kSanFrancisco};
+  const IndexVariant variants[] = {IndexVariant::kBxVp, IndexVariant::kTprVp};
+
+  std::printf("== Figure 17: fixed tau sweep vs automatic tau ==\n");
+  for (workload::Dataset d : datasets) {
+    std::printf("\n-- %s road network --\n", workload::DatasetName(d).c_str());
+    std::printf("%-10s %-10s %12s\n", "tau", "index", "query I/O");
+    for (IndexVariant v : variants) {
+      for (double tau : taus) {
+        VelocityAnalyzerOptions an;
+        an.use_fixed_tau = true;
+        an.fixed_tau = tau;
+        const auto m = RunOne(d, v, cfg, &an);
+        std::printf("%-10.0f %-10s %12.2f\n", tau, VariantName(v),
+                    m.avg_query_io);
+        std::fflush(stdout);
+      }
+      // Automatic tau (Section 5.2) — the paper's straight line.
+      const auto m = RunOne(d, v, cfg);
+      std::printf("%-10s %-10s %12.2f\n", "auto", VariantName(v),
+                  m.avg_query_io);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 18: runtime of the velocity analyzer (PCA + k-means clustering +
+// tau selection over a 10,000-point velocity sample) per data set,
+// averaged over five runs as in the paper.
+#include "bench_common.h"
+#include "vp/velocity_analyzer.h"
+
+int main() {
+  using namespace vpmoi;
+  using namespace vpmoi::bench;
+
+  BenchConfig cfg;
+  cfg.sample_size = 10000;  // the paper's analyzer sample size
+  std::printf("== Figure 18: velocity analyzer overhead ==\n");
+  std::printf("%-10s %16s\n", "dataset", "analyzer ms");
+  for (workload::Dataset d : workload::kAllDatasets) {
+    workload::ObjectSimulator sim = MakeSimulator(d, cfg);
+    double total_ms = 0.0;
+    constexpr int kRuns = 5;
+    for (int run = 0; run < kRuns; ++run) {
+      const auto sample =
+          sim.SampleVelocities(cfg.sample_size, cfg.seed + run);
+      VelocityAnalyzerOptions opt;
+      opt.seed = cfg.seed + run;
+      auto analysis = VelocityAnalyzer(opt).Analyze(sample);
+      total_ms += analysis->analyze_millis;
+    }
+    std::printf("%-10s %16.1f\n", workload::DatasetName(d).c_str(),
+                total_ms / kRuns);
+  }
+  return 0;
+}

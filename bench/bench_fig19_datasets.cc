@@ -1,0 +1,19 @@
+// Figure 19: query I/O, query execution time, update I/O and update
+// execution time of Bx, Bx(VP), TPR* and TPR*(VP) across the five data
+// distributions (CH, SA, MEL, NY, uniform) at Table 1 defaults.
+#include "bench_common.h"
+
+int main() {
+  using namespace vpmoi;
+  using namespace vpmoi::bench;
+
+  BenchConfig cfg;
+  PrintHeader("Figure 19: effect of varying data sets", "dataset");
+  for (workload::Dataset d : workload::kAllDatasets) {
+    for (IndexVariant v : kAllVariants) {
+      const auto m = RunOne(d, v, cfg);
+      PrintRow(workload::DatasetName(d), VariantName(v), m);
+    }
+  }
+  return 0;
+}

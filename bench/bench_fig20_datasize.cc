@@ -1,0 +1,22 @@
+// Figure 20: query I/O and execution time as the number of indexed objects
+// grows (the paper sweeps 100K-500K; the reduced scale sweeps 10K-50K,
+// preserving the 1x-5x ratio). CH road network, Table 1 defaults.
+#include "bench_common.h"
+
+int main() {
+  using namespace vpmoi;
+  using namespace vpmoi::bench;
+
+  BenchConfig base;
+  const std::size_t unit = PaperScale() ? 100000 : 10000;
+  PrintHeader("Figure 20: effect of data size", "objects");
+  for (int mult = 1; mult <= 5; ++mult) {
+    BenchConfig cfg = base;
+    cfg.num_objects = unit * mult;
+    for (IndexVariant v : kAllVariants) {
+      const auto m = RunOne(workload::Dataset::kChicago, v, cfg);
+      PrintRow(std::to_string(cfg.num_objects), VariantName(v), m);
+    }
+  }
+  return 0;
+}

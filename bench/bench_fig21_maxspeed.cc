@@ -1,0 +1,21 @@
+// Figure 21: query I/O and execution time as the maximum object speed
+// grows from 20 to 200 m/ts (Table 1 sweep). The VP advantage widens with
+// speed — the search-space analysis of Section 4 is quadratic vs linear in
+// the maximum speed. CH road network.
+#include "bench_common.h"
+
+int main() {
+  using namespace vpmoi;
+  using namespace vpmoi::bench;
+
+  PrintHeader("Figure 21: effect of maximum object speed", "max speed");
+  for (double speed : {20.0, 60.0, 100.0, 140.0, 200.0}) {
+    BenchConfig cfg;
+    cfg.max_speed = speed;
+    for (IndexVariant v : kAllVariants) {
+      const auto m = RunOne(workload::Dataset::kChicago, v, cfg);
+      PrintRow(std::to_string(static_cast<int>(speed)), VariantName(v), m);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Figure 22: query I/O and execution time as the circular range query
+// radius grows from 100 to 1000 m. The relative VP advantage shrinks with
+// radius because the query extent starts to dominate the velocity-driven
+// enlargement (Section 6.6). CH road network.
+#include "bench_common.h"
+
+int main() {
+  using namespace vpmoi;
+  using namespace vpmoi::bench;
+
+  PrintHeader("Figure 22: effect of range query size", "radius");
+  for (double radius : {100.0, 300.0, 500.0, 700.0, 1000.0}) {
+    BenchConfig cfg;
+    cfg.query_radius = radius;
+    for (IndexVariant v : kAllVariants) {
+      const auto m = RunOne(workload::Dataset::kChicago, v, cfg);
+      PrintRow(std::to_string(static_cast<int>(radius)), VariantName(v), m);
+    }
+  }
+  return 0;
+}

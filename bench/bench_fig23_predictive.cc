@@ -1,0 +1,22 @@
+// Figure 23: query I/O and execution time as the query predictive time
+// grows from 20 to 120 ts — how well each index restricts search-space
+// expansion when querying further into the future. CH road network,
+// circular queries.
+#include "bench_common.h"
+
+int main() {
+  using namespace vpmoi;
+  using namespace vpmoi::bench;
+
+  PrintHeader("Figure 23: effect of query predictive time (circular)",
+              "predictive");
+  for (double pt : {20.0, 40.0, 60.0, 80.0, 100.0, 120.0}) {
+    BenchConfig cfg;
+    cfg.predictive_time = pt;
+    for (IndexVariant v : kAllVariants) {
+      const auto m = RunOne(workload::Dataset::kChicago, v, cfg);
+      PrintRow(std::to_string(static_cast<int>(pt)), VariantName(v), m);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 24: the Figure 23 predictive-time sweep repeated with rectangular
+// 1000 x 1000 m^2 range queries (Section 6.8) — results track the circular
+// query results closely.
+#include "bench_common.h"
+
+int main() {
+  using namespace vpmoi;
+  using namespace vpmoi::bench;
+
+  PrintHeader("Figure 24: effect of query predictive time (rectangular)",
+              "predictive");
+  for (double pt : {20.0, 40.0, 60.0, 80.0, 100.0, 120.0}) {
+    BenchConfig cfg;
+    cfg.predictive_time = pt;
+    cfg.rect_queries = true;
+    for (IndexVariant v : kAllVariants) {
+      const auto m = RunOne(workload::Dataset::kChicago, v, cfg);
+      PrintRow(std::to_string(static_cast<int>(pt)), VariantName(v), m);
+    }
+  }
+  return 0;
+}

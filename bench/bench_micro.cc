@@ -1,0 +1,175 @@
+// Micro-benchmarks (google-benchmark) of the library's hot paths: PCA,
+// DVA clustering, Hilbert/Z encoding, window decomposition, B+-tree and
+// TPR*-tree operations, buffer pool accesses, and query transforms.
+#include <benchmark/benchmark.h>
+
+#include "bptree/bplus_tree.h"
+#include "common/random.h"
+#include "math/pca.h"
+#include "sfc/hilbert.h"
+#include "sfc/range_decomposer.h"
+#include "sfc/zcurve.h"
+#include "storage/buffer_pool.h"
+#include "tpr/tpr_tree.h"
+#include "vp/transform.h"
+#include "vp/velocity_analyzer.h"
+
+namespace vpmoi {
+namespace {
+
+std::vector<Vec2> CrossVelocities(std::size_t n) {
+  Rng rng(7);
+  std::vector<Vec2> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool x_axis = rng.Bernoulli(0.5);
+    const double s = rng.Uniform(-100, 100);
+    out.push_back(x_axis ? Vec2{s, rng.Gaussian(0, 1)}
+                         : Vec2{rng.Gaussian(0, 1), s});
+  }
+  return out;
+}
+
+void BM_Pca(benchmark::State& state) {
+  const auto pts = CrossVelocities(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputePca(pts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Pca)->Arg(1000)->Arg(10000);
+
+void BM_VelocityAnalyzer(benchmark::State& state) {
+  const auto pts = CrossVelocities(static_cast<std::size_t>(state.range(0)));
+  VelocityAnalyzer analyzer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.Analyze(pts));
+  }
+}
+BENCHMARK(BM_VelocityAnalyzer)->Arg(1000)->Arg(10000);
+
+void BM_HilbertEncode(benchmark::State& state) {
+  HilbertCurve curve(16);
+  Rng rng(3);
+  std::uint32_t x = 12345, y = 54321;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.Encode(x, y));
+    x = (x * 1103515245u + 12345u) & 0xFFFF;
+    y = (y * 1103515245u + 54321u) & 0xFFFF;
+  }
+}
+BENCHMARK(BM_HilbertEncode);
+
+void BM_ZEncode(benchmark::State& state) {
+  ZCurve curve(16);
+  std::uint32_t x = 12345, y = 54321;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.Encode(x, y));
+    x = (x * 1103515245u + 12345u) & 0xFFFF;
+    y = (y * 1103515245u + 54321u) & 0xFFFF;
+  }
+}
+BENCHMARK(BM_ZEncode);
+
+void BM_DecomposeWindow(benchmark::State& state) {
+  HilbertCurve curve(10);
+  const auto side = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecomposeWindow(curve, 100, 100, 100 + side,
+                                             100 + side));
+  }
+}
+BENCHMARK(BM_DecomposeWindow)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  PageStore store;
+  BufferPool pool(&store, 4096);
+  BPlusTree tree(&pool);
+  Rng rng(5);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    (void)tree.Insert(BptKey{rng.NextU64() >> 20, i++}, BptPayload{});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPlusTreeInsert);
+
+void BM_BPlusTreeGet(benchmark::State& state) {
+  PageStore store;
+  BufferPool pool(&store, 4096);
+  BPlusTree tree(&pool);
+  Rng rng(5);
+  std::vector<BptKey> keys;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    BptKey k{rng.NextU64() >> 20, i};
+    (void)tree.Insert(k, BptPayload{});
+    keys.push_back(k);
+  }
+  std::size_t j = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Get(keys[j++ % keys.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPlusTreeGet);
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  PageStore store;
+  BufferPool pool(&store, 64);
+  const PageId p = pool.AllocatePage();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Read(p));
+  }
+}
+BENCHMARK(BM_BufferPoolHit);
+
+void BM_TprInsert(benchmark::State& state) {
+  TprStarTree tree;
+  Rng rng(9);
+  ObjectId id = 0;
+  for (auto _ : state) {
+    (void)tree.Insert(MovingObject(
+        id++, rng.PointIn(Rect{{0, 0}, {100000, 100000}}),
+        {rng.Uniform(-100, 100), rng.Uniform(-100, 100)}, 0.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TprInsert);
+
+void BM_TprSearch(benchmark::State& state) {
+  TprStarTree tree;
+  Rng rng(11);
+  for (ObjectId id = 0; id < 50000; ++id) {
+    (void)tree.Insert(MovingObject(
+        id, rng.PointIn(Rect{{0, 0}, {100000, 100000}}),
+        {rng.Uniform(-100, 100), rng.Uniform(-100, 100)}, 0.0));
+  }
+  std::vector<ObjectId> out;
+  for (auto _ : state) {
+    out.clear();
+    const RangeQuery q = RangeQuery::TimeSlice(
+        QueryRegion::MakeCircle(
+            Circle{rng.PointIn(Rect{{0, 0}, {100000, 100000}}), 500.0}),
+        30.0);
+    (void)tree.Search(q, &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_TprSearch);
+
+void BM_QueryTransform(benchmark::State& state) {
+  Dva dva;
+  dva.axis = Vec2{1.0, 0.5}.Normalized();
+  const DvaTransform tf(dva, Rect{{0, 0}, {100000, 100000}});
+  const RangeQuery q = RangeQuery::TimeSlice(
+      QueryRegion::MakeRect(Rect{{1000, 1000}, {2000, 2000}}), 30.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tf.TransformQuery(q));
+  }
+}
+BENCHMARK(BM_QueryTransform);
+
+}  // namespace
+}  // namespace vpmoi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Disk-page B+-tree keyed by a composite (key, sub) pair of 64-bit
+// integers. The Bx-tree stores one leaf entry per object with
+// key = [time-bucket | space-filling-curve value] and sub = object id (the
+// tie-breaker that makes composite keys unique), and the payload carrying
+// the object's position (at the bucket reference time) and velocity.
+//
+// Structure-modification policy: standard top-down splits on insert; on
+// delete, nodes that become empty are unlinked and freed (and the root
+// collapses when it has a single child), but partially filled nodes are not
+// rebalanced. Moving-object workloads continuously delete and reinsert
+// uniformly across the key space, which keeps occupancy healthy without
+// borrow/merge machinery; `CheckInvariants` verifies structural soundness.
+#ifndef VPMOI_BPTREE_BPLUS_TREE_H_
+#define VPMOI_BPTREE_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/buffer_pool.h"
+
+namespace vpmoi {
+
+/// Fixed payload carried by every leaf entry: the object's 2-D position and
+/// velocity. (Position is interpreted by the Bx-tree as of the entry's time
+/// bucket reference time.)
+struct BptPayload {
+  double px = 0.0;
+  double py = 0.0;
+  double vx = 0.0;
+  double vy = 0.0;
+};
+
+/// Composite key: entries are ordered by (key, sub).
+struct BptKey {
+  std::uint64_t key = 0;
+  std::uint64_t sub = 0;
+
+  friend bool operator==(const BptKey&, const BptKey&) = default;
+  friend auto operator<=>(const BptKey& a, const BptKey& b) {
+    if (auto c = a.key <=> b.key; c != 0) return c;
+    return a.sub <=> b.sub;
+  }
+};
+
+/// A page-resident B+-tree over a BufferPool.
+class BPlusTree {
+ public:
+  /// Creates an empty tree whose nodes live in `pool`'s page store.
+  explicit BPlusTree(BufferPool* pool);
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts an entry. Fails with AlreadyExists on duplicate (key, sub).
+  Status Insert(BptKey k, const BptPayload& payload);
+
+  /// Bottom-up packing build from entries sorted strictly ascending by
+  /// composite key, at ~80% leaf fill. Requires an empty tree.
+  Status BulkLoad(std::span<const std::pair<BptKey, BptPayload>> entries);
+
+  /// Deletes the entry with composite key `k`. Fails with NotFound.
+  Status Delete(BptKey k);
+
+  /// Point lookup.
+  StatusOr<BptPayload> Get(BptKey k) const;
+
+  /// Visits all entries with k.key in [lo_key, hi_key] (any sub), in key
+  /// order. The callback returns false to stop early.
+  using ScanCallback =
+      std::function<bool(BptKey, const BptPayload&)>;
+  void Scan(std::uint64_t lo_key, std::uint64_t hi_key,
+            const ScanCallback& cb) const;
+
+  /// Number of entries.
+  std::size_t Size() const { return size_; }
+
+  /// Levels from root to leaf (1 for a single-leaf tree).
+  int Height() const { return height_; }
+
+  /// Number of pages currently owned by the tree.
+  std::size_t NodeCount() const { return node_count_; }
+
+  /// Verifies ordering, chain links and separator invariants; used by
+  /// tests. Returns the first violation found.
+  Status CheckInvariants() const;
+
+  /// Maximum entries per leaf / inner node (exposed for tests).
+  static std::size_t LeafCapacity();
+  static std::size_t InnerCapacity();
+
+ private:
+  struct SplitResult {
+    BptKey separator;   // smallest key of the new right sibling
+    PageId right_page;  // page id of the new right sibling
+  };
+
+  PageId NewLeaf();
+  PageId NewInner();
+
+  // Recursive helpers. `level` counts down to 1 at the leaves.
+  std::optional<SplitResult> InsertRec(PageId node, int level, BptKey k,
+                                       const BptPayload& payload, Status* st);
+  // Returns true if the child at `node` became empty and was freed.
+  bool DeleteRec(PageId node, int level, BptKey k, Status* st);
+
+  // Descends to the leaf that may contain `k`.
+  PageId FindLeaf(BptKey k) const;
+
+  Status CheckNode(PageId node, int level, const BptKey* lower,
+                   std::size_t* entries_seen, PageId* leftmost_leaf) const;
+
+  BufferPool* pool_;
+  PageId root_;
+  int height_ = 1;
+  std::size_t size_ = 0;
+  std::size_t node_count_ = 0;
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_BPTREE_BPLUS_TREE_H_

@@ -1,0 +1,269 @@
+#include "bx/bx_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sfc/hilbert.h"
+#include "sfc/range_decomposer.h"
+#include "sfc/zcurve.h"
+
+namespace vpmoi {
+
+namespace {
+std::unique_ptr<SpaceFillingCurve> MakeCurve(const BxTreeOptions& options) {
+  if (options.curve == CurveKind::kHilbert) {
+    return std::make_unique<HilbertCurve>(options.curve_order);
+  }
+  return std::make_unique<ZCurve>(options.curve_order);
+}
+
+// Enlarges `w` from the query interval back to the reference time: with
+// dt in [dt0, dt1] (dt = t - tlab) and velocity extremes `v`, a candidate
+// object's stored position satisfies
+//   stored = pos_t - vel * dt,  pos_t in w,  vel in [v.vmin, v.vmax].
+Rect EnlargeByExtremes(const Rect& w, const VelocityExtremes& v, double dt0,
+                       double dt1) {
+  if (!v.any) return w;
+  const auto span = [&](double vlo, double vhi, double* mn, double* mx) {
+    const double c1 = vlo * dt0, c2 = vlo * dt1, c3 = vhi * dt0,
+                 c4 = vhi * dt1;
+    *mn = std::min(std::min(c1, c2), std::min(c3, c4));
+    *mx = std::max(std::max(c1, c2), std::max(c3, c4));
+  };
+  double mnx, mxx, mny, mxy;
+  span(v.vmin.x, v.vmax.x, &mnx, &mxx);
+  span(v.vmin.y, v.vmax.y, &mny, &mxy);
+  return Rect{{w.lo.x - mxx, w.lo.y - mxy}, {w.hi.x - mnx, w.hi.y - mny}};
+}
+}  // namespace
+
+BxTree::BxTree(const BxTreeOptions& options)
+    : owned_store_(std::make_unique<PageStore>()),
+      owned_pool_(std::make_unique<BufferPool>(owned_store_.get(),
+                                               options.buffer_pages)),
+      pool_(owned_pool_.get()),
+      options_(options),
+      curve_(MakeCurve(options)),
+      velocity_grid_(options.domain, options.velocity_grid_side) {
+  btree_ = std::make_unique<BPlusTree>(pool_);
+}
+
+BxTree::BxTree(BufferPool* shared_pool, const BxTreeOptions& options)
+    : pool_(shared_pool),
+      options_(options),
+      curve_(MakeCurve(options)),
+      velocity_grid_(options.domain, options.velocity_grid_side) {
+  btree_ = std::make_unique<BPlusTree>(pool_);
+}
+
+BxTree::~BxTree() = default;
+
+std::int64_t BxTree::LabelOf(Timestamp t) const {
+  return static_cast<std::int64_t>(
+      std::floor(std::max(0.0, t) / options_.bucket_duration));
+}
+
+Timestamp BxTree::LabelTime(std::int64_t label) const {
+  return static_cast<double>(label + 1) * options_.bucket_duration;
+}
+
+std::uint64_t BxTree::CellKeyOf(const Point2& pos) const {
+  const std::uint32_t side = curve_->GridSide();
+  const Rect& d = options_.domain;
+  const double fx = (pos.x - d.lo.x) / d.Width() * side;
+  const double fy = (pos.y - d.lo.y) / d.Height() * side;
+  const std::uint32_t cx = static_cast<std::uint32_t>(
+      std::clamp(fx, 0.0, static_cast<double>(side - 1)));
+  const std::uint32_t cy = static_cast<std::uint32_t>(
+      std::clamp(fy, 0.0, static_cast<double>(side - 1)));
+  return curve_->Encode(cx, cy);
+}
+
+std::uint64_t BxTree::KeyOf(std::int64_t label, std::uint64_t cell) const {
+  return static_cast<std::uint64_t>(label) * curve_->CellCount() + cell;
+}
+
+Status BxTree::Insert(const MovingObject& o) {
+  if (objects_.contains(o.id)) {
+    return Status::AlreadyExists("object already indexed");
+  }
+  now_ = std::max(now_, o.t_ref);
+  const std::int64_t label = LabelOf(o.t_ref);
+  const Timestamp tlab = LabelTime(label);
+  const MovingObject stored = o.AtReference(tlab);
+  const std::uint64_t key = KeyOf(label, CellKeyOf(stored.pos));
+  VPMOI_RETURN_IF_ERROR(btree_->Insert(
+      BptKey{key, o.id},
+      BptPayload{stored.pos.x, stored.pos.y, o.vel.x, o.vel.y}));
+  objects_.emplace(o.id, StoredObject{stored, label, key});
+  ++label_counts_[label];
+  velocity_grid_.Insert(stored.pos, o.vel);
+  return Status::OK();
+}
+
+Status BxTree::BulkLoad(std::span<const MovingObject> objects) {
+  if (!objects_.empty()) {
+    return Status::InvalidArgument("bulk load requires an empty tree");
+  }
+  if (objects.empty()) return Status::OK();
+
+  std::vector<std::pair<BptKey, BptPayload>> entries;
+  entries.reserve(objects.size());
+  for (const MovingObject& o : objects) {
+    now_ = std::max(now_, o.t_ref);
+    const std::int64_t label = LabelOf(o.t_ref);
+    const Timestamp tlab = LabelTime(label);
+    const MovingObject stored = o.AtReference(tlab);
+    const std::uint64_t key = KeyOf(label, CellKeyOf(stored.pos));
+    if (!objects_.emplace(o.id, StoredObject{stored, label, key}).second) {
+      objects_.clear();
+      return Status::InvalidArgument("duplicate object id in bulk load");
+    }
+    entries.emplace_back(BptKey{key, o.id},
+                         BptPayload{stored.pos.x, stored.pos.y, o.vel.x,
+                                    o.vel.y});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const Status st = btree_->BulkLoad(entries);
+  if (!st.ok()) {
+    objects_.clear();
+    return st;
+  }
+  for (const auto& [id, rec] : objects_) {
+    ++label_counts_[rec.label];
+    velocity_grid_.Insert(rec.stored.pos, rec.stored.vel);
+  }
+  return Status::OK();
+}
+
+Status BxTree::Delete(ObjectId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("object is not indexed");
+  }
+  const StoredObject& rec = it->second;
+  VPMOI_RETURN_IF_ERROR(btree_->Delete(BptKey{rec.key, id}));
+  velocity_grid_.Remove(rec.stored.pos, rec.stored.vel);
+  auto lc = label_counts_.find(rec.label);
+  if (lc != label_counts_.end() && --lc->second == 0) {
+    label_counts_.erase(lc);
+  }
+  objects_.erase(it);
+  return Status::OK();
+}
+
+void BxTree::AdvanceTime(Timestamp now) { now_ = std::max(now_, now); }
+
+Rect BxTree::EnlargeWindow(const Rect& w, Timestamp t0, Timestamp t1,
+                           Timestamp tlab) const {
+  const double dt0 = t0 - tlab;
+  const double dt1 = t1 - tlab;
+  // Start from the safe global-maximum enlargement, then iteratively
+  // restrict to the velocities actually present under the window. Each
+  // iterate still covers every candidate (the window shrinks monotonically
+  // and candidates' stored positions always lie inside it).
+  Rect cur = EnlargeByExtremes(w, velocity_grid_.Global(), dt0, dt1);
+  for (int i = 0; i < options_.max_expand_iterations; ++i) {
+    const VelocityExtremes local = velocity_grid_.Query(cur);
+    if (!local.any) break;  // no objects under the window at all
+    const Rect next = EnlargeByExtremes(w, local, dt0, dt1);
+    const bool converged = std::abs(next.lo.x - cur.lo.x) < 1e-9 &&
+                           std::abs(next.lo.y - cur.lo.y) < 1e-9 &&
+                           std::abs(next.hi.x - cur.hi.x) < 1e-9 &&
+                           std::abs(next.hi.y - cur.hi.y) < 1e-9;
+    cur = next;
+    if (converged) break;
+  }
+  return cur;
+}
+
+void BxTree::SearchBucket(std::int64_t label, const RangeQuery& q,
+                          std::vector<ObjectId>* out) {
+  const Timestamp tlab = LabelTime(label);
+  const Rect w = q.SweepMbr();
+  const Rect enlarged = EnlargeWindow(w, q.t_begin, q.t_end, tlab);
+
+  if (collect_expansion_) {
+    const double dt = std::max({std::abs(q.t_begin - tlab),
+                                std::abs(q.t_end - tlab), 1e-9});
+    expansion_samples_.push_back(
+        ExpansionSample{(enlarged.Width() - w.Width()) * 0.5 / dt,
+                        (enlarged.Height() - w.Height()) * 0.5 / dt});
+  }
+
+  // Window -> grid cells -> curve ranges -> B+-tree scans.
+  const std::uint32_t side = curve_->GridSide();
+  const Rect& d = options_.domain;
+  const auto cell_of = [side](double f) {
+    return static_cast<std::uint32_t>(
+        std::clamp(f, 0.0, static_cast<double>(side - 1)));
+  };
+  const std::uint32_t cx0 =
+      cell_of((enlarged.lo.x - d.lo.x) / d.Width() * side);
+  const std::uint32_t cx1 =
+      cell_of((enlarged.hi.x - d.lo.x) / d.Width() * side);
+  const std::uint32_t cy0 =
+      cell_of((enlarged.lo.y - d.lo.y) / d.Height() * side);
+  const std::uint32_t cy1 =
+      cell_of((enlarged.hi.y - d.lo.y) / d.Height() * side);
+
+  const std::vector<CurveRange> ranges = CoalesceRanges(
+      DecomposeWindowRecursive(*curve_, cx0, cy0, cx1, cy1),
+      options_.max_scan_ranges);
+  for (const CurveRange& r : ranges) {
+    btree_->Scan(KeyOf(label, r.lo), KeyOf(label, r.hi),
+                 [&](BptKey k, const BptPayload& p) {
+                   const MovingObject o(k.sub, {p.px, p.py}, {p.vx, p.vy},
+                                        tlab);
+                   if (q.Matches(o)) out->push_back(k.sub);
+                   return true;
+                 });
+  }
+}
+
+Status BxTree::Search(const RangeQuery& q, std::vector<ObjectId>* out) {
+  if (q.t_end < q.t_begin) {
+    return Status::InvalidArgument("query interval end precedes begin");
+  }
+  // Each object lives in exactly one bucket, so buckets can be searched
+  // independently without deduplication.
+  for (const auto& [label, count] : label_counts_) {
+    if (count > 0) SearchBucket(label, q, out);
+  }
+  return Status::OK();
+}
+
+StatusOr<MovingObject> BxTree::GetObject(ObjectId id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return Status::NotFound("object is not indexed");
+  // Return the trajectory re-referenced to the stored bucket time (the
+  // same moving point the caller inserted).
+  return it->second.stored;
+}
+
+Status BxTree::CheckInvariants() const {
+  VPMOI_RETURN_IF_ERROR(btree_->CheckInvariants());
+  if (btree_->Size() != objects_.size()) {
+    return Status::Corruption("B+-tree size disagrees with object table");
+  }
+  std::size_t label_total = 0;
+  for (const auto& [label, count] : label_counts_) label_total += count;
+  if (label_total != objects_.size()) {
+    return Status::Corruption("bucket counts disagree with object table");
+  }
+  for (const auto& [id, rec] : objects_) {
+    auto got = btree_->Get(BptKey{rec.key, id});
+    if (!got.ok()) {
+      return Status::Corruption("indexed object missing from B+-tree");
+    }
+    if (got->px != rec.stored.pos.x || got->py != rec.stored.pos.y ||
+        got->vx != rec.stored.vel.x || got->vy != rec.stored.vel.y) {
+      return Status::Corruption("B+-tree payload disagrees with table");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vpmoi

@@ -1,0 +1,140 @@
+// The Bx-tree (Jensen, Lin, Ooi, VLDB 2004): moving objects indexed in a
+// B+-tree by [time-bucket label | space-filling-curve cell] composite keys
+// (Section 3.2). Positions are stored as of the bucket's label (reference)
+// timestamp; queries are enlarged back to each bucket's reference time
+// using the velocity grid and the iterative (monotonically shrinking)
+// expansion of Jensen et al. [14], then decomposed into curve ranges and
+// answered with B+-tree range scans plus an exact refinement filter.
+#ifndef VPMOI_BX_BX_TREE_H_
+#define VPMOI_BX_BX_TREE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bptree/bplus_tree.h"
+#include "bx/velocity_grid.h"
+#include "common/moving_object_index.h"
+#include "sfc/curve.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+
+namespace vpmoi {
+
+/// Which space-filling curve maps cells to key space.
+enum class CurveKind { kHilbert, kZ };
+
+/// Tuning knobs of the Bx-tree.
+struct BxTreeOptions {
+  /// Data space (Table 1: 100,000 x 100,000 m^2).
+  Rect domain{{0.0, 0.0}, {100000.0, 100000.0}};
+  /// Grid is 2^curve_order cells per side.
+  int curve_order = 10;
+  CurveKind curve = CurveKind::kHilbert;
+  /// Number of concurrently active time buckets (the paper's Bx-tree
+  /// "has two time buckets").
+  int num_buckets = 2;
+  /// Phase duration of one bucket; with the paper's 120 ts maximum update
+  /// interval and 2 buckets each phase lasts 60 ts.
+  double bucket_duration = 60.0;
+  /// Velocity histogram resolution per dimension.
+  int velocity_grid_side = 64;
+  /// Cap on the iterative expansion refinement rounds.
+  int max_expand_iterations = 8;
+  /// Cap on B+-tree range scans per (bucket, query): window decomposition
+  /// ranges beyond this are coalesced across their smallest gaps (extra
+  /// scanned keys are discarded by the refinement filter).
+  std::size_t max_scan_ranges = 256;
+  /// Buffer pool pages when the tree owns its pool (Table 1: 50).
+  std::size_t buffer_pages = kDefaultBufferPages;
+};
+
+/// A Bx-tree moving-object index.
+class BxTree final : public MovingObjectIndex {
+ public:
+  explicit BxTree(const BxTreeOptions& options = {});
+  /// Shares `shared_pool` (used by the VP index manager).
+  BxTree(BufferPool* shared_pool, const BxTreeOptions& options);
+  ~BxTree() override;
+
+  std::string Name() const override { return "Bx"; }
+  Status Insert(const MovingObject& o) override;
+  /// Bottom-up build: computes all composite keys, sorts once, and packs
+  /// the B+-tree. Requires an empty tree.
+  Status BulkLoad(std::span<const MovingObject> objects) override;
+  Status Delete(ObjectId id) override;
+  Status Search(const RangeQuery& q, std::vector<ObjectId>* out) override;
+  std::size_t Size() const override { return objects_.size(); }
+  void AdvanceTime(Timestamp now) override;
+  IoStats Stats() const override { return pool_->stats(); }
+  void ResetStats() override { pool_->ResetStats(); }
+
+  Timestamp Now() const { return now_; }
+  const BxTreeOptions& options() const { return options_; }
+  int TreeHeight() const { return btree_->Height(); }
+
+  /// The stored trajectory of an object (as last inserted).
+  StatusOr<MovingObject> GetObject(ObjectId id) const;
+
+  /// Per-query window expansion rates (space units / ts) recorded when
+  /// collection is enabled; Figure 7(c)-(d) scatters these.
+  struct ExpansionSample {
+    double rate_x = 0.0;
+    double rate_y = 0.0;
+  };
+  void set_collect_expansion(bool on) { collect_expansion_ = on; }
+  const std::vector<ExpansionSample>& expansion_samples() const {
+    return expansion_samples_;
+  }
+  void clear_expansion_samples() { expansion_samples_.clear(); }
+
+  /// Consistency checks: B+-tree structure, object table vs tree content.
+  Status CheckInvariants() const;
+
+ private:
+  /// Time-bucket label of an update at time `t`.
+  std::int64_t LabelOf(Timestamp t) const;
+  /// Reference timestamp of bucket `label` (end of its phase).
+  Timestamp LabelTime(std::int64_t label) const;
+  /// Curve cell of a position (clamped to the domain).
+  std::uint64_t CellKeyOf(const Point2& pos) const;
+  /// Full composite key.
+  std::uint64_t KeyOf(std::int64_t label, std::uint64_t cell) const;
+
+  /// Enlarges the query MBR `w` (valid across the absolute interval
+  /// [t0, t1]) back to reference time `tlab` with the iterative shrinking
+  /// algorithm. Returns the final window at `tlab`.
+  Rect EnlargeWindow(const Rect& w, Timestamp t0, Timestamp t1,
+                     Timestamp tlab) const;
+
+  void SearchBucket(std::int64_t label, const RangeQuery& q,
+                    std::vector<ObjectId>* out);
+
+  struct StoredObject {
+    MovingObject stored;  // position at the bucket reference time
+    std::int64_t label = 0;
+    std::uint64_t key = 0;
+  };
+
+  std::unique_ptr<PageStore> owned_store_;
+  std::unique_ptr<BufferPool> owned_pool_;
+  BufferPool* pool_;
+
+  BxTreeOptions options_;
+  std::unique_ptr<SpaceFillingCurve> curve_;
+  std::unique_ptr<BPlusTree> btree_;
+  VelocityGrid velocity_grid_;
+  Timestamp now_ = 0.0;
+  std::unordered_map<ObjectId, StoredObject> objects_;
+  /// Live object count per active bucket label.
+  std::map<std::int64_t, std::size_t> label_counts_;
+
+  bool collect_expansion_ = false;
+  std::vector<ExpansionSample> expansion_samples_;
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_BX_BX_TREE_H_

@@ -1,0 +1,63 @@
+#include "bx/velocity_grid.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vpmoi {
+
+VelocityGrid::VelocityGrid(const Rect& domain, int side)
+    : domain_(domain), side_(side), cells_(static_cast<std::size_t>(side) * side) {
+  assert(side >= 1);
+  assert(!domain.IsEmpty());
+}
+
+int VelocityGrid::CellX(double x) const {
+  double f = (x - domain_.lo.x) / domain_.Width() * side_;
+  return std::clamp(static_cast<int>(f), 0, side_ - 1);
+}
+
+int VelocityGrid::CellY(double y) const {
+  double f = (y - domain_.lo.y) / domain_.Height() * side_;
+  return std::clamp(static_cast<int>(f), 0, side_ - 1);
+}
+
+void VelocityGrid::Insert(const Point2& pos, const Vec2& vel) {
+  Cell& c = At(CellX(pos.x), CellY(pos.y));
+  c.ext.Extend(vel);
+  ++c.count;
+  global_.Extend(vel);
+  ++total_count_;
+}
+
+void VelocityGrid::Remove(const Point2& pos, const Vec2& vel) {
+  (void)vel;
+  Cell& c = At(CellX(pos.x), CellY(pos.y));
+  if (c.count > 0) {
+    --c.count;
+    if (c.count == 0) c.ext = VelocityExtremes{};
+  }
+  if (total_count_ > 0) {
+    --total_count_;
+    if (total_count_ == 0) global_ = VelocityExtremes{};
+  }
+}
+
+VelocityExtremes VelocityGrid::Query(const Rect& window) const {
+  VelocityExtremes out;
+  if (window.IsEmpty()) return out;
+  const int x0 = CellX(window.lo.x);
+  const int x1 = CellX(window.hi.x);
+  const int y0 = CellY(window.lo.y);
+  const int y1 = CellY(window.hi.y);
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const Cell& c = At(x, y);
+      if (c.count > 0) out.Extend(c.ext);
+    }
+  }
+  return out;
+}
+
+VelocityExtremes VelocityGrid::Global() const { return global_; }
+
+}  // namespace vpmoi

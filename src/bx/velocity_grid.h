@@ -1,0 +1,87 @@
+// Velocity histogram on a spatial grid (Section 3.2): for portions of the
+// data space it maintains the min/max object velocity, which the Bx-tree
+// uses to enlarge query windows by *local* velocity extremes instead of the
+// global maximum (the iterative expanding query algorithm of Jensen et
+// al. [14]).
+//
+// Maintenance is conservative: removing an object never shrinks a non-empty
+// cell's extremes (they reset only when the cell empties), so enlargement
+// windows may be slightly loose but never miss an object.
+#ifndef VPMOI_BX_VELOCITY_GRID_H_
+#define VPMOI_BX_VELOCITY_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace vpmoi {
+
+/// Min/max velocity components over a region. `any == false` means no
+/// object is known in the region.
+struct VelocityExtremes {
+  Vec2 vmin{0.0, 0.0};
+  Vec2 vmax{0.0, 0.0};
+  bool any = false;
+
+  void Extend(const Vec2& v) {
+    if (!any) {
+      vmin = vmax = v;
+      any = true;
+      return;
+    }
+    vmin.x = std::min(vmin.x, v.x);
+    vmin.y = std::min(vmin.y, v.y);
+    vmax.x = std::max(vmax.x, v.x);
+    vmax.y = std::max(vmax.y, v.y);
+  }
+  void Extend(const VelocityExtremes& o) {
+    if (!o.any) return;
+    Extend(o.vmin);
+    Extend(o.vmax);
+  }
+};
+
+/// Grid of velocity extremes over a rectangular domain.
+class VelocityGrid {
+ public:
+  /// `side` cells per dimension over `domain` (the paper uses a 1000x1000
+  /// histogram; smaller grids trade enlargement tightness for memory).
+  VelocityGrid(const Rect& domain, int side);
+
+  /// Records an object with velocity `vel` whose indexed position is `pos`
+  /// (positions outside the domain clamp to edge cells).
+  void Insert(const Point2& pos, const Vec2& vel);
+
+  /// Removes a previously inserted record.
+  void Remove(const Point2& pos, const Vec2& vel);
+
+  /// Extremes over all cells intersecting `window`.
+  VelocityExtremes Query(const Rect& window) const;
+
+  /// Extremes over the whole population (conservative).
+  VelocityExtremes Global() const;
+
+  int side() const { return side_; }
+
+ private:
+  struct Cell {
+    VelocityExtremes ext;
+    std::uint32_t count = 0;
+  };
+
+  int CellX(double x) const;
+  int CellY(double y) const;
+  Cell& At(int cx, int cy) { return cells_[cy * side_ + cx]; }
+  const Cell& At(int cx, int cy) const { return cells_[cy * side_ + cx]; }
+
+  Rect domain_;
+  int side_;
+  std::vector<Cell> cells_;
+  VelocityExtremes global_;
+  std::uint64_t total_count_ = 0;
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_BX_VELOCITY_GRID_H_

@@ -1,0 +1,91 @@
+#include "common/geometry.h"
+
+#include <array>
+#include <cstdio>
+#include <limits>
+
+namespace vpmoi {
+
+std::string Vec2::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.6g, %.6g)", x, y);
+  return buf;
+}
+
+Rect Rect::Empty() {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  return {{inf, inf}, {-inf, -inf}};
+}
+
+void Rect::ExtendToCover(const Point2& p) {
+  lo.x = std::min(lo.x, p.x);
+  lo.y = std::min(lo.y, p.y);
+  hi.x = std::max(hi.x, p.x);
+  hi.y = std::max(hi.y, p.y);
+}
+
+void Rect::ExtendToCover(const Rect& r) {
+  if (r.IsEmpty()) return;
+  ExtendToCover(r.lo);
+  ExtendToCover(r.hi);
+}
+
+Rect Rect::Union(const Rect& a, const Rect& b) {
+  Rect out = a;
+  out.ExtendToCover(b);
+  return out;
+}
+
+Rect Rect::Intersection(const Rect& a, const Rect& b) {
+  Rect out;
+  out.lo.x = std::max(a.lo.x, b.lo.x);
+  out.lo.y = std::max(a.lo.y, b.lo.y);
+  out.hi.x = std::min(a.hi.x, b.hi.x);
+  out.hi.y = std::min(a.hi.y, b.hi.y);
+  return out;
+}
+
+double Rect::SquaredDistanceTo(const Point2& p) const {
+  double dx = 0.0;
+  if (p.x < lo.x) {
+    dx = lo.x - p.x;
+  } else if (p.x > hi.x) {
+    dx = p.x - hi.x;
+  }
+  double dy = 0.0;
+  if (p.y < lo.y) {
+    dy = lo.y - p.y;
+  } else if (p.y > hi.y) {
+    dy = p.y - hi.y;
+  }
+  return dx * dx + dy * dy;
+}
+
+std::string Rect::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%.6g,%.6g]x[%.6g,%.6g]", lo.x, hi.x, lo.y,
+                hi.y);
+  return buf;
+}
+
+Rect Rotation::ApplyToRect(const Rect& r) const {
+  if (r.IsEmpty()) return Rect::Empty();
+  const std::array<Point2, 4> corners = {
+      Point2{r.lo.x, r.lo.y}, Point2{r.hi.x, r.lo.y}, Point2{r.lo.x, r.hi.y},
+      Point2{r.hi.x, r.hi.y}};
+  Rect out = Rect::Empty();
+  for (const Point2& c : corners) out.ExtendToCover(Apply(c));
+  return out;
+}
+
+Rect Rotation::InvertRect(const Rect& r) const {
+  if (r.IsEmpty()) return Rect::Empty();
+  const std::array<Point2, 4> corners = {
+      Point2{r.lo.x, r.lo.y}, Point2{r.hi.x, r.lo.y}, Point2{r.lo.x, r.hi.y},
+      Point2{r.hi.x, r.hi.y}};
+  Rect out = Rect::Empty();
+  for (const Point2& c : corners) out.ExtendToCover(Invert(c));
+  return out;
+}
+
+}  // namespace vpmoi

@@ -1,0 +1,200 @@
+// 2-D geometry primitives used by every index: points, vectors and
+// axis-aligned rectangles, plus the circular query region geometry the
+// paper's default workload uses (Section 6: "circular time slice range
+// query ... also used in the filter step of the k Nearest Neighbor query").
+#ifndef VPMOI_COMMON_GEOMETRY_H_
+#define VPMOI_COMMON_GEOMETRY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace vpmoi {
+
+/// A 2-D vector; also used for positions and velocities.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double px, double py) : x(px), y(py) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2& o) const = default;
+
+  constexpr double Dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product; |Cross| is the area of the
+  /// parallelogram spanned by the two vectors.
+  constexpr double Cross(const Vec2& o) const { return x * o.y - y * o.x; }
+  double Norm() const { return std::sqrt(x * x + y * y); }
+  constexpr double SquaredNorm() const { return x * x + y * y; }
+
+  /// Unit vector in the same direction; the zero vector maps to (1, 0) so
+  /// callers never divide by zero.
+  Vec2 Normalized() const {
+    double n = Norm();
+    if (n == 0.0) return {1.0, 0.0};
+    return {x / n, y / n};
+  }
+
+  std::string ToString() const;
+};
+
+using Point2 = Vec2;
+
+inline constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+inline double Distance(const Point2& a, const Point2& b) {
+  return (a - b).Norm();
+}
+inline constexpr double SquaredDistance(const Point2& a, const Point2& b) {
+  return (a - b).SquaredNorm();
+}
+
+/// Axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y]. An empty rectangle
+/// has lo > hi in at least one dimension; `Rect::Empty()` builds the
+/// canonical empty rectangle used as the identity for `ExtendToCover`.
+struct Rect {
+  Point2 lo;
+  Point2 hi;
+
+  constexpr Rect() = default;
+  constexpr Rect(Point2 low, Point2 high) : lo(low), hi(high) {}
+
+  /// Canonical empty rectangle (identity element of union).
+  static Rect Empty();
+  /// Rectangle covering a single point.
+  static constexpr Rect FromPoint(const Point2& p) { return {p, p}; }
+  /// Rectangle from center and half-extents.
+  static Rect FromCenter(const Point2& c, double half_x, double half_y) {
+    return {{c.x - half_x, c.y - half_y}, {c.x + half_x, c.y + half_y}};
+  }
+
+  constexpr bool operator==(const Rect& o) const = default;
+
+  bool IsEmpty() const { return lo.x > hi.x || lo.y > hi.y; }
+  double Width() const { return std::max(0.0, hi.x - lo.x); }
+  double Height() const { return std::max(0.0, hi.y - lo.y); }
+  double Area() const { return Width() * Height(); }
+  double Perimeter() const { return 2.0 * (Width() + Height()); }
+  Point2 Center() const {
+    return {(lo.x + hi.x) * 0.5, (lo.y + hi.y) * 0.5};
+  }
+
+  bool Contains(const Point2& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  bool Contains(const Rect& r) const {
+    return !r.IsEmpty() && r.lo.x >= lo.x && r.hi.x <= hi.x &&
+           r.lo.y >= lo.y && r.hi.y <= hi.y;
+  }
+  bool Intersects(const Rect& r) const {
+    if (IsEmpty() || r.IsEmpty()) return false;
+    return lo.x <= r.hi.x && r.lo.x <= hi.x && lo.y <= r.hi.y &&
+           r.lo.y <= hi.y;
+  }
+
+  /// Grows this rectangle (in place) to cover `p` / `r`.
+  void ExtendToCover(const Point2& p);
+  void ExtendToCover(const Rect& r);
+
+  /// Returns the smallest rectangle covering both inputs.
+  static Rect Union(const Rect& a, const Rect& b);
+  /// Returns the (possibly empty) intersection.
+  static Rect Intersection(const Rect& a, const Rect& b);
+
+  /// Rectangle expanded outward by `delta` on every side.
+  Rect Inflated(double delta) const {
+    return {{lo.x - delta, lo.y - delta}, {hi.x + delta, hi.y + delta}};
+  }
+
+  /// Squared distance from `p` to the nearest point of the rectangle
+  /// (zero if `p` is inside).
+  double SquaredDistanceTo(const Point2& p) const;
+
+  std::string ToString() const;
+};
+
+/// Circle with center and radius; the paper's default query region.
+struct Circle {
+  Point2 center;
+  double radius = 0.0;
+
+  constexpr Circle() = default;
+  constexpr Circle(Point2 c, double r) : center(c), radius(r) {}
+
+  bool Contains(const Point2& p) const {
+    return SquaredDistance(center, p) <= radius * radius;
+  }
+  bool Intersects(const Rect& r) const {
+    return r.SquaredDistanceTo(center) <= radius * radius;
+  }
+  /// Axis-aligned bounding box of the circle.
+  Rect Mbr() const {
+    return {{center.x - radius, center.y - radius},
+            {center.x + radius, center.y + radius}};
+  }
+};
+
+/// Rotation in the plane. `Apply` maps world coordinates into a frame whose
+/// x-axis is the unit vector `axis`; `Invert` maps back. This is the "simple
+/// matrix multiplication" coordinate transform of Sections 5.3-5.4.
+struct Rotation {
+  /// cos/sin of the rotation angle; the frame x-axis in world coordinates
+  /// is (c, s).
+  double c = 1.0;
+  double s = 0.0;
+
+  constexpr Rotation() = default;
+
+  /// Frame whose x-axis is `axis` (need not be normalized).
+  static Rotation FromAxis(const Vec2& axis) {
+    Vec2 u = axis.Normalized();
+    Rotation r;
+    r.c = u.x;
+    r.s = u.y;
+    return r;
+  }
+  static Rotation FromAngle(double radians) {
+    Rotation r;
+    r.c = std::cos(radians);
+    r.s = std::sin(radians);
+    return r;
+  }
+  static constexpr Rotation Identity() { return Rotation(); }
+
+  double Angle() const { return std::atan2(s, c); }
+
+  /// World -> frame: R^T * v.
+  constexpr Vec2 Apply(const Vec2& v) const {
+    return {c * v.x + s * v.y, -s * v.x + c * v.y};
+  }
+  /// Frame -> world: R * v.
+  constexpr Vec2 Invert(const Vec2& v) const {
+    return {c * v.x - s * v.y, s * v.x + c * v.y};
+  }
+
+  /// Axis-aligned bounding box, in frame coordinates, of a world-space
+  /// rectangle (the transformed-query MBR of Algorithm 3, line 4).
+  Rect ApplyToRect(const Rect& r) const;
+  /// Axis-aligned bounding box, in world coordinates, of a frame-space
+  /// rectangle.
+  Rect InvertRect(const Rect& r) const;
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_COMMON_GEOMETRY_H_

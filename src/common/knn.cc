@@ -1,0 +1,56 @@
+#include "common/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vpmoi {
+
+Status KnnSearch(MovingObjectIndex* index, const Point2& center,
+                 std::size_t k, Timestamp t, const KnnOptions& options,
+                 std::vector<KnnNeighbor>* out) {
+  out->clear();
+  if (k == 0) return Status::OK();
+  const std::size_t n = index->Size();
+  if (n == 0) return Status::OK();
+  const std::size_t target = std::min(k, n);
+
+  // Expected distance to the k-th neighbor under uniformity:
+  // sqrt(area * k / (n * pi)); inflate for skew.
+  double radius = options.initial_radius;
+  if (radius <= 0.0) {
+    radius = 1.5 * std::sqrt(options.domain.Area() * static_cast<double>(k) /
+                             (static_cast<double>(n) * M_PI));
+    radius = std::max(radius, 1.0);
+  }
+
+  // Filter: grow the probe circle until it holds at least `target`
+  // candidates. Once it does, every true k-nearest neighbor lies inside
+  // the circle (the k-th neighbor distance is at most the radius), so
+  // exact ranking of the candidates yields the exact answer.
+  std::vector<ObjectId> candidates;
+  for (int probe = 0; probe < options.max_probes; ++probe) {
+    candidates.clear();
+    const RangeQuery q = RangeQuery::TimeSlice(
+        QueryRegion::MakeCircle(Circle{center, radius}), t);
+    VPMOI_RETURN_IF_ERROR(index->Search(q, &candidates));
+    if (candidates.size() >= target) break;
+    radius *= options.growth;
+  }
+
+  // Refine: rank candidates by exact predicted distance.
+  out->reserve(candidates.size());
+  for (ObjectId id : candidates) {
+    auto obj = index->GetObject(id);
+    if (!obj.ok()) return obj.status();
+    out->push_back(KnnNeighbor{id, Distance(obj->PositionAt(t), center)});
+  }
+  std::sort(out->begin(), out->end(),
+            [](const KnnNeighbor& a, const KnnNeighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  if (out->size() > k) out->resize(k);
+  return Status::OK();
+}
+
+}  // namespace vpmoi

@@ -1,0 +1,46 @@
+// Predictive k-nearest-neighbor search on top of any MovingObjectIndex,
+// via the classic filter-and-refine scheme the paper alludes to in
+// Section 6: issue circular time-slice range queries of growing radius
+// until k candidates are found, then rank candidates by their exact
+// predicted distance. Works unchanged on plain and velocity-partitioned
+// indexes because rotations preserve distances.
+#ifndef VPMOI_COMMON_KNN_H_
+#define VPMOI_COMMON_KNN_H_
+
+#include <vector>
+
+#include "common/moving_object_index.h"
+
+namespace vpmoi {
+
+/// Options for the kNN driver.
+struct KnnOptions {
+  /// Initial probe radius. If <= 0, it is estimated from the data-space
+  /// area and the index cardinality (expected k-th neighbor distance under
+  /// uniformity).
+  double initial_radius = 0.0;
+  /// Radius multiplier between probes.
+  double growth = 2.0;
+  /// Safety cap on probes.
+  int max_probes = 24;
+  /// Data space used for the initial-radius estimate.
+  Rect domain{{0.0, 0.0}, {100000.0, 100000.0}};
+};
+
+/// One kNN result entry.
+struct KnnNeighbor {
+  ObjectId id = kInvalidObjectId;
+  /// Distance from the query point at the query time.
+  double distance = 0.0;
+};
+
+/// Finds the k objects nearest to `center` at (future) time `t`,
+/// ascending by distance (ties broken by id). Returns fewer than k
+/// entries only if the index holds fewer than k objects.
+Status KnnSearch(MovingObjectIndex* index, const Point2& center,
+                 std::size_t k, Timestamp t, const KnnOptions& options,
+                 std::vector<KnnNeighbor>* out);
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_COMMON_KNN_H_

@@ -1,0 +1,15 @@
+#include "common/moving_object.h"
+
+#include <cstdio>
+
+namespace vpmoi {
+
+std::string MovingObject::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "obj %llu pos%s vel%s @t=%.3f",
+                static_cast<unsigned long long>(id), pos.ToString().c_str(),
+                vel.ToString().c_str(), t_ref);
+  return buf;
+}
+
+}  // namespace vpmoi

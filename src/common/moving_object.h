@@ -1,0 +1,43 @@
+// The linear motion model of Section 2.1: an object is a point whose near
+// future trajectory is `position(t) = pos + vel * (t - t_ref)`. Objects issue
+// an update (modeled as deletion + insertion) whenever their velocity
+// changes or the maximum update interval elapses.
+#ifndef VPMOI_COMMON_MOVING_OBJECT_H_
+#define VPMOI_COMMON_MOVING_OBJECT_H_
+
+#include <string>
+
+#include "common/geometry.h"
+#include "common/types.h"
+
+namespace vpmoi {
+
+/// Snapshot of a moving point: its position at reference time `t_ref` and
+/// its current velocity vector.
+struct MovingObject {
+  ObjectId id = kInvalidObjectId;
+  /// Position at time `t_ref`.
+  Point2 pos;
+  /// Velocity in space units per timestamp.
+  Vec2 vel;
+  /// Time at which `pos` was observed (the update time).
+  Timestamp t_ref = 0.0;
+
+  MovingObject() = default;
+  MovingObject(ObjectId oid, Point2 p, Vec2 v, Timestamp t)
+      : id(oid), pos(p), vel(v), t_ref(t) {}
+
+  /// Predicted position at time `t` under the linear model.
+  Point2 PositionAt(Timestamp t) const { return pos + vel * (t - t_ref); }
+
+  /// The same object re-referenced to time `t` (identical trajectory).
+  MovingObject AtReference(Timestamp t) const {
+    return MovingObject(id, PositionAt(t), vel, t);
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_COMMON_MOVING_OBJECT_H_

@@ -1,0 +1,78 @@
+// The abstract moving-object index interface. The TPR*-tree, the Bx-tree and
+// the VP wrapper all implement it, which is what lets the VP technique apply
+// "to a wide range of moving object index structures" (Section 1): the VP
+// index manager composes any factory of MovingObjectIndex instances.
+#ifndef VPMOI_COMMON_MOVING_OBJECT_INDEX_H_
+#define VPMOI_COMMON_MOVING_OBJECT_INDEX_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/moving_object.h"
+#include "common/query.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/io_stats.h"
+
+namespace vpmoi {
+
+/// Interface of a predictive moving-object index following the linear motion
+/// model (Section 2.1). An update is a deletion followed by an insertion, as
+/// in the paper.
+class MovingObjectIndex {
+ public:
+  virtual ~MovingObjectIndex() = default;
+
+  /// Name for reports, e.g. "TPR*", "Bx", "TPR*(VP)".
+  virtual std::string Name() const = 0;
+
+  /// Inserts a new object. Fails with AlreadyExists if `o.id` is indexed.
+  virtual Status Insert(const MovingObject& o) = 0;
+
+  /// Loads many objects at once. The default loops Insert; implementations
+  /// may override with a packing build (which requires an empty index).
+  /// Ids must be distinct and not yet indexed.
+  virtual Status BulkLoad(std::span<const MovingObject> objects) {
+    for (const MovingObject& o : objects) {
+      VPMOI_RETURN_IF_ERROR(Insert(o));
+    }
+    return Status::OK();
+  }
+
+  /// Removes an object by id. Fails with NotFound if it is not indexed.
+  virtual Status Delete(ObjectId id) = 0;
+
+  /// Update = delete + insert (Section 2.1); implementations may override
+  /// with something smarter but must keep the same semantics.
+  virtual Status Update(const MovingObject& o) {
+    VPMOI_RETURN_IF_ERROR(Delete(o.id));
+    return Insert(o);
+  }
+
+  /// Appends to `*out` the ids of all indexed objects matching `q`.
+  /// Results are exact: implementations must apply the final refinement
+  /// filter (`RangeQuery::Matches`) to candidates.
+  virtual Status Search(const RangeQuery& q, std::vector<ObjectId>* out) = 0;
+
+  /// Number of currently indexed objects.
+  virtual std::size_t Size() const = 0;
+
+  /// Returns the stored trajectory of an object (as last inserted), or
+  /// NotFound. Backed by the index's object table; costs no page I/O.
+  virtual StatusOr<MovingObject> GetObject(ObjectId id) const = 0;
+
+  /// Advances the index's notion of "now". Indexes that maintain
+  /// time-bucketed state (the Bx-tree) or tighten bounding rectangles use
+  /// this; others may ignore it. `now` never decreases.
+  virtual void AdvanceTime(Timestamp now) { (void)now; }
+
+  /// Cumulative I/O statistics (page reads/writes through the buffer pool).
+  virtual IoStats Stats() const = 0;
+  virtual void ResetStats() = 0;
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_COMMON_MOVING_OBJECT_INDEX_H_

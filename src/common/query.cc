@@ -1,0 +1,70 @@
+#include "common/query.h"
+
+#include <algorithm>
+
+namespace vpmoi {
+
+namespace {
+
+// Computes the sub-interval of [t0, t1] on which lo <= a + b*t <= hi,
+// writing it into [*out0, *out1]. Returns false if empty.
+bool Solve1d(double a, double b, double lo, double hi, double t0, double t1,
+             double* out0, double* out1) {
+  if (b == 0.0) {
+    if (a < lo || a > hi) return false;
+    *out0 = t0;
+    *out1 = t1;
+    return true;
+  }
+  double ta = (lo - a) / b;
+  double tb = (hi - a) / b;
+  if (ta > tb) std::swap(ta, tb);
+  *out0 = std::max(t0, ta);
+  *out1 = std::min(t1, tb);
+  return *out0 <= *out1;
+}
+
+}  // namespace
+
+bool RangeQuery::Matches(const MovingObject& o) const {
+  // Work in the query's relative frame: rel(t) = object(t) - region(t).
+  // rel is linear in t, so containment reduces to 1-D interval
+  // intersection (rectangle) or a quadratic minimization (circle).
+  const double t0 = t_begin;
+  const double t1 = t_end;
+  const Vec2 rel_vel = o.vel - region.vel;
+  // Relative position at absolute time t is rel0 + rel_vel * t with:
+  const Point2 obj_at_begin = o.PositionAt(t0);
+
+  if (region.kind == RegionKind::kRectangle) {
+    // Position relative to the region's t_begin placement, as a function of
+    // dt = t - t_begin: obj_at_begin + rel_vel * dt must be inside rect.
+    double ux0, ux1, uy0, uy1;
+    if (!Solve1d(obj_at_begin.x, rel_vel.x, region.rect.lo.x,
+                 region.rect.hi.x, 0.0, t1 - t0, &ux0, &ux1)) {
+      return false;
+    }
+    if (!Solve1d(obj_at_begin.y, rel_vel.y, region.rect.lo.y,
+                 region.rect.hi.y, 0.0, t1 - t0, &uy0, &uy1)) {
+      return false;
+    }
+    return std::max(ux0, uy0) <= std::min(ux1, uy1);
+  }
+
+  // Circle: minimize |d + rel_vel * dt|^2 over dt in [0, t1 - t0] where
+  // d is the offset from the circle center at t_begin.
+  const Vec2 d = obj_at_begin - region.circle.center;
+  const double dt_max = t1 - t0;
+  const double a = rel_vel.SquaredNorm();
+  double best;
+  if (a == 0.0) {
+    best = d.SquaredNorm();
+  } else {
+    double dt_star = -d.Dot(rel_vel) / a;
+    dt_star = std::clamp(dt_star, 0.0, dt_max);
+    best = (d + rel_vel * dt_star).SquaredNorm();
+  }
+  return best <= region.circle.radius * region.circle.radius;
+}
+
+}  // namespace vpmoi

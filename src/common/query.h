@@ -1,0 +1,108 @@
+// The three predictive range query types of Section 2.1:
+//   * time-slice range query: objects inside the region at one future time,
+//   * time-interval range query: objects inside the region at any time in
+//     [t_begin, t_end],
+//   * moving range query: the region itself moves with a velocity during
+//     [t_begin, t_end].
+// The region is either a circle (the paper's default; Section 6) or an
+// axis-aligned rectangle (Section 6.8).
+#ifndef VPMOI_COMMON_QUERY_H_
+#define VPMOI_COMMON_QUERY_H_
+
+#include <string>
+
+#include "common/geometry.h"
+#include "common/moving_object.h"
+#include "common/types.h"
+
+namespace vpmoi {
+
+/// Shape of the query region.
+enum class RegionKind { kRectangle, kCircle };
+
+/// A (possibly moving) query region.
+struct QueryRegion {
+  RegionKind kind = RegionKind::kRectangle;
+  /// Rectangle extent when kind == kRectangle (at time t_begin).
+  Rect rect;
+  /// Circle extent when kind == kCircle (at time t_begin).
+  Circle circle;
+  /// Velocity of the region itself; zero for stationary queries.
+  Vec2 vel;
+
+  static QueryRegion MakeRect(const Rect& r, Vec2 v = {0.0, 0.0}) {
+    QueryRegion q;
+    q.kind = RegionKind::kRectangle;
+    q.rect = r;
+    q.vel = v;
+    return q;
+  }
+  static QueryRegion MakeCircle(const Circle& c, Vec2 v = {0.0, 0.0}) {
+    QueryRegion q;
+    q.kind = RegionKind::kCircle;
+    q.circle = c;
+    q.vel = v;
+    return q;
+  }
+
+  /// Axis-aligned bounding box of the region at `dt` time units after the
+  /// query start.
+  Rect MbrAt(double dt) const {
+    Rect r = (kind == RegionKind::kRectangle) ? rect : circle.Mbr();
+    Vec2 shift = vel * dt;
+    return {r.lo + shift, r.hi + shift};
+  }
+
+  /// Exact containment test for an object position at `dt` after the query
+  /// start time.
+  bool ContainsAt(const Point2& p, double dt) const {
+    Vec2 shift = vel * dt;
+    if (kind == RegionKind::kRectangle) {
+      Rect moved{rect.lo + shift, rect.hi + shift};
+      return moved.Contains(p);
+    }
+    Circle moved{circle.center + shift, circle.radius};
+    return moved.Contains(p);
+  }
+};
+
+/// A predictive range query over [t_begin, t_end]. A time-slice query has
+/// t_begin == t_end; a moving range query has region.vel != 0.
+struct RangeQuery {
+  QueryRegion region;
+  Timestamp t_begin = 0.0;
+  Timestamp t_end = 0.0;
+
+  /// Stationary time-slice query at time `t`.
+  static RangeQuery TimeSlice(const QueryRegion& r, Timestamp t) {
+    return RangeQuery{r, t, t};
+  }
+  /// Stationary time-interval query over [t0, t1].
+  static RangeQuery TimeInterval(const QueryRegion& r, Timestamp t0,
+                                 Timestamp t1) {
+    return RangeQuery{r, t0, t1};
+  }
+  /// Moving range query: `r.vel` carries the region's velocity.
+  static RangeQuery Moving(const QueryRegion& r, Timestamp t0, Timestamp t1) {
+    return RangeQuery{r, t0, t1};
+  }
+
+  bool IsTimeSlice() const { return t_begin == t_end; }
+
+  /// Exact predicate: does object `o`'s trajectory intersect the (moving)
+  /// region at some time in [t_begin, t_end]? Used as the final filter step
+  /// (Algorithm 3, line 8) and as the oracle in tests.
+  bool Matches(const MovingObject& o) const;
+
+  /// Conservative axis-aligned bound covering the region over the whole
+  /// query interval.
+  Rect SweepMbr() const {
+    Rect r = region.MbrAt(0.0);
+    r.ExtendToCover(region.MbrAt(t_end - t_begin));
+    return r;
+  }
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_COMMON_QUERY_H_

@@ -1,0 +1,50 @@
+// Deterministic pseudo-random number generation. All generators in the
+// library take explicit seeds so experiments are reproducible run to run.
+#ifndef VPMOI_COMMON_RANDOM_H_
+#define VPMOI_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/geometry.h"
+
+namespace vpmoi {
+
+/// xoshiro256** PRNG seeded via splitmix64. Fast, high-quality, and
+/// dependency-free; identical streams across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n) for n > 0.
+  std::uint64_t UniformInt(std::uint64_t n);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Uniform point inside a rectangle.
+  Point2 PointIn(const Rect& r);
+
+  /// true with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_COMMON_RANDOM_H_

@@ -1,0 +1,32 @@
+// Thin wall-clock timer used by the experiment runner and benches.
+#ifndef VPMOI_COMMON_STOPWATCH_H_
+#define VPMOI_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace vpmoi {
+
+/// Measures elapsed wall time in (fractional) milliseconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_COMMON_STOPWATCH_H_

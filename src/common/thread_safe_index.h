@@ -1,0 +1,81 @@
+// Thread-safety decorator. Section 5.3 notes that moving an object
+// between DVA indexes requires locking both indexes so a concurrent query
+// cannot miss it; this wrapper takes the coarse-grained version of that
+// position: one mutex around the whole composite index, making every
+// operation atomic with respect to every other.
+//
+// Note that even Search mutates internal state (the buffer pool's LRU
+// chain and I/O counters), so readers cannot share the lock; this is a
+// correctness decorator, not a scalability feature.
+#ifndef VPMOI_COMMON_THREAD_SAFE_INDEX_H_
+#define VPMOI_COMMON_THREAD_SAFE_INDEX_H_
+
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/moving_object_index.h"
+
+namespace vpmoi {
+
+/// Serializes all operations on a wrapped MovingObjectIndex.
+class ThreadSafeIndex final : public MovingObjectIndex {
+ public:
+  explicit ThreadSafeIndex(std::unique_ptr<MovingObjectIndex> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string Name() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->Name();
+  }
+  Status Insert(const MovingObject& o) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->Insert(o);
+  }
+  Status Delete(ObjectId id) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->Delete(id);
+  }
+  Status Update(const MovingObject& o) override {
+    // Delete + insert under one lock: a concurrent query observes either
+    // the old or the new trajectory, never neither (Section 5.3).
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->Update(o);
+  }
+  Status Search(const RangeQuery& q, std::vector<ObjectId>* out) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->Search(q, out);
+  }
+  std::size_t Size() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->Size();
+  }
+  StatusOr<MovingObject> GetObject(ObjectId id) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->GetObject(id);
+  }
+  void AdvanceTime(Timestamp now) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_->AdvanceTime(now);
+  }
+  IoStats Stats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->Stats();
+  }
+  void ResetStats() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_->ResetStats();
+  }
+
+  /// The wrapped index (callers must provide their own synchronization
+  /// when touching it directly).
+  MovingObjectIndex* inner() { return inner_.get(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::unique_ptr<MovingObjectIndex> inner_;
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_COMMON_THREAD_SAFE_INDEX_H_

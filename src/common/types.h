@@ -1,0 +1,27 @@
+// Fundamental scalar types shared across the library.
+#ifndef VPMOI_COMMON_TYPES_H_
+#define VPMOI_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace vpmoi {
+
+/// Identifier of a moving object. Unique within one index.
+using ObjectId = std::uint64_t;
+
+/// Discrete timestamp, in "ts" units as used throughout the paper
+/// (the benchmark advances time in integer timestamps; positions are
+/// real-valued linear functions of time).
+using Timestamp = double;
+
+/// Identifier of a 4 KB page inside a PageStore.
+using PageId = std::uint32_t;
+
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+inline constexpr ObjectId kInvalidObjectId =
+    std::numeric_limits<ObjectId>::max();
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_COMMON_TYPES_H_

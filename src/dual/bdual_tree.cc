@@ -1,0 +1,214 @@
+#include "dual/bdual_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sfc/hilbert.h"
+#include "sfc/range_decomposer.h"
+
+namespace vpmoi {
+
+namespace {
+// Enlarges the query window `w` (valid over absolute [t0, t1]) back to the
+// group's reference time, using the group's velocity extremes. Identical
+// reasoning to the Bx-tree's enlargement, but per velocity cell, which is
+// what makes the dual transform competitive.
+Rect EnlargeForGroup(const Rect& w, const VelocityExtremes& v, double dt0,
+                     double dt1) {
+  if (!v.any) return w;
+  const auto span = [&](double vlo, double vhi, double* mn, double* mx) {
+    const double c1 = vlo * dt0, c2 = vlo * dt1, c3 = vhi * dt0,
+                 c4 = vhi * dt1;
+    *mn = std::min(std::min(c1, c2), std::min(c3, c4));
+    *mx = std::max(std::max(c1, c2), std::max(c3, c4));
+  };
+  double mnx, mxx, mny, mxy;
+  span(v.vmin.x, v.vmax.x, &mnx, &mxx);
+  span(v.vmin.y, v.vmax.y, &mny, &mxy);
+  return Rect{{w.lo.x - mxx, w.lo.y - mxy}, {w.hi.x - mnx, w.hi.y - mny}};
+}
+}  // namespace
+
+BdualTree::BdualTree(const BdualTreeOptions& options)
+    : owned_store_(std::make_unique<PageStore>()),
+      owned_pool_(std::make_unique<BufferPool>(owned_store_.get(),
+                                               options.buffer_pages)),
+      pool_(owned_pool_.get()),
+      options_(options),
+      curve_(std::make_unique<HilbertCurve>(options.curve_order)) {
+  btree_ = std::make_unique<BPlusTree>(pool_);
+}
+
+BdualTree::BdualTree(BufferPool* shared_pool, const BdualTreeOptions& options)
+    : pool_(shared_pool),
+      options_(options),
+      curve_(std::make_unique<HilbertCurve>(options.curve_order)) {
+  btree_ = std::make_unique<BPlusTree>(pool_);
+}
+
+BdualTree::~BdualTree() = default;
+
+std::int64_t BdualTree::LabelOf(Timestamp t) const {
+  return static_cast<std::int64_t>(
+      std::floor(std::max(0.0, t) / options_.bucket_duration));
+}
+
+Timestamp BdualTree::LabelTime(std::int64_t label) const {
+  return static_cast<double>(label + 1) * options_.bucket_duration;
+}
+
+std::uint32_t BdualTree::VelocityCellOf(const Vec2& v) const {
+  const std::uint32_t side = 1u << options_.vel_bits;
+  const double vmax = options_.max_speed_hint;
+  const auto cell = [&](double value) {
+    const double f = (value + vmax) / (2.0 * vmax) * side;
+    return static_cast<std::uint32_t>(
+        std::clamp(f, 0.0, static_cast<double>(side - 1)));
+  };
+  return cell(v.x) * side + cell(v.y);
+}
+
+std::uint64_t BdualTree::CellKeyOf(const Point2& pos) const {
+  const std::uint32_t side = curve_->GridSide();
+  const Rect& d = options_.domain;
+  const auto cx = static_cast<std::uint32_t>(std::clamp(
+      (pos.x - d.lo.x) / d.Width() * side, 0.0, static_cast<double>(side - 1)));
+  const auto cy = static_cast<std::uint32_t>(
+      std::clamp((pos.y - d.lo.y) / d.Height() * side, 0.0,
+                 static_cast<double>(side - 1)));
+  return curve_->Encode(cx, cy);
+}
+
+std::uint64_t BdualTree::GroupBase(std::int64_t label,
+                                   std::uint32_t vcell) const {
+  const std::uint64_t vcells = std::uint64_t{1} << (2 * options_.vel_bits);
+  return (static_cast<std::uint64_t>(label) * vcells + vcell) *
+         curve_->CellCount();
+}
+
+Status BdualTree::Insert(const MovingObject& o) {
+  if (objects_.contains(o.id)) {
+    return Status::AlreadyExists("object already indexed");
+  }
+  now_ = std::max(now_, o.t_ref);
+  const std::int64_t label = LabelOf(o.t_ref);
+  const MovingObject stored = o.AtReference(LabelTime(label));
+  const std::uint32_t vcell = VelocityCellOf(o.vel);
+  const std::uint64_t key = GroupBase(label, vcell) + CellKeyOf(stored.pos);
+  VPMOI_RETURN_IF_ERROR(btree_->Insert(
+      BptKey{key, o.id},
+      BptPayload{stored.pos.x, stored.pos.y, o.vel.x, o.vel.y}));
+  objects_.emplace(o.id, StoredObject{stored, label, vcell, key});
+  const std::uint64_t vcells = std::uint64_t{1} << (2 * options_.vel_bits);
+  GroupStats& g = cells_[static_cast<std::uint64_t>(label) * vcells + vcell];
+  ++g.count;
+  g.extremes.Extend(o.vel);
+  return Status::OK();
+}
+
+Status BdualTree::Delete(ObjectId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("object is not indexed");
+  }
+  const StoredObject& rec = it->second;
+  VPMOI_RETURN_IF_ERROR(btree_->Delete(BptKey{rec.key, id}));
+  const std::uint64_t vcells = std::uint64_t{1} << (2 * options_.vel_bits);
+  const GroupKey gk =
+      static_cast<std::uint64_t>(rec.label) * vcells + rec.vcell;
+  auto git = cells_.find(gk);
+  if (git != cells_.end() && --git->second.count == 0) {
+    cells_.erase(git);  // extremes reset with the group
+  }
+  objects_.erase(it);
+  return Status::OK();
+}
+
+void BdualTree::AdvanceTime(Timestamp now) { now_ = std::max(now_, now); }
+
+void BdualTree::SearchGroup(std::int64_t label, std::uint32_t vcell,
+                            const GroupStats& stats, const RangeQuery& q,
+                            std::vector<ObjectId>* out) {
+  const Timestamp tlab = LabelTime(label);
+  const Rect w = q.SweepMbr();
+  const Rect enlarged =
+      EnlargeForGroup(w, stats.extremes, q.t_begin - tlab, q.t_end - tlab);
+
+  const std::uint32_t side = curve_->GridSide();
+  const Rect& d = options_.domain;
+  const auto cell_of = [side](double f) {
+    return static_cast<std::uint32_t>(
+        std::clamp(f, 0.0, static_cast<double>(side - 1)));
+  };
+  const auto cx0 = cell_of((enlarged.lo.x - d.lo.x) / d.Width() * side);
+  const auto cx1 = cell_of((enlarged.hi.x - d.lo.x) / d.Width() * side);
+  const auto cy0 = cell_of((enlarged.lo.y - d.lo.y) / d.Height() * side);
+  const auto cy1 = cell_of((enlarged.hi.y - d.lo.y) / d.Height() * side);
+
+  const std::uint64_t base = GroupBase(label, vcell);
+  const auto ranges =
+      CoalesceRanges(DecomposeWindowRecursive(*curve_, cx0, cy0, cx1, cy1),
+                     /*max_ranges=*/128);
+  for (const CurveRange& r : ranges) {
+    btree_->Scan(base + r.lo, base + r.hi,
+                 [&](BptKey k, const BptPayload& p) {
+                   const MovingObject o(k.sub, {p.px, p.py}, {p.vx, p.vy},
+                                        tlab);
+                   if (q.Matches(o)) out->push_back(k.sub);
+                   return true;
+                 });
+  }
+}
+
+Status BdualTree::Search(const RangeQuery& q, std::vector<ObjectId>* out) {
+  if (q.t_end < q.t_begin) {
+    return Status::InvalidArgument("query interval end precedes begin");
+  }
+  const std::uint64_t vcells = std::uint64_t{1} << (2 * options_.vel_bits);
+  for (const auto& [gk, stats] : cells_) {
+    if (stats.count == 0) continue;
+    const auto label = static_cast<std::int64_t>(gk / vcells);
+    const auto vcell = static_cast<std::uint32_t>(gk % vcells);
+    SearchGroup(label, vcell, stats, q, out);
+  }
+  return Status::OK();
+}
+
+StatusOr<MovingObject> BdualTree::GetObject(ObjectId id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return Status::NotFound("object is not indexed");
+  return it->second.stored;
+}
+
+Status BdualTree::CheckInvariants() const {
+  VPMOI_RETURN_IF_ERROR(btree_->CheckInvariants());
+  if (btree_->Size() != objects_.size()) {
+    return Status::Corruption("B+-tree size disagrees with object table");
+  }
+  std::size_t group_total = 0;
+  for (const auto& [gk, stats] : cells_) group_total += stats.count;
+  if (group_total != objects_.size()) {
+    return Status::Corruption("group counts disagree with object table");
+  }
+  for (const auto& [id, rec] : objects_) {
+    auto got = btree_->Get(BptKey{rec.key, id});
+    if (!got.ok()) {
+      return Status::Corruption("indexed object missing from B+-tree");
+    }
+    // The group's conservative extremes must cover the object's velocity.
+    const std::uint64_t vcells = std::uint64_t{1} << (2 * options_.vel_bits);
+    auto git = cells_.find(static_cast<std::uint64_t>(rec.label) * vcells +
+                           rec.vcell);
+    if (git == cells_.end()) {
+      return Status::Corruption("object's velocity group is missing");
+    }
+    const VelocityExtremes& e = git->second.extremes;
+    if (rec.stored.vel.x < e.vmin.x || rec.stored.vel.x > e.vmax.x ||
+        rec.stored.vel.y < e.vmin.y || rec.stored.vel.y > e.vmax.y) {
+      return Status::Corruption("group extremes do not cover object");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vpmoi

@@ -1,0 +1,125 @@
+// A Bdual-style dual-transform index (Section 3.3; Yiu, Tao, Mamoulis,
+// VLDB Journal 2008, simplified): objects are indexed in the 4-D dual
+// space (position at a reference time, velocity) through a single
+// B+-tree whose composite key is
+//
+//   [ time bucket | velocity grid cell | space-filling-curve(position) ].
+//
+// Queries visit each occupied velocity cell of each active bucket; because
+// a cell bounds its objects' velocities tightly, the query window enlarged
+// for that cell alone is far smaller than the Bx-tree's global window.
+//
+// The paper's Section 3.3 argument — that dual indexes do *not* exploit
+// velocity skew the way VP does — is directly observable here: the
+// velocity grid is axis-aligned and fixed, so a diagonal dominant velocity
+// axis (San Francisco) smears across many cells, while the VP technique
+// rotates the frame to match it. The VP wrapper composes with this index
+// too (a "Bdual(VP)" variant), which the family bench exercises.
+#ifndef VPMOI_DUAL_BDUAL_TREE_H_
+#define VPMOI_DUAL_BDUAL_TREE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "bptree/bplus_tree.h"
+#include "bx/velocity_grid.h"
+#include "common/moving_object_index.h"
+#include "sfc/curve.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+
+namespace vpmoi {
+
+/// Tuning knobs of the Bdual-tree.
+struct BdualTreeOptions {
+  /// Data space.
+  Rect domain{{0.0, 0.0}, {100000.0, 100000.0}};
+  /// Spatial grid is 2^curve_order cells per side (Hilbert order).
+  int curve_order = 10;
+  /// Velocity grid is 2^vel_bits cells per axis over [-max_speed_hint,
+  /// +max_speed_hint]; faster objects clamp into edge cells (their true
+  /// extremes are still tracked, so queries stay exact).
+  int vel_bits = 3;
+  double max_speed_hint = 200.0;
+  /// Time buckets, as in the Bx-tree (dual indexes roll their reference
+  /// time forward by periodic reinsertion; the bucket scheme realizes
+  /// that rolling).
+  int num_buckets = 2;
+  double bucket_duration = 60.0;
+  std::size_t buffer_pages = kDefaultBufferPages;
+};
+
+/// A Bdual-style moving-object index.
+class BdualTree final : public MovingObjectIndex {
+ public:
+  explicit BdualTree(const BdualTreeOptions& options = {});
+  BdualTree(BufferPool* shared_pool, const BdualTreeOptions& options);
+  ~BdualTree() override;
+
+  std::string Name() const override { return "Bdual"; }
+  Status Insert(const MovingObject& o) override;
+  Status Delete(ObjectId id) override;
+  Status Search(const RangeQuery& q, std::vector<ObjectId>* out) override;
+  std::size_t Size() const override { return objects_.size(); }
+  StatusOr<MovingObject> GetObject(ObjectId id) const override;
+  void AdvanceTime(Timestamp now) override;
+  IoStats Stats() const override { return pool_->stats(); }
+  void ResetStats() override { pool_->ResetStats(); }
+
+  Timestamp Now() const { return now_; }
+  const BdualTreeOptions& options() const { return options_; }
+
+  /// Number of currently occupied (bucket, velocity cell) groups — the
+  /// per-query fan-out driver.
+  std::size_t OccupiedVelocityCells() const { return cells_.size(); }
+
+  /// Structural consistency (B+-tree invariants, table vs tree, cell
+  /// counts).
+  Status CheckInvariants() const;
+
+ private:
+  /// A (bucket label, velocity cell) group key.
+  using GroupKey = std::uint64_t;
+
+  struct GroupStats {
+    std::size_t count = 0;
+    VelocityExtremes extremes;
+  };
+
+  struct StoredObject {
+    MovingObject stored;  // position at the bucket reference time
+    std::int64_t label = 0;
+    std::uint32_t vcell = 0;
+    std::uint64_t key = 0;
+  };
+
+  std::int64_t LabelOf(Timestamp t) const;
+  Timestamp LabelTime(std::int64_t label) const;
+  std::uint32_t VelocityCellOf(const Vec2& v) const;
+  std::uint64_t CellKeyOf(const Point2& pos) const;
+  /// Base key of a (label, vcell) group; the group's keys span
+  /// [base, base + 4^order).
+  std::uint64_t GroupBase(std::int64_t label, std::uint32_t vcell) const;
+
+  void SearchGroup(std::int64_t label, std::uint32_t vcell,
+                   const GroupStats& stats, const RangeQuery& q,
+                   std::vector<ObjectId>* out);
+
+  std::unique_ptr<PageStore> owned_store_;
+  std::unique_ptr<BufferPool> owned_pool_;
+  BufferPool* pool_;
+
+  BdualTreeOptions options_;
+  std::unique_ptr<SpaceFillingCurve> curve_;
+  std::unique_ptr<BPlusTree> btree_;
+  Timestamp now_ = 0.0;
+  std::unordered_map<ObjectId, StoredObject> objects_;
+  /// Occupied groups with live counts and conservative velocity extremes.
+  std::map<GroupKey, GroupStats> cells_;
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_DUAL_BDUAL_TREE_H_

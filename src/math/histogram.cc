@@ -1,0 +1,68 @@
+#include "math/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vpmoi {
+
+EqualWidthHistogram::EqualWidthHistogram(double lo, double hi,
+                                         std::size_t bucket_count)
+    : lo_(lo), hi_(hi), counts_(bucket_count, 0) {
+  assert(bucket_count >= 1);
+  assert(hi > lo);
+  width_ = (hi - lo) / static_cast<double>(bucket_count);
+}
+
+std::size_t EqualWidthHistogram::BucketOf(double value) const {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return counts_.size() - 1;
+  auto idx = static_cast<std::size_t>((value - lo_) / width_);
+  return std::min(idx, counts_.size() - 1);
+}
+
+void EqualWidthHistogram::Add(double value, std::uint64_t weight) {
+  counts_[BucketOf(value)] += weight;
+  total_ += weight;
+}
+
+void EqualWidthHistogram::Remove(double value, std::uint64_t weight) {
+  std::size_t b = BucketOf(value);
+  std::uint64_t w = std::min(weight, counts_[b]);
+  counts_[b] -= w;
+  total_ -= w;
+}
+
+void EqualWidthHistogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+double EqualWidthHistogram::BucketUpperBound(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+std::uint64_t EqualWidthHistogram::CumulativeCountBelow(double x) const {
+  if (x <= lo_) return 0;
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (BucketUpperBound(i) <= x) {
+      sum += counts_[i];
+    } else {
+      break;
+    }
+  }
+  return sum;
+}
+
+double EqualWidthHistogram::Quantile(double fraction) const {
+  if (total_ == 0) return lo_;
+  const double target = fraction * static_cast<double>(total_);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    sum += counts_[i];
+    if (static_cast<double>(sum) >= target) return BucketUpperBound(i);
+  }
+  return hi_;
+}
+
+}  // namespace vpmoi

@@ -1,0 +1,60 @@
+// Equal-width histograms. The velocity analyzer uses a cumulative
+// frequency histogram over perpendicular speeds to evaluate Equation 10 at
+// candidate tau values without storing the sample (Section 5.2, "Algorithm
+// for determining optimal tau value"); Section 5.5 continuously updates the
+// same histogram to track changing speed distributions.
+#ifndef VPMOI_MATH_HISTOGRAM_H_
+#define VPMOI_MATH_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vpmoi {
+
+/// Fixed-range equal-width bucket histogram over doubles. Values outside
+/// [lo, hi) are clamped into the first/last bucket.
+class EqualWidthHistogram {
+ public:
+  /// Creates a histogram of `bucket_count` equal-width buckets over
+  /// [lo, hi). Requires bucket_count >= 1 and hi > lo.
+  EqualWidthHistogram(double lo, double hi, std::size_t bucket_count);
+
+  void Add(double value, std::uint64_t weight = 1);
+
+  /// Removes weight previously added (for sliding maintenance). Counts
+  /// never go below zero.
+  void Remove(double value, std::uint64_t weight = 1);
+
+  void Clear();
+
+  std::uint64_t TotalCount() const { return total_; }
+  std::size_t BucketCount() const { return counts_.size(); }
+  std::uint64_t BucketValue(std::size_t i) const { return counts_[i]; }
+
+  /// Upper bound of bucket i (== lo + (i+1) * width).
+  double BucketUpperBound(std::size_t i) const;
+
+  /// Number of samples with value < x (bucket-resolution approximation:
+  /// each sample is counted at its bucket's upper bound).
+  std::uint64_t CumulativeCountBelow(double x) const;
+
+  /// Smallest bucket upper bound b such that at least `fraction` of the
+  /// samples lie in buckets with upper bound <= b. `fraction` in [0, 1].
+  double Quantile(double fraction) const;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  std::size_t BucketOf(double value) const;
+
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_MATH_HISTOGRAM_H_

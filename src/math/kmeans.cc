@@ -1,0 +1,63 @@
+#include "math/kmeans.h"
+
+#include <cassert>
+#include <limits>
+
+namespace vpmoi {
+
+KMeansResult RunKMeans(std::span<const Vec2> points,
+                       const KMeansOptions& options) {
+  KMeansResult result;
+  const std::size_t n = points.size();
+  const int k = options.k;
+  assert(k >= 1);
+  result.centroids.assign(static_cast<std::size_t>(k), Point2{});
+  result.assignment.assign(n, 0);
+  if (n == 0) return result;
+
+  Rng rng(options.seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.assignment[i] = static_cast<int>(rng.UniformInt(k));
+  }
+
+  std::vector<std::size_t> counts(static_cast<std::size_t>(k), 0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Recompute centroids.
+    std::fill(result.centroids.begin(), result.centroids.end(), Point2{});
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      result.centroids[result.assignment[i]] += points[i];
+      ++counts[result.assignment[i]];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] > 0) {
+        result.centroids[c] = result.centroids[c] / static_cast<double>(counts[c]);
+      } else {
+        // Re-seed an empty cluster with a random point.
+        result.centroids[c] = points[rng.UniformInt(n)];
+      }
+    }
+    // Reassign.
+    bool moved = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      int best = result.assignment[i];
+      double best_d = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        double d = SquaredDistance(points[i], result.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (best != result.assignment[i]) {
+        result.assignment[i] = best;
+        moved = true;
+      }
+    }
+    result.iterations = iter + 1;
+    if (!moved) break;
+  }
+  return result;
+}
+
+}  // namespace vpmoi

@@ -1,0 +1,41 @@
+// Classic centroid-based k-means (Section 2.3). Used directly by the
+// "naive approach II" ablation baseline (cluster by distance-to-centroid,
+// then run PCA per cluster) and reused as scaffolding by the velocity
+// analyzer's axis-based clustering.
+#ifndef VPMOI_MATH_KMEANS_H_
+#define VPMOI_MATH_KMEANS_H_
+
+#include <span>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/random.h"
+
+namespace vpmoi {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  /// Final cluster centroids (size k).
+  std::vector<Point2> centroids;
+  /// assignment[i] is the cluster index of points[i].
+  std::vector<int> assignment;
+  /// Number of reassignment iterations performed.
+  int iterations = 0;
+};
+
+/// Options for k-means.
+struct KMeansOptions {
+  int k = 2;
+  int max_iterations = 100;
+  std::uint64_t seed = 42;
+};
+
+/// Runs Lloyd's algorithm with random initial assignment (as in the paper's
+/// Algorithm 2 initialization). Empty clusters are re-seeded with the point
+/// farthest from its centroid.
+KMeansResult RunKMeans(std::span<const Vec2> points,
+                       const KMeansOptions& options);
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_MATH_KMEANS_H_

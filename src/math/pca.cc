@@ -1,0 +1,60 @@
+#include "math/pca.h"
+
+#include <cmath>
+
+namespace vpmoi {
+
+PcaResult ComputePca(std::span<const Vec2> points) {
+  PcaResult out;
+  const std::size_t n = points.size();
+  if (n == 0) return out;
+
+  Vec2 mean{0.0, 0.0};
+  for (const Vec2& p : points) mean += p;
+  mean = mean / static_cast<double>(n);
+  out.mean = mean;
+  if (n == 1) return out;
+
+  // Covariance matrix [[sxx, sxy], [sxy, syy]].
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (const Vec2& p : points) {
+    const Vec2 d = p - mean;
+    sxx += d.x * d.x;
+    sxy += d.x * d.y;
+    syy += d.y * d.y;
+  }
+  const double inv = 1.0 / static_cast<double>(n);
+  sxx *= inv;
+  sxy *= inv;
+  syy *= inv;
+
+  // Eigenvalues of a symmetric 2x2 matrix.
+  const double trace = sxx + syy;
+  const double diff = sxx - syy;
+  const double disc = std::sqrt(diff * diff + 4.0 * sxy * sxy);
+  const double l1 = 0.5 * (trace + disc);
+  const double l2 = 0.5 * (trace - disc);
+  out.var1 = l1;
+  out.var2 = std::max(0.0, l2);
+
+  // Eigenvector for l1. If the matrix is (numerically) isotropic any
+  // direction works; keep the default (1, 0).
+  if (disc <= 1e-12 * std::max(1.0, trace)) {
+    out.pc1 = {1.0, 0.0};
+    out.pc2 = {0.0, 1.0};
+    return out;
+  }
+  Vec2 v;
+  if (std::abs(sxy) > 1e-18) {
+    v = {l1 - syy, sxy};
+  } else if (sxx >= syy) {
+    v = {1.0, 0.0};
+  } else {
+    v = {0.0, 1.0};
+  }
+  out.pc1 = v.Normalized();
+  out.pc2 = {-out.pc1.y, out.pc1.x};
+  return out;
+}
+
+}  // namespace vpmoi

@@ -1,0 +1,50 @@
+// Closed-form principal components analysis for 2-D point sets
+// (Section 2.2). For 2x2 covariance matrices the eigen-decomposition has an
+// exact solution, so no iterative solver is needed.
+#ifndef VPMOI_MATH_PCA_H_
+#define VPMOI_MATH_PCA_H_
+
+#include <span>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace vpmoi {
+
+/// Result of a 2-D PCA: unit principal component vectors ranked by
+/// explained variance, plus the sample mean.
+struct PcaResult {
+  /// Sample mean of the input points.
+  Point2 mean;
+  /// First principal component: unit vector of the max-variance direction.
+  Vec2 pc1{1.0, 0.0};
+  /// Second principal component, orthogonal to pc1.
+  Vec2 pc2{0.0, 1.0};
+  /// Variance along pc1 (largest eigenvalue of the covariance matrix).
+  double var1 = 0.0;
+  /// Variance along pc2 (smallest eigenvalue).
+  double var2 = 0.0;
+
+  /// Fraction of total variance explained by pc1 (in [0.5, 1] for 2-D,
+  /// or 1 if the data is degenerate).
+  double ExplainedRatio() const {
+    double tot = var1 + var2;
+    return tot > 0.0 ? var1 / tot : 1.0;
+  }
+};
+
+/// Computes the PCA of `points`. With fewer than 2 points (or zero
+/// variance) the result has pc1 = (1, 0), var1 = var2 = 0.
+PcaResult ComputePca(std::span<const Vec2> points);
+
+/// Perpendicular distance from `p` to the infinite line through `anchor`
+/// with unit direction `axis` — the distance measure of the paper's
+/// clustering (Section 5.1, "our approach").
+inline double PerpendicularDistance(const Vec2& p, const Point2& anchor,
+                                    const Vec2& axis) {
+  return std::abs((p - anchor).Cross(axis));
+}
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_MATH_PCA_H_

@@ -1,0 +1,37 @@
+// Space-filling curve interface. The Bx-tree maps grid cells to 1-D keys
+// through a curve that approximately preserves 2-D proximity (Section 3.2);
+// the paper's experiments use the Hilbert curve, with the Z-curve as the
+// common alternative.
+#ifndef VPMOI_SFC_CURVE_H_
+#define VPMOI_SFC_CURVE_H_
+
+#include <cstdint>
+
+namespace vpmoi {
+
+/// A 2-D space-filling curve over a 2^order x 2^order grid.
+class SpaceFillingCurve {
+ public:
+  virtual ~SpaceFillingCurve() = default;
+
+  /// Grid resolution exponent: coordinates are in [0, 2^order).
+  virtual int order() const = 0;
+
+  /// Cell coordinates -> curve position in [0, 4^order).
+  virtual std::uint64_t Encode(std::uint32_t x, std::uint32_t y) const = 0;
+
+  /// Curve position -> cell coordinates.
+  virtual void Decode(std::uint64_t d, std::uint32_t* x,
+                      std::uint32_t* y) const = 0;
+
+  /// Number of cells per side (2^order).
+  std::uint32_t GridSide() const { return 1u << order(); }
+  /// Total number of cells (4^order) == one past the largest curve value.
+  std::uint64_t CellCount() const {
+    return std::uint64_t{1} << (2 * order());
+  }
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_SFC_CURVE_H_

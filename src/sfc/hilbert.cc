@@ -1,0 +1,56 @@
+#include "sfc/hilbert.h"
+
+#include <cassert>
+#include <utility>
+
+namespace vpmoi {
+
+HilbertCurve::HilbertCurve(int order) : order_(order) {
+  assert(order >= 1 && order <= 31);
+}
+
+namespace {
+// Rotates/flips a quadrant so the curve orientation is canonical.
+void Rot(std::uint32_t n, std::uint32_t* x, std::uint32_t* y, std::uint32_t rx,
+         std::uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = n - 1 - *x;
+      *y = n - 1 - *y;
+    }
+    std::swap(*x, *y);
+  }
+}
+}  // namespace
+
+std::uint64_t HilbertCurve::Encode(std::uint32_t x, std::uint32_t y) const {
+  const std::uint32_t n = 1u << order_;
+  assert(x < n && y < n);
+  std::uint64_t d = 0;
+  for (std::uint32_t s = n / 2; s > 0; s /= 2) {
+    std::uint32_t rx = (x & s) > 0 ? 1 : 0;
+    std::uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<std::uint64_t>(s) * s * ((3 * rx) ^ ry);
+    Rot(n, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+void HilbertCurve::Decode(std::uint64_t d, std::uint32_t* x,
+                          std::uint32_t* y) const {
+  const std::uint32_t n = 1u << order_;
+  std::uint32_t px = 0, py = 0;
+  std::uint64_t t = d;
+  for (std::uint32_t s = 1; s < n; s *= 2) {
+    std::uint32_t rx = 1 & static_cast<std::uint32_t>(t / 2);
+    std::uint32_t ry = 1 & static_cast<std::uint32_t>(t ^ rx);
+    Rot(s, &px, &py, rx, ry);
+    px += s * rx;
+    py += s * ry;
+    t /= 4;
+  }
+  *x = px;
+  *y = py;
+}
+
+}  // namespace vpmoi

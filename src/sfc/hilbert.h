@@ -1,0 +1,27 @@
+// Hilbert curve encoding (the Bx-tree's default space-filling curve).
+#ifndef VPMOI_SFC_HILBERT_H_
+#define VPMOI_SFC_HILBERT_H_
+
+#include "sfc/curve.h"
+
+namespace vpmoi {
+
+/// Hilbert curve over a 2^order x 2^order grid, computed with the classic
+/// rotate-and-reflect bit algorithm (no lookup tables).
+class HilbertCurve final : public SpaceFillingCurve {
+ public:
+  /// `order` in [1, 31].
+  explicit HilbertCurve(int order);
+
+  int order() const override { return order_; }
+  std::uint64_t Encode(std::uint32_t x, std::uint32_t y) const override;
+  void Decode(std::uint64_t d, std::uint32_t* x,
+              std::uint32_t* y) const override;
+
+ private:
+  int order_;
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_SFC_HILBERT_H_

@@ -1,0 +1,123 @@
+#include "sfc/range_decomposer.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace vpmoi {
+
+namespace {
+
+struct WindowBounds {
+  std::uint32_t x0, y0, x1, y1;
+};
+
+// Emits the curve ranges of the aligned block of 4^level cells starting at
+// curve position d0, clipped to the window.
+void DecomposeRec(const SpaceFillingCurve& curve, std::uint64_t d0, int level,
+                  const WindowBounds& w, std::vector<CurveRange>* out) {
+  const std::uint32_t side = 1u << level;
+  std::uint32_t cx, cy;
+  curve.Decode(d0, &cx, &cy);
+  const std::uint32_t bx = cx & ~(side - 1);
+  const std::uint32_t by = cy & ~(side - 1);
+  // Disjoint?
+  if (bx > w.x1 || bx + side - 1 < w.x0 || by > w.y1 ||
+      by + side - 1 < w.y0) {
+    return;
+  }
+  // Fully contained?
+  if (bx >= w.x0 && bx + side - 1 <= w.x1 && by >= w.y0 &&
+      by + side - 1 <= w.y1) {
+    const std::uint64_t len = std::uint64_t{1} << (2 * level);
+    if (!out->empty() && out->back().hi + 1 == d0) {
+      out->back().hi = d0 + len - 1;  // extend the previous interval
+    } else {
+      out->push_back(CurveRange{d0, d0 + len - 1});
+    }
+    return;
+  }
+  // Boundary block: recurse into the four curve-contiguous quarters.
+  const std::uint64_t quarter = std::uint64_t{1} << (2 * (level - 1));
+  for (int i = 0; i < 4; ++i) {
+    DecomposeRec(curve, d0 + static_cast<std::uint64_t>(i) * quarter,
+                 level - 1, w, out);
+  }
+}
+
+}  // namespace
+
+std::vector<CurveRange> DecomposeWindowRecursive(
+    const SpaceFillingCurve& curve, std::uint32_t x0, std::uint32_t y0,
+    std::uint32_t x1, std::uint32_t y1) {
+  const std::uint32_t side = curve.GridSide();
+  WindowBounds w{std::min(x0, side - 1), std::min(y0, side - 1),
+                 std::min(x1, side - 1), std::min(y1, side - 1)};
+  std::vector<CurveRange> out;
+  if (w.x0 > w.x1 || w.y0 > w.y1) return out;
+  DecomposeRec(curve, 0, curve.order(), w, &out);
+  return out;
+}
+
+std::vector<CurveRange> CoalesceRanges(std::vector<CurveRange> ranges,
+                                       std::size_t max_ranges) {
+  if (max_ranges == 0 || ranges.size() <= max_ranges) return ranges;
+  // Gaps between consecutive ranges, ascending; bridge the smallest until
+  // few enough ranges remain.
+  std::vector<std::size_t> gap_order(ranges.size() - 1);
+  std::iota(gap_order.begin(), gap_order.end(), 0);
+  std::sort(gap_order.begin(), gap_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              const std::uint64_t ga = ranges[a + 1].lo - ranges[a].hi;
+              const std::uint64_t gb = ranges[b + 1].lo - ranges[b].hi;
+              return ga < gb;
+            });
+  const std::size_t bridges = ranges.size() - max_ranges;
+  std::vector<bool> bridged(ranges.size() - 1, false);
+  for (std::size_t i = 0; i < bridges; ++i) bridged[gap_order[i]] = true;
+  std::vector<CurveRange> out;
+  out.reserve(max_ranges);
+  out.push_back(ranges[0]);
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    if (bridged[i - 1]) {
+      out.back().hi = ranges[i].hi;
+    } else {
+      out.push_back(ranges[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<CurveRange> DecomposeWindow(const SpaceFillingCurve& curve,
+                                        std::uint32_t x0, std::uint32_t y0,
+                                        std::uint32_t x1, std::uint32_t y1) {
+  const std::uint32_t side = curve.GridSide();
+  x0 = std::min(x0, side - 1);
+  x1 = std::min(x1, side - 1);
+  y0 = std::min(y0, side - 1);
+  y1 = std::min(y1, side - 1);
+  std::vector<CurveRange> out;
+  if (x0 > x1 || y0 > y1) return out;
+
+  std::vector<std::uint64_t> values;
+  values.reserve(static_cast<std::size_t>(x1 - x0 + 1) * (y1 - y0 + 1));
+  for (std::uint32_t y = y0; y <= y1; ++y) {
+    for (std::uint32_t x = x0; x <= x1; ++x) {
+      values.push_back(curve.Encode(x, y));
+    }
+  }
+  std::sort(values.begin(), values.end());
+
+  CurveRange current{values[0], values[0]};
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i] == current.hi + 1) {
+      current.hi = values[i];
+    } else {
+      out.push_back(current);
+      current = {values[i], values[i]};
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+}  // namespace vpmoi

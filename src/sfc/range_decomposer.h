@@ -1,0 +1,49 @@
+// Decomposes a rectangular window of grid cells into a minimal set of
+// contiguous curve-value ranges. The Bx-tree turns an (enlarged) query
+// window into these ranges and runs one B+-tree range scan per range.
+#ifndef VPMOI_SFC_RANGE_DECOMPOSER_H_
+#define VPMOI_SFC_RANGE_DECOMPOSER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sfc/curve.h"
+
+namespace vpmoi {
+
+/// A closed interval [lo, hi] of curve values.
+struct CurveRange {
+  std::uint64_t lo;
+  std::uint64_t hi;
+  bool operator==(const CurveRange&) const = default;
+};
+
+/// Returns the sorted, merged curve ranges covering exactly the cells
+/// [x0, x1] x [y0, y1] (inclusive, clamped to the grid).
+///
+/// Enumerates the window's cells and merges consecutive curve values; cost
+/// is O(w h log(w h)). Kept as the oracle for tests; prefer
+/// DecomposeWindowRecursive for large windows.
+std::vector<CurveRange> DecomposeWindow(const SpaceFillingCurve& curve,
+                                        std::uint32_t x0, std::uint32_t y0,
+                                        std::uint32_t x1, std::uint32_t y1);
+
+/// Same result as DecomposeWindow, computed by quadtree descent: an
+/// aligned 2^l x 2^l block is a contiguous curve interval of length 4^l
+/// (true of both Hilbert and Z order), so blocks fully inside the window
+/// emit whole intervals and only boundary blocks recurse. Cost is
+/// O(perimeter * order) instead of O(area).
+std::vector<CurveRange> DecomposeWindowRecursive(
+    const SpaceFillingCurve& curve, std::uint32_t x0, std::uint32_t y0,
+    std::uint32_t x1, std::uint32_t y1);
+
+/// Coalesces `ranges` (sorted, disjoint) to at most `max_ranges` by
+/// repeatedly bridging the smallest gaps. The result covers a superset of
+/// the input — callers that refine candidates exactly stay correct and
+/// trade extra scanned keys for fewer range scans.
+std::vector<CurveRange> CoalesceRanges(std::vector<CurveRange> ranges,
+                                       std::size_t max_ranges);
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_SFC_RANGE_DECOMPOSER_H_

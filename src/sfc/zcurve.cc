@@ -1,0 +1,45 @@
+#include "sfc/zcurve.h"
+
+#include <cassert>
+
+namespace vpmoi {
+
+ZCurve::ZCurve(int order) : order_(order) {
+  assert(order >= 1 && order <= 31);
+}
+
+namespace {
+// Spreads the low 32 bits of v so bit i lands at position 2*i.
+std::uint64_t Part1By1(std::uint64_t v) {
+  v &= 0x00000000FFFFFFFFULL;
+  v = (v ^ (v << 16)) & 0x0000FFFF0000FFFFULL;
+  v = (v ^ (v << 8)) & 0x00FF00FF00FF00FFULL;
+  v = (v ^ (v << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  v = (v ^ (v << 2)) & 0x3333333333333333ULL;
+  v = (v ^ (v << 1)) & 0x5555555555555555ULL;
+  return v;
+}
+
+std::uint32_t Compact1By1(std::uint64_t v) {
+  v &= 0x5555555555555555ULL;
+  v = (v ^ (v >> 1)) & 0x3333333333333333ULL;
+  v = (v ^ (v >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+  v = (v ^ (v >> 4)) & 0x00FF00FF00FF00FFULL;
+  v = (v ^ (v >> 8)) & 0x0000FFFF0000FFFFULL;
+  v = (v ^ (v >> 16)) & 0x00000000FFFFFFFFULL;
+  return static_cast<std::uint32_t>(v);
+}
+}  // namespace
+
+std::uint64_t ZCurve::Encode(std::uint32_t x, std::uint32_t y) const {
+  assert(x < (1u << order_) && y < (1u << order_));
+  return Part1By1(x) | (Part1By1(y) << 1);
+}
+
+void ZCurve::Decode(std::uint64_t d, std::uint32_t* x,
+                    std::uint32_t* y) const {
+  *x = Compact1By1(d);
+  *y = Compact1By1(d >> 1);
+}
+
+}  // namespace vpmoi

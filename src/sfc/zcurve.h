@@ -1,0 +1,26 @@
+// Z-curve (Morton order) encoding — the Bx-tree's alternative curve.
+#ifndef VPMOI_SFC_ZCURVE_H_
+#define VPMOI_SFC_ZCURVE_H_
+
+#include "sfc/curve.h"
+
+namespace vpmoi {
+
+/// Morton/Z-order curve over a 2^order x 2^order grid (bit interleaving).
+class ZCurve final : public SpaceFillingCurve {
+ public:
+  /// `order` in [1, 31].
+  explicit ZCurve(int order);
+
+  int order() const override { return order_; }
+  std::uint64_t Encode(std::uint32_t x, std::uint32_t y) const override;
+  void Decode(std::uint64_t d, std::uint32_t* x,
+              std::uint32_t* y) const override;
+
+ private:
+  int order_;
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_SFC_ZCURVE_H_

@@ -1,0 +1,97 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace vpmoi {
+
+BufferPool::BufferPool(PageStore* store, std::size_t capacity)
+    : store_(store), capacity_(capacity) {
+  assert(store != nullptr);
+}
+
+BufferPool::LruList::iterator BufferPool::Touch(PageId id, bool charge_read) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second;
+  }
+  if (charge_read) {
+    ++stats_.physical_reads;
+  }
+  if (capacity_ == 0) {
+    // Unbuffered mode: nothing becomes resident. Return a sentinel; callers
+    // only use the iterator to set the dirty bit, which is written through
+    // immediately below in Write().
+    return lru_.end();
+  }
+  EvictIfNeeded();
+  lru_.push_front(Frame{id, false});
+  frames_[id] = lru_.begin();
+  return lru_.begin();
+}
+
+void BufferPool::EvictIfNeeded() {
+  while (frames_.size() >= capacity_ && !lru_.empty()) {
+    Frame victim = lru_.back();
+    if (victim.dirty) {
+      ++stats_.physical_writes;
+    }
+    frames_.erase(victim.id);
+    lru_.pop_back();
+  }
+}
+
+const Page* BufferPool::Read(PageId id) {
+  ++stats_.logical_reads;
+  Touch(id, /*charge_read=*/true);
+  return store_->Get(id);
+}
+
+Page* BufferPool::Write(PageId id) {
+  ++stats_.logical_writes;
+  auto it = Touch(id, /*charge_read=*/true);
+  if (it != lru_.end()) {
+    it->dirty = true;
+  } else {
+    // capacity 0: write-through.
+    ++stats_.physical_writes;
+  }
+  return store_->Get(id);
+}
+
+PageId BufferPool::AllocatePage() {
+  PageId id = store_->Allocate();
+  ++stats_.logical_writes;
+  auto it = Touch(id, /*charge_read=*/false);
+  if (it != lru_.end()) {
+    it->dirty = true;
+  } else {
+    ++stats_.physical_writes;
+  }
+  return id;
+}
+
+void BufferPool::FreePage(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    lru_.erase(it->second);
+    frames_.erase(it);
+  }
+  store_->Free(id);
+}
+
+void BufferPool::FlushAll() {
+  for (Frame& f : lru_) {
+    if (f.dirty) {
+      ++stats_.physical_writes;
+      f.dirty = false;
+    }
+  }
+}
+
+void BufferPool::Invalidate() {
+  lru_.clear();
+  frames_.clear();
+}
+
+}  // namespace vpmoi

@@ -1,0 +1,86 @@
+// LRU buffer pool. Indexes never touch the PageStore directly; they fetch
+// pages through the pool, which counts a physical read on every miss and a
+// physical write when a dirty page is evicted (or flushed). Because the
+// backing store is RAM, eviction never invalidates pointers — the pool's
+// only job is faithful I/O accounting, exactly what the paper measures.
+//
+// A single pool can be shared by several indexes (the VP index manager
+// shares one 50-page pool across all DVA indexes plus the outlier index so
+// the comparison against an unpartitioned index with the same 50 pages is
+// fair).
+#ifndef VPMOI_STORAGE_BUFFER_POOL_H_
+#define VPMOI_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "storage/page_store.h"
+
+namespace vpmoi {
+
+/// Default RAM buffer size in pages (Table 1).
+inline constexpr std::size_t kDefaultBufferPages = 50;
+
+/// LRU page buffer over a PageStore.
+class BufferPool {
+ public:
+  /// `capacity` is the number of resident pages; 0 disables caching
+  /// (every access is a physical I/O).
+  explicit BufferPool(PageStore* store,
+                      std::size_t capacity = kDefaultBufferPages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches a page for reading.
+  const Page* Read(PageId id);
+
+  /// Fetches a page for writing; the frame is marked dirty.
+  Page* Write(PageId id);
+
+  /// Allocates a fresh page, resident and dirty (no physical read is
+  /// charged: a newly allocated page has no disk image yet).
+  PageId AllocatePage();
+
+  /// Frees a page, dropping it from the buffer without a write-back.
+  void FreePage(PageId id);
+
+  /// Writes back all dirty pages (counted as physical writes).
+  void FlushAll();
+
+  /// Drops all resident pages without counting write-backs; used between
+  /// experiment phases to cold-start the cache.
+  void Invalidate();
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats{}; }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t ResidentCount() const { return frames_.size(); }
+
+ private:
+  struct Frame {
+    PageId id;
+    bool dirty;
+  };
+  using LruList = std::list<Frame>;
+
+  /// Makes `id` resident and most-recently-used. `charge_read` indicates
+  /// whether a miss costs a physical read.
+  LruList::iterator Touch(PageId id, bool charge_read);
+  void EvictIfNeeded();
+
+  PageStore* store_;
+  std::size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<PageId, LruList::iterator> frames_;
+  IoStats stats_;
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,55 @@
+// I/O accounting. The paper's primary metric is "average I/O per query /
+// per update": the number of page accesses that miss the RAM buffer
+// (default 50 pages of 4 KB, Table 1). Logical counters are also kept so
+// tests can assert buffer effectiveness.
+#ifndef VPMOI_STORAGE_IO_STATS_H_
+#define VPMOI_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vpmoi {
+
+/// Cumulative page-access counters. physical_* counts buffer misses
+/// (equivalent to disk I/O in the paper's setup); logical_* counts every
+/// page access.
+struct IoStats {
+  std::uint64_t logical_reads = 0;
+  std::uint64_t logical_writes = 0;
+  std::uint64_t physical_reads = 0;
+  std::uint64_t physical_writes = 0;
+
+  /// Total disk I/O (the paper's "I/O" metric).
+  std::uint64_t PhysicalTotal() const {
+    return physical_reads + physical_writes;
+  }
+  std::uint64_t LogicalTotal() const { return logical_reads + logical_writes; }
+
+  IoStats& operator+=(const IoStats& o) {
+    logical_reads += o.logical_reads;
+    logical_writes += o.logical_writes;
+    physical_reads += o.physical_reads;
+    physical_writes += o.physical_writes;
+    return *this;
+  }
+  friend IoStats operator+(IoStats a, const IoStats& b) { return a += b; }
+  friend IoStats operator-(IoStats a, const IoStats& b) {
+    a.logical_reads -= b.logical_reads;
+    a.logical_writes -= b.logical_writes;
+    a.physical_reads -= b.physical_reads;
+    a.physical_writes -= b.physical_writes;
+    return a;
+  }
+  bool operator==(const IoStats& o) const = default;
+
+  std::string ToString() const {
+    return "logical r/w = " + std::to_string(logical_reads) + "/" +
+           std::to_string(logical_writes) +
+           ", physical r/w = " + std::to_string(physical_reads) + "/" +
+           std::to_string(physical_writes);
+  }
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_STORAGE_IO_STATS_H_

@@ -1,0 +1,44 @@
+// A fixed-size disk page. All index nodes (TPR*-tree nodes, B+-tree nodes)
+// serialize into exactly one page, so node accesses map 1:1 to page
+// accesses, matching the paper's I/O model (Table 1: disk page size 4 KB).
+#ifndef VPMOI_STORAGE_PAGE_H_
+#define VPMOI_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstring>
+
+namespace vpmoi {
+
+/// Page size in bytes (Table 1).
+inline constexpr std::size_t kPageSize = 4096;
+
+/// Raw page buffer with typed helpers for fixed-offset serialization.
+struct Page {
+  alignas(8) std::array<char, kPageSize> bytes{};
+
+  char* data() { return bytes.data(); }
+  const char* data() const { return bytes.data(); }
+
+  /// Reads a trivially-copyable T at byte `offset`.
+  template <typename T>
+  T ReadAt(std::size_t offset) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T out;
+    std::memcpy(&out, bytes.data() + offset, sizeof(T));
+    return out;
+  }
+
+  /// Writes a trivially-copyable T at byte `offset`.
+  template <typename T>
+  void WriteAt(std::size_t offset, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::memcpy(bytes.data() + offset, &value, sizeof(T));
+  }
+};
+
+static_assert(sizeof(Page) == kPageSize);
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_STORAGE_PAGE_H_

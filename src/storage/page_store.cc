@@ -1,0 +1,33 @@
+#include "storage/page_store.h"
+
+#include <cassert>
+
+namespace vpmoi {
+
+PageId PageStore::Allocate() {
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    *pages_[id] = Page{};
+    return id;
+  }
+  pages_.push_back(std::make_unique<Page>());
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void PageStore::Free(PageId id) {
+  assert(id < pages_.size());
+  free_list_.push_back(id);
+}
+
+Page* PageStore::Get(PageId id) {
+  assert(id < pages_.size());
+  return pages_[id].get();
+}
+
+const Page* PageStore::Get(PageId id) const {
+  assert(id < pages_.size());
+  return pages_[id].get();
+}
+
+}  // namespace vpmoi

@@ -1,0 +1,48 @@
+// The simulated disk: an append-only array of pages with a free list.
+// Access always goes through a BufferPool so that buffer misses can be
+// counted as physical I/O.
+#ifndef VPMOI_STORAGE_PAGE_STORE_H_
+#define VPMOI_STORAGE_PAGE_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/page.h"
+
+namespace vpmoi {
+
+/// Holds page contents. In the paper's experiments the data resides on disk
+/// behind a 50-page buffer; here the "disk" is RAM but the access-path
+/// accounting is identical.
+class PageStore {
+ public:
+  PageStore() = default;
+  PageStore(const PageStore&) = delete;
+  PageStore& operator=(const PageStore&) = delete;
+
+  /// Allocates a zeroed page and returns its id. Reuses freed pages.
+  PageId Allocate();
+
+  /// Returns a page to the free list. The page id may be recycled by a
+  /// later Allocate.
+  void Free(PageId id);
+
+  /// Direct access to page contents. Only the BufferPool should call these;
+  /// indexes must go through the pool so I/O gets counted.
+  Page* Get(PageId id);
+  const Page* Get(PageId id) const;
+
+  /// Number of pages ever allocated (including freed ones).
+  std::size_t Capacity() const { return pages_.size(); }
+  /// Number of live (allocated and not freed) pages.
+  std::size_t LiveCount() const { return pages_.size() - free_list_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::vector<PageId> free_list_;
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_STORAGE_PAGE_STORE_H_

@@ -1,0 +1,110 @@
+#include "tpr/tp_rect.h"
+
+#include <algorithm>
+
+namespace vpmoi {
+
+void TpRect::ExtendToCover(const TpRect& o, Timestamp t) {
+  *this = Union(*this, o, t);
+}
+
+TpRect TpRect::Union(const TpRect& a, const TpRect& b, Timestamp t) {
+  if (a.IsEmpty()) return b.AtReference(t);
+  if (b.IsEmpty()) return a.AtReference(t);
+  TpRect out;
+  out.tref = t;
+  out.mbr = Rect::Union(a.RectAt(t), b.RectAt(t));
+  out.vbr.lo.x = std::min(a.vbr.lo.x, b.vbr.lo.x);
+  out.vbr.lo.y = std::min(a.vbr.lo.y, b.vbr.lo.y);
+  out.vbr.hi.x = std::max(a.vbr.hi.x, b.vbr.hi.x);
+  out.vbr.hi.y = std::max(a.vbr.hi.y, b.vbr.hi.y);
+  return out;
+}
+
+namespace {
+// Clips [*lo, *hi] to the times where a + b*t <= 0. Returns false if empty.
+bool ClipLinearLeq(double a, double b, double* lo, double* hi) {
+  if (b == 0.0) return a <= 0.0;
+  const double root = -a / b;
+  if (b > 0.0) {
+    *hi = std::min(*hi, root);
+  } else {
+    *lo = std::max(*lo, root);
+  }
+  return *lo <= *hi;
+}
+}  // namespace
+
+bool TpRect::Intersects(const Rect& q, const Vec2& qv, Timestamp t0,
+                        Timestamp t1) const {
+  if (IsEmpty() || q.IsEmpty()) return false;
+  double lo = t0, hi = t1;
+  // For each dimension: n_lo(t) <= q_hi(t) and q_lo(t) <= n_hi(t).
+  // Linear coefficients are expressed as a + b*t <= 0 with t absolute.
+  // x dimension.
+  if (!ClipLinearLeq((mbr.lo.x - vbr.lo.x * tref) - (q.hi.x - qv.x * t0),
+                     vbr.lo.x - qv.x, &lo, &hi)) {
+    return false;
+  }
+  if (!ClipLinearLeq((q.lo.x - qv.x * t0) - (mbr.hi.x - vbr.hi.x * tref),
+                     qv.x - vbr.hi.x, &lo, &hi)) {
+    return false;
+  }
+  // y dimension.
+  if (!ClipLinearLeq((mbr.lo.y - vbr.lo.y * tref) - (q.hi.y - qv.y * t0),
+                     vbr.lo.y - qv.y, &lo, &hi)) {
+    return false;
+  }
+  if (!ClipLinearLeq((q.lo.y - qv.y * t0) - (mbr.hi.y - vbr.hi.y * tref),
+                     qv.y - vbr.hi.y, &lo, &hi)) {
+    return false;
+  }
+  return lo <= hi;
+}
+
+bool TpRect::ContainsTrajectory(const MovingObject& o, Timestamp t) const {
+  if (IsEmpty()) return false;
+  const Rect at_t = RectAt(t);
+  // Small epsilon absorbs floating-point drift from repeated re-referencing.
+  constexpr double kEps = 1e-7;
+  const Point2 p = o.PositionAt(t);
+  return p.x >= at_t.lo.x - kEps && p.x <= at_t.hi.x + kEps &&
+         p.y >= at_t.lo.y - kEps && p.y <= at_t.hi.y + kEps &&
+         o.vel.x >= vbr.lo.x - kEps && o.vel.x <= vbr.hi.x + kEps &&
+         o.vel.y >= vbr.lo.y - kEps && o.vel.y <= vbr.hi.y + kEps;
+}
+
+bool TpRect::ContainsBound(const TpRect& o, Timestamp t) const {
+  if (IsEmpty() || o.IsEmpty()) return false;
+  constexpr double kEps = 1e-7;
+  const Rect a = RectAt(t);
+  const Rect b = o.RectAt(t);
+  return b.lo.x >= a.lo.x - kEps && b.hi.x <= a.hi.x + kEps &&
+         b.lo.y >= a.lo.y - kEps && b.hi.y <= a.hi.y + kEps &&
+         o.vbr.lo.x >= vbr.lo.x - kEps && o.vbr.hi.x <= vbr.hi.x + kEps &&
+         o.vbr.lo.y >= vbr.lo.y - kEps && o.vbr.hi.y <= vbr.hi.y + kEps;
+}
+
+double SweepIntegral(const TpRect& r, Timestamp t_now, double horizon,
+                     double qx, double qy) {
+  if (r.IsEmpty()) return 0.0;
+  const Rect now = r.RectAt(t_now);
+  const double ax = now.Width() + 2.0 * qx;
+  const double ay = now.Height() + 2.0 * qy;
+  // Expansion rates are non-negative for any valid bound, but clamp anyway
+  // so a degenerate input cannot produce a negative cost.
+  const double gx = std::max(0.0, r.vbr.hi.x - r.vbr.lo.x);
+  const double gy = std::max(0.0, r.vbr.hi.y - r.vbr.lo.y);
+  const double h = horizon;
+  return ax * ay * h + (ax * gy + ay * gx) * h * h * 0.5 +
+         gx * gy * h * h * h / 3.0;
+}
+
+double SweepEnlargement(const TpRect& a, const TpRect& b, Timestamp t_now,
+                        double horizon, double qx, double qy) {
+  const TpRect u = TpRect::Union(a, b, t_now);
+  return SweepIntegral(u, t_now, horizon, qx, qy) -
+         SweepIntegral(a, t_now, horizon, qx, qy);
+}
+
+}  // namespace vpmoi

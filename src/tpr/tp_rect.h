@@ -1,0 +1,98 @@
+// Time-parameterized bounding rectangles: the geometry underlying the
+// TPR/TPR*-tree (Section 3.1). A TpRect pairs an MBR, valid at a reference
+// time, with a VBR (velocity bounding rectangle); its spatial extent at
+// time t >= tref is the MBR with every boundary moved at that boundary's
+// velocity. The sweeping-region integral below is the cost model of Tao et
+// al. used both for TPR* insertion and for the paper's analysis of search
+// space expansion (Equations 1-7).
+#ifndef VPMOI_TPR_TP_RECT_H_
+#define VPMOI_TPR_TP_RECT_H_
+
+#include "common/geometry.h"
+#include "common/moving_object.h"
+#include "common/query.h"
+
+namespace vpmoi {
+
+/// A moving rectangle: boundaries at `tref` plus boundary velocities.
+/// `vbr.lo` carries the velocities of the lower x/y boundaries and `vbr.hi`
+/// of the upper ones. For a valid bound vbr.hi >= vbr.lo component-wise, so
+/// the extent never shrinks.
+struct TpRect {
+  Rect mbr;
+  Rect vbr;
+  Timestamp tref = 0.0;
+
+  /// Degenerate (point) bound of a single moving object.
+  static TpRect FromObject(const MovingObject& o) {
+    return TpRect{Rect::FromPoint(o.pos), Rect{o.vel, o.vel}, o.t_ref};
+  }
+
+  /// Canonical empty bound (identity of Union).
+  static TpRect Empty() {
+    return TpRect{Rect::Empty(), Rect::Empty(), 0.0};
+  }
+
+  bool IsEmpty() const { return mbr.IsEmpty(); }
+
+  /// Spatial extent at time `t` (expanding for t > tref; for t < tref the
+  /// rectangle is extrapolated backwards, which callers avoid by keeping
+  /// tref <= current time).
+  Rect RectAt(Timestamp t) const {
+    const double dt = t - tref;
+    return Rect{mbr.lo + vbr.lo * dt, mbr.hi + vbr.hi * dt};
+  }
+
+  /// Re-references this bound to time `t` (same moving region).
+  TpRect AtReference(Timestamp t) const {
+    return TpRect{RectAt(t), vbr, t};
+  }
+
+  /// Grows this bound, referenced at `t`, to cover `o` (both bounds are
+  /// first brought to reference time `t`, which must be >= both trefs for
+  /// the result to stay conservative).
+  void ExtendToCover(const TpRect& o, Timestamp t);
+
+  /// Smallest bound at reference time `t` covering both inputs.
+  static TpRect Union(const TpRect& a, const TpRect& b, Timestamp t);
+
+  /// True if the moving rectangle intersects the (possibly moving) query
+  /// rectangle `q` at some instant of [t0, t1]. `q` is given at absolute
+  /// time t0 and translates with velocity `qv`.
+  bool Intersects(const Rect& q, const Vec2& qv, Timestamp t0,
+                  Timestamp t1) const;
+
+  /// Convenience: intersection against a RangeQuery's bounding rectangle.
+  bool Intersects(const RangeQuery& q) const {
+    return Intersects(q.region.MbrAt(0.0), q.region.vel, q.t_begin, q.t_end);
+  }
+
+  /// True if this bound contains object `o`'s position and velocity for all
+  /// t >= `t` (position containment at `t` plus velocity domination).
+  /// Insertion maintains exactly this invariant, which guides deletion.
+  bool ContainsTrajectory(const MovingObject& o, Timestamp t) const;
+  /// Same containment test for a child bound.
+  bool ContainsBound(const TpRect& o, Timestamp t) const;
+};
+
+/// Sweeping-region volume of Section 3.1/4: the integral, over `horizon`
+/// time units starting at `t_now`, of the area of this bound inflated by a
+/// query of extent (2*qx, 2*qy):
+///
+///   Integral_0^h (Lx + 2qx + gx*u)(Ly + 2qy + gy*u) du
+///
+/// where Lx/Ly are the extents at t_now and gx/gy the expansion rates
+/// (vbr.hi - vbr.lo). This is the expected number of accesses of the node
+/// for uniformly distributed queries (Equation 1) and is the cost function
+/// minimized by TPR* insertion/splits.
+double SweepIntegral(const TpRect& r, Timestamp t_now, double horizon,
+                     double qx, double qy);
+
+/// Cost of covering both `a` and the candidate `b` minus the cost of `a`
+/// alone (the "sweeping region enlargement" used to choose subtrees).
+double SweepEnlargement(const TpRect& a, const TpRect& b, Timestamp t_now,
+                        double horizon, double qx, double qy);
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_TPR_TP_RECT_H_

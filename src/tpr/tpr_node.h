@@ -1,0 +1,87 @@
+// On-page layout of TPR*-tree nodes. Every node occupies exactly one 4 KB
+// page: a small header plus a packed entry array. Leaf entries hold moving
+// points; inner entries hold a child page id and the child's
+// time-parameterized bounding rectangle.
+#ifndef VPMOI_TPR_TPR_NODE_H_
+#define VPMOI_TPR_TPR_NODE_H_
+
+#include <cstdint>
+
+#include "common/moving_object.h"
+#include "common/types.h"
+#include "storage/page.h"
+#include "tpr/tp_rect.h"
+
+namespace vpmoi {
+
+struct TprNodeHeader {
+  std::uint8_t is_leaf = 0;
+  std::uint8_t pad0 = 0;
+  std::uint16_t count = 0;
+  std::uint32_t pad1 = 0;
+};
+static_assert(sizeof(TprNodeHeader) == 8);
+
+/// A moving point stored in a leaf.
+struct TprLeafEntry {
+  ObjectId id = kInvalidObjectId;
+  double px = 0.0, py = 0.0;
+  double vx = 0.0, vy = 0.0;
+  double tref = 0.0;
+
+  static TprLeafEntry FromObject(const MovingObject& o) {
+    return TprLeafEntry{o.id, o.pos.x, o.pos.y, o.vel.x, o.vel.y, o.t_ref};
+  }
+  MovingObject ToObject() const {
+    return MovingObject(id, {px, py}, {vx, vy}, tref);
+  }
+  TpRect Bound() const { return TpRect::FromObject(ToObject()); }
+};
+static_assert(sizeof(TprLeafEntry) == 48);
+
+/// A child pointer stored in an inner node.
+struct TprInnerEntry {
+  PageId child = kInvalidPageId;
+  std::uint32_t pad = 0;
+  Rect mbr;
+  Rect vbr;
+  double tref = 0.0;
+
+  TpRect Bound() const { return TpRect{mbr, vbr, tref}; }
+  void SetBound(const TpRect& b) {
+    mbr = b.mbr;
+    vbr = b.vbr;
+    tref = b.tref;
+  }
+};
+static_assert(sizeof(TprInnerEntry) == 80);
+
+inline constexpr std::size_t kTprLeafCapacity =
+    (kPageSize - sizeof(TprNodeHeader)) / sizeof(TprLeafEntry);
+inline constexpr std::size_t kTprInnerCapacity =
+    (kPageSize - sizeof(TprNodeHeader)) / sizeof(TprInnerEntry);
+
+inline TprNodeHeader* TprHeader(Page* p) {
+  return reinterpret_cast<TprNodeHeader*>(p->data());
+}
+inline const TprNodeHeader* TprHeader(const Page* p) {
+  return reinterpret_cast<const TprNodeHeader*>(p->data());
+}
+inline TprLeafEntry* TprLeafEntries(Page* p) {
+  return reinterpret_cast<TprLeafEntry*>(p->data() + sizeof(TprNodeHeader));
+}
+inline const TprLeafEntry* TprLeafEntries(const Page* p) {
+  return reinterpret_cast<const TprLeafEntry*>(p->data() +
+                                               sizeof(TprNodeHeader));
+}
+inline TprInnerEntry* TprInnerEntries(Page* p) {
+  return reinterpret_cast<TprInnerEntry*>(p->data() + sizeof(TprNodeHeader));
+}
+inline const TprInnerEntry* TprInnerEntries(const Page* p) {
+  return reinterpret_cast<const TprInnerEntry*>(p->data() +
+                                                sizeof(TprNodeHeader));
+}
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_TPR_TPR_NODE_H_

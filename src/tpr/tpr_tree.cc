@@ -1,0 +1,676 @@
+#include "tpr/tpr_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "sfc/hilbert.h"
+
+namespace vpmoi {
+
+TprStarTree::TprStarTree(const TprTreeOptions& options)
+    : owned_store_(std::make_unique<PageStore>()),
+      owned_pool_(
+          std::make_unique<BufferPool>(owned_store_.get(), options.buffer_pages)),
+      pool_(owned_pool_.get()),
+      options_(options) {
+  root_ = NewNode(/*is_leaf=*/true);
+}
+
+TprStarTree::TprStarTree(BufferPool* shared_pool, const TprTreeOptions& options)
+    : pool_(shared_pool), options_(options) {
+  root_ = NewNode(/*is_leaf=*/true);
+}
+
+TprStarTree::~TprStarTree() = default;
+
+PageId TprStarTree::NewNode(bool is_leaf) {
+  PageId id = pool_->AllocatePage();
+  Page* p = pool_->Write(id);
+  TprNodeHeader h;
+  h.is_leaf = is_leaf ? 1 : 0;
+  *TprHeader(p) = h;
+  ++node_count_;
+  return id;
+}
+
+void TprStarTree::FreeNode(PageId id) {
+  pool_->FreePage(id);
+  --node_count_;
+}
+
+void TprStarTree::AdvanceTime(Timestamp now) {
+  now_ = std::max(now_, now);
+}
+
+TpRect TprStarTree::ComputeNodeBound(PageId node) const {
+  const Page* p = pool_->Read(node);
+  const TprNodeHeader* h = TprHeader(p);
+  TpRect bound = TpRect::Empty();
+  if (h->is_leaf) {
+    const TprLeafEntry* e = TprLeafEntries(p);
+    for (std::size_t i = 0; i < h->count; ++i) {
+      bound.ExtendToCover(e[i].Bound(), now_);
+    }
+  } else {
+    const TprInnerEntry* e = TprInnerEntries(p);
+    for (std::size_t i = 0; i < h->count; ++i) {
+      bound.ExtendToCover(e[i].Bound(), now_);
+    }
+  }
+  return bound;
+}
+
+double TprStarTree::InsertionCost(const TpRect& r) const {
+  if (options_.insert_policy == TprInsertPolicy::kProjectedArea) {
+    return r.RectAt(now_ + options_.horizon * 0.5).Area();
+  }
+  return SweepIntegral(r, now_, options_.horizon, options_.query_half_x,
+                       options_.query_half_y);
+}
+
+std::size_t TprStarTree::ChooseSubtree(const Page* inner_page,
+                                       const TpRect& bound) const {
+  const TprNodeHeader* h = TprHeader(inner_page);
+  const TprInnerEntry* e = TprInnerEntries(inner_page);
+  assert(h->count > 0);
+  std::size_t best = 0;
+  double best_enlarge = std::numeric_limits<double>::infinity();
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < h->count; ++i) {
+    const TpRect child = e[i].Bound();
+    const double cost = InsertionCost(child);
+    const double enlarge =
+        InsertionCost(TpRect::Union(child, bound, now_)) - cost;
+    if (enlarge < best_enlarge ||
+        (enlarge == best_enlarge && cost < best_cost)) {
+      best = i;
+      best_enlarge = enlarge;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> TprStarTree::PickSplit(
+    const std::vector<TpRect>& bounds) const {
+  const std::size_t n = bounds.size();
+  const std::size_t min_fill =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   std::ceil(options_.min_fill * n)));
+  // Candidate orderings: spatial boundaries (at now_) and velocity
+  // boundaries, low and high, per axis — the TPR* split domain.
+  struct KeyFn {
+    double (*get)(const TpRect&, Timestamp);
+  };
+  static const KeyFn kKeys[] = {
+      {[](const TpRect& r, Timestamp t) { return r.RectAt(t).lo.x; }},
+      {[](const TpRect& r, Timestamp t) { return r.RectAt(t).hi.x; }},
+      {[](const TpRect& r, Timestamp t) { return r.RectAt(t).lo.y; }},
+      {[](const TpRect& r, Timestamp t) { return r.RectAt(t).hi.y; }},
+      {[](const TpRect& r, Timestamp) { return r.vbr.lo.x; }},
+      {[](const TpRect& r, Timestamp) { return r.vbr.hi.x; }},
+      {[](const TpRect& r, Timestamp) { return r.vbr.lo.y; }},
+      {[](const TpRect& r, Timestamp) { return r.vbr.hi.y; }},
+  };
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> best_group2;
+  std::vector<std::size_t> order(n);
+  std::vector<TpRect> prefix(n), suffix(n);
+
+  // The projected-area policy only considers spatial orderings (the first
+  // four keys); the sweep-integral policy also sorts by VBR boundaries.
+  const std::size_t key_count =
+      options_.insert_policy == TprInsertPolicy::kProjectedArea ? 4
+                                                                : std::size(kKeys);
+  for (std::size_t ki = 0; ki < key_count; ++ki) {
+    const KeyFn& key = kKeys[ki];
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return key.get(bounds[a], now_) < key.get(bounds[b], now_);
+    });
+    prefix[0] = bounds[order[0]].AtReference(now_);
+    for (std::size_t i = 1; i < n; ++i) {
+      prefix[i] = TpRect::Union(prefix[i - 1], bounds[order[i]], now_);
+    }
+    suffix[n - 1] = bounds[order[n - 1]].AtReference(now_);
+    for (std::size_t i = n - 1; i-- > 0;) {
+      suffix[i] = TpRect::Union(suffix[i + 1], bounds[order[i]], now_);
+    }
+    for (std::size_t k = min_fill; k + min_fill <= n; ++k) {
+      const double cost =
+          InsertionCost(prefix[k - 1]) + InsertionCost(suffix[k]);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_group2.assign(order.begin() + k, order.end());
+      }
+    }
+  }
+  assert(!best_group2.empty());
+  return best_group2;
+}
+
+std::optional<TprInnerEntry> TprStarTree::InsertRec(
+    PageId node, int level, int target_level, const TprLeafEntry* leaf_entry,
+    const TprInnerEntry* inner_entry, OpContext* ctx) {
+  if (level > target_level) {
+    // Descend.
+    const TpRect bound =
+        leaf_entry ? leaf_entry->Bound() : inner_entry->Bound();
+    const Page* rp = pool_->Read(node);
+    const std::size_t idx = ChooseSubtree(rp, bound);
+    const PageId child = TprInnerEntries(rp)[idx].child;
+    auto sibling =
+        InsertRec(child, level - 1, target_level, leaf_entry, inner_entry, ctx);
+
+    Page* wp = pool_->Write(node);
+    TprNodeHeader* h = TprHeader(wp);
+    TprInnerEntry* e = TprInnerEntries(wp);
+    // Tighten: the child changed, recompute its exact bound.
+    e[idx].SetBound(ComputeNodeBound(child));
+    if (!sibling.has_value()) return std::nullopt;
+
+    if (h->count < kTprInnerCapacity) {
+      e[h->count] = *sibling;
+      ++h->count;
+      return std::nullopt;
+    }
+    // Inner overflow: split (forced reinsertion is applied at leaf level
+    // only; see DESIGN.md).
+    std::vector<TprInnerEntry> all(e, e + h->count);
+    all.push_back(*sibling);
+    std::vector<TpRect> bounds;
+    bounds.reserve(all.size());
+    for (const auto& en : all) bounds.push_back(en.Bound());
+    std::vector<std::size_t> group2 = PickSplit(bounds);
+    std::vector<bool> in_g2(all.size(), false);
+    for (std::size_t i : group2) in_g2[i] = true;
+
+    PageId right = NewNode(/*is_leaf=*/false);
+    Page* rpw = pool_->Write(right);
+    wp = pool_->Write(node);
+    h = TprHeader(wp);
+    e = TprInnerEntries(wp);
+    TprNodeHeader* rh = TprHeader(rpw);
+    TprInnerEntry* re = TprInnerEntries(rpw);
+    std::uint16_t lc = 0, rc = 0;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (in_g2[i]) {
+        re[rc++] = all[i];
+      } else {
+        e[lc++] = all[i];
+      }
+    }
+    h->count = lc;
+    rh->count = rc;
+    TprInnerEntry out;
+    out.child = right;
+    out.SetBound(ComputeNodeBound(right));
+    return out;
+  }
+
+  // level == target_level: this node receives the entry.
+  Page* wp = pool_->Write(node);
+  TprNodeHeader* h = TprHeader(wp);
+  if (target_level == 1) {
+    assert(h->is_leaf && leaf_entry != nullptr);
+    TprLeafEntry* e = TprLeafEntries(wp);
+    if (h->count < kTprLeafCapacity) {
+      e[h->count] = *leaf_entry;
+      ++h->count;
+      return std::nullopt;
+    }
+    std::vector<TprLeafEntry> all(e, e + h->count);
+    all.push_back(*leaf_entry);
+
+    const std::size_t lvl_idx = static_cast<std::size_t>(level);
+    if (level != height_ && lvl_idx < ctx->reinserted.size() &&
+        !ctx->reinserted[lvl_idx]) {
+      // R*-style forced reinsertion driven by the motion model: evict the
+      // entries farthest from the node centroid at mid-horizon.
+      ctx->reinserted[lvl_idx] = true;
+      const Timestamp tc = now_ + options_.horizon * 0.5;
+      Point2 centroid{0.0, 0.0};
+      for (const auto& en : all) {
+        centroid += en.ToObject().PositionAt(tc);
+      }
+      centroid = centroid / static_cast<double>(all.size());
+      std::vector<std::size_t> order(all.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return SquaredDistance(all[a].ToObject().PositionAt(tc), centroid) >
+               SquaredDistance(all[b].ToObject().PositionAt(tc), centroid);
+      });
+      std::size_t evict = std::max<std::size_t>(
+          1, static_cast<std::size_t>(options_.reinsert_fraction *
+                                      static_cast<double>(all.size())));
+      std::vector<bool> evicted(all.size(), false);
+      for (std::size_t i = 0; i < evict; ++i) {
+        evicted[order[i]] = true;
+        ctx->pending_leaf.push_back(all[order[i]]);
+      }
+      TprLeafEntry* we = TprLeafEntries(wp);
+      std::uint16_t c = 0;
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        if (!evicted[i]) we[c++] = all[i];
+      }
+      h->count = c;
+      return std::nullopt;
+    }
+
+    // Split.
+    std::vector<TpRect> bounds;
+    bounds.reserve(all.size());
+    for (const auto& en : all) bounds.push_back(en.Bound());
+    std::vector<std::size_t> group2 = PickSplit(bounds);
+    std::vector<bool> in_g2(all.size(), false);
+    for (std::size_t i : group2) in_g2[i] = true;
+
+    PageId right = NewNode(/*is_leaf=*/true);
+    Page* rpw = pool_->Write(right);
+    wp = pool_->Write(node);
+    h = TprHeader(wp);
+    TprLeafEntry* e2 = TprLeafEntries(wp);
+    TprNodeHeader* rh = TprHeader(rpw);
+    TprLeafEntry* re = TprLeafEntries(rpw);
+    std::uint16_t lc = 0, rc = 0;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (in_g2[i]) {
+        re[rc++] = all[i];
+      } else {
+        e2[lc++] = all[i];
+      }
+    }
+    h->count = lc;
+    rh->count = rc;
+    TprInnerEntry out;
+    out.child = right;
+    out.SetBound(ComputeNodeBound(right));
+    return out;
+  }
+
+  // Subtree graft (orphan reinsertion) into an inner node.
+  assert(!h->is_leaf && inner_entry != nullptr);
+  TprInnerEntry* e = TprInnerEntries(wp);
+  if (h->count < kTprInnerCapacity) {
+    e[h->count] = *inner_entry;
+    ++h->count;
+    return std::nullopt;
+  }
+  std::vector<TprInnerEntry> all(e, e + h->count);
+  all.push_back(*inner_entry);
+  std::vector<TpRect> bounds;
+  bounds.reserve(all.size());
+  for (const auto& en : all) bounds.push_back(en.Bound());
+  std::vector<std::size_t> group2 = PickSplit(bounds);
+  std::vector<bool> in_g2(all.size(), false);
+  for (std::size_t i : group2) in_g2[i] = true;
+  PageId right = NewNode(/*is_leaf=*/false);
+  Page* rpw = pool_->Write(right);
+  wp = pool_->Write(node);
+  h = TprHeader(wp);
+  e = TprInnerEntries(wp);
+  TprNodeHeader* rh = TprHeader(rpw);
+  TprInnerEntry* re = TprInnerEntries(rpw);
+  std::uint16_t lc = 0, rc = 0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (in_g2[i]) {
+      re[rc++] = all[i];
+    } else {
+      e[lc++] = all[i];
+    }
+  }
+  h->count = lc;
+  rh->count = rc;
+  TprInnerEntry out;
+  out.child = right;
+  out.SetBound(ComputeNodeBound(right));
+  return out;
+}
+
+void TprStarTree::InsertEntry(const TprLeafEntry* leaf_entry,
+                              const TprInnerEntry* inner_entry,
+                              int target_level, OpContext* ctx) {
+  assert(target_level <= height_);
+  auto sibling =
+      InsertRec(root_, height_, target_level, leaf_entry, inner_entry, ctx);
+  if (sibling.has_value()) {
+    PageId new_root = NewNode(/*is_leaf=*/false);
+    Page* p = pool_->Write(new_root);
+    TprNodeHeader* h = TprHeader(p);
+    TprInnerEntry* e = TprInnerEntries(p);
+    e[0].child = root_;
+    e[0].SetBound(ComputeNodeBound(root_));
+    e[1] = *sibling;
+    h->count = 2;
+    root_ = new_root;
+    ++height_;
+    if (ctx->reinserted.size() < static_cast<std::size_t>(height_) + 1) {
+      ctx->reinserted.resize(height_ + 1, true);
+    }
+  }
+}
+
+Status TprStarTree::Insert(const MovingObject& o) {
+  if (objects_.contains(o.id)) {
+    return Status::AlreadyExists("object already indexed");
+  }
+  now_ = std::max(now_, o.t_ref);
+  OpContext ctx;
+  ctx.reinserted.assign(height_ + 2, false);
+  TprLeafEntry entry = TprLeafEntry::FromObject(o);
+  InsertEntry(&entry, nullptr, 1, &ctx);
+  // Drain forced reinsertions (only leaf entries are ever pending here).
+  while (!ctx.pending_leaf.empty()) {
+    TprLeafEntry pending = ctx.pending_leaf.back();
+    ctx.pending_leaf.pop_back();
+    InsertEntry(&pending, nullptr, 1, &ctx);
+  }
+  objects_.emplace(o.id, o);
+  return Status::OK();
+}
+
+Status TprStarTree::BulkLoad(std::span<const MovingObject> objects) {
+  if (!objects_.empty()) {
+    return Status::InvalidArgument("bulk load requires an empty tree");
+  }
+  if (objects.empty()) return Status::OK();
+  for (const MovingObject& o : objects) {
+    now_ = std::max(now_, o.t_ref);
+    if (!objects_.emplace(o.id, o).second) {
+      objects_.clear();
+      return Status::InvalidArgument("duplicate object id in bulk load");
+    }
+  }
+
+  // Order objects along a Hilbert curve of their positions at now_ so
+  // consecutive leaf entries are spatial neighbors.
+  Rect bbox = Rect::Empty();
+  for (const MovingObject& o : objects) bbox.ExtendToCover(o.PositionAt(now_));
+  bbox = bbox.Inflated(1.0);
+  const HilbertCurve curve(12);
+  const double side = curve.GridSide();
+  std::vector<std::pair<std::uint64_t, std::size_t>> order;
+  order.reserve(objects.size());
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const Point2 p = objects[i].PositionAt(now_);
+    const auto cx = static_cast<std::uint32_t>(
+        std::clamp((p.x - bbox.lo.x) / bbox.Width() * side, 0.0, side - 1));
+    const auto cy = static_cast<std::uint32_t>(
+        std::clamp((p.y - bbox.lo.y) / bbox.Height() * side, 0.0, side - 1));
+    order.emplace_back(curve.Encode(cx, cy), i);
+  }
+  std::sort(order.begin(), order.end());
+
+  // Free the initial empty root and pack leaves left to right.
+  FreeNode(root_);
+  const auto leaf_fill = static_cast<std::size_t>(kTprLeafCapacity * 0.8);
+  std::vector<TprInnerEntry> level_entries;
+  for (std::size_t i = 0; i < order.size();) {
+    const std::size_t take = std::min(leaf_fill, order.size() - i);
+    PageId leaf = NewNode(/*is_leaf=*/true);
+    Page* p = pool_->Write(leaf);
+    TprNodeHeader* h = TprHeader(p);
+    TprLeafEntry* e = TprLeafEntries(p);
+    for (std::size_t j = 0; j < take; ++j) {
+      e[j] = TprLeafEntry::FromObject(objects[order[i + j].second]);
+    }
+    h->count = static_cast<std::uint16_t>(take);
+    TprInnerEntry entry;
+    entry.child = leaf;
+    entry.SetBound(ComputeNodeBound(leaf));
+    level_entries.push_back(entry);
+    i += take;
+  }
+
+  // Pack parent levels until a single entry remains.
+  int height = 1;
+  const auto inner_fill = static_cast<std::size_t>(kTprInnerCapacity * 0.8);
+  while (level_entries.size() > 1) {
+    std::vector<TprInnerEntry> next;
+    for (std::size_t i = 0; i < level_entries.size();) {
+      const std::size_t take =
+          std::min(inner_fill, level_entries.size() - i);
+      PageId node = NewNode(/*is_leaf=*/false);
+      Page* p = pool_->Write(node);
+      TprNodeHeader* h = TprHeader(p);
+      TprInnerEntry* e = TprInnerEntries(p);
+      for (std::size_t j = 0; j < take; ++j) e[j] = level_entries[i + j];
+      h->count = static_cast<std::uint16_t>(take);
+      TprInnerEntry entry;
+      entry.child = node;
+      entry.SetBound(ComputeNodeBound(node));
+      next.push_back(entry);
+      i += take;
+    }
+    level_entries = std::move(next);
+    ++height;
+  }
+  root_ = level_entries[0].child;
+  height_ = height;
+  return Status::OK();
+}
+
+TprStarTree::DeleteResult TprStarTree::DeleteRec(PageId node, int level,
+                                                 const MovingObject& target,
+                                                 OpContext* ctx) {
+  DeleteResult result;
+  const std::size_t min_fill_leaf = static_cast<std::size_t>(
+      std::ceil(options_.min_fill * kTprLeafCapacity));
+  const std::size_t min_fill_inner = static_cast<std::size_t>(
+      std::ceil(options_.min_fill * kTprInnerCapacity));
+
+  if (level == 1) {
+    Page* p = pool_->Write(node);
+    TprNodeHeader* h = TprHeader(p);
+    TprLeafEntry* e = TprLeafEntries(p);
+    std::size_t pos = h->count;
+    for (std::size_t i = 0; i < h->count; ++i) {
+      if (e[i].id == target.id) {
+        pos = i;
+        break;
+      }
+    }
+    if (pos == h->count) return result;  // not here
+    std::memmove(e + pos, e + pos + 1,
+                 (h->count - pos - 1) * sizeof(TprLeafEntry));
+    --h->count;
+    result.found = true;
+    if (node != root_ && h->count < min_fill_leaf) {
+      for (std::size_t i = 0; i < h->count; ++i) {
+        ctx->pending_leaf.push_back(e[i]);
+      }
+      FreeNode(node);
+      result.node_removed = true;
+    }
+    return result;
+  }
+
+  // Inner: probe every child whose bound can contain the trajectory.
+  const Page* rp = pool_->Read(node);
+  const TprNodeHeader* rh = TprHeader(rp);
+  std::size_t found_idx = rh->count;
+  DeleteResult child_result;
+  for (std::size_t i = 0; i < rh->count; ++i) {
+    const TprInnerEntry entry = TprInnerEntries(rp)[i];
+    if (!entry.Bound().ContainsTrajectory(target, now_)) continue;
+    child_result = DeleteRec(entry.child, level - 1, target, ctx);
+    if (child_result.found) {
+      found_idx = i;
+      break;
+    }
+  }
+  if (found_idx == rh->count) return result;
+  result.found = true;
+
+  Page* wp = pool_->Write(node);
+  TprNodeHeader* h = TprHeader(wp);
+  TprInnerEntry* e = TprInnerEntries(wp);
+  if (child_result.node_removed) {
+    std::memmove(e + found_idx, e + found_idx + 1,
+                 (h->count - found_idx - 1) * sizeof(TprInnerEntry));
+    --h->count;
+  } else {
+    // Active tightening: shrink the stored bound to the child's contents.
+    e[found_idx].SetBound(ComputeNodeBound(e[found_idx].child));
+  }
+  if (node != root_ && h->count < min_fill_inner) {
+    for (std::size_t i = 0; i < h->count; ++i) {
+      ctx->pending_subtree.emplace_back(e[i], level);
+    }
+    FreeNode(node);
+    result.node_removed = true;
+  }
+  return result;
+}
+
+Status TprStarTree::Delete(ObjectId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("object is not indexed");
+  }
+  const MovingObject target = it->second;
+  OpContext ctx;
+  // No forced reinsertion while condensing.
+  ctx.reinserted.assign(height_ + 2, true);
+  DeleteResult res = DeleteRec(root_, height_, target, &ctx);
+  if (!res.found) {
+    return Status::Internal("object table and tree disagree");
+  }
+  objects_.erase(it);
+
+  // Collapse a single-child inner root chain.
+  while (height_ > 1) {
+    const Page* p = pool_->Read(root_);
+    const TprNodeHeader* h = TprHeader(p);
+    if (h->count != 1) break;
+    PageId only = TprInnerEntries(p)[0].child;
+    FreeNode(root_);
+    root_ = only;
+    --height_;
+  }
+
+  // Reinsert orphans: subtrees first (deepest targets), then leaf entries.
+  std::sort(ctx.pending_subtree.begin(), ctx.pending_subtree.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [entry, lvl] : ctx.pending_subtree) {
+    assert(lvl <= height_);
+    InsertEntry(nullptr, &entry, lvl, &ctx);
+  }
+  for (const TprLeafEntry& entry : ctx.pending_leaf) {
+    InsertEntry(&entry, nullptr, 1, &ctx);
+  }
+  return Status::OK();
+}
+
+void TprStarTree::SearchRec(PageId node, int level, const RangeQuery& q,
+                            std::vector<ObjectId>* out) const {
+  const Page* p = pool_->Read(node);
+  const TprNodeHeader* h = TprHeader(p);
+  if (level == 1) {
+    const TprLeafEntry* e = TprLeafEntries(p);
+    for (std::size_t i = 0; i < h->count; ++i) {
+      if (q.Matches(e[i].ToObject())) out->push_back(e[i].id);
+    }
+    return;
+  }
+  const TprInnerEntry* e = TprInnerEntries(p);
+  for (std::size_t i = 0; i < h->count; ++i) {
+    if (e[i].Bound().Intersects(q)) {
+      SearchRec(e[i].child, level - 1, q, out);
+    }
+  }
+}
+
+Status TprStarTree::Search(const RangeQuery& q, std::vector<ObjectId>* out) {
+  if (q.t_end < q.t_begin) {
+    return Status::InvalidArgument("query interval end precedes begin");
+  }
+  SearchRec(root_, height_, q, out);
+  return Status::OK();
+}
+
+std::vector<TpRect> TprStarTree::LeafBounds() const {
+  std::vector<TpRect> out;
+  // Iterative DFS gathering exact leaf bounds.
+  std::vector<std::pair<PageId, int>> stack{{root_, height_}};
+  while (!stack.empty()) {
+    auto [node, level] = stack.back();
+    stack.pop_back();
+    if (level == 1) {
+      out.push_back(ComputeNodeBound(node));
+      continue;
+    }
+    const Page* p = pool_->Read(node);
+    const TprNodeHeader* h = TprHeader(p);
+    const TprInnerEntry* e = TprInnerEntries(p);
+    for (std::size_t i = 0; i < h->count; ++i) {
+      stack.emplace_back(e[i].child, level - 1);
+    }
+  }
+  return out;
+}
+
+StatusOr<MovingObject> TprStarTree::GetObject(ObjectId id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return Status::NotFound("object is not indexed");
+  return it->second;
+}
+
+Status TprStarTree::CheckRec(PageId node, int level, const TpRect* stored,
+                             std::size_t* objects_seen) const {
+  const Page* p = pool_->Read(node);
+  const TprNodeHeader* h = TprHeader(p);
+  if ((level == 1) != (h->is_leaf != 0)) {
+    return Status::Corruption("leaf flag does not match level");
+  }
+  const TpRect actual = ComputeNodeBound(node);
+  if (stored != nullptr && h->count > 0 &&
+      !stored->ContainsBound(actual, now_)) {
+    return Status::Corruption("stored bound does not cover child contents");
+  }
+  if (level == 1) {
+    if (h->count > kTprLeafCapacity) {
+      return Status::Corruption("leaf overflow");
+    }
+    const TprLeafEntry* e = TprLeafEntries(p);
+    for (std::size_t i = 0; i < h->count; ++i) {
+      auto it = objects_.find(e[i].id);
+      if (it == objects_.end()) {
+        return Status::Corruption("leaf entry not in object table");
+      }
+      const MovingObject& o = it->second;
+      if (o.pos.x != e[i].px || o.pos.y != e[i].py || o.vel.x != e[i].vx ||
+          o.vel.y != e[i].vy || o.t_ref != e[i].tref) {
+        return Status::Corruption("leaf entry disagrees with object table");
+      }
+    }
+    *objects_seen += h->count;
+    return Status::OK();
+  }
+  if (h->count > kTprInnerCapacity) {
+    return Status::Corruption("inner overflow");
+  }
+  if (h->count == 0 && node != root_) {
+    return Status::Corruption("empty non-root inner node");
+  }
+  const TprInnerEntry* e = TprInnerEntries(p);
+  for (std::size_t i = 0; i < h->count; ++i) {
+    const TpRect b = e[i].Bound();
+    VPMOI_RETURN_IF_ERROR(CheckRec(e[i].child, level - 1, &b, objects_seen));
+  }
+  return Status::OK();
+}
+
+Status TprStarTree::CheckInvariants() const {
+  std::size_t seen = 0;
+  VPMOI_RETURN_IF_ERROR(CheckRec(root_, height_, nullptr, &seen));
+  if (seen != objects_.size()) {
+    return Status::Corruption("tree object count disagrees with table");
+  }
+  return Status::OK();
+}
+
+}  // namespace vpmoi

@@ -1,0 +1,34 @@
+#include "vp/dva.h"
+
+#include <cstdio>
+#include <limits>
+
+namespace vpmoi {
+
+std::string Dva::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "DVA axis%s anchor%s tau=%.4g",
+                axis.ToString().c_str(), anchor.ToString().c_str(), tau);
+  return buf;
+}
+
+int VelocityAnalysis::ClosestDva(const Vec2& v) const {
+  int best = -1;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < dvas.size(); ++i) {
+    const double d = dvas[i].PerpendicularSpeed(v);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+int VelocityAnalysis::PartitionOf(const Vec2& v) const {
+  const int best = ClosestDva(v);
+  if (best < 0) return -1;
+  return dvas[best].Accepts(v) ? best : -1;
+}
+
+}  // namespace vpmoi

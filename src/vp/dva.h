@@ -1,0 +1,56 @@
+// Dominant velocity axes (DVAs): the axes along which most object
+// velocities lie (Section 1). A DVA partition accepts objects whose
+// velocity's perpendicular distance to the axis is at most the partition's
+// outlier threshold tau (Section 5.2).
+#ifndef VPMOI_VP_DVA_H_
+#define VPMOI_VP_DVA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "math/pca.h"
+
+namespace vpmoi {
+
+/// One dominant velocity axis with its outlier threshold.
+struct Dva {
+  /// Unit direction of the axis (the partition's 1st principal component).
+  Vec2 axis{1.0, 0.0};
+  /// Point the axis passes through (the partition's velocity mean; near the
+  /// origin for symmetric two-way traffic).
+  Point2 anchor{0.0, 0.0};
+  /// Outlier threshold: maximum accepted perpendicular speed (Section 5.2).
+  double tau = 0.0;
+
+  /// Perpendicular distance from velocity point `v` to this axis.
+  double PerpendicularSpeed(const Vec2& v) const {
+    return PerpendicularDistance(v, anchor, axis);
+  }
+
+  /// True if an object with velocity `v` belongs to this DVA partition.
+  bool Accepts(const Vec2& v) const { return PerpendicularSpeed(v) <= tau; }
+
+  std::string ToString() const;
+};
+
+/// Output of the velocity analyzer (Algorithm 1).
+struct VelocityAnalysis {
+  std::vector<Dva> dvas;
+  /// Cluster id per input sample point; -1 marks outliers.
+  std::vector<int> assignment;
+  /// Number of sample points relegated to the outlier partition.
+  std::size_t outlier_count = 0;
+  /// Wall time of the analysis in milliseconds (Figure 18's metric).
+  double analyze_millis = 0.0;
+
+  /// Index of the DVA with the smallest perpendicular distance to `v`,
+  /// or -1 if no DVA accepts it (outlier).
+  int PartitionOf(const Vec2& v) const;
+  /// Index of the closest DVA regardless of tau (never -1 unless empty).
+  int ClosestDva(const Vec2& v) const;
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_VP_DVA_H_

@@ -1,0 +1,26 @@
+#include "vp/transform.h"
+
+namespace vpmoi {
+
+DvaTransform::DvaTransform(const Dva& dva, const Rect& world_domain)
+    : rot_(Rotation::FromAxis(dva.axis)), pivot_(world_domain.Center()) {
+  // MBR (about the same pivot) of the rotated domain corners.
+  Rect rotated = rot_.ApplyToRect(
+      Rect{world_domain.lo - pivot_, world_domain.hi - pivot_});
+  frame_domain_ = Rect{rotated.lo + pivot_, rotated.hi + pivot_};
+}
+
+RangeQuery DvaTransform::TransformQuery(const RangeQuery& q) const {
+  RangeQuery out = q;
+  out.region.vel = ToFrameVector(q.region.vel);
+  if (q.region.kind == RegionKind::kCircle) {
+    out.region.circle.center = ToFramePoint(q.region.circle.center);
+    return out;
+  }
+  const Rect shifted{q.region.rect.lo - pivot_, q.region.rect.hi - pivot_};
+  const Rect rotated = rot_.ApplyToRect(shifted);
+  out.region.rect = Rect{rotated.lo + pivot_, rotated.hi + pivot_};
+  return out;
+}
+
+}  // namespace vpmoi

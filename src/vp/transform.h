@@ -1,0 +1,65 @@
+// Coordinate transform into a DVA index's frame (Sections 5.3-5.4): a
+// rotation about the domain center that maps the DVA direction onto the
+// frame x-axis. Positions, velocities, whole objects and range queries can
+// be transformed; rectangle queries come back as the axis-aligned MBR of
+// the rotated region (Algorithm 3, line 4), so callers must refine results
+// against the original query (line 8).
+#ifndef VPMOI_VP_TRANSFORM_H_
+#define VPMOI_VP_TRANSFORM_H_
+
+#include "common/geometry.h"
+#include "common/moving_object.h"
+#include "common/query.h"
+#include "vp/dva.h"
+
+namespace vpmoi {
+
+/// World <-> DVA-frame transform.
+class DvaTransform {
+ public:
+  DvaTransform() = default;
+
+  /// Frame whose x-axis is `dva.axis`, rotating about `world_domain`'s
+  /// center.
+  DvaTransform(const Dva& dva, const Rect& world_domain);
+
+  /// World -> frame.
+  Point2 ToFramePoint(const Point2& p) const {
+    return rot_.Apply(p - pivot_) + pivot_;
+  }
+  Vec2 ToFrameVector(const Vec2& v) const { return rot_.Apply(v); }
+  MovingObject ToFrame(const MovingObject& o) const {
+    return MovingObject(o.id, ToFramePoint(o.pos), ToFrameVector(o.vel),
+                        o.t_ref);
+  }
+
+  /// Frame -> world.
+  Point2 ToWorldPoint(const Point2& p) const {
+    return rot_.Invert(p - pivot_) + pivot_;
+  }
+  Vec2 ToWorldVector(const Vec2& v) const { return rot_.Invert(v); }
+  MovingObject ToWorld(const MovingObject& o) const {
+    return MovingObject(o.id, ToWorldPoint(o.pos), ToWorldVector(o.vel),
+                        o.t_ref);
+  }
+
+  /// Transforms a range query into the frame. Circular regions transform
+  /// exactly (rotation preserves circles); rectangular regions become the
+  /// MBR of the rotated rectangle, a conservative superset.
+  RangeQuery TransformQuery(const RangeQuery& q) const;
+
+  /// The frame-space domain: the MBR of the rotated world domain. DVA
+  /// indexes (e.g. the Bx-tree grid) operate over this rectangle.
+  const Rect& frame_domain() const { return frame_domain_; }
+
+  const Rotation& rotation() const { return rot_; }
+
+ private:
+  Rotation rot_;
+  Point2 pivot_;
+  Rect frame_domain_;
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_VP_TRANSFORM_H_

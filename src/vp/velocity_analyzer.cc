@@ -1,0 +1,256 @@
+#include "vp/velocity_analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "math/histogram.h"
+#include "math/kmeans.h"
+
+namespace vpmoi {
+
+VelocityAnalyzer::VelocityAnalyzer(const VelocityAnalyzerOptions& options)
+    : options_(options) {}
+
+namespace {
+
+// Recomputes each cluster's axis (1st PC) and anchor (mean) from the
+// current assignment. Clusters with < 2 points keep their previous axis.
+void RefitAxes(std::span<const Vec2> points, const std::vector<int>& assign,
+               std::vector<Dva>* dvas) {
+  const int k = static_cast<int>(dvas->size());
+  std::vector<std::vector<Vec2>> groups(k);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (assign[i] >= 0) groups[assign[i]].push_back(points[i]);
+  }
+  for (int c = 0; c < k; ++c) {
+    if (groups[c].size() < 2) continue;
+    const PcaResult pca = ComputePca(groups[c]);
+    (*dvas)[c].axis = pca.pc1;
+    (*dvas)[c].anchor = pca.mean;
+  }
+}
+
+}  // namespace
+
+namespace {
+// One run of Algorithm 2. The paper initializes with a uniformly random
+// assignment (lines 3-4); on perfectly direction-symmetric samples that
+// basin can converge to a stable "bisecting axes" optimum, so alternative
+// runs stratify the initial assignment by (folded) velocity angle with a
+// random angular offset, which reliably separates distinct axes.
+VelocityAnalysis RunPcaKMeansOnce(std::span<const Vec2> points, int k,
+                                  int max_iterations, std::uint64_t seed,
+                                  bool angle_stratified) {
+  VelocityAnalysis out;
+  out.dvas.assign(static_cast<std::size_t>(k), Dva{});
+  out.assignment.assign(points.size(), 0);
+
+  Rng rng(seed);
+  if (angle_stratified) {
+    const double offset = rng.Uniform(0.0, M_PI);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      // Fold direction into [0, pi): an axis is orientation-free.
+      double angle = std::atan2(points[i].y, points[i].x);
+      if (angle < 0) angle += M_PI;
+      if (angle >= M_PI) angle -= M_PI;
+      const double shifted = std::fmod(angle + offset, M_PI);
+      out.assignment[i] = static_cast<int>(
+          std::min<double>(k - 1, shifted / M_PI * k));
+    }
+  } else {
+    // Algorithm 2 lines 3-4: random initial assignment.
+    for (auto& a : out.assignment) a = static_cast<int>(rng.UniformInt(k));
+  }
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Line 6: 1st PC of each partition.
+    RefitAxes(points, out.assignment, &out.dvas);
+    // Lines 7-9: reassign to the partition whose 1st PC is closest (by
+    // perpendicular distance).
+    bool moved = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      int best = out.assignment[i];
+      double best_d = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        const double d = out.dvas[c].PerpendicularSpeed(points[i]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (best != out.assignment[i]) {
+        out.assignment[i] = best;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+  RefitAxes(points, out.assignment, &out.dvas);
+  return out;
+}
+
+// Clustering objective: total perpendicular distance to the closest DVA.
+double TotalPerpendicularDistance(std::span<const Vec2> points,
+                                  const VelocityAnalysis& a) {
+  double total = 0.0;
+  for (const Vec2& p : points) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const Dva& d : a.dvas) {
+      best = std::min(best, d.PerpendicularSpeed(p));
+    }
+    total += best;
+  }
+  return total;
+}
+}  // namespace
+
+StatusOr<VelocityAnalysis> VelocityAnalyzer::ClusterPcaKMeans(
+    std::span<const Vec2> points) const {
+  const int runs = std::max(1, options_.restarts);
+  VelocityAnalysis best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < runs; ++r) {
+    // First run follows the paper exactly (random assignment); later runs
+    // use angle-stratified starts to escape symmetric local optima.
+    VelocityAnalysis cand =
+        RunPcaKMeansOnce(points, options_.k, options_.max_iterations,
+                         options_.seed + 0x9E37ull * r, r > 0);
+    const double cost = TotalPerpendicularDistance(points, cand);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = std::move(cand);
+    }
+  }
+  return best;
+}
+
+StatusOr<VelocityAnalysis> VelocityAnalyzer::ClusterPcaOnly(
+    std::span<const Vec2> points) const {
+  if (options_.k > 2) {
+    return Status::InvalidArgument(
+        "PCA-only strategy yields at most 2 axes (1st and 2nd PC)");
+  }
+  VelocityAnalysis out;
+  const PcaResult pca = ComputePca(points);
+  out.dvas.assign(static_cast<std::size_t>(options_.k), Dva{});
+  out.dvas[0].axis = pca.pc1;
+  out.dvas[0].anchor = pca.mean;
+  if (options_.k == 2) {
+    out.dvas[1].axis = pca.pc2;
+    out.dvas[1].anchor = pca.mean;
+  }
+  out.assignment.assign(points.size(), 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    int best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < out.dvas.size(); ++c) {
+      const double d = out.dvas[c].PerpendicularSpeed(points[i]);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(c);
+      }
+    }
+    out.assignment[i] = best;
+  }
+  return out;
+}
+
+StatusOr<VelocityAnalysis> VelocityAnalyzer::ClusterCentroidKMeans(
+    std::span<const Vec2> points) const {
+  VelocityAnalysis out;
+  KMeansOptions kopts;
+  kopts.k = options_.k;
+  kopts.max_iterations = options_.max_iterations;
+  kopts.seed = options_.seed;
+  const KMeansResult km = RunKMeans(points, kopts);
+  out.assignment = km.assignment;
+  out.dvas.assign(static_cast<std::size_t>(options_.k), Dva{});
+  RefitAxes(points, out.assignment, &out.dvas);
+  for (int c = 0; c < options_.k; ++c) {
+    out.dvas[c].anchor = km.centroids[c];
+  }
+  return out;
+}
+
+StatusOr<VelocityAnalysis> VelocityAnalyzer::FindDvas(
+    std::span<const Vec2> points) const {
+  if (options_.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (points.empty()) return Status::InvalidArgument("empty velocity sample");
+  switch (options_.strategy) {
+    case PartitioningStrategy::kPcaKMeans:
+      return ClusterPcaKMeans(points);
+    case PartitioningStrategy::kPcaOnly:
+      return ClusterPcaOnly(points);
+    case PartitioningStrategy::kCentroidKMeans:
+      return ClusterCentroidKMeans(points);
+  }
+  return Status::InvalidArgument("unknown partitioning strategy");
+}
+
+double VelocityAnalyzer::ChooseTau(std::span<const double> perp_speeds) const {
+  if (perp_speeds.empty()) return 0.0;
+  double vymax = 0.0;
+  for (double s : perp_speeds) vymax = std::max(vymax, s);
+  if (vymax <= 0.0) return 0.0;
+
+  // Equal-width cumulative frequency histogram over [0, vymax]
+  // (Section 5.2). Candidate taus are the bucket upper bounds.
+  EqualWidthHistogram hist(0.0, vymax, options_.tau_histogram_buckets);
+  for (double s : perp_speeds) hist.Add(s);
+
+  double best_tau = vymax;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::uint64_t nd = 0;
+  for (std::size_t b = 0; b < hist.BucketCount(); ++b) {
+    nd += hist.BucketValue(b);
+    const double tau = hist.BucketUpperBound(b);
+    // Equation 10: nd * (vyd(nd) - vymax); minimized (most negative).
+    const double cost = static_cast<double>(nd) * (tau - vymax);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_tau = tau;
+    }
+  }
+  return best_tau;
+}
+
+StatusOr<VelocityAnalysis> VelocityAnalyzer::Analyze(
+    std::span<const Vec2> points) const {
+  Stopwatch timer;
+  auto clustered = FindDvas(points);
+  if (!clustered.ok()) return clustered.status();
+  VelocityAnalysis analysis = std::move(clustered).value();
+
+  const int k = static_cast<int>(analysis.dvas.size());
+  // Algorithm 1 lines 3-6 per partition: choose tau, relegate outliers,
+  // refit the DVA on the survivors.
+  std::vector<std::vector<double>> perp(k);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const int c = analysis.assignment[i];
+    perp[c].push_back(analysis.dvas[c].PerpendicularSpeed(points[i]));
+  }
+  for (int c = 0; c < k; ++c) {
+    analysis.dvas[c].tau = options_.use_fixed_tau
+                               ? options_.fixed_tau
+                               : ChooseTau(perp[c]);
+  }
+  // Mark outliers.
+  analysis.outlier_count = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const int c = analysis.assignment[i];
+    if (!analysis.dvas[c].Accepts(points[i])) {
+      analysis.assignment[i] = -1;
+      ++analysis.outlier_count;
+    }
+  }
+  // Recompute DVAs from the remaining (non-outlier) points (line 6).
+  RefitAxes(points, analysis.assignment, &analysis.dvas);
+  analysis.analyze_millis = timer.ElapsedMillis();
+  return analysis;
+}
+
+}  // namespace vpmoi

@@ -1,0 +1,94 @@
+// The velocity analyzer (Section 5, Algorithms 1-2): finds the dominant
+// velocity axes of a velocity sample and the per-partition outlier
+// thresholds tau.
+//
+// Three partitioning strategies are provided. The paper's approach is
+// k-means clustering whose distance measure is the perpendicular distance
+// to each cluster's 1st principal component; the two "naive" strategies of
+// Section 5.1 are kept as ablation baselines.
+#ifndef VPMOI_VP_VELOCITY_ANALYZER_H_
+#define VPMOI_VP_VELOCITY_ANALYZER_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/status.h"
+#include "vp/dva.h"
+
+namespace vpmoi {
+
+/// How DVAs are extracted from the velocity sample.
+enum class PartitioningStrategy {
+  /// The paper's approach (Algorithm 2): k-means with perpendicular
+  /// distance to each cluster's 1st PC.
+  kPcaKMeans,
+  /// Naive approach I (Section 5.1): one global PCA; with k = 2 the 1st
+  /// and 2nd PCs become the axes. Averages multiple DVAs together.
+  kPcaOnly,
+  /// Naive approach II: centroid-distance k-means, then PCA per cluster.
+  /// Groups by proximity to a point rather than to an axis.
+  kCentroidKMeans,
+};
+
+/// Options of the velocity analyzer.
+struct VelocityAnalyzerOptions {
+  /// Number of DVA partitions (k); road networks typically have two
+  /// dominant directions (Section 5).
+  int k = 2;
+  PartitioningStrategy strategy = PartitioningStrategy::kPcaKMeans;
+  /// Max clustering iterations (convergence is typically < 10).
+  int max_iterations = 50;
+  /// Independent random restarts of the clustering; the run with the
+  /// smallest total perpendicular distance wins. Symmetric velocity
+  /// distributions (e.g. a perfect cross) admit poor local optima that a
+  /// single random initialization can fall into.
+  int restarts = 4;
+  std::uint64_t seed = 7;
+  /// Buckets of the cumulative perpendicular-speed histogram used to pick
+  /// tau (the paper uses 100).
+  int tau_histogram_buckets = 100;
+  /// When true, tau is fixed to `fixed_tau` instead of optimized — used by
+  /// the Figure 17 sweep.
+  bool use_fixed_tau = false;
+  double fixed_tau = 0.0;
+};
+
+/// Finds DVAs and outlier thresholds from sampled velocity points.
+class VelocityAnalyzer {
+ public:
+  explicit VelocityAnalyzer(const VelocityAnalyzerOptions& options = {});
+
+  /// Runs Algorithm 1: cluster (Algorithm 2 / FindDvas), choose tau per
+  /// partition (Section 5.2), move outliers out, recompute each DVA.
+  StatusOr<VelocityAnalysis> Analyze(std::span<const Vec2> velocities) const;
+
+  /// Algorithm 2 only (exposed for tests and the Figure 10/11 bench):
+  /// clusters `velocities` into k partitions, returning per-point cluster
+  /// ids and per-cluster axes via `analysis` (taus are left 0).
+  StatusOr<VelocityAnalysis> FindDvas(std::span<const Vec2> velocities) const;
+
+  /// Chooses the outlier threshold tau for one partition by minimizing
+  /// Equation 10, nd * (vyd(nd) - vymax), over candidate thresholds drawn
+  /// from a cumulative histogram of perpendicular speeds.
+  ///
+  /// `perp_speeds` are the perpendicular distances of the partition's
+  /// velocity points to its DVA. Exposed for tests and the Figure 17
+  /// bench.
+  double ChooseTau(std::span<const double> perp_speeds) const;
+
+  const VelocityAnalyzerOptions& options() const { return options_; }
+
+ private:
+  StatusOr<VelocityAnalysis> ClusterPcaKMeans(
+      std::span<const Vec2> velocities) const;
+  StatusOr<VelocityAnalysis> ClusterPcaOnly(
+      std::span<const Vec2> velocities) const;
+  StatusOr<VelocityAnalysis> ClusterCentroidKMeans(
+      std::span<const Vec2> velocities) const;
+
+  VelocityAnalyzerOptions options_;
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_VP_VELOCITY_ANALYZER_H_

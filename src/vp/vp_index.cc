@@ -1,0 +1,229 @@
+#include "vp/vp_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vpmoi {
+
+VpIndex::VpIndex(const VpIndexOptions& options, VelocityAnalysis analysis)
+    : options_(options), analysis_(std::move(analysis)) {}
+
+StatusOr<std::unique_ptr<VpIndex>> VpIndex::Build(
+    const IndexFactory& factory, const VpIndexOptions& options,
+    std::span<const Vec2> sample_velocities) {
+  VelocityAnalyzer analyzer(options.analyzer);
+  auto analyzed = analyzer.Analyze(sample_velocities);
+  if (!analyzed.ok()) return analyzed.status();
+
+  std::unique_ptr<VpIndex> index(
+      new VpIndex(options, std::move(analyzed).value()));
+  index->store_ = std::make_unique<PageStore>();
+  index->pool_ = std::make_unique<BufferPool>(index->store_.get(),
+                                              options.buffer_pages);
+
+  // Histogram range: generously above the largest perpendicular speed seen
+  // in the sample so refreshed taus are not clipped.
+  double max_perp = 1.0;
+  for (const Vec2& v : sample_velocities) {
+    for (const Dva& d : index->analysis_.dvas) {
+      max_perp = std::max(max_perp, d.PerpendicularSpeed(v));
+    }
+  }
+  for (int i = 0; i < index->DvaCount(); ++i) {
+    index->perp_histograms_.emplace_back(0.0, max_perp * 2.0,
+                                         options.refresh_histogram_buckets);
+  }
+
+  // k DVA indexes in their rotated frames plus the outlier index in the
+  // world frame.
+  for (int i = 0; i < index->DvaCount(); ++i) {
+    index->transforms_.emplace_back(index->analysis_.dvas[i], options.domain);
+    index->partitions_.push_back(factory(
+        index->pool_.get(), index->transforms_.back().frame_domain()));
+  }
+  index->partitions_.push_back(factory(index->pool_.get(), options.domain));
+  index->name_ = index->partitions_.back()->Name() + "(VP)";
+
+  // Baseline direction fit of the sample, for drift detection later.
+  double perp_total = 0.0, speed_total = 0.0;
+  for (const Vec2& v : sample_velocities) {
+    const int c = index->analysis_.ClosestDva(v);
+    if (c >= 0) perp_total += index->analysis_.dvas[c].PerpendicularSpeed(v);
+    speed_total += v.Norm();
+  }
+  index->baseline_drift_ =
+      speed_total > 0.0 ? perp_total / speed_total : 0.0;
+  return index;
+}
+
+double VpIndex::DirectionDriftIndicator() const {
+  double perp_total = 0.0, speed_total = 0.0;
+  for (const auto& [id, entry] : objects_) {
+    const Vec2& v = entry.world.vel;
+    const int c = analysis_.ClosestDva(v);
+    if (c >= 0) perp_total += analysis_.dvas[c].PerpendicularSpeed(v);
+    speed_total += v.Norm();
+  }
+  return speed_total > 0.0 ? perp_total / speed_total : 0.0;
+}
+
+bool VpIndex::NeedsReanalysis(double factor) const {
+  if (objects_.empty()) return false;
+  // The floor handles near-perfect baselines where any real change is an
+  // "infinite" ratio.
+  const double threshold = std::max(baseline_drift_ * factor, 0.05);
+  return DirectionDriftIndicator() > threshold;
+}
+
+int VpIndex::RoutePartition(const Vec2& v, int* closest_dva,
+                            double* perp) const {
+  const int c = analysis_.ClosestDva(v);
+  *closest_dva = c;
+  if (c < 0) {
+    *perp = 0.0;
+    return DvaCount();  // no DVAs at all: everything is an outlier
+  }
+  *perp = analysis_.dvas[c].PerpendicularSpeed(v);
+  return (*perp <= analysis_.dvas[c].tau) ? c : DvaCount();
+}
+
+Status VpIndex::Insert(const MovingObject& o) {
+  if (objects_.contains(o.id)) {
+    return Status::AlreadyExists("object already indexed");
+  }
+  now_ = std::max(now_, o.t_ref);
+  int closest = -1;
+  double perp = 0.0;
+  const int target = RoutePartition(o.vel, &closest, &perp);
+  const MovingObject stored =
+      target < DvaCount() ? transforms_[target].ToFrame(o) : o;
+  VPMOI_RETURN_IF_ERROR(partitions_[target]->Insert(stored));
+  objects_.emplace(o.id, ObjectEntry{target, o});
+  if (closest >= 0) perp_histograms_[closest].Add(perp);
+  return Status::OK();
+}
+
+Status VpIndex::BulkLoad(std::span<const MovingObject> objects) {
+  if (!objects_.empty()) {
+    return Status::InvalidArgument("bulk load requires an empty index");
+  }
+  std::vector<std::vector<MovingObject>> groups(partitions_.size());
+  for (const MovingObject& o : objects) {
+    now_ = std::max(now_, o.t_ref);
+    int closest = -1;
+    double perp = 0.0;
+    const int target = RoutePartition(o.vel, &closest, &perp);
+    groups[target].push_back(target < DvaCount() ? transforms_[target].ToFrame(o)
+                                                 : o);
+    if (!objects_.emplace(o.id, ObjectEntry{target, o}).second) {
+      objects_.clear();
+      return Status::InvalidArgument("duplicate object id in bulk load");
+    }
+    if (closest >= 0) perp_histograms_[closest].Add(perp);
+  }
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    const Status st = partitions_[i]->BulkLoad(groups[i]);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status VpIndex::Delete(ObjectId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("object is not indexed");
+  }
+  VPMOI_RETURN_IF_ERROR(partitions_[it->second.partition]->Delete(id));
+  const int closest = analysis_.ClosestDva(it->second.world.vel);
+  if (closest >= 0) {
+    perp_histograms_[closest].Remove(
+        analysis_.dvas[closest].PerpendicularSpeed(it->second.world.vel));
+  }
+  objects_.erase(it);
+  return Status::OK();
+}
+
+Status VpIndex::Search(const RangeQuery& q, std::vector<ObjectId>* out) {
+  // Algorithm 3: query every index in its own frame, merge, refine.
+  std::vector<ObjectId> candidates;
+  for (int i = 0; i < DvaCount(); ++i) {
+    const RangeQuery tq = transforms_[i].TransformQuery(q);
+    VPMOI_RETURN_IF_ERROR(partitions_[i]->Search(tq, &candidates));
+  }
+  VPMOI_RETURN_IF_ERROR(partitions_[DvaCount()]->Search(q, &candidates));
+  // Refinement (line 8): rectangle queries were transformed into their
+  // rotated MBR, a superset; verify against the original region using the
+  // object's world-frame trajectory.
+  for (ObjectId id : candidates) {
+    auto it = objects_.find(id);
+    if (it == objects_.end()) continue;  // should not happen
+    if (q.Matches(it->second.world)) out->push_back(id);
+  }
+  return Status::OK();
+}
+
+void VpIndex::AdvanceTime(Timestamp now) {
+  now_ = std::max(now_, now);
+  for (auto& p : partitions_) p->AdvanceTime(now_);
+  if (options_.tau_refresh_interval > 0.0 &&
+      now_ - last_tau_refresh_ >= options_.tau_refresh_interval) {
+    RecomputeTaus();
+    last_tau_refresh_ = now_;
+  }
+}
+
+void VpIndex::RecomputeTaus() {
+  // Section 5.5: re-derive tau from the continuously maintained
+  // histograms (Equation 10 over bucket upper bounds). The new tau steers
+  // future inserts/updates; resident objects migrate on their next update.
+  for (int c = 0; c < DvaCount(); ++c) {
+    const EqualWidthHistogram& h = perp_histograms_[c];
+    if (h.TotalCount() == 0) continue;
+    std::size_t last_nonempty = 0;
+    for (std::size_t b = 0; b < h.BucketCount(); ++b) {
+      if (h.BucketValue(b) > 0) last_nonempty = b;
+    }
+    const double vymax = h.BucketUpperBound(last_nonempty);
+    double best_tau = vymax;
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::uint64_t nd = 0;
+    for (std::size_t b = 0; b <= last_nonempty; ++b) {
+      nd += h.BucketValue(b);
+      const double tau = h.BucketUpperBound(b);
+      const double cost = static_cast<double>(nd) * (tau - vymax);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_tau = tau;
+      }
+    }
+    analysis_.dvas[c].tau = best_tau;
+  }
+}
+
+StatusOr<MovingObject> VpIndex::GetObject(ObjectId id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return Status::NotFound("object is not indexed");
+  return it->second.world;
+}
+
+StatusOr<int> VpIndex::PartitionOfObject(ObjectId id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return Status::NotFound("object is not indexed");
+  return it->second.partition;
+}
+
+std::size_t VpIndex::PartitionSize(int i) const {
+  return partitions_[i]->Size();
+}
+
+Status VpIndex::CheckInvariants() const {
+  std::size_t partition_total = 0;
+  for (const auto& p : partitions_) partition_total += p->Size();
+  if (partition_total != objects_.size()) {
+    return Status::Corruption("partition sizes disagree with object table");
+  }
+  return Status::OK();
+}
+
+}  // namespace vpmoi

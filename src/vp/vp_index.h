@@ -1,0 +1,149 @@
+// The VP index manager (Section 5, Figure 9): k DVA indexes — each a
+// regular moving-object index operating in a coordinate frame whose x-axis
+// is its DVA — plus one outlier index in the standard frame. Inserts route
+// to the closest accepting DVA (or the outlier index); updates migrate
+// objects between partitions when their direction changes; queries are
+// transformed into every frame, executed, merged and refined against the
+// original region (Algorithm 3).
+//
+// All partitions share one buffer pool so a VP index and its unpartitioned
+// counterpart compete with identical RAM (Table 1: 50 pages).
+#ifndef VPMOI_VP_VP_INDEX_H_
+#define VPMOI_VP_VP_INDEX_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/moving_object_index.h"
+#include "math/histogram.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+#include "vp/transform.h"
+#include "vp/velocity_analyzer.h"
+
+namespace vpmoi {
+
+/// Builds one partition's underlying index over the given (shared) buffer
+/// pool and (frame) domain. The VP wrapper is generic over this factory —
+/// "the VP technique can be applied to a wide range of moving object index
+/// structures" (Section 1).
+using IndexFactory = std::function<std::unique_ptr<MovingObjectIndex>(
+    BufferPool* pool, const Rect& domain)>;
+
+/// Options of the VP index manager.
+struct VpIndexOptions {
+  /// World data space.
+  Rect domain{{0.0, 0.0}, {100000.0, 100000.0}};
+  /// Velocity analyzer configuration (k, strategy, tau policy).
+  VelocityAnalyzerOptions analyzer;
+  /// Shared buffer pool size (Table 1: 50 pages).
+  std::size_t buffer_pages = kDefaultBufferPages;
+  /// Section 5.5: period (in ts) of the tau recomputation from the
+  /// continuously maintained perpendicular-speed histograms; <= 0 disables.
+  double tau_refresh_interval = 60.0;
+  /// Buckets of the maintained histograms.
+  int refresh_histogram_buckets = 100;
+};
+
+/// A velocity-partitioned moving-object index.
+class VpIndex final : public MovingObjectIndex {
+ public:
+  /// Runs the velocity analyzer on `sample_velocities` and builds the k
+  /// DVA indexes plus the outlier index via `factory`.
+  static StatusOr<std::unique_ptr<VpIndex>> Build(
+      const IndexFactory& factory, const VpIndexOptions& options,
+      std::span<const Vec2> sample_velocities);
+
+  std::string Name() const override { return name_; }
+  Status Insert(const MovingObject& o) override;
+  /// Routes each object to its partition, then bulk loads every partition
+  /// at once. Requires an empty index.
+  Status BulkLoad(std::span<const MovingObject> objects) override;
+  Status Delete(ObjectId id) override;
+  Status Search(const RangeQuery& q, std::vector<ObjectId>* out) override;
+  std::size_t Size() const override { return objects_.size(); }
+  StatusOr<MovingObject> GetObject(ObjectId id) const override;
+  void AdvanceTime(Timestamp now) override;
+  IoStats Stats() const override { return pool_->stats(); }
+  void ResetStats() override { pool_->ResetStats(); }
+
+  /// Number of DVA partitions (excluding the outlier partition).
+  int DvaCount() const { return static_cast<int>(analysis_.dvas.size()); }
+  const Dva& GetDva(int i) const { return analysis_.dvas[i]; }
+  const DvaTransform& Transform(int i) const { return transforms_[i]; }
+  const VelocityAnalysis& Analysis() const { return analysis_; }
+
+  /// Partition index of an object: 0..k-1 for DVA partitions, k for the
+  /// outlier partition.
+  StatusOr<int> PartitionOfObject(ObjectId id) const;
+  /// Count of objects currently in partition `i` (k = outlier).
+  std::size_t PartitionSize(int i) const;
+
+  /// Underlying index of partition i (i == DvaCount() is the outlier
+  /// index). Exposed for instrumentation benches (Figure 7).
+  MovingObjectIndex* Partition(int i) { return partitions_[i].get(); }
+  const MovingObjectIndex* Partition(int i) const {
+    return partitions_[i].get();
+  }
+
+  /// Section 5.5 drift detection. In theory the DVAs must be recomputed
+  /// when the dominant travel directions change; in practice directions
+  /// are stable, so the library only *measures* fit instead of rebuilding
+  /// automatically. Returns the mean perpendicular speed of the current
+  /// population to its closest DVA, normalized by the mean speed
+  /// (0 = perfectly axis-aligned, ~0.6 = directionless).
+  double DirectionDriftIndicator() const;
+
+  /// The same indicator measured over the build-time sample.
+  double BaselineDrift() const { return baseline_drift_; }
+
+  /// True when the population's drift indicator exceeds `factor` times the
+  /// build-time baseline (plus a small floor for near-zero baselines) —
+  /// the caller should re-run the velocity analyzer and rebuild.
+  bool NeedsReanalysis(double factor = 3.0) const;
+
+  /// Validation: every object is registered in exactly the partition the
+  /// current DVAs would choose for it at insert time, and each partition's
+  /// own invariants hold (delegated via the registered checker if any).
+  Status CheckInvariants() const;
+
+ private:
+  VpIndex(const VpIndexOptions& options, VelocityAnalysis analysis);
+
+  /// Chooses the partition (0..k-1, or k for outlier) for velocity `v`,
+  /// also reporting the closest DVA and its perpendicular speed.
+  int RoutePartition(const Vec2& v, int* closest_dva, double* perp) const;
+
+  void RecomputeTaus();
+
+  VpIndexOptions options_;
+  VelocityAnalysis analysis_;
+  std::vector<DvaTransform> transforms_;
+
+  std::unique_ptr<PageStore> store_;
+  std::unique_ptr<BufferPool> pool_;
+  /// k DVA indexes followed by the outlier index.
+  std::vector<std::unique_ptr<MovingObjectIndex>> partitions_;
+
+  struct ObjectEntry {
+    int partition;
+    MovingObject world;
+  };
+  std::unordered_map<ObjectId, ObjectEntry> objects_;
+
+  /// Per-DVA histograms of perpendicular speeds (Section 5.5), indexed by
+  /// closest DVA regardless of acceptance.
+  std::vector<EqualWidthHistogram> perp_histograms_;
+  Timestamp now_ = 0.0;
+  Timestamp last_tau_refresh_ = 0.0;
+  double baseline_drift_ = 0.0;
+  std::string name_;
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_VP_VP_INDEX_H_

@@ -1,0 +1,81 @@
+#include "workload/experiment.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/stopwatch.h"
+
+namespace vpmoi {
+namespace workload {
+
+ExperimentMetrics RunExperiment(MovingObjectIndex* index,
+                                ObjectSimulator* simulator,
+                                QueryGenerator* queries,
+                                const ExperimentOptions& options) {
+  ExperimentMetrics m;
+  m.index_name = index->Name();
+
+  // Initial load (not measured against the per-op metrics).
+  Stopwatch load_timer;
+  for (const MovingObject& o : simulator->InitialObjects()) {
+    Status st = index->Insert(o);
+    assert(st.ok());
+    (void)st;
+  }
+  m.load_ms = load_timer.ElapsedMillis();
+
+  const double query_spacing =
+      options.duration / static_cast<double>(options.total_queries);
+  double next_query_at = std::max(options.warmup, query_spacing);
+
+  std::uint64_t query_io = 0, update_io = 0;
+  double query_ms = 0.0, update_ms = 0.0;
+  std::uint64_t results_total = 0;
+
+  std::vector<ObjectId> result;
+  for (double t = 1.0; t <= options.duration; t += 1.0) {
+    std::vector<MovingObject> updates = simulator->Tick();
+    index->AdvanceTime(simulator->Now());
+
+    for (const MovingObject& u : updates) {
+      const IoStats before = index->Stats();
+      Stopwatch timer;
+      Status st = index->Update(u);
+      update_ms += timer.ElapsedMillis();
+      assert(st.ok());
+      (void)st;
+      update_io += (index->Stats() - before).PhysicalTotal();
+      ++m.num_updates;
+    }
+
+    while (m.num_queries < options.total_queries && next_query_at <= t) {
+      next_query_at += query_spacing;
+      const RangeQuery q = queries->Next(simulator->Now());
+      result.clear();
+      const IoStats before = index->Stats();
+      Stopwatch timer;
+      Status st = index->Search(q, &result);
+      query_ms += timer.ElapsedMillis();
+      assert(st.ok());
+      (void)st;
+      query_io += (index->Stats() - before).PhysicalTotal();
+      results_total += result.size();
+      ++m.num_queries;
+    }
+  }
+
+  if (m.num_queries > 0) {
+    m.avg_query_io = static_cast<double>(query_io) / m.num_queries;
+    m.avg_query_ms = query_ms / static_cast<double>(m.num_queries);
+    m.avg_result_size =
+        static_cast<double>(results_total) / static_cast<double>(m.num_queries);
+  }
+  if (m.num_updates > 0) {
+    m.avg_update_io = static_cast<double>(update_io) / m.num_updates;
+    m.avg_update_ms = update_ms / static_cast<double>(m.num_updates);
+  }
+  return m;
+}
+
+}  // namespace workload
+}  // namespace vpmoi

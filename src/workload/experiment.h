@@ -1,0 +1,56 @@
+// Experiment driver: loads an index with a simulator's initial population,
+// replays `duration` timestamps of updates with interleaved queries, and
+// reports the paper's four metrics — average I/O and execution time per
+// query and per update (Section 6).
+#ifndef VPMOI_WORKLOAD_EXPERIMENT_H_
+#define VPMOI_WORKLOAD_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/moving_object_index.h"
+#include "workload/object_simulator.h"
+#include "workload/query_generator.h"
+
+namespace vpmoi {
+namespace workload {
+
+/// Experiment parameters (defaults follow Table 1).
+struct ExperimentOptions {
+  /// Simulated timestamps to run after the initial load (Table 1 time
+  /// duration 240 or 600).
+  double duration = 240.0;
+  /// Total number of range queries, spread evenly over the run.
+  std::size_t total_queries = 200;
+  /// Skip this many leading timestamps before measuring queries, letting
+  /// the update mix reach steady state.
+  double warmup = 0.0;
+};
+
+/// Aggregated metrics of one run.
+struct ExperimentMetrics {
+  std::string index_name;
+  std::uint64_t num_queries = 0;
+  std::uint64_t num_updates = 0;
+  double avg_query_io = 0.0;
+  double avg_query_ms = 0.0;
+  double avg_update_io = 0.0;
+  double avg_update_ms = 0.0;
+  /// Mean result cardinality (sanity signal across competing indexes: all
+  /// indexes must report identical result sets for the same workload).
+  double avg_result_size = 0.0;
+  double load_ms = 0.0;
+};
+
+/// Runs one experiment. The simulator must be freshly constructed (time 0)
+/// and is advanced tick by tick; the index receives every update and a
+/// query every duration/total_queries timestamps.
+ExperimentMetrics RunExperiment(MovingObjectIndex* index,
+                                ObjectSimulator* simulator,
+                                QueryGenerator* queries,
+                                const ExperimentOptions& options);
+
+}  // namespace workload
+}  // namespace vpmoi
+
+#endif  // VPMOI_WORKLOAD_EXPERIMENT_H_

@@ -1,0 +1,76 @@
+#include "workload/network_presets.h"
+
+#include <cmath>
+
+namespace vpmoi {
+namespace workload {
+
+std::string DatasetName(Dataset d) {
+  switch (d) {
+    case Dataset::kChicago:
+      return "CH";
+    case Dataset::kSanFrancisco:
+      return "SA";
+    case Dataset::kMelbourne:
+      return "MEL";
+    case Dataset::kNewYork:
+      return "NY";
+    case Dataset::kUniform:
+      return "uniform";
+  }
+  return "?";
+}
+
+std::optional<RoadNetwork> MakeNetwork(Dataset d, const Rect& domain,
+                                       std::uint64_t seed) {
+  GridNetworkParams p;
+  p.domain = domain;
+  p.seed = seed;
+  switch (d) {
+    case Dataset::kChicago:
+      // Sparse, strictly axis-aligned grid: the most skewed velocity
+      // distribution and the fewest nodes/edges.
+      p.rows = 12;
+      p.cols = 12;
+      p.rotation = 0.0;
+      p.jitter = 0.004;
+      p.diagonal_fraction = 0.0;
+      p.dropout = 0.0;
+      return MakeGridNetwork(p);
+    case Dataset::kSanFrancisco:
+      // Two dominant axes rotated off the coordinate system (Figure 1).
+      p.rows = 14;
+      p.cols = 14;
+      p.rotation = 27.0 * M_PI / 180.0;
+      p.jitter = 0.01;
+      p.diagonal_fraction = 0.02;
+      p.dropout = 0.02;
+      return MakeGridNetwork(p);
+    case Dataset::kMelbourne:
+      // Dense CBD grid with some diagonal avenues: high update frequency,
+      // moderate skew.
+      p.rows = 24;
+      p.cols = 24;
+      p.rotation = 0.0;
+      p.jitter = 0.025;
+      p.diagonal_fraction = 0.10;
+      p.dropout = 0.05;
+      return MakeGridNetwork(p);
+    case Dataset::kNewYork:
+      // Densest network (shortest edges -> highest update frequency) with
+      // the broadest direction mix: the least skewed road network.
+      p.rows = 30;
+      p.cols = 30;
+      p.rotation = 12.0 * M_PI / 180.0;
+      p.jitter = 0.05;
+      p.diagonal_fraction = 0.18;
+      p.dropout = 0.08;
+      return MakeGridNetwork(p);
+    case Dataset::kUniform:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace workload
+}  // namespace vpmoi

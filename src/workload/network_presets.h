@@ -1,0 +1,42 @@
+// The paper's five data distributions (Table 1): four road networks plus
+// the uniform free-movement distribution. Each preset reproduces the
+// properties reported in Section 6:
+//   * CH  — most skewed velocity distribution, few nodes/edges (long
+//           edges, low update frequency),
+//   * SA  — two dominant axes rotated off the coordinate axes, skewed,
+//   * MEL — dense grid with some diagonals, moderate skew, high update
+//           frequency,
+//   * NY  — largest node/edge count (shortest edges, highest update
+//           frequency), least skewed of the road networks,
+//   * uniform — no network, velocities in all directions (no DVAs).
+#ifndef VPMOI_WORKLOAD_NETWORK_PRESETS_H_
+#define VPMOI_WORKLOAD_NETWORK_PRESETS_H_
+
+#include <optional>
+#include <string>
+
+#include "workload/road_network.h"
+
+namespace vpmoi {
+namespace workload {
+
+/// The paper's data distributions.
+enum class Dataset { kChicago, kSanFrancisco, kMelbourne, kNewYork, kUniform };
+
+/// Short display name ("CH", "SA", "MEL", "NY", "uniform").
+std::string DatasetName(Dataset d);
+
+/// All five datasets in the paper's presentation order.
+inline constexpr Dataset kAllDatasets[] = {
+    Dataset::kChicago, Dataset::kSanFrancisco, Dataset::kMelbourne,
+    Dataset::kNewYork, Dataset::kUniform};
+
+/// Builds the road network for a dataset; empty for kUniform (free
+/// movement).
+std::optional<RoadNetwork> MakeNetwork(Dataset d, const Rect& domain,
+                                       std::uint64_t seed);
+
+}  // namespace workload
+}  // namespace vpmoi
+
+#endif  // VPMOI_WORKLOAD_NETWORK_PRESETS_H_

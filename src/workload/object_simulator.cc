@@ -1,0 +1,172 @@
+#include "workload/object_simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace vpmoi {
+namespace workload {
+
+ObjectSimulator::ObjectSimulator(const RoadNetwork* network,
+                                 const SimulatorOptions& options)
+    : network_(network), options_(options), rng_(options.seed) {
+  states_.resize(options.num_objects);
+  initial_.reserve(options.num_objects);
+  for (ObjectId id = 0; id < options.num_objects; ++id) {
+    states_[id].offroad =
+        network_ != nullptr && rng_.Bernoulli(options.offroad_fraction);
+    if (network_ != nullptr && !states_[id].offroad) {
+      // Start somewhere along a random edge, heading to one endpoint.
+      const auto a = static_cast<std::uint32_t>(
+          rng_.UniformInt(network_->NodeCount()));
+      const auto& nbrs = network_->Neighbors(a);
+      const auto b = nbrs[rng_.UniformInt(nbrs.size())];
+      const Point2 pa = network_->NodePos(a);
+      const Point2 pb = network_->NodePos(b);
+      const double frac = rng_.NextDouble() * 0.95;
+      const Point2 pos = pa + (pb - pa) * frac;
+      ObjectState& st = states_[id];
+      st.moving = MovingObject(id, pos, {0, 0}, 0.0);
+      st.last_update = 0.0;
+      const double speed = DrawSpeed();
+      const Vec2 dir = (pb - pos).Normalized();
+      st.moving.vel = dir * speed;
+      st.to_node = b;
+      const double dist = Distance(pos, pb);
+      st.next_event =
+          std::min(dist / speed, options_.max_update_interval);
+    } else {
+      const Point2 pos = rng_.PointIn(options_.domain);
+      states_[id].moving = MovingObject(id, pos, {0, 0}, 0.0);
+      PlanFreely(id, pos, 0.0);
+    }
+    initial_.push_back(states_[id].moving);
+  }
+}
+
+void ObjectSimulator::PlanFromNode(ObjectId id, std::uint32_t node,
+                                   Timestamp t, const Point2& pos) {
+  ObjectState& st = states_[id];
+  const auto& nbrs = network_->Neighbors(node);
+  // Avoid an immediate U-turn when the junction offers alternatives.
+  std::uint32_t next = nbrs[rng_.UniformInt(nbrs.size())];
+  if (nbrs.size() > 1) {
+    for (int attempt = 0; attempt < 4 && next == st.to_node; ++attempt) {
+      next = nbrs[rng_.UniformInt(nbrs.size())];
+    }
+  }
+  // The object turns at (or, with heading noise, near) the junction: its
+  // new leg starts from its actual position `pos` and heads for the next
+  // junction. Reports must lie exactly on the previous trajectory — an
+  // index only ever knows objects through their reported linear motion.
+  const Point2 to = network_->NodePos(next);
+  const double speed = DrawSpeed();
+  const double dist = std::max(1e-6, Distance(pos, to));
+  Vec2 dir = (to - pos) / dist;
+  if (options_.heading_noise > 0.0) {
+    const Rotation wobble =
+        Rotation::FromAngle(rng_.Gaussian(0.0, options_.heading_noise));
+    dir = wobble.Invert(dir);
+  }
+  st.moving = MovingObject(id, pos, dir * speed, t);
+  st.to_node = next;
+  st.last_update = t;
+  st.next_event = t + std::min(dist / speed, options_.max_update_interval);
+}
+
+void ObjectSimulator::PlanFreely(ObjectId id, const Point2& pos, Timestamp t) {
+  ObjectState& st = states_[id];
+  const double speed = DrawSpeed();
+  Vec2 vel{speed, 0.0};
+  double exit_time = 0.0;
+  for (int attempt = 0; attempt < 24; ++attempt) {
+    const double angle = rng_.Uniform(0.0, 2.0 * M_PI);
+    vel = Vec2{std::cos(angle), std::sin(angle)} * speed;
+    // Earliest time the trajectory leaves the domain.
+    exit_time = std::numeric_limits<double>::infinity();
+    if (vel.x > 0.0) {
+      exit_time = std::min(exit_time, (options_.domain.hi.x - pos.x) / vel.x);
+    } else if (vel.x < 0.0) {
+      exit_time = std::min(exit_time, (options_.domain.lo.x - pos.x) / vel.x);
+    }
+    if (vel.y > 0.0) {
+      exit_time = std::min(exit_time, (options_.domain.hi.y - pos.y) / vel.y);
+    } else if (vel.y < 0.0) {
+      exit_time = std::min(exit_time, (options_.domain.lo.y - pos.y) / vel.y);
+    }
+    if (exit_time > 2.0) break;
+  }
+  if (exit_time <= 2.0) {
+    // Cornered: head for the domain center.
+    const Vec2 dir = (options_.domain.Center() - pos).Normalized();
+    vel = dir * speed;
+    exit_time = options_.max_update_interval;
+  }
+  st.moving = MovingObject(id, pos, vel, t);
+  st.last_update = t;
+  const double travel = rng_.Uniform(0.3, 1.0) * options_.max_update_interval;
+  st.next_event = t + std::min(travel, exit_time * 0.98);
+}
+
+void ObjectSimulator::Reissue(ObjectId id, Timestamp t) {
+  ObjectState& st = states_[id];
+  const Point2 pos = st.moving.PositionAt(t);
+  const Point2 dest = network_->NodePos(st.to_node);
+  const double dist = std::max(1e-6, Distance(pos, dest));
+  const double speed = DrawSpeed();
+  Vec2 dir = (dest - pos) / dist;
+  if (options_.heading_noise > 0.0) {
+    const Rotation wobble =
+        Rotation::FromAngle(rng_.Gaussian(0.0, options_.heading_noise));
+    dir = wobble.Invert(dir);
+  }
+  st.moving = MovingObject(id, pos, dir * speed, t);
+  st.last_update = t;
+  st.next_event = t + std::min(dist / speed, options_.max_update_interval);
+}
+
+std::vector<MovingObject> ObjectSimulator::Tick() {
+  now_ += 1.0;
+  std::vector<MovingObject> updates;
+  for (ObjectId id = 0; id < states_.size(); ++id) {
+    ObjectState& st = states_[id];
+    int guard = 0;
+    while (st.next_event <= now_ && guard++ < 8) {
+      const Timestamp te = st.next_event;
+      if (network_ != nullptr && !st.offroad) {
+        const Point2 dest = network_->NodePos(st.to_node);
+        const double speed = st.moving.vel.Norm();
+        const double arrival =
+            st.moving.t_ref +
+            Distance(st.moving.pos, dest) / std::max(1e-9, speed);
+        if (te >= arrival - 1e-9) {
+          PlanFromNode(id, st.to_node, te, st.moving.PositionAt(te));
+        } else {
+          Reissue(id, te);  // forced max-update-interval report
+        }
+      } else {
+        PlanFreely(id, st.moving.PositionAt(te), te);
+      }
+      updates.push_back(st.moving);
+    }
+    if (guard >= 8 && st.next_event <= now_) {
+      // Degenerate geometry; push the next event out a full tick.
+      st.next_event = now_ + 1.0;
+    }
+  }
+  return updates;
+}
+
+std::vector<Vec2> ObjectSimulator::SampleVelocities(std::size_t n,
+                                                    std::uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<Vec2> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(states_[rng.UniformInt(states_.size())].moving.vel);
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace vpmoi

@@ -1,0 +1,38 @@
+#include "workload/query_generator.h"
+
+#include <cmath>
+
+namespace vpmoi {
+namespace workload {
+
+RangeQuery QueryGenerator::Next(Timestamp now) {
+  const Point2 center = rng_.PointIn(options_.domain);
+  QueryRegion region;
+  if (options_.region == RegionKind::kCircle) {
+    region = QueryRegion::MakeCircle(Circle{center, options_.radius});
+  } else {
+    const double half = options_.rect_side * 0.5;
+    region = QueryRegion::MakeRect(Rect::FromCenter(center, half, half));
+  }
+  const double offset = options_.randomize_predictive
+                            ? rng_.Uniform(0.0, options_.predictive_time)
+                            : options_.predictive_time;
+  const Timestamp t0 = now + offset;
+  switch (options_.time_mode) {
+    case QueryTimeMode::kTimeSlice:
+      return RangeQuery::TimeSlice(region, t0);
+    case QueryTimeMode::kTimeInterval:
+      return RangeQuery::TimeInterval(region, t0,
+                                      t0 + options_.interval_length);
+    case QueryTimeMode::kMoving: {
+      const double angle = rng_.Uniform(0.0, 2.0 * M_PI);
+      const double speed = rng_.Uniform(0.0, options_.max_query_speed);
+      region.vel = Vec2{std::cos(angle), std::sin(angle)} * speed;
+      return RangeQuery::Moving(region, t0, t0 + options_.interval_length);
+    }
+  }
+  return RangeQuery::TimeSlice(region, t0);
+}
+
+}  // namespace workload
+}  // namespace vpmoi

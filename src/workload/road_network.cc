@@ -1,0 +1,126 @@
+#include "workload/road_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace vpmoi {
+namespace workload {
+
+std::uint32_t RoadNetwork::AddNode(const Point2& pos) {
+  nodes_.push_back(pos);
+  adjacency_.emplace_back();
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void RoadNetwork::AddEdge(std::uint32_t a, std::uint32_t b) {
+  assert(a < nodes_.size() && b < nodes_.size());
+  if (a == b) return;
+  auto& na = adjacency_[a];
+  if (std::find(na.begin(), na.end(), b) != na.end()) return;
+  na.push_back(b);
+  adjacency_[b].push_back(a);
+  ++edge_count_;
+}
+
+double RoadNetwork::AverageEdgeLength() const {
+  if (edge_count_ == 0) return 0.0;
+  double total = 0.0;
+  for (std::uint32_t a = 0; a < nodes_.size(); ++a) {
+    for (std::uint32_t b : adjacency_[a]) {
+      if (b > a) total += Distance(nodes_[a], nodes_[b]);
+    }
+  }
+  return total / static_cast<double>(edge_count_);
+}
+
+Rect RoadNetwork::BoundingBox() const {
+  Rect out = Rect::Empty();
+  for (const Point2& p : nodes_) out.ExtendToCover(p);
+  return out;
+}
+
+Status RoadNetwork::Validate() const {
+  if (edge_count_ == 0) return Status::InvalidArgument("network has no edges");
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (adjacency_[i].empty()) {
+      return Status::InvalidArgument("isolated node " + std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+RoadNetwork MakeGridNetwork(const GridNetworkParams& params) {
+  assert(params.rows >= 2 && params.cols >= 2);
+  RoadNetwork net;
+  Rng rng(params.seed);
+
+  const Point2 center = params.domain.Center();
+  const Rotation rot = Rotation::FromAngle(params.rotation);
+  // Shrink factor so the rotated square grid still fits in the domain.
+  const double fit =
+      1.0 / (std::abs(std::cos(params.rotation)) +
+             std::abs(std::sin(params.rotation)));
+  const double half_w = params.domain.Width() * 0.5 * fit * 0.96;
+  const double half_h = params.domain.Height() * 0.5 * fit * 0.96;
+  const double cell_w = 2.0 * half_w / (params.cols - 1);
+  const double cell_h = 2.0 * half_h / (params.rows - 1);
+
+  // Nodes: jittered lattice, rotated about the domain center.
+  std::vector<std::uint32_t> ids(
+      static_cast<std::size_t>(params.rows) * params.cols);
+  for (int r = 0; r < params.rows; ++r) {
+    for (int c = 0; c < params.cols; ++c) {
+      Point2 local{-half_w + c * cell_w, -half_h + r * cell_h};
+      local.x += rng.Gaussian(0.0, params.jitter * cell_w);
+      local.y += rng.Gaussian(0.0, params.jitter * cell_h);
+      const Point2 world = rot.Invert(local) + center;
+      ids[r * params.cols + c] = net.AddNode(world);
+    }
+  }
+
+  // Lattice edges with optional dropout; the boundary ring always stays so
+  // the network remains connected.
+  for (int r = 0; r < params.rows; ++r) {
+    for (int c = 0; c < params.cols; ++c) {
+      const std::uint32_t id = ids[r * params.cols + c];
+      const bool boundary_row = (r == 0 || r == params.rows - 1);
+      const bool boundary_col = (c == 0 || c == params.cols - 1);
+      if (c + 1 < params.cols) {
+        if (boundary_row || !rng.Bernoulli(params.dropout)) {
+          net.AddEdge(id, ids[r * params.cols + c + 1]);
+        }
+      }
+      if (r + 1 < params.rows) {
+        if (boundary_col || !rng.Bernoulli(params.dropout)) {
+          net.AddEdge(id, ids[(r + 1) * params.cols + c]);
+        }
+      }
+      if (r + 1 < params.rows && c + 1 < params.cols &&
+          rng.Bernoulli(params.diagonal_fraction)) {
+        if (rng.Bernoulli(0.5)) {
+          net.AddEdge(id, ids[(r + 1) * params.cols + c + 1]);
+        } else {
+          net.AddEdge(ids[r * params.cols + c + 1],
+                      ids[(r + 1) * params.cols + c]);
+        }
+      }
+    }
+  }
+  // Dropout can (rarely) isolate an interior node; reattach it to a
+  // lattice neighbor so the network stays valid.
+  for (int r = 0; r < params.rows; ++r) {
+    for (int c = 0; c < params.cols; ++c) {
+      const std::uint32_t id = ids[r * params.cols + c];
+      if (!net.Neighbors(id).empty()) continue;
+      const int nc = (c + 1 < params.cols) ? c + 1 : c - 1;
+      net.AddEdge(id, ids[r * params.cols + nc]);
+    }
+  }
+  return net;
+}
+
+}  // namespace workload
+}  // namespace vpmoi

@@ -1,0 +1,81 @@
+// Road network model and procedural generation. The paper derives its four
+// road networks (Chicago, San Francisco, Melbourne, New York) from
+// OpenStreetMap; offline we substitute procedurally generated networks
+// tuned to reproduce the properties the paper reports for each city:
+// how concentrated the edge directions are (velocity skew) and how dense
+// the network is (node/edge count, hence edge length and update
+// frequency). See DESIGN.md "Substitutions".
+#ifndef VPMOI_WORKLOAD_ROAD_NETWORK_H_
+#define VPMOI_WORKLOAD_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/status.h"
+
+namespace vpmoi {
+namespace workload {
+
+/// An undirected road network embedded in the plane.
+class RoadNetwork {
+ public:
+  /// Adds a node, returning its id.
+  std::uint32_t AddNode(const Point2& pos);
+
+  /// Adds an undirected edge between existing nodes (no-op on self loops
+  /// and duplicates).
+  void AddEdge(std::uint32_t a, std::uint32_t b);
+
+  std::size_t NodeCount() const { return nodes_.size(); }
+  std::size_t EdgeCount() const { return edge_count_; }
+
+  const Point2& NodePos(std::uint32_t id) const { return nodes_[id]; }
+  const std::vector<std::uint32_t>& Neighbors(std::uint32_t id) const {
+    return adjacency_[id];
+  }
+
+  /// Mean Euclidean edge length.
+  double AverageEdgeLength() const;
+
+  /// Bounding box of all nodes.
+  Rect BoundingBox() const;
+
+  /// Structural sanity: at least one edge, no isolated nodes.
+  Status Validate() const;
+
+ private:
+  std::vector<Point2> nodes_;
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+/// Parameters of the procedural grid-city generator.
+struct GridNetworkParams {
+  /// Grid dimensions (junction counts).
+  int rows = 12;
+  int cols = 12;
+  /// Data space to embed the network in.
+  Rect domain{{0.0, 0.0}, {100000.0, 100000.0}};
+  /// Rotation of the street grid (radians) about the domain center.
+  double rotation = 0.0;
+  /// Gaussian positional jitter, as a fraction of the cell size. Larger
+  /// jitter spreads edge directions, reducing velocity skew.
+  double jitter = 0.0;
+  /// Probability of adding a diagonal street across each grid cell.
+  double diagonal_fraction = 0.0;
+  /// Probability of deleting a non-bridge grid edge (adds irregularity).
+  double dropout = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a (jittered, optionally rotated) grid city network. The
+/// rotated grid is shrunk to fit inside the domain so every node stays in
+/// the data space.
+RoadNetwork MakeGridNetwork(const GridNetworkParams& params);
+
+}  // namespace workload
+}  // namespace vpmoi
+
+#endif  // VPMOI_WORKLOAD_ROAD_NETWORK_H_

@@ -1,0 +1,214 @@
+// Tests for the disk-page B+-tree, including a randomized property test
+// against std::map and structural invariant checks after heavy churn.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "bptree/bplus_tree.h"
+#include "common/random.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+
+namespace vpmoi {
+namespace {
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  BPlusTreeTest() : pool_(&store_, 1024), tree_(&pool_) {}
+
+  PageStore store_;
+  BufferPool pool_;
+  BPlusTree tree_;
+};
+
+BptPayload P(double x) { return BptPayload{x, x + 1, x + 2, x + 3}; }
+
+TEST_F(BPlusTreeTest, EmptyTree) {
+  EXPECT_EQ(tree_.Size(), 0u);
+  EXPECT_EQ(tree_.Height(), 1);
+  EXPECT_TRUE(tree_.Get(BptKey{1, 1}).status().IsNotFound());
+  EXPECT_TRUE(tree_.Delete(BptKey{1, 1}).IsNotFound());
+  EXPECT_TRUE(tree_.CheckInvariants().ok());
+}
+
+TEST_F(BPlusTreeTest, InsertGetDelete) {
+  ASSERT_TRUE(tree_.Insert(BptKey{10, 1}, P(1)).ok());
+  ASSERT_TRUE(tree_.Insert(BptKey{10, 2}, P(2)).ok());
+  ASSERT_TRUE(tree_.Insert(BptKey{5, 9}, P(3)).ok());
+  EXPECT_EQ(tree_.Size(), 3u);
+  auto got = tree_.Get(BptKey{10, 2});
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->px, 2.0);
+  EXPECT_TRUE(tree_.Delete(BptKey{10, 2}).ok());
+  EXPECT_TRUE(tree_.Get(BptKey{10, 2}).status().IsNotFound());
+  EXPECT_EQ(tree_.Size(), 2u);
+  EXPECT_TRUE(tree_.CheckInvariants().ok());
+}
+
+TEST_F(BPlusTreeTest, DuplicateInsertRejected) {
+  ASSERT_TRUE(tree_.Insert(BptKey{7, 7}, P(0)).ok());
+  EXPECT_TRUE(tree_.Insert(BptKey{7, 7}, P(1)).IsAlreadyExists());
+  EXPECT_EQ(tree_.Size(), 1u);
+}
+
+TEST_F(BPlusTreeTest, SubKeyDisambiguates) {
+  ASSERT_TRUE(tree_.Insert(BptKey{7, 1}, P(1)).ok());
+  ASSERT_TRUE(tree_.Insert(BptKey{7, 2}, P(2)).ok());
+  EXPECT_TRUE(tree_.Get(BptKey{7, 1}).ok());
+  EXPECT_TRUE(tree_.Get(BptKey{7, 2}).ok());
+  EXPECT_TRUE(tree_.Get(BptKey{7, 3}).status().IsNotFound());
+}
+
+TEST_F(BPlusTreeTest, SplitsGrowHeight) {
+  const std::size_t n = BPlusTree::LeafCapacity() * 3;
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree_.Insert(BptKey{i, 0}, P(static_cast<double>(i))).ok());
+  }
+  EXPECT_GE(tree_.Height(), 2);
+  EXPECT_EQ(tree_.Size(), n);
+  ASSERT_TRUE(tree_.CheckInvariants().ok());
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree_.Get(BptKey{i, 0}).ok()) << i;
+  }
+}
+
+TEST_F(BPlusTreeTest, ReverseInsertOrder) {
+  const std::size_t n = BPlusTree::LeafCapacity() * 3;
+  for (std::size_t i = n; i-- > 0;) {
+    ASSERT_TRUE(tree_.Insert(BptKey{i, 0}, P(static_cast<double>(i))).ok());
+  }
+  ASSERT_TRUE(tree_.CheckInvariants().ok());
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree_.Get(BptKey{i, 0}).ok()) << i;
+  }
+}
+
+TEST_F(BPlusTreeTest, ScanOrderedAndBounded) {
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        tree_.Insert(BptKey{i * 2, i}, P(static_cast<double>(i))).ok());
+  }
+  std::vector<std::uint64_t> keys;
+  tree_.Scan(100, 200, [&](BptKey k, const BptPayload&) {
+    keys.push_back(k.key);
+    return true;
+  });
+  ASSERT_FALSE(keys.empty());
+  EXPECT_EQ(keys.front(), 100u);
+  EXPECT_EQ(keys.back(), 200u);
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_LE(keys[i - 1], keys[i]);
+  }
+  EXPECT_EQ(keys.size(), 51u);  // even keys 100..200
+}
+
+TEST_F(BPlusTreeTest, ScanEarlyStop) {
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree_.Insert(BptKey{i, 0}, P(0)).ok());
+  }
+  int seen = 0;
+  tree_.Scan(0, 99, [&](BptKey, const BptPayload&) {
+    return ++seen < 10;
+  });
+  EXPECT_EQ(seen, 10);
+}
+
+TEST_F(BPlusTreeTest, DeleteEverythingCollapsesTree) {
+  const std::size_t n = BPlusTree::LeafCapacity() * 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree_.Insert(BptKey{i, 0}, P(0)).ok());
+  }
+  const std::size_t pages_full = tree_.NodeCount();
+  EXPECT_GT(pages_full, 5u);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree_.Delete(BptKey{i, 0}).ok()) << i;
+  }
+  EXPECT_EQ(tree_.Size(), 0u);
+  EXPECT_EQ(tree_.Height(), 1);
+  EXPECT_EQ(tree_.NodeCount(), 1u);  // a single empty root leaf remains
+  ASSERT_TRUE(tree_.CheckInvariants().ok());
+}
+
+// Property test: mirror random operations in std::map and compare.
+TEST_F(BPlusTreeTest, RandomizedAgainstStdMap) {
+  Rng rng(2024);
+  std::map<std::pair<std::uint64_t, std::uint64_t>, double> shadow;
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t key = rng.UniformInt(3000);
+    const std::uint64_t sub = rng.UniformInt(4);
+    const auto sk = std::make_pair(key, sub);
+    if (rng.Bernoulli(0.6)) {
+      const double v = static_cast<double>(op);
+      const Status st = tree_.Insert(BptKey{key, sub}, P(v));
+      if (shadow.contains(sk)) {
+        EXPECT_TRUE(st.IsAlreadyExists());
+      } else {
+        EXPECT_TRUE(st.ok());
+        shadow[sk] = v;
+      }
+    } else {
+      const Status st = tree_.Delete(BptKey{key, sub});
+      if (shadow.contains(sk)) {
+        EXPECT_TRUE(st.ok());
+        shadow.erase(sk);
+      } else {
+        EXPECT_TRUE(st.IsNotFound());
+      }
+    }
+    if (op % 2500 == 0) {
+      ASSERT_TRUE(tree_.CheckInvariants().ok()) << "op " << op;
+    }
+  }
+  ASSERT_TRUE(tree_.CheckInvariants().ok());
+  EXPECT_EQ(tree_.Size(), shadow.size());
+  // Point lookups agree.
+  for (const auto& [sk, v] : shadow) {
+    auto got = tree_.Get(BptKey{sk.first, sk.second});
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->px, v);
+  }
+  // Full scan agrees with ordered shadow iteration.
+  auto it = shadow.begin();
+  std::size_t scanned = 0;
+  tree_.Scan(0, ~0ull, [&](BptKey k, const BptPayload& p) {
+    EXPECT_NE(it, shadow.end());
+    EXPECT_EQ(k.key, it->first.first);
+    EXPECT_EQ(k.sub, it->first.second);
+    EXPECT_EQ(p.px, it->second);
+    ++it;
+    ++scanned;
+    return true;
+  });
+  EXPECT_EQ(scanned, shadow.size());
+}
+
+TEST_F(BPlusTreeTest, IoGoesThroughBufferPool) {
+  pool_.ResetStats();
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(tree_.Insert(BptKey{i, 0}, P(0)).ok());
+  }
+  EXPECT_GT(pool_.stats().logical_writes, 1000u);
+  // With a large pool, everything stays resident: no physical reads.
+  EXPECT_EQ(pool_.stats().physical_reads, 0u);
+}
+
+TEST(BPlusTreeSmallPoolTest, PhysicalIoUnderTinyBuffer) {
+  PageStore store;
+  BufferPool pool(&store, 4);
+  BPlusTree tree(&pool);
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(tree.Insert(BptKey{i * 977 % 8191, i}, BptPayload{}).ok());
+  }
+  pool.ResetStats();
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    tree.Get(BptKey{i * 977 % 8191, i});
+  }
+  // Random lookups through a 4-page buffer must miss at least once per
+  // lookup (inner levels may stay resident; leaves cannot).
+  EXPECT_GE(pool.stats().physical_reads, 100u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace vpmoi

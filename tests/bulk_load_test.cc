@@ -1,0 +1,185 @@
+// Bulk-load tests: the packing builds must produce structurally valid
+// indexes that answer queries identically to incrementally built ones,
+// reject misuse, and remain fully updatable afterwards.
+#include <gtest/gtest.h>
+
+#include "bptree/bplus_tree.h"
+#include "bx/bx_tree.h"
+#include "common/random.h"
+#include "test_util.h"
+#include "tpr/tpr_tree.h"
+#include "vp/vp_index.h"
+
+namespace vpmoi {
+namespace {
+
+using testing_util::MakeObjects;
+using testing_util::ObjectGenOptions;
+using testing_util::OracleSearch;
+using testing_util::Sorted;
+
+const Rect kDomain{{0, 0}, {10000, 10000}};
+
+TEST(BPlusTreeBulkLoadTest, BuildsValidTree) {
+  PageStore store;
+  BufferPool pool(&store, 1024);
+  BPlusTree tree(&pool);
+  std::vector<std::pair<BptKey, BptPayload>> entries;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    entries.emplace_back(BptKey{i * 3, i}, BptPayload{double(i), 0, 0, 0});
+  }
+  ASSERT_TRUE(tree.BulkLoad(entries).ok());
+  EXPECT_EQ(tree.Size(), 5000u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (std::uint64_t i = 0; i < 5000; i += 97) {
+    auto got = tree.Get(BptKey{i * 3, i});
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->px, double(i));
+  }
+  // The tree stays fully updatable after a packing build.
+  ASSERT_TRUE(tree.Insert(BptKey{1, 1}, BptPayload{}).ok());
+  ASSERT_TRUE(tree.Delete(BptKey{0, 0}).ok());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BPlusTreeBulkLoadTest, RejectsMisuse) {
+  PageStore store;
+  BufferPool pool(&store, 1024);
+  BPlusTree tree(&pool);
+  // Unsorted input.
+  std::vector<std::pair<BptKey, BptPayload>> bad{
+      {BptKey{5, 0}, BptPayload{}}, {BptKey{3, 0}, BptPayload{}}};
+  EXPECT_TRUE(tree.BulkLoad(bad).IsInvalidArgument());
+  // Duplicate keys.
+  std::vector<std::pair<BptKey, BptPayload>> dup{
+      {BptKey{5, 0}, BptPayload{}}, {BptKey{5, 0}, BptPayload{}}};
+  EXPECT_TRUE(tree.BulkLoad(dup).IsInvalidArgument());
+  // Non-empty tree.
+  ASSERT_TRUE(tree.Insert(BptKey{1, 1}, BptPayload{}).ok());
+  std::vector<std::pair<BptKey, BptPayload>> ok_entries{
+      {BptKey{9, 0}, BptPayload{}}};
+  EXPECT_TRUE(tree.BulkLoad(ok_entries).IsInvalidArgument());
+  // Empty input on an empty tree is a no-op.
+  PageStore store2;
+  BufferPool pool2(&store2, 64);
+  BPlusTree tree2(&pool2);
+  EXPECT_TRUE(tree2.BulkLoad({}).ok());
+  EXPECT_EQ(tree2.Size(), 0u);
+}
+
+TEST(TprBulkLoadTest, EquivalentAnswersToIncrementalBuild) {
+  const auto objects = MakeObjects(4000, {}, 501);
+  TprStarTree incremental;
+  for (const auto& o : objects) ASSERT_TRUE(incremental.Insert(o).ok());
+  TprStarTree bulk;
+  ASSERT_TRUE(bulk.BulkLoad(objects).ok());
+  EXPECT_EQ(bulk.Size(), objects.size());
+  ASSERT_TRUE(bulk.CheckInvariants().ok());
+
+  Rng rng(503);
+  for (int i = 0; i < 30; ++i) {
+    const RangeQuery q = RangeQuery::TimeSlice(
+        QueryRegion::MakeCircle(
+            Circle{rng.PointIn(kDomain), rng.Uniform(100, 900)}),
+        rng.Uniform(0, 60));
+    std::vector<ObjectId> a, b;
+    ASSERT_TRUE(incremental.Search(q, &a).ok());
+    ASSERT_TRUE(bulk.Search(q, &b).ok());
+    EXPECT_EQ(Sorted(a), Sorted(b));
+    EXPECT_EQ(Sorted(b), OracleSearch(objects, q));
+  }
+}
+
+TEST(TprBulkLoadTest, UpdatableAfterBuild) {
+  auto objects = MakeObjects(2000, {}, 507);
+  TprStarTree tree;
+  ASSERT_TRUE(tree.BulkLoad(objects).ok());
+  Rng rng(509);
+  for (int i = 0; i < 500; ++i) {
+    auto& o = objects[rng.UniformInt(objects.size())];
+    o.pos = rng.PointIn(kDomain);
+    o.vel = {rng.Uniform(-80, 80), rng.Uniform(-80, 80)};
+    o.t_ref = 10.0;
+    tree.AdvanceTime(10.0);
+    ASSERT_TRUE(tree.Update(o).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  const RangeQuery q = RangeQuery::TimeSlice(
+      QueryRegion::MakeCircle(Circle{{5000, 5000}, 1500.0}), 30.0);
+  std::vector<ObjectId> got;
+  ASSERT_TRUE(tree.Search(q, &got).ok());
+  EXPECT_EQ(Sorted(got), OracleSearch(objects, q));
+}
+
+TEST(TprBulkLoadTest, RejectsMisuse) {
+  const auto objects = MakeObjects(10, {}, 511);
+  TprStarTree tree;
+  ASSERT_TRUE(tree.Insert(objects[0]).ok());
+  EXPECT_TRUE(tree.BulkLoad(objects).IsInvalidArgument());
+  TprStarTree tree2;
+  std::vector<MovingObject> dup{objects[0], objects[0]};
+  EXPECT_TRUE(tree2.BulkLoad(dup).IsInvalidArgument());
+  EXPECT_EQ(tree2.Size(), 0u);
+}
+
+TEST(BxBulkLoadTest, EquivalentAnswersToIncrementalBuild) {
+  BxTreeOptions opt;
+  opt.domain = kDomain;
+  opt.curve_order = 8;
+  opt.velocity_grid_side = 32;
+  const auto objects = MakeObjects(4000, {}, 521);
+  BxTree incremental(opt);
+  for (const auto& o : objects) ASSERT_TRUE(incremental.Insert(o).ok());
+  BxTree bulk(opt);
+  ASSERT_TRUE(bulk.BulkLoad(objects).ok());
+  ASSERT_TRUE(bulk.CheckInvariants().ok());
+
+  Rng rng(523);
+  for (int i = 0; i < 30; ++i) {
+    const RangeQuery q = RangeQuery::TimeSlice(
+        QueryRegion::MakeCircle(
+            Circle{rng.PointIn(kDomain), rng.Uniform(100, 900)}),
+        rng.Uniform(0, 60));
+    std::vector<ObjectId> a, b;
+    ASSERT_TRUE(incremental.Search(q, &a).ok());
+    ASSERT_TRUE(bulk.Search(q, &b).ok());
+    EXPECT_EQ(Sorted(a), Sorted(b));
+  }
+  // Deletes and reinserts keep working.
+  ASSERT_TRUE(bulk.Delete(objects[0].id).ok());
+  ASSERT_TRUE(bulk.Insert(objects[0]).ok());
+  ASSERT_TRUE(bulk.CheckInvariants().ok());
+}
+
+TEST(VpBulkLoadTest, RoutesAndStaysExact) {
+  ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.9;
+  const auto objects = MakeObjects(3000, gen, 541);
+  std::vector<Vec2> sample;
+  for (const auto& o : objects) sample.push_back(o.vel);
+  auto index =
+      testing_util::MakeIndex(testing_util::IndexKind::kTprVp, kDomain, sample);
+  ASSERT_NE(index, nullptr);
+  ASSERT_TRUE(index->BulkLoad(objects).ok());
+  EXPECT_EQ(index->Size(), objects.size());
+  auto* vp = dynamic_cast<VpIndex*>(index.get());
+  ASSERT_NE(vp, nullptr);
+  EXPECT_TRUE(vp->CheckInvariants().ok());
+  EXPECT_GT(vp->PartitionSize(0), 100u);
+  EXPECT_GT(vp->PartitionSize(1), 100u);
+
+  Rng rng(547);
+  for (int i = 0; i < 20; ++i) {
+    const RangeQuery q = RangeQuery::TimeSlice(
+        QueryRegion::MakeCircle(
+            Circle{rng.PointIn(kDomain), rng.Uniform(200, 900)}),
+        rng.Uniform(0, 60));
+    std::vector<ObjectId> got;
+    ASSERT_TRUE(index->Search(q, &got).ok());
+    EXPECT_EQ(Sorted(got), OracleSearch(objects, q));
+  }
+}
+
+}  // namespace
+}  // namespace vpmoi

@@ -1,0 +1,252 @@
+// Bx-tree tests: composite-key bucketing, query-window enlargement
+// soundness (no false negatives), exactness against the oracle, time-bucket
+// migration on update, and both space-filling curves.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "bx/bx_tree.h"
+#include "common/random.h"
+#include "test_util.h"
+
+namespace vpmoi {
+namespace {
+
+using testing_util::MakeObjects;
+using testing_util::OracleSearch;
+using testing_util::Sorted;
+
+BxTreeOptions SmallDomainOptions() {
+  BxTreeOptions opt;
+  opt.domain = Rect{{0, 0}, {10000, 10000}};
+  opt.curve_order = 8;
+  opt.velocity_grid_side = 32;
+  return opt;
+}
+
+TEST(BxTreeTest, EmptyTree) {
+  BxTree tree(SmallDomainOptions());
+  EXPECT_EQ(tree.Size(), 0u);
+  EXPECT_TRUE(tree.Delete(3).IsNotFound());
+  std::vector<ObjectId> out;
+  ASSERT_TRUE(tree
+                  .Search(RangeQuery::TimeSlice(
+                              QueryRegion::MakeRect(Rect{{0, 0}, {9, 9}}), 5),
+                          &out)
+                  .ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BxTreeTest, InsertDuplicateRejected) {
+  BxTree tree(SmallDomainOptions());
+  ASSERT_TRUE(tree.Insert(MovingObject(1, {5, 5}, {1, 0}, 0)).ok());
+  EXPECT_TRUE(tree.Insert(MovingObject(1, {9, 9}, {0, 0}, 0)).IsAlreadyExists());
+}
+
+TEST(BxTreeTest, QueryExactAgainstOracle) {
+  BxTree tree(SmallDomainOptions());
+  const auto objects = MakeObjects(4000, {}, 31);
+  for (const auto& o : objects) ASSERT_TRUE(tree.Insert(o).ok());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  Rng rng(37);
+  for (int i = 0; i < 40; ++i) {
+    const Point2 c = rng.PointIn(Rect{{0, 0}, {10000, 10000}});
+    const bool circle = rng.Bernoulli(0.5);
+    QueryRegion region =
+        circle ? QueryRegion::MakeCircle(Circle{c, rng.Uniform(100, 700)})
+               : QueryRegion::MakeRect(Rect::FromCenter(
+                     c, rng.Uniform(100, 700), rng.Uniform(100, 700)));
+    const RangeQuery q = RangeQuery::TimeSlice(region, rng.Uniform(0, 90));
+    std::vector<ObjectId> got;
+    ASSERT_TRUE(tree.Search(q, &got).ok());
+    EXPECT_EQ(Sorted(got), OracleSearch(objects, q)) << "query " << i;
+  }
+}
+
+TEST(BxTreeTest, IntervalAndMovingQueriesExact) {
+  BxTree tree(SmallDomainOptions());
+  const auto objects = MakeObjects(2500, {}, 41);
+  for (const auto& o : objects) ASSERT_TRUE(tree.Insert(o).ok());
+  Rng rng(43);
+  for (int i = 0; i < 30; ++i) {
+    const Point2 c = rng.PointIn(Rect{{0, 0}, {10000, 10000}});
+    QueryRegion region = QueryRegion::MakeCircle(Circle{c, 400});
+    const double t0 = rng.Uniform(0, 50);
+    RangeQuery interval = RangeQuery::TimeInterval(region, t0, t0 + 20);
+    QueryRegion moving_region = region;
+    moving_region.vel = {rng.Uniform(-30, 30), rng.Uniform(-30, 30)};
+    RangeQuery moving = RangeQuery::Moving(moving_region, t0, t0 + 20);
+    for (const RangeQuery& q : {interval, moving}) {
+      std::vector<ObjectId> got;
+      ASSERT_TRUE(tree.Search(q, &got).ok());
+      EXPECT_EQ(Sorted(got), OracleSearch(objects, q));
+    }
+  }
+}
+
+TEST(BxTreeTest, UpdateMigratesBetweenBuckets) {
+  BxTreeOptions opt = SmallDomainOptions();
+  opt.bucket_duration = 10.0;
+  BxTree tree(opt);
+  const MovingObject o(1, {100, 100}, {10, 0}, 0.0);
+  ASSERT_TRUE(tree.Insert(o).ok());
+  // Update well into a later bucket.
+  tree.AdvanceTime(35.0);
+  ASSERT_TRUE(tree.Update(MovingObject(1, {450, 100}, {10, 0}, 35.0)).ok());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  std::vector<ObjectId> out;
+  const RangeQuery q = RangeQuery::TimeSlice(
+      QueryRegion::MakeCircle(Circle{{500, 100}, 5.0}), 40.0);
+  ASSERT_TRUE(tree.Search(q, &out).ok());
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(BxTreeTest, QueryBeforeReferenceTimeStillExact) {
+  // Bucket reference times lie at phase ends, i.e. possibly *after* the
+  // query time; enlargement must handle negative time offsets.
+  BxTreeOptions opt = SmallDomainOptions();
+  opt.bucket_duration = 60.0;
+  BxTree tree(opt);
+  const auto objects = MakeObjects(1500, {}, 47);
+  for (const auto& o : objects) ASSERT_TRUE(tree.Insert(o).ok());
+  Rng rng(53);
+  for (int i = 0; i < 20; ++i) {
+    // Query at t in [0, 10]: far before the bucket reference time of 60.
+    const RangeQuery q = RangeQuery::TimeSlice(
+        QueryRegion::MakeCircle(
+            Circle{rng.PointIn(Rect{{0, 0}, {10000, 10000}}), 500.0}),
+        rng.Uniform(0, 10));
+    std::vector<ObjectId> got;
+    ASSERT_TRUE(tree.Search(q, &got).ok());
+    EXPECT_EQ(Sorted(got), OracleSearch(objects, q));
+  }
+}
+
+TEST(BxTreeTest, ChurnAcrossBucketsStaysExact) {
+  BxTreeOptions opt = SmallDomainOptions();
+  opt.bucket_duration = 15.0;
+  BxTree tree(opt);
+  Rng rng(59);
+  std::unordered_map<ObjectId, MovingObject> live;
+  ObjectId next_id = 0;
+  for (double now = 0.0; now < 90.0; now += 1.0) {
+    tree.AdvanceTime(now);
+    for (int j = 0; j < 40; ++j) {
+      const double r = rng.NextDouble();
+      if (r < 0.5 || live.empty()) {
+        MovingObject o(next_id++, rng.PointIn(Rect{{0, 0}, {10000, 10000}}),
+                       {rng.Uniform(-80, 80), rng.Uniform(-80, 80)}, now);
+        ASSERT_TRUE(tree.Insert(o).ok());
+        live.emplace(o.id, o);
+      } else if (r < 0.8) {
+        auto it = live.begin();
+        std::advance(it, rng.UniformInt(live.size()));
+        MovingObject o = it->second;
+        o.pos = o.PositionAt(now);
+        o.vel = {rng.Uniform(-80, 80), rng.Uniform(-80, 80)};
+        o.t_ref = now;
+        ASSERT_TRUE(tree.Update(o).ok());
+        it->second = o;
+      } else {
+        auto it = live.begin();
+        std::advance(it, rng.UniformInt(live.size()));
+        ASSERT_TRUE(tree.Delete(it->first).ok());
+        live.erase(it);
+      }
+    }
+    if (static_cast<int>(now) % 20 == 19) {
+      ASSERT_TRUE(tree.CheckInvariants().ok());
+      std::vector<MovingObject> objects;
+      for (const auto& [id, o] : live) objects.push_back(o);
+      const RangeQuery q = RangeQuery::TimeSlice(
+          QueryRegion::MakeCircle(
+              Circle{rng.PointIn(Rect{{0, 0}, {10000, 10000}}), 800.0}),
+          now + rng.Uniform(0, 40));
+      std::vector<ObjectId> got;
+      ASSERT_TRUE(tree.Search(q, &got).ok());
+      EXPECT_EQ(Sorted(got), OracleSearch(objects, q)) << "now " << now;
+    }
+  }
+}
+
+TEST(BxTreeTest, ZCurveVariantExact) {
+  BxTreeOptions opt = SmallDomainOptions();
+  opt.curve = CurveKind::kZ;
+  BxTree tree(opt);
+  const auto objects = MakeObjects(2000, {}, 61);
+  for (const auto& o : objects) ASSERT_TRUE(tree.Insert(o).ok());
+  Rng rng(67);
+  for (int i = 0; i < 25; ++i) {
+    const RangeQuery q = RangeQuery::TimeSlice(
+        QueryRegion::MakeCircle(
+            Circle{rng.PointIn(Rect{{0, 0}, {10000, 10000}}), 600.0}),
+        rng.Uniform(0, 60));
+    std::vector<ObjectId> got;
+    ASSERT_TRUE(tree.Search(q, &got).ok());
+    EXPECT_EQ(Sorted(got), OracleSearch(objects, q));
+  }
+}
+
+TEST(BxTreeTest, ExpansionSamplesTrackSpeed) {
+  // With a population of fast x-movers, query windows must expand fast in
+  // x and slowly in y (the velocity grid keeps directions apart).
+  BxTree tree(SmallDomainOptions());
+  Rng rng(71);
+  for (ObjectId id = 0; id < 3000; ++id) {
+    const double vx = rng.Uniform(60, 100) * (rng.Bernoulli(0.5) ? 1 : -1);
+    const double vy = rng.Uniform(-2, 2);
+    ASSERT_TRUE(tree.Insert(MovingObject(
+                                id, rng.PointIn(Rect{{0, 0}, {10000, 10000}}),
+                                {vx, vy}, 0.0))
+                    .ok());
+  }
+  tree.set_collect_expansion(true);
+  std::vector<ObjectId> out;
+  for (int i = 0; i < 20; ++i) {
+    const RangeQuery q = RangeQuery::TimeSlice(
+        QueryRegion::MakeCircle(
+            Circle{rng.PointIn(Rect{{2000, 2000}, {8000, 8000}}), 300.0}),
+        40.0);
+    ASSERT_TRUE(tree.Search(q, &out).ok());
+  }
+  ASSERT_FALSE(tree.expansion_samples().empty());
+  double rx = 0, ry = 0;
+  for (const auto& s : tree.expansion_samples()) {
+    rx += s.rate_x;
+    ry += s.rate_y;
+  }
+  EXPECT_GT(rx, 5.0 * ry);
+}
+
+TEST(BxTreeTest, IoScalesWithPredictiveTime) {
+  // The Bx-tree's hallmark weakness (Figures 21/23): deeper predictive
+  // times enlarge windows and cost more I/O.
+  BxTreeOptions opt = SmallDomainOptions();
+  BxTree tree(opt);
+  const auto objects = MakeObjects(20000, {}, 73);
+  for (const auto& o : objects) ASSERT_TRUE(tree.Insert(o).ok());
+  Rng rng(79);
+  auto measure = [&](double predictive) {
+    tree.ResetStats();
+    std::vector<ObjectId> out;
+    Rng local(81);
+    for (int i = 0; i < 30; ++i) {
+      const RangeQuery q = RangeQuery::TimeSlice(
+          QueryRegion::MakeCircle(
+              Circle{local.PointIn(Rect{{0, 0}, {10000, 10000}}), 300.0}),
+          predictive);
+      EXPECT_TRUE(tree.Search(q, &out).ok());
+    }
+    return tree.Stats().physical_reads;
+  };
+  // All objects sit in bucket 0 whose reference time is 60 (phase end), so
+  // enlargement grows with |t_query - 60|: querying at the reference time
+  // is cheapest, deep predictive times are dearest.
+  const auto at_ref = measure(60.0);
+  const auto far = measure(120.0);
+  EXPECT_GT(far, at_ref);
+}
+
+}  // namespace
+}  // namespace vpmoi

@@ -1,0 +1,202 @@
+// Unit tests for common/: Status, geometry, rotation, moving objects, RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/geometry.h"
+#include "common/moving_object.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace vpmoi {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("object 42");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.ToString(), "NotFound: object 42");
+}
+
+TEST(StatusTest, AllCodesDistinct) {
+  std::set<std::string> names{
+      Status::OK().ToString(),
+      Status::NotFound("").ToString(),
+      Status::InvalidArgument("").ToString(),
+      Status::Corruption("").ToString(),
+      Status::OutOfRange("").ToString(),
+      Status::AlreadyExists("").ToString(),
+      Status::Internal("").ToString(),
+  };
+  EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = [](bool fail) -> Status {
+    if (fail) return Status::Corruption("bad page");
+    return Status::OK();
+  };
+  auto outer = [&](bool fail) -> Status {
+    VPMOI_RETURN_IF_ERROR(inner(fail));
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer(false).ok());
+  EXPECT_TRUE(outer(true).IsCorruption());
+}
+
+TEST(StatusOrTest, HoldsValueOrError) {
+  StatusOr<int> good(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+  StatusOr<int> bad(Status::NotFound("x"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsNotFound());
+}
+
+TEST(Vec2Test, Arithmetic) {
+  Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(a.Dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.Cross(b), -7.0);
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).Norm(), 5.0);
+}
+
+TEST(Vec2Test, NormalizedHandlesZero) {
+  EXPECT_EQ((Vec2{0.0, 0.0}).Normalized(), (Vec2{1.0, 0.0}));
+  Vec2 u = Vec2{0.0, -2.0}.Normalized();
+  EXPECT_NEAR(u.Norm(), 1.0, 1e-12);
+  EXPECT_NEAR(u.y, -1.0, 1e-12);
+}
+
+TEST(RectTest, EmptyBehaviour) {
+  Rect e = Rect::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_EQ(e.Area(), 0.0);
+  EXPECT_FALSE(e.Intersects(Rect{{0, 0}, {1, 1}}));
+  e.ExtendToCover(Point2{2.0, 3.0});
+  EXPECT_FALSE(e.IsEmpty());
+  EXPECT_EQ(e, Rect::FromPoint({2.0, 3.0}));
+}
+
+TEST(RectTest, ContainsAndIntersects) {
+  Rect r{{0, 0}, {10, 5}};
+  EXPECT_TRUE(r.Contains(Point2{0, 0}));
+  EXPECT_TRUE(r.Contains(Point2{10, 5}));
+  EXPECT_FALSE(r.Contains(Point2{10.01, 5}));
+  EXPECT_TRUE(r.Intersects(Rect{{9, 4}, {20, 20}}));
+  EXPECT_FALSE(r.Intersects(Rect{{10.1, 0}, {20, 5}}));
+  EXPECT_TRUE(r.Contains(Rect{{1, 1}, {2, 2}}));
+  EXPECT_FALSE(r.Contains(Rect{{1, 1}, {2, 6}}));
+}
+
+TEST(RectTest, UnionAndIntersection) {
+  Rect a{{0, 0}, {2, 2}}, b{{1, 1}, {5, 3}};
+  EXPECT_EQ(Rect::Union(a, b), (Rect{{0, 0}, {5, 3}}));
+  EXPECT_EQ(Rect::Intersection(a, b), (Rect{{1, 1}, {2, 2}}));
+  EXPECT_TRUE(Rect::Intersection(a, Rect{{3, 3}, {4, 4}}).IsEmpty());
+}
+
+TEST(RectTest, SquaredDistance) {
+  Rect r{{0, 0}, {10, 10}};
+  EXPECT_EQ(r.SquaredDistanceTo({5, 5}), 0.0);
+  EXPECT_EQ(r.SquaredDistanceTo({13, 14}), 9.0 + 16.0);
+  EXPECT_EQ(r.SquaredDistanceTo({-3, 5}), 9.0);
+}
+
+TEST(CircleTest, ContainsAndIntersects) {
+  Circle c{{0, 0}, 5.0};
+  EXPECT_TRUE(c.Contains({3, 4}));
+  EXPECT_FALSE(c.Contains({3.1, 4}));
+  EXPECT_TRUE(c.Intersects(Rect{{4, 0}, {10, 1}}));
+  EXPECT_FALSE(c.Intersects(Rect{{4, 4}, {10, 10}}));
+  EXPECT_EQ(c.Mbr(), (Rect{{-5, -5}, {5, 5}}));
+}
+
+TEST(RotationTest, RoundTrip) {
+  const Rotation r = Rotation::FromAngle(0.7);
+  const Vec2 v{3.0, -2.0};
+  const Vec2 back = r.Invert(r.Apply(v));
+  EXPECT_NEAR(back.x, v.x, 1e-12);
+  EXPECT_NEAR(back.y, v.y, 1e-12);
+  EXPECT_NEAR(r.Apply(v).Norm(), v.Norm(), 1e-12);
+}
+
+TEST(RotationTest, AxisMapsToX) {
+  const Vec2 axis = Vec2{1.0, 1.0}.Normalized();
+  const Rotation r = Rotation::FromAxis(axis);
+  const Vec2 mapped = r.Apply(axis);
+  EXPECT_NEAR(mapped.x, 1.0, 1e-12);
+  EXPECT_NEAR(mapped.y, 0.0, 1e-12);
+}
+
+TEST(RotationTest, ApplyToRectIsConservative) {
+  const Rotation r = Rotation::FromAngle(0.5);
+  const Rect box{{-2, -1}, {3, 4}};
+  const Rect mbr = r.ApplyToRect(box);
+  // Every rotated corner and edge midpoint must be inside the MBR.
+  for (double fx : {0.0, 0.5, 1.0}) {
+    for (double fy : {0.0, 0.5, 1.0}) {
+      const Point2 p{box.lo.x + fx * box.Width(),
+                     box.lo.y + fy * box.Height()};
+      EXPECT_TRUE(mbr.Contains(r.Apply(p)));
+    }
+  }
+}
+
+TEST(MovingObjectTest, LinearMotion) {
+  MovingObject o(1, {10.0, 20.0}, {2.0, -1.0}, 5.0);
+  EXPECT_EQ(o.PositionAt(5.0), (Point2{10.0, 20.0}));
+  EXPECT_EQ(o.PositionAt(8.0), (Point2{16.0, 17.0}));
+  // Re-referencing keeps the same trajectory.
+  const MovingObject moved = o.AtReference(9.0);
+  EXPECT_EQ(moved.PositionAt(12.0), o.PositionAt(12.0));
+  EXPECT_EQ(moved.t_ref, 9.0);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(d, -2.0);
+    EXPECT_LT(d, 3.0);
+    EXPECT_LT(rng.UniformInt(10), 10u);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(99);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, PointInRect) {
+  Rng rng(5);
+  const Rect r{{10, 20}, {30, 25}};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(r.Contains(rng.PointIn(r)));
+  }
+}
+
+}  // namespace
+}  // namespace vpmoi

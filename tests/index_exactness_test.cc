@@ -1,0 +1,163 @@
+// Parameterized property suite: every index configuration (TPR*, Bx,
+// TPR*(VP), Bx(VP)) must return exactly the oracle's answer for every query
+// type, region shape and workload skew — including after update churn.
+// This is the master correctness gate for the whole library.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace vpmoi {
+namespace {
+
+using testing_util::IndexKind;
+using testing_util::IndexKindName;
+using testing_util::MakeIndex;
+using testing_util::MakeObjects;
+using testing_util::ObjectGenOptions;
+using testing_util::OracleSearch;
+using testing_util::Sorted;
+
+const Rect kDomain{{0, 0}, {10000, 10000}};
+
+// (index kind, dominant-axis angle, axis fraction)
+using Param = std::tuple<IndexKind, double, double>;
+
+class IndexExactnessTest : public ::testing::TestWithParam<Param> {
+ protected:
+  std::vector<Vec2> MakeSample(double angle, double axis_fraction) {
+    ObjectGenOptions gen;
+    gen.domain = kDomain;
+    gen.axis_fraction = axis_fraction;
+    gen.axis_angle = angle;
+    const auto objs = MakeObjects(3000, gen, 777);
+    std::vector<Vec2> sample;
+    sample.reserve(objs.size());
+    for (const auto& o : objs) sample.push_back(o.vel);
+    return sample;
+  }
+};
+
+TEST_P(IndexExactnessTest, StaticPopulationAllQueryShapes) {
+  const auto [kind, angle, axis_fraction] = GetParam();
+  auto index = MakeIndex(kind, kDomain, MakeSample(angle, axis_fraction));
+  ASSERT_NE(index, nullptr);
+
+  ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = axis_fraction;
+  gen.axis_angle = angle;
+  const auto objects = MakeObjects(2500, gen, 101);
+  for (const auto& o : objects) ASSERT_TRUE(index->Insert(o).ok());
+  ASSERT_EQ(index->Size(), objects.size());
+
+  Rng rng(103);
+  for (int i = 0; i < 25; ++i) {
+    const Point2 c = rng.PointIn(kDomain);
+    QueryRegion region =
+        rng.Bernoulli(0.5)
+            ? QueryRegion::MakeCircle(Circle{c, rng.Uniform(100, 800)})
+            : QueryRegion::MakeRect(Rect::FromCenter(
+                  c, rng.Uniform(100, 800), rng.Uniform(100, 800)));
+    const double t0 = rng.Uniform(0, 60);
+    RangeQuery q;
+    switch (i % 3) {
+      case 0:
+        q = RangeQuery::TimeSlice(region, t0);
+        break;
+      case 1:
+        q = RangeQuery::TimeInterval(region, t0, t0 + rng.Uniform(1, 20));
+        break;
+      default: {
+        region.vel = {rng.Uniform(-30, 30), rng.Uniform(-30, 30)};
+        q = RangeQuery::Moving(region, t0, t0 + rng.Uniform(1, 20));
+      }
+    }
+    std::vector<ObjectId> got;
+    ASSERT_TRUE(index->Search(q, &got).ok());
+    EXPECT_EQ(Sorted(got), OracleSearch(objects, q))
+        << IndexKindName(kind) << " query " << i;
+  }
+}
+
+TEST_P(IndexExactnessTest, ExactAfterUpdateChurn) {
+  const auto [kind, angle, axis_fraction] = GetParam();
+  auto index = MakeIndex(kind, kDomain, MakeSample(angle, axis_fraction));
+  ASSERT_NE(index, nullptr);
+
+  ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = axis_fraction;
+  gen.axis_angle = angle;
+  auto objects = MakeObjects(1500, gen, 211);
+  for (const auto& o : objects) ASSERT_TRUE(index->Insert(o).ok());
+
+  Rng rng(223);
+  double now = 0.0;
+  for (int round = 0; round < 6; ++round) {
+    now += 12.0;
+    index->AdvanceTime(now);
+    // Update ~1/3 of the population: new position along trajectory plus a
+    // direction change (tests partition migration for VP kinds).
+    for (std::size_t j = 0; j < objects.size(); j += 3) {
+      MovingObject& o = objects[j];
+      o.pos = o.PositionAt(now);
+      const bool turn = rng.Bernoulli(0.5);
+      if (turn) {
+        const double speed = o.vel.Norm();
+        const double theta = rng.Uniform(0, 2 * M_PI);
+        o.vel = Vec2{std::cos(theta), std::sin(theta)} * speed;
+      }
+      o.t_ref = now;
+      ASSERT_TRUE(index->Update(o).ok());
+    }
+    // Delete and reinsert a few.
+    for (int d = 0; d < 30; ++d) {
+      const std::size_t j = rng.UniformInt(objects.size());
+      ASSERT_TRUE(index->Delete(objects[j].id).ok());
+      objects[j].pos = rng.PointIn(kDomain);
+      objects[j].t_ref = now;
+      ASSERT_TRUE(index->Insert(objects[j]).ok());
+    }
+    for (int i = 0; i < 8; ++i) {
+      const RangeQuery q = RangeQuery::TimeSlice(
+          QueryRegion::MakeCircle(
+              Circle{rng.PointIn(kDomain), rng.Uniform(200, 900)}),
+          now + rng.Uniform(0, 60));
+      std::vector<ObjectId> got;
+      ASSERT_TRUE(index->Search(q, &got).ok());
+      EXPECT_EQ(Sorted(got), OracleSearch(objects, q))
+          << IndexKindName(kind) << " round " << round;
+    }
+  }
+  EXPECT_EQ(index->Size(), objects.size());
+}
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  const auto [kind, angle, axis_fraction] = info.param;
+  std::string name = IndexKindName(kind);
+  name += angle == 0.0 ? "_axes0" : "_axes27";
+  name += axis_fraction > 0.5 ? "_skewed" : "_uniform";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, IndexExactnessTest,
+    ::testing::Values(
+        // Skewed axis-aligned workloads (CH-like).
+        Param{IndexKind::kTpr, 0.0, 0.9}, Param{IndexKind::kBx, 0.0, 0.9},
+        Param{IndexKind::kTprVp, 0.0, 0.9}, Param{IndexKind::kBxVp, 0.0, 0.9},
+        // Skewed rotated workloads (SA-like).
+        Param{IndexKind::kTprVp, 27.0 * M_PI / 180.0, 0.9},
+        Param{IndexKind::kBxVp, 27.0 * M_PI / 180.0, 0.9},
+        // Uniform directions (no DVAs): VP must stay correct even when
+        // partitioning buys nothing.
+        Param{IndexKind::kTprVp, 0.0, 0.0},
+        Param{IndexKind::kBxVp, 0.0, 0.0}),
+    ParamName);
+
+}  // namespace
+}  // namespace vpmoi

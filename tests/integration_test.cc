@@ -1,0 +1,186 @@
+// End-to-end integration: full experiment runs on the benchmark workloads.
+// All four index configurations must agree on every query result (checked
+// via result cardinality on identical generator streams plus direct
+// cross-index comparison), and the VP variants must show the paper's
+// headline effect — lower query I/O on skewed road networks.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bx/bx_tree.h"
+#include "test_util.h"
+#include "tpr/tpr_tree.h"
+#include "vp/vp_index.h"
+#include "workload/experiment.h"
+#include "workload/network_presets.h"
+#include "workload/object_simulator.h"
+#include "workload/query_generator.h"
+
+namespace vpmoi {
+namespace {
+
+using testing_util::OracleSearch;
+using testing_util::Sorted;
+using workload::Dataset;
+using workload::ExperimentOptions;
+using workload::MakeNetwork;
+using workload::ObjectSimulator;
+using workload::QueryGenerator;
+using workload::QueryGeneratorOptions;
+using workload::RunExperiment;
+using workload::SimulatorOptions;
+
+const Rect kDomain{{0, 0}, {100000, 100000}};
+
+SimulatorOptions SimOpts(std::size_t n) {
+  SimulatorOptions o;
+  o.num_objects = n;
+  o.domain = kDomain;
+  o.seed = 42;
+  return o;
+}
+
+std::unique_ptr<MovingObjectIndex> BuildIndex(testing_util::IndexKind kind,
+                                              Dataset dataset,
+                                              std::size_t n_objects) {
+  auto net = MakeNetwork(dataset, kDomain, 7);
+  ObjectSimulator sampler(net.has_value() ? &*net : nullptr,
+                          SimOpts(n_objects));
+  const auto sample = sampler.SampleVelocities(2000, 11);
+  return testing_util::MakeIndex(kind, kDomain, sample);
+}
+
+TEST(IntegrationTest, AllIndexesAgreeOnLiveWorkload) {
+  // Replay the same CH workload into all four indexes simultaneously and
+  // cross-check every query against the oracle of last-reported states.
+  auto net = MakeNetwork(Dataset::kChicago, kDomain, 7);
+  ObjectSimulator sim(&*net, SimOpts(2000));
+  const auto sample = sim.SampleVelocities(1500, 11);
+
+  std::vector<std::unique_ptr<MovingObjectIndex>> indexes;
+  for (auto kind :
+       {testing_util::IndexKind::kTpr, testing_util::IndexKind::kBx,
+        testing_util::IndexKind::kTprVp, testing_util::IndexKind::kBxVp}) {
+    indexes.push_back(testing_util::MakeIndex(kind, kDomain, sample));
+    ASSERT_NE(indexes.back(), nullptr);
+  }
+
+  std::vector<MovingObject> truth = sim.InitialObjects();
+  for (auto& idx : indexes) {
+    for (const auto& o : truth) ASSERT_TRUE(idx->Insert(o).ok());
+  }
+
+  QueryGeneratorOptions qopt;
+  qopt.domain = kDomain;
+  qopt.radius = 800.0;
+  qopt.predictive_time = 60.0;
+
+  for (int t = 1; t <= 60; ++t) {
+    const auto updates = sim.Tick();
+    for (auto& idx : indexes) {
+      idx->AdvanceTime(sim.Now());
+      for (const auto& u : updates) ASSERT_TRUE(idx->Update(u).ok());
+    }
+    for (const auto& u : updates) truth[u.id] = u;
+    if (t % 10 == 0) {
+      QueryGenerator qgen(qopt);  // same seed => same queries each round
+      for (int i = 0; i < 5; ++i) {
+        const RangeQuery q = qgen.Next(sim.Now());
+        const auto expected = OracleSearch(truth, q);
+        for (auto& idx : indexes) {
+          std::vector<ObjectId> got;
+          ASSERT_TRUE(idx->Search(q, &got).ok());
+          EXPECT_EQ(Sorted(got), expected)
+              << idx->Name() << " at t=" << t << " query " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, RunExperimentProducesMetrics) {
+  auto net = MakeNetwork(Dataset::kSanFrancisco, kDomain, 7);
+  ObjectSimulator sim(&*net, SimOpts(3000));
+  auto index =
+      BuildIndex(testing_util::IndexKind::kTprVp, Dataset::kSanFrancisco, 3000);
+  ASSERT_NE(index, nullptr);
+  QueryGeneratorOptions qopt;
+  qopt.domain = kDomain;
+  QueryGenerator qgen(qopt);
+  ExperimentOptions eopt;
+  eopt.duration = 60.0;
+  eopt.total_queries = 30;
+  const auto metrics = RunExperiment(index.get(), &sim, &qgen, eopt);
+  EXPECT_EQ(metrics.index_name, "TPR*(VP)");
+  EXPECT_EQ(metrics.num_queries, 30u);
+  EXPECT_GT(metrics.num_updates, 0u);
+  EXPECT_GT(metrics.avg_query_ms, 0.0);
+  EXPECT_GE(metrics.avg_query_io, 0.0);
+  EXPECT_EQ(index->Size(), 3000u);
+}
+
+TEST(IntegrationTest, VpReducesQueryIoOnSkewedNetwork) {
+  // The headline result (Figure 19): on a skewed road network the VP
+  // variant does fewer query I/Os than its unpartitioned counterpart.
+  // Run at reduced scale (10k objects) with the paper's index settings on
+  // the SA network, TPR* base.
+  const std::size_t n = 10000;
+  ExperimentOptions eopt;
+  eopt.duration = 100.0;
+  eopt.total_queries = 60;
+  QueryGeneratorOptions qopt;
+  qopt.domain = kDomain;
+  qopt.radius = 500.0;
+  qopt.predictive_time = 60.0;
+
+  TprTreeOptions tpr_opt;  // horizon 60, optimization query 1000x1000
+  auto run = [&](bool partitioned) {
+    auto net = MakeNetwork(Dataset::kSanFrancisco, kDomain, 7);
+    ObjectSimulator sim(&*net, SimOpts(n));
+    std::unique_ptr<MovingObjectIndex> index;
+    if (partitioned) {
+      VpIndexOptions vp;
+      vp.domain = kDomain;
+      auto built = VpIndex::Build(
+          [&](BufferPool* pool, const Rect&) {
+            return std::make_unique<TprStarTree>(pool, tpr_opt);
+          },
+          vp, sim.SampleVelocities(5000, 11));
+      index = std::move(built).value();
+    } else {
+      index = std::make_unique<TprStarTree>(tpr_opt);
+    }
+    QueryGenerator qgen(qopt);
+    return RunExperiment(index.get(), &sim, &qgen, eopt);
+  };
+
+  const auto tpr = run(false);
+  const auto tpr_vp = run(true);
+  // Identical workload stream: the answers must have identical sizes.
+  EXPECT_DOUBLE_EQ(tpr.avg_result_size, tpr_vp.avg_result_size);
+  EXPECT_LT(tpr_vp.avg_query_io, tpr.avg_query_io);
+}
+
+TEST(IntegrationTest, UniformWorkloadKeepsVpCorrectIfNotFaster) {
+  // With no velocity skew the VP technique cannot help (Figure 19's
+  // uniform bars) but must remain exact; sanity-check equal result sizes.
+  const std::size_t n = 4000;
+  ExperimentOptions eopt;
+  eopt.duration = 40.0;
+  eopt.total_queries = 25;
+  QueryGeneratorOptions qopt;
+  qopt.domain = kDomain;
+
+  auto run = [&](testing_util::IndexKind kind) {
+    ObjectSimulator sim(nullptr, SimOpts(n));
+    auto index = BuildIndex(kind, Dataset::kUniform, n);
+    QueryGenerator qgen(qopt);
+    return RunExperiment(index.get(), &sim, &qgen, eopt);
+  };
+  const auto tpr = run(testing_util::IndexKind::kTpr);
+  const auto tpr_vp = run(testing_util::IndexKind::kTprVp);
+  EXPECT_DOUBLE_EQ(tpr.avg_result_size, tpr_vp.avg_result_size);
+}
+
+}  // namespace
+}  // namespace vpmoi

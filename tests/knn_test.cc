@@ -1,0 +1,146 @@
+// k-nearest-neighbor tests: the filter-and-refine kNN driver must return
+// exactly the brute-force answer on every index configuration (the
+// circular range query is the filter step, as the paper notes in
+// Section 6), including predictive times, ties and degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/knn.h"
+#include "common/random.h"
+#include "test_util.h"
+
+namespace vpmoi {
+namespace {
+
+using testing_util::IndexKind;
+using testing_util::IndexKindName;
+using testing_util::MakeIndex;
+using testing_util::MakeObjects;
+using testing_util::ObjectGenOptions;
+
+const Rect kDomain{{0, 0}, {10000, 10000}};
+
+std::vector<KnnNeighbor> BruteForceKnn(const std::vector<MovingObject>& objs,
+                                       const Point2& center, std::size_t k,
+                                       Timestamp t) {
+  std::vector<KnnNeighbor> all;
+  for (const auto& o : objs) {
+    all.push_back(KnnNeighbor{o.id, Distance(o.PositionAt(t), center)});
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+class KnnTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(KnnTest, MatchesBruteForce) {
+  ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.8;
+  const auto objects = MakeObjects(2000, gen, 301);
+  std::vector<Vec2> sample;
+  for (const auto& o : objects) sample.push_back(o.vel);
+
+  auto index = MakeIndex(GetParam(), kDomain, sample);
+  ASSERT_NE(index, nullptr);
+  for (const auto& o : objects) ASSERT_TRUE(index->Insert(o).ok());
+
+  KnnOptions opt;
+  opt.domain = kDomain;
+  Rng rng(303);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Point2 center = rng.PointIn(kDomain);
+    const std::size_t k = 1 + rng.UniformInt(20);
+    const Timestamp t = rng.Uniform(0, 60);
+    std::vector<KnnNeighbor> got;
+    ASSERT_TRUE(KnnSearch(index.get(), center, k, t, opt, &got).ok());
+    const auto expected = BruteForceKnn(objects, center, k, t);
+    ASSERT_EQ(got.size(), expected.size()) << IndexKindName(GetParam());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, expected[i].id)
+          << IndexKindName(GetParam()) << " trial " << trial << " rank " << i;
+      EXPECT_NEAR(got[i].distance, expected[i].distance, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, KnnTest,
+                         ::testing::Values(IndexKind::kTpr, IndexKind::kBx,
+                                           IndexKind::kTprVp,
+                                           IndexKind::kBxVp),
+                         [](const ::testing::TestParamInfo<IndexKind>& info) {
+                           return IndexKindName(info.param);
+                         });
+
+TEST(KnnEdgeCaseTest, EmptyIndexAndZeroK) {
+  auto index = MakeIndex(IndexKind::kTpr, kDomain, {});
+  KnnOptions opt;
+  opt.domain = kDomain;
+  std::vector<KnnNeighbor> got;
+  ASSERT_TRUE(KnnSearch(index.get(), {500, 500}, 5, 10.0, opt, &got).ok());
+  EXPECT_TRUE(got.empty());
+  ASSERT_TRUE(index->Insert(MovingObject(1, {1, 1}, {0, 0}, 0)).ok());
+  ASSERT_TRUE(KnnSearch(index.get(), {500, 500}, 0, 10.0, opt, &got).ok());
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(KnnEdgeCaseTest, KLargerThanPopulation) {
+  auto index = MakeIndex(IndexKind::kTpr, kDomain, {});
+  for (ObjectId id = 0; id < 7; ++id) {
+    ASSERT_TRUE(index
+                    ->Insert(MovingObject(id, {100.0 * (id + 1), 100.0},
+                                          {1, 0}, 0))
+                    .ok());
+  }
+  KnnOptions opt;
+  opt.domain = kDomain;
+  std::vector<KnnNeighbor> got;
+  ASSERT_TRUE(KnnSearch(index.get(), {0, 100}, 100, 0.0, opt, &got).ok());
+  EXPECT_EQ(got.size(), 7u);
+  // Ascending by distance.
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LE(got[i - 1].distance, got[i].distance);
+  }
+}
+
+TEST(KnnEdgeCaseTest, PredictiveTimeChangesRanking) {
+  auto index = MakeIndex(IndexKind::kTpr, kDomain, {});
+  // Object 1 near but fleeing; object 2 far but approaching the center.
+  ASSERT_TRUE(index->Insert(MovingObject(1, {5100, 5000}, {50, 0}, 0)).ok());
+  ASSERT_TRUE(index->Insert(MovingObject(2, {6000, 5000}, {-50, 0}, 0)).ok());
+  KnnOptions opt;
+  opt.domain = kDomain;
+  std::vector<KnnNeighbor> got;
+  ASSERT_TRUE(KnnSearch(index.get(), {5000, 5000}, 1, 0.0, opt, &got).ok());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 1u);  // now: object 1 is closer
+  ASSERT_TRUE(KnnSearch(index.get(), {5000, 5000}, 1, 15.0, opt, &got).ok());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 2u);  // in 15 ts object 2 has come closer
+}
+
+TEST(KnnEdgeCaseTest, TinyInitialRadiusStillExact) {
+  ObjectGenOptions gen;
+  gen.domain = kDomain;
+  const auto objects = MakeObjects(500, gen, 307);
+  auto index = MakeIndex(IndexKind::kBx, kDomain, {});
+  for (const auto& o : objects) ASSERT_TRUE(index->Insert(o).ok());
+  KnnOptions opt;
+  opt.domain = kDomain;
+  opt.initial_radius = 0.5;  // forces many expansion rounds
+  std::vector<KnnNeighbor> got;
+  ASSERT_TRUE(KnnSearch(index.get(), {5000, 5000}, 10, 30.0, opt, &got).ok());
+  const auto expected = BruteForceKnn(objects, {5000, 5000}, 10, 30.0);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, expected[i].id);
+  }
+}
+
+}  // namespace
+}  // namespace vpmoi

@@ -1,0 +1,182 @@
+// Tests for the math substrate: closed-form 2-D PCA, k-means, and the
+// equal-width cumulative histogram backing tau selection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "math/histogram.h"
+#include "math/kmeans.h"
+#include "math/pca.h"
+
+namespace vpmoi {
+namespace {
+
+std::vector<Vec2> LinePoints(const Vec2& axis, double spread, double noise,
+                             int n, std::uint64_t seed) {
+  Rng rng(seed);
+  const Vec2 u = axis.Normalized();
+  const Vec2 perp{-u.y, u.x};
+  std::vector<Vec2> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(u * rng.Uniform(-spread, spread) +
+                  perp * rng.Gaussian(0.0, noise));
+  }
+  return out;
+}
+
+TEST(PcaTest, DegenerateInputs) {
+  const PcaResult empty = ComputePca({});
+  EXPECT_EQ(empty.pc1, (Vec2{1.0, 0.0}));
+  EXPECT_EQ(empty.var1, 0.0);
+  const std::vector<Vec2> one{{3.0, 4.0}};
+  const PcaResult single = ComputePca(one);
+  EXPECT_EQ(single.mean, (Vec2{3.0, 4.0}));
+  EXPECT_EQ(single.var1, 0.0);
+}
+
+TEST(PcaTest, AxisAlignedVariance) {
+  // Points spread along x with tiny y noise.
+  const auto pts = LinePoints({1.0, 0.0}, 10.0, 0.1, 5000, 1);
+  const PcaResult pca = ComputePca(pts);
+  EXPECT_GT(std::abs(pca.pc1.x), 0.999);
+  EXPECT_GT(pca.var1, 100.0 * pca.var2);
+  EXPECT_GT(pca.ExplainedRatio(), 0.99);
+}
+
+TEST(PcaTest, RecoversRotatedAxis) {
+  for (double angle : {0.3, 0.8, 1.2, 2.5, -0.6}) {
+    const Vec2 axis{std::cos(angle), std::sin(angle)};
+    const auto pts = LinePoints(axis, 10.0, 0.05, 3000, 7);
+    const PcaResult pca = ComputePca(pts);
+    // pc1 equals the axis up to sign.
+    EXPECT_GT(std::abs(pca.pc1.Dot(axis)), 0.999) << "angle " << angle;
+    // pc2 orthogonal to pc1.
+    EXPECT_NEAR(pca.pc1.Dot(pca.pc2), 0.0, 1e-12);
+  }
+}
+
+TEST(PcaTest, PrincipalComponentsAreUnit) {
+  const auto pts = LinePoints({1.0, 2.0}, 5.0, 1.0, 500, 3);
+  const PcaResult pca = ComputePca(pts);
+  EXPECT_NEAR(pca.pc1.Norm(), 1.0, 1e-12);
+  EXPECT_NEAR(pca.pc2.Norm(), 1.0, 1e-12);
+}
+
+TEST(PcaTest, IsotropicDataFallsBackGracefully) {
+  Rng rng(11);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 2000; ++i) {
+    pts.push_back({rng.Gaussian(), rng.Gaussian()});
+  }
+  const PcaResult pca = ComputePca(pts);
+  EXPECT_NEAR(pca.ExplainedRatio(), 0.5, 0.05);
+}
+
+TEST(PerpendicularDistanceTest, BasicGeometry) {
+  // Distance from (0, 3) to the x-axis through the origin is 3.
+  EXPECT_DOUBLE_EQ(PerpendicularDistance({0, 3}, {0, 0}, {1, 0}), 3.0);
+  // Anchor shifts the line.
+  EXPECT_DOUBLE_EQ(PerpendicularDistance({0, 3}, {0, 3}, {1, 0}), 0.0);
+  // 45-degree line through origin.
+  const Vec2 diag = Vec2{1, 1}.Normalized();
+  EXPECT_NEAR(PerpendicularDistance({1, 0}, {0, 0}, diag), std::sqrt(0.5),
+              1e-12);
+}
+
+TEST(KMeansTest, SeparatesTwoBlobs) {
+  Rng rng(5);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back(Vec2{rng.Gaussian(0.0, 0.5), rng.Gaussian(0.0, 0.5)} +
+                  Vec2{10.0, 10.0});
+  }
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back(Vec2{rng.Gaussian(0.0, 0.5), rng.Gaussian(0.0, 0.5)} +
+                  Vec2{-10.0, -10.0});
+  }
+  KMeansOptions opt;
+  opt.k = 2;
+  const KMeansResult r = RunKMeans(pts, opt);
+  // The two centroids land near the blob centers (order unknown).
+  const double d0 = Distance(r.centroids[0], {10, 10});
+  const double d1 = Distance(r.centroids[1], {10, 10});
+  const double near10 = std::min(d0, d1);
+  const double nearm10 = std::min(Distance(r.centroids[0], {-10, -10}),
+                                  Distance(r.centroids[1], {-10, -10}));
+  EXPECT_LT(near10, 1.0);
+  EXPECT_LT(nearm10, 1.0);
+  // Assignment is consistent with proximity.
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const int c = r.assignment[i];
+    const int other = 1 - c;
+    EXPECT_LE(SquaredDistance(pts[i], r.centroids[c]),
+              SquaredDistance(pts[i], r.centroids[other]) + 1e-9);
+  }
+}
+
+TEST(KMeansTest, SingleClusterCentroidIsMean) {
+  std::vector<Vec2> pts{{0, 0}, {2, 0}, {0, 2}, {2, 2}};
+  KMeansOptions opt;
+  opt.k = 1;
+  const KMeansResult r = RunKMeans(pts, opt);
+  EXPECT_NEAR(r.centroids[0].x, 1.0, 1e-12);
+  EXPECT_NEAR(r.centroids[0].y, 1.0, 1e-12);
+}
+
+TEST(KMeansTest, MoreClustersThanPointsDoesNotCrash) {
+  std::vector<Vec2> pts{{0, 0}, {5, 5}};
+  KMeansOptions opt;
+  opt.k = 4;
+  const KMeansResult r = RunKMeans(pts, opt);
+  EXPECT_EQ(r.centroids.size(), 4u);
+  EXPECT_EQ(r.assignment.size(), 2u);
+}
+
+TEST(HistogramTest, BucketingAndCumulative) {
+  EqualWidthHistogram h(0.0, 10.0, 10);
+  for (double v : {0.5, 1.5, 1.6, 9.9, 100.0, -5.0}) h.Add(v);
+  EXPECT_EQ(h.TotalCount(), 6u);
+  EXPECT_EQ(h.BucketValue(0), 2u);  // 0.5 and the clamped -5.0
+  EXPECT_EQ(h.BucketValue(1), 2u);
+  EXPECT_EQ(h.BucketValue(9), 2u);  // 9.9 and the clamped 100.0
+  EXPECT_EQ(h.CumulativeCountBelow(1.0), 2u);
+  EXPECT_EQ(h.CumulativeCountBelow(2.0), 4u);
+  EXPECT_EQ(h.CumulativeCountBelow(10.0), 6u);
+  EXPECT_EQ(h.CumulativeCountBelow(0.0), 0u);
+}
+
+TEST(HistogramTest, RemoveAndClear) {
+  EqualWidthHistogram h(0.0, 4.0, 4);
+  h.Add(1.5, 3);
+  h.Remove(1.5);
+  EXPECT_EQ(h.TotalCount(), 2u);
+  h.Remove(1.5, 10);  // clamps at zero
+  EXPECT_EQ(h.TotalCount(), 0u);
+  h.Add(2.5);
+  h.Clear();
+  EXPECT_EQ(h.TotalCount(), 0u);
+}
+
+TEST(HistogramTest, QuantileMonotone) {
+  EqualWidthHistogram h(0.0, 100.0, 100);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.Uniform(0.0, 100.0));
+  const double q10 = h.Quantile(0.10);
+  const double q50 = h.Quantile(0.50);
+  const double q90 = h.Quantile(0.90);
+  EXPECT_LT(q10, q50);
+  EXPECT_LT(q50, q90);
+  EXPECT_NEAR(q50, 50.0, 3.0);
+}
+
+TEST(HistogramTest, BucketUpperBounds) {
+  EqualWidthHistogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.BucketUpperBound(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.BucketUpperBound(4), 10.0);
+}
+
+}  // namespace
+}  // namespace vpmoi

@@ -1,0 +1,174 @@
+// Parameterized option sweeps: every tuning knob combination must leave
+// query answers exact. Tuning may change performance, never correctness —
+// the central safety property of a configurable index library.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "bx/bx_tree.h"
+#include "common/random.h"
+#include "dual/bdual_tree.h"
+#include "test_util.h"
+#include "tpr/tpr_tree.h"
+
+namespace vpmoi {
+namespace {
+
+using testing_util::MakeObjects;
+using testing_util::ObjectGenOptions;
+using testing_util::OracleSearch;
+using testing_util::Sorted;
+
+const Rect kDomain{{0, 0}, {10000, 10000}};
+
+std::vector<MovingObject> SweepObjects() {
+  ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.7;
+  return MakeObjects(1500, gen, 901);
+}
+
+void CheckExact(MovingObjectIndex* index,
+                const std::vector<MovingObject>& objects,
+                std::uint64_t seed) {
+  for (const auto& o : objects) ASSERT_TRUE(index->Insert(o).ok());
+  Rng rng(seed);
+  for (int i = 0; i < 12; ++i) {
+    const Point2 c = rng.PointIn(kDomain);
+    QueryRegion region =
+        rng.Bernoulli(0.5)
+            ? QueryRegion::MakeCircle(Circle{c, rng.Uniform(150, 800)})
+            : QueryRegion::MakeRect(Rect::FromCenter(
+                  c, rng.Uniform(150, 800), rng.Uniform(150, 800)));
+    const double t0 = rng.Uniform(0, 90);
+    const RangeQuery q = (i % 2 == 0)
+                             ? RangeQuery::TimeSlice(region, t0)
+                             : RangeQuery::TimeInterval(region, t0, t0 + 10);
+    std::vector<ObjectId> got;
+    ASSERT_TRUE(index->Search(q, &got).ok());
+    EXPECT_EQ(Sorted(got), OracleSearch(objects, q)) << "query " << i;
+  }
+}
+
+// --- Bx-tree sweep: (curve kind, curve order, bucket duration, scan-range
+// budget, velocity grid side). ---
+using BxParam = std::tuple<CurveKind, int, double, std::size_t, int>;
+
+class BxOptionsSweep : public ::testing::TestWithParam<BxParam> {};
+
+TEST_P(BxOptionsSweep, AnswersStayExact) {
+  const auto [curve, order, bucket_dur, max_ranges, grid_side] = GetParam();
+  BxTreeOptions opt;
+  opt.domain = kDomain;
+  opt.curve = curve;
+  opt.curve_order = order;
+  opt.bucket_duration = bucket_dur;
+  opt.max_scan_ranges = max_ranges;
+  opt.velocity_grid_side = grid_side;
+  BxTree tree(opt);
+  CheckExact(&tree, SweepObjects(), 903);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+std::string BxName(const ::testing::TestParamInfo<BxParam>& info) {
+  const auto [curve, order, dur, ranges, grid] = info.param;
+  std::string s = curve == CurveKind::kHilbert ? "Hilbert" : "Z";
+  s += "_o" + std::to_string(order);
+  s += "_b" + std::to_string(static_cast<int>(dur));
+  s += "_r" + std::to_string(ranges);
+  s += "_g" + std::to_string(grid);
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BxOptionsSweep,
+    ::testing::Values(
+        BxParam{CurveKind::kHilbert, 8, 60.0, 256, 32},
+        BxParam{CurveKind::kHilbert, 6, 60.0, 256, 32},   // coarse grid
+        BxParam{CurveKind::kHilbert, 11, 60.0, 256, 32},  // fine grid
+        BxParam{CurveKind::kZ, 8, 60.0, 256, 32},
+        BxParam{CurveKind::kHilbert, 8, 15.0, 256, 32},  // short buckets
+        BxParam{CurveKind::kHilbert, 8, 240.0, 256, 32}, // one long bucket
+        BxParam{CurveKind::kHilbert, 8, 60.0, 4, 32},    // brutal coalescing
+        BxParam{CurveKind::kHilbert, 8, 60.0, 1, 32},    // single scan range
+        BxParam{CurveKind::kHilbert, 8, 60.0, 256, 4},   // crude histogram
+        BxParam{CurveKind::kHilbert, 8, 60.0, 256, 128}),
+    BxName);
+
+// --- TPR*-tree sweep: (horizon, insert policy, min fill, reinsert
+// fraction). ---
+using TprParam = std::tuple<double, TprInsertPolicy, double, double>;
+
+class TprOptionsSweep : public ::testing::TestWithParam<TprParam> {};
+
+TEST_P(TprOptionsSweep, AnswersStayExact) {
+  const auto [horizon, policy, min_fill, reinsert] = GetParam();
+  TprTreeOptions opt;
+  opt.horizon = horizon;
+  opt.insert_policy = policy;
+  opt.min_fill = min_fill;
+  opt.reinsert_fraction = reinsert;
+  TprStarTree tree(opt);
+  CheckExact(&tree, SweepObjects(), 907);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+std::string TprName(const ::testing::TestParamInfo<TprParam>& info) {
+  const auto [h, policy, fill, reinsert] = info.param;
+  std::string s = "h" + std::to_string(static_cast<int>(h));
+  s += policy == TprInsertPolicy::kSweepIntegral ? "_sweep" : "_area";
+  s += "_f" + std::to_string(static_cast<int>(fill * 100));
+  s += "_r" + std::to_string(static_cast<int>(reinsert * 100));
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TprOptionsSweep,
+    ::testing::Values(
+        TprParam{60.0, TprInsertPolicy::kSweepIntegral, 0.4, 0.3},
+        TprParam{1.0, TprInsertPolicy::kSweepIntegral, 0.4, 0.3},
+        TprParam{240.0, TprInsertPolicy::kSweepIntegral, 0.4, 0.3},
+        TprParam{60.0, TprInsertPolicy::kProjectedArea, 0.4, 0.3},
+        TprParam{60.0, TprInsertPolicy::kSweepIntegral, 0.2, 0.3},
+        TprParam{60.0, TprInsertPolicy::kSweepIntegral, 0.45, 0.3},
+        TprParam{60.0, TprInsertPolicy::kSweepIntegral, 0.4, 0.0},
+        TprParam{60.0, TprInsertPolicy::kSweepIntegral, 0.4, 0.45}),
+    TprName);
+
+// --- Bdual sweep: (vel bits, speed hint, bucket duration). ---
+using BdualParam = std::tuple<int, double, double>;
+
+class BdualOptionsSweep : public ::testing::TestWithParam<BdualParam> {};
+
+TEST_P(BdualOptionsSweep, AnswersStayExact) {
+  const auto [vel_bits, hint, bucket_dur] = GetParam();
+  BdualTreeOptions opt;
+  opt.domain = kDomain;
+  opt.curve_order = 8;
+  opt.vel_bits = vel_bits;
+  opt.max_speed_hint = hint;
+  opt.bucket_duration = bucket_dur;
+  BdualTree tree(opt);
+  CheckExact(&tree, SweepObjects(), 911);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+std::string BdualName(const ::testing::TestParamInfo<BdualParam>& info) {
+  const auto [bits, hint, dur] = info.param;
+  return "v" + std::to_string(bits) + "_h" +
+         std::to_string(static_cast<int>(hint)) + "_b" +
+         std::to_string(static_cast<int>(dur));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BdualOptionsSweep,
+    ::testing::Values(BdualParam{1, 100.0, 60.0}, BdualParam{2, 100.0, 60.0},
+                      BdualParam{4, 100.0, 60.0},
+                      BdualParam{3, 10.0, 60.0},   // hint far too small
+                      BdualParam{3, 1000.0, 60.0}, // hint far too large
+                      BdualParam{3, 100.0, 10.0}),
+    BdualName);
+
+}  // namespace
+}  // namespace vpmoi

@@ -1,0 +1,117 @@
+// Tests of RangeQuery::Matches — the exact predicate that doubles as the
+// refinement filter and as the test oracle, so its own correctness is
+// established here against hand-computed cases and dense time sampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/query.h"
+#include "common/random.h"
+
+namespace vpmoi {
+namespace {
+
+TEST(RangeQueryTest, TimeSliceRectangle) {
+  const auto region = QueryRegion::MakeRect(Rect{{0, 0}, {10, 10}});
+  const RangeQuery q = RangeQuery::TimeSlice(region, 5.0);
+  // Object reaches (5, 5) at t = 5.
+  MovingObject in(1, {0.0, 0.0}, {1.0, 1.0}, 0.0);
+  EXPECT_TRUE(q.Matches(in));
+  // Object is far away at t = 5 even though it passes through earlier.
+  MovingObject out(2, {5.0, 5.0}, {10.0, 10.0}, 0.0);
+  EXPECT_FALSE(q.Matches(out));
+}
+
+TEST(RangeQueryTest, TimeSliceCircle) {
+  const auto region = QueryRegion::MakeCircle(Circle{{100.0, 100.0}, 5.0});
+  const RangeQuery q = RangeQuery::TimeSlice(region, 10.0);
+  MovingObject on_rim(1, {105.0, 100.0}, {0.0, 0.0}, 0.0);
+  EXPECT_TRUE(q.Matches(on_rim));
+  MovingObject outside(2, {105.1, 100.0}, {0.0, 0.0}, 0.0);
+  EXPECT_FALSE(q.Matches(outside));
+}
+
+TEST(RangeQueryTest, IntervalCatchesTransit) {
+  const auto region = QueryRegion::MakeRect(Rect{{10, 0}, {11, 1}});
+  // Object crosses the sliver [10,11] between t=10 and t=11.
+  MovingObject o(1, {0.0, 0.5}, {1.0, 0.0}, 0.0);
+  EXPECT_FALSE(RangeQuery::TimeSlice(region, 5.0).Matches(o));
+  EXPECT_TRUE(RangeQuery::TimeInterval(region, 5.0, 20.0).Matches(o));
+  EXPECT_TRUE(RangeQuery::TimeInterval(region, 10.2, 10.8).Matches(o));
+  EXPECT_FALSE(RangeQuery::TimeInterval(region, 12.0, 20.0).Matches(o));
+}
+
+TEST(RangeQueryTest, MovingRegionTracksObject) {
+  // Region moves right at the same speed as the object: they never meet.
+  auto region = QueryRegion::MakeRect(Rect{{0, 0}, {1, 1}}, {5.0, 0.0});
+  MovingObject ahead(1, {10.0, 0.5}, {5.0, 0.0}, 0.0);
+  EXPECT_FALSE(RangeQuery::Moving(region, 0.0, 100.0).Matches(ahead));
+  // Slower object: the region catches up at t = (10-1)/1 = 9.
+  MovingObject slower(2, {10.0, 0.5}, {4.0, 0.0}, 0.0);
+  EXPECT_TRUE(RangeQuery::Moving(region, 0.0, 9.5).Matches(slower));
+  EXPECT_FALSE(RangeQuery::Moving(region, 0.0, 8.5).Matches(slower));
+}
+
+TEST(RangeQueryTest, MovingCircleClosestApproach) {
+  auto region = QueryRegion::MakeCircle(Circle{{0.0, 0.0}, 1.0}, {1.0, 0.0});
+  // Object travels parallel, 1.5 above: never within radius 1.
+  MovingObject par(1, {0.0, 1.5}, {1.0, 0.0}, 0.0);
+  EXPECT_FALSE(RangeQuery::Moving(region, 0.0, 50.0).Matches(par));
+  // Object converges to 0.5 above at t = 10.
+  MovingObject conv(2, {0.0, 1.5}, {1.0, -0.1}, 0.0);
+  EXPECT_TRUE(RangeQuery::Moving(region, 0.0, 50.0).Matches(conv));
+}
+
+TEST(RangeQueryTest, SweepMbrCoversRegionMotion) {
+  auto region = QueryRegion::MakeCircle(Circle{{0.0, 0.0}, 2.0}, {1.0, -1.0});
+  const RangeQuery q = RangeQuery::Moving(region, 10.0, 20.0);
+  const Rect sweep = q.SweepMbr();
+  EXPECT_TRUE(sweep.Contains(Rect{{-2, -2}, {2, 2}}));          // at t_begin
+  EXPECT_TRUE(sweep.Contains(Rect{{8, -12}, {12, -8}}));        // at t_end
+}
+
+// Property: Matches agrees with dense time sampling of the exact geometry.
+TEST(RangeQueryTest, MatchesAgreesWithDenseSampling) {
+  Rng rng(42);
+  int checked = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    const bool circle = rng.Bernoulli(0.5);
+    const Point2 c = rng.PointIn(Rect{{-50, -50}, {50, 50}});
+    QueryRegion region;
+    if (circle) {
+      region = QueryRegion::MakeCircle(Circle{c, rng.Uniform(1.0, 10.0)});
+    } else {
+      region = QueryRegion::MakeRect(
+          Rect::FromCenter(c, rng.Uniform(1.0, 10.0), rng.Uniform(1.0, 10.0)));
+    }
+    region.vel = {rng.Uniform(-3.0, 3.0), rng.Uniform(-3.0, 3.0)};
+    const double t0 = rng.Uniform(0.0, 10.0);
+    const double t1 = t0 + rng.Uniform(0.0, 15.0);
+    const RangeQuery q = RangeQuery::Moving(region, t0, t1);
+
+    const MovingObject o(
+        1, rng.PointIn(Rect{{-60, -60}, {60, 60}}),
+        {rng.Uniform(-5.0, 5.0), rng.Uniform(-5.0, 5.0)}, rng.Uniform(0, 5));
+
+    bool sampled = false;
+    const int steps = 600;
+    for (int s = 0; s <= steps && !sampled; ++s) {
+      const double t = t0 + (t1 - t0) * s / steps;
+      sampled = q.region.ContainsAt(o.PositionAt(t), t - t0);
+    }
+    if (sampled) {
+      // Dense sampling found a hit: Matches must agree (no false negative).
+      EXPECT_TRUE(q.Matches(o)) << "trial " << trial;
+      ++checked;
+    }
+    // The converse can disagree only within sampling resolution, so only
+    // grossly separated misses are asserted.
+    if (!q.Matches(o)) {
+      EXPECT_FALSE(sampled) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(checked, 50);  // the trial mix must actually exercise hits
+}
+
+}  // namespace
+}  // namespace vpmoi

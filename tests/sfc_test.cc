@@ -1,0 +1,236 @@
+// Tests of the space-filling curves: bijectivity, locality of the Hilbert
+// curve, and correctness of window-to-range decomposition.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "sfc/hilbert.h"
+#include "sfc/range_decomposer.h"
+#include "sfc/zcurve.h"
+
+namespace vpmoi {
+namespace {
+
+template <typename Curve>
+void CheckBijection(int order) {
+  Curve curve(order);
+  const std::uint32_t side = curve.GridSide();
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t y = 0; y < side; ++y) {
+    for (std::uint32_t x = 0; x < side; ++x) {
+      const std::uint64_t d = curve.Encode(x, y);
+      ASSERT_LT(d, curve.CellCount());
+      ASSERT_TRUE(seen.insert(d).second) << "duplicate at " << x << "," << y;
+      std::uint32_t rx, ry;
+      curve.Decode(d, &rx, &ry);
+      ASSERT_EQ(rx, x);
+      ASSERT_EQ(ry, y);
+    }
+  }
+  EXPECT_EQ(seen.size(), curve.CellCount());
+}
+
+TEST(HilbertTest, BijectionSmallOrders) {
+  CheckBijection<HilbertCurve>(1);
+  CheckBijection<HilbertCurve>(2);
+  CheckBijection<HilbertCurve>(3);
+  CheckBijection<HilbertCurve>(5);
+}
+
+TEST(ZCurveTest, BijectionSmallOrders) {
+  CheckBijection<ZCurve>(1);
+  CheckBijection<ZCurve>(3);
+  CheckBijection<ZCurve>(5);
+}
+
+TEST(HilbertTest, ConsecutiveCellsAreGridNeighbors) {
+  // The defining property of the Hilbert curve: successive curve positions
+  // are 4-adjacent in the grid.
+  HilbertCurve curve(6);
+  std::uint32_t px, py;
+  curve.Decode(0, &px, &py);
+  for (std::uint64_t d = 1; d < curve.CellCount(); ++d) {
+    std::uint32_t x, y;
+    curve.Decode(d, &x, &y);
+    const std::uint32_t manhattan =
+        (x > px ? x - px : px - x) + (y > py ? y - py : py - y);
+    ASSERT_EQ(manhattan, 1u) << "at d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(ZCurveTest, KnownValues) {
+  ZCurve curve(4);
+  EXPECT_EQ(curve.Encode(0, 0), 0u);
+  EXPECT_EQ(curve.Encode(1, 0), 1u);
+  EXPECT_EQ(curve.Encode(0, 1), 2u);
+  EXPECT_EQ(curve.Encode(1, 1), 3u);
+  EXPECT_EQ(curve.Encode(2, 0), 4u);
+  EXPECT_EQ(curve.Encode(3, 3), 15u);
+}
+
+TEST(HilbertTest, FewerScanRangesThanZCurve) {
+  // The operationally relevant locality property for the Bx-tree: a query
+  // window decomposes into fewer contiguous curve ranges under Hilbert
+  // order than under Z order, i.e. fewer B+-tree range scans per query.
+  const int order = 6;
+  HilbertCurve h(order);
+  ZCurve z(order);
+  std::size_t h_ranges = 0, z_ranges = 0;
+  // Sweep a variety of window positions and sizes.
+  for (std::uint32_t x0 = 0; x0 < 48; x0 += 7) {
+    for (std::uint32_t y0 = 0; y0 < 48; y0 += 7) {
+      for (std::uint32_t w : {4u, 9u, 15u}) {
+        h_ranges += DecomposeWindow(h, x0, y0, x0 + w, y0 + w).size();
+        z_ranges += DecomposeWindow(z, x0, y0, x0 + w, y0 + w).size();
+      }
+    }
+  }
+  EXPECT_LT(h_ranges, z_ranges);
+}
+
+TEST(RangeDecomposerTest, SingleCell) {
+  HilbertCurve curve(4);
+  const auto ranges = DecomposeWindow(curve, 3, 5, 3, 5);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].lo, curve.Encode(3, 5));
+  EXPECT_EQ(ranges[0].hi, curve.Encode(3, 5));
+}
+
+TEST(RangeDecomposerTest, FullGridIsOneRange) {
+  HilbertCurve curve(3);
+  const auto ranges = DecomposeWindow(curve, 0, 0, 7, 7);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].lo, 0u);
+  EXPECT_EQ(ranges[0].hi, curve.CellCount() - 1);
+}
+
+TEST(RangeDecomposerTest, CoversExactlyTheWindow) {
+  HilbertCurve curve(5);
+  const std::uint32_t x0 = 3, y0 = 7, x1 = 12, y1 = 18;
+  const auto ranges = DecomposeWindow(curve, x0, y0, x1, y1);
+  // Collect every value in the ranges.
+  std::set<std::uint64_t> covered;
+  for (const auto& r : ranges) {
+    ASSERT_LE(r.lo, r.hi);
+    for (std::uint64_t d = r.lo; d <= r.hi; ++d) covered.insert(d);
+  }
+  // Ranges must be disjoint and sorted.
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    ASSERT_GT(ranges[i].lo, ranges[i - 1].hi + 1);
+  }
+  // Exactly the window's cells are covered.
+  const std::size_t expected = (x1 - x0 + 1) * (y1 - y0 + 1);
+  EXPECT_EQ(covered.size(), expected);
+  for (std::uint64_t d : covered) {
+    std::uint32_t x, y;
+    curve.Decode(d, &x, &y);
+    EXPECT_GE(x, x0);
+    EXPECT_LE(x, x1);
+    EXPECT_GE(y, y0);
+    EXPECT_LE(y, y1);
+  }
+}
+
+TEST(RangeDecomposerTest, ClampsToGrid) {
+  ZCurve curve(3);
+  const auto ranges = DecomposeWindow(curve, 6, 6, 100, 100);
+  std::size_t covered = 0;
+  for (const auto& r : ranges) covered += r.hi - r.lo + 1;
+  EXPECT_EQ(covered, 4u);  // cells (6..7) x (6..7)
+}
+
+TEST(RangeDecomposerTest, EmptyWindow) {
+  HilbertCurve curve(4);
+  EXPECT_TRUE(DecomposeWindow(curve, 5, 5, 4, 9).empty());
+  EXPECT_TRUE(DecomposeWindowRecursive(curve, 5, 5, 4, 9).empty());
+}
+
+TEST(RangeDecomposerTest, RecursiveMatchesEnumerationHilbert) {
+  HilbertCurve curve(6);
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto x0 = static_cast<std::uint32_t>(rng.UniformInt(64));
+    const auto y0 = static_cast<std::uint32_t>(rng.UniformInt(64));
+    const auto x1 = x0 + static_cast<std::uint32_t>(rng.UniformInt(20));
+    const auto y1 = y0 + static_cast<std::uint32_t>(rng.UniformInt(20));
+    const auto naive = DecomposeWindow(curve, x0, y0, x1, y1);
+    const auto fast = DecomposeWindowRecursive(curve, x0, y0, x1, y1);
+    EXPECT_EQ(naive, fast) << "window (" << x0 << "," << y0 << ")-(" << x1
+                           << "," << y1 << ")";
+  }
+}
+
+TEST(RangeDecomposerTest, RecursiveMatchesEnumerationZ) {
+  ZCurve curve(5);
+  Rng rng(19);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto x0 = static_cast<std::uint32_t>(rng.UniformInt(32));
+    const auto y0 = static_cast<std::uint32_t>(rng.UniformInt(32));
+    const auto x1 = x0 + static_cast<std::uint32_t>(rng.UniformInt(12));
+    const auto y1 = y0 + static_cast<std::uint32_t>(rng.UniformInt(12));
+    EXPECT_EQ(DecomposeWindow(curve, x0, y0, x1, y1),
+              DecomposeWindowRecursive(curve, x0, y0, x1, y1));
+  }
+}
+
+TEST(RangeDecomposerTest, RecursiveFullGrid) {
+  HilbertCurve curve(8);
+  const auto ranges = DecomposeWindowRecursive(curve, 0, 0, 255, 255);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].lo, 0u);
+  EXPECT_EQ(ranges[0].hi, curve.CellCount() - 1);
+}
+
+TEST(RangeDecomposerTest, RecursiveHandlesLargeOrders) {
+  // Order 16 = 4 billion cells: enumeration is impossible, recursion is
+  // instant and bounded by the window perimeter.
+  HilbertCurve curve(16);
+  const auto ranges =
+      DecomposeWindowRecursive(curve, 30000, 30000, 30400, 30400);
+  ASSERT_FALSE(ranges.empty());
+  std::uint64_t covered = 0;
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    ASSERT_LE(ranges[i].lo, ranges[i].hi);
+    if (i > 0) {
+      ASSERT_GT(ranges[i].lo, ranges[i - 1].hi + 1);
+    }
+    covered += ranges[i].hi - ranges[i].lo + 1;
+  }
+  EXPECT_EQ(covered, 401ull * 401ull);
+}
+
+TEST(CoalesceRangesTest, RespectsBudgetAndSupersets) {
+  std::vector<CurveRange> ranges{{0, 1}, {5, 6}, {10, 20}, {100, 110},
+                                 {112, 115}};
+  const auto merged = CoalesceRanges(ranges, 2);
+  ASSERT_EQ(merged.size(), 2u);
+  // Every original value is still covered.
+  for (const auto& r : ranges) {
+    bool covered = false;
+    for (const auto& m : merged) {
+      if (m.lo <= r.lo && r.hi <= m.hi) covered = true;
+    }
+    EXPECT_TRUE(covered);
+  }
+  // The smallest gaps were bridged first: {100,110} and {112,115} merge
+  // before anything else.
+  EXPECT_EQ(merged[1].lo, 100u);
+  EXPECT_EQ(merged[1].hi, 115u);
+}
+
+TEST(CoalesceRangesTest, NoOpCases) {
+  std::vector<CurveRange> ranges{{0, 1}, {5, 6}};
+  EXPECT_EQ(CoalesceRanges(ranges, 5).size(), 2u);
+  EXPECT_EQ(CoalesceRanges(ranges, 0).size(), 2u);  // 0 = unlimited
+  EXPECT_EQ(CoalesceRanges({}, 3).size(), 0u);
+  const auto one = CoalesceRanges(ranges, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], (CurveRange{0, 6}));
+}
+
+}  // namespace
+}  // namespace vpmoi

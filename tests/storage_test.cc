@@ -1,0 +1,164 @@
+// Tests for the paged storage substrate: page store allocation/recycling
+// and LRU buffer pool I/O accounting (the foundation of the paper's I/O
+// metric).
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/page_store.h"
+
+namespace vpmoi {
+namespace {
+
+TEST(PageTest, TypedReadWrite) {
+  Page p;
+  p.WriteAt<double>(16, 3.25);
+  p.WriteAt<std::uint32_t>(0, 77);
+  EXPECT_EQ(p.ReadAt<double>(16), 3.25);
+  EXPECT_EQ(p.ReadAt<std::uint32_t>(0), 77u);
+}
+
+TEST(PageStoreTest, AllocateAndRecycle) {
+  PageStore store;
+  const PageId a = store.Allocate();
+  const PageId b = store.Allocate();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store.LiveCount(), 2u);
+  store.Free(a);
+  EXPECT_EQ(store.LiveCount(), 1u);
+  const PageId c = store.Allocate();
+  EXPECT_EQ(c, a);  // recycled
+  EXPECT_EQ(store.LiveCount(), 2u);
+}
+
+TEST(PageStoreTest, RecycledPageIsZeroed) {
+  PageStore store;
+  const PageId a = store.Allocate();
+  store.Get(a)->WriteAt<int>(100, 42);
+  store.Free(a);
+  const PageId b = store.Allocate();
+  ASSERT_EQ(a, b);
+  EXPECT_EQ(store.Get(b)->ReadAt<int>(100), 0);
+}
+
+TEST(BufferPoolTest, HitsDoNotCostPhysicalIo) {
+  PageStore store;
+  BufferPool pool(&store, 4);
+  const PageId p = pool.AllocatePage();
+  pool.ResetStats();
+  for (int i = 0; i < 10; ++i) pool.Read(p);
+  EXPECT_EQ(pool.stats().logical_reads, 10u);
+  EXPECT_EQ(pool.stats().physical_reads, 0u);  // resident since allocation
+}
+
+TEST(BufferPoolTest, LruEvictionOrder) {
+  PageStore store;
+  BufferPool pool(&store, 3);
+  PageId p[4];
+  for (auto& id : p) id = store.Allocate();
+  pool.Read(p[0]);
+  pool.Read(p[1]);
+  pool.Read(p[2]);
+  pool.ResetStats();
+  pool.Read(p[0]);  // p0 now most recent; order: p0, p2, p1
+  pool.Read(p[3]);  // evicts p1
+  EXPECT_EQ(pool.stats().physical_reads, 1u);
+  pool.Read(p[1]);  // miss (was evicted)
+  EXPECT_EQ(pool.stats().physical_reads, 2u);
+  pool.Read(p[0]);  // still resident? p0 was touched recently but capacity 3
+  // After reading p3 and p1, residents are {p3, p1, p0} minus evictions:
+  // reading p1 evicted p2, so p0 must still be a hit.
+  EXPECT_EQ(pool.stats().physical_reads, 2u);
+}
+
+TEST(BufferPoolTest, DirtyEvictionCountsPhysicalWrite) {
+  PageStore store;
+  BufferPool pool(&store, 2);
+  const PageId a = store.Allocate();
+  const PageId b = store.Allocate();
+  const PageId c = store.Allocate();
+  pool.Write(a);  // dirty
+  pool.Read(b);
+  pool.ResetStats();
+  pool.Read(c);  // evicts a (LRU), which is dirty
+  EXPECT_EQ(pool.stats().physical_writes, 1u);
+  pool.Read(c);
+  EXPECT_EQ(pool.stats().physical_writes, 1u);
+}
+
+TEST(BufferPoolTest, CleanEvictionCostsNothing) {
+  PageStore store;
+  BufferPool pool(&store, 2);
+  const PageId a = store.Allocate();
+  const PageId b = store.Allocate();
+  const PageId c = store.Allocate();
+  pool.Read(a);
+  pool.Read(b);
+  pool.ResetStats();
+  pool.Read(c);  // evicts clean a
+  EXPECT_EQ(pool.stats().physical_writes, 0u);
+  EXPECT_EQ(pool.stats().physical_reads, 1u);
+}
+
+TEST(BufferPoolTest, FlushAllWritesDirtyOnce) {
+  PageStore store;
+  BufferPool pool(&store, 8);
+  const PageId a = store.Allocate();
+  const PageId b = store.Allocate();
+  pool.Write(a);
+  pool.Write(b);
+  pool.Read(a);
+  pool.ResetStats();
+  pool.FlushAll();
+  EXPECT_EQ(pool.stats().physical_writes, 2u);
+  pool.FlushAll();  // now clean
+  EXPECT_EQ(pool.stats().physical_writes, 2u);
+}
+
+TEST(BufferPoolTest, ZeroCapacityWritesThrough) {
+  PageStore store;
+  BufferPool pool(&store, 0);
+  const PageId a = store.Allocate();
+  pool.ResetStats();
+  pool.Read(a);
+  pool.Read(a);
+  EXPECT_EQ(pool.stats().physical_reads, 2u);  // nothing is ever resident
+  pool.Write(a);
+  EXPECT_EQ(pool.stats().physical_writes, 1u);
+}
+
+TEST(BufferPoolTest, FreePageDropsResidency) {
+  PageStore store;
+  BufferPool pool(&store, 4);
+  const PageId a = pool.AllocatePage();
+  pool.Write(a);
+  pool.FreePage(a);  // must not write back the dirty page
+  const PageId b = pool.AllocatePage();
+  EXPECT_EQ(a, b);  // recycled
+  pool.ResetStats();
+  pool.Read(b);
+  EXPECT_EQ(pool.stats().physical_reads, 0u);  // resident via AllocatePage
+}
+
+TEST(BufferPoolTest, InvalidateColdStartsCache) {
+  PageStore store;
+  BufferPool pool(&store, 4);
+  const PageId a = pool.AllocatePage();
+  pool.Invalidate();
+  pool.ResetStats();
+  pool.Read(a);
+  EXPECT_EQ(pool.stats().physical_reads, 1u);
+}
+
+TEST(IoStatsTest, Arithmetic) {
+  IoStats a{10, 5, 3, 2};
+  IoStats b{1, 1, 1, 1};
+  const IoStats sum = a + b;
+  EXPECT_EQ(sum.logical_reads, 11u);
+  EXPECT_EQ(sum.PhysicalTotal(), 7u);
+  const IoStats diff = sum - b;
+  EXPECT_EQ(diff, a);
+}
+
+}  // namespace
+}  // namespace vpmoi

@@ -1,0 +1,137 @@
+// Shared helpers for the test suite: brute-force query oracles, random
+// object generators, and index factories so query-exactness suites can be
+// parameterized over every index configuration.
+#ifndef VPMOI_TESTS_TEST_UTIL_H_
+#define VPMOI_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bx/bx_tree.h"
+#include "common/moving_object.h"
+#include "common/moving_object_index.h"
+#include "common/query.h"
+#include "common/random.h"
+#include "tpr/tpr_tree.h"
+#include "vp/vp_index.h"
+
+namespace vpmoi {
+namespace testing_util {
+
+/// Brute-force oracle: ids of all objects matching `q`, sorted.
+inline std::vector<ObjectId> OracleSearch(
+    const std::vector<MovingObject>& objects, const RangeQuery& q) {
+  std::vector<ObjectId> out;
+  for (const MovingObject& o : objects) {
+    if (q.Matches(o)) out.push_back(o.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+inline std::vector<ObjectId> Sorted(std::vector<ObjectId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+/// Random moving objects with skewed (two-axis) or uniform directions.
+struct ObjectGenOptions {
+  Rect domain{{0.0, 0.0}, {10000.0, 10000.0}};
+  double max_speed = 100.0;
+  /// Fraction of objects moving along one of the two dominant axes; the
+  /// rest move in random directions.
+  double axis_fraction = 0.0;
+  /// Angle of the first dominant axis (second is perpendicular).
+  double axis_angle = 0.0;
+  Timestamp t_ref = 0.0;
+};
+
+inline std::vector<MovingObject> MakeObjects(std::size_t n,
+                                             const ObjectGenOptions& opt,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<MovingObject> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point2 pos = rng.PointIn(opt.domain);
+    double angle;
+    if (rng.NextDouble() < opt.axis_fraction) {
+      const bool second = rng.Bernoulli(0.5);
+      const bool reverse = rng.Bernoulli(0.5);
+      angle = opt.axis_angle + (second ? M_PI / 2.0 : 0.0) +
+              (reverse ? M_PI : 0.0) + rng.Gaussian(0.0, 0.02);
+    } else {
+      angle = rng.Uniform(0.0, 2.0 * M_PI);
+    }
+    const double speed = rng.Uniform(0.05, 1.0) * opt.max_speed;
+    const Vec2 vel = Vec2{std::cos(angle), std::sin(angle)} * speed;
+    out.emplace_back(static_cast<ObjectId>(i), pos, vel, opt.t_ref);
+  }
+  return out;
+}
+
+/// Index configurations exercised by the parameterized exactness suites.
+enum class IndexKind { kTpr, kBx, kTprVp, kBxVp };
+
+inline std::string IndexKindName(IndexKind k) {
+  switch (k) {
+    case IndexKind::kTpr:
+      return "TprStar";
+    case IndexKind::kBx:
+      return "Bx";
+    case IndexKind::kTprVp:
+      return "TprStarVP";
+    case IndexKind::kBxVp:
+      return "BxVP";
+  }
+  return "?";
+}
+
+/// Builds an index of the requested kind over `domain`. For VP kinds,
+/// `sample` seeds the velocity analyzer.
+inline std::unique_ptr<MovingObjectIndex> MakeIndex(
+    IndexKind kind, const Rect& domain, const std::vector<Vec2>& sample,
+    double horizon = 60.0) {
+  TprTreeOptions tpr_opt;
+  tpr_opt.horizon = horizon;
+  BxTreeOptions bx_opt;
+  bx_opt.domain = domain;
+  bx_opt.curve_order = 8;
+  bx_opt.velocity_grid_side = 32;
+  switch (kind) {
+    case IndexKind::kTpr:
+      return std::make_unique<TprStarTree>(tpr_opt);
+    case IndexKind::kBx:
+      return std::make_unique<BxTree>(bx_opt);
+    case IndexKind::kTprVp: {
+      VpIndexOptions vp;
+      vp.domain = domain;
+      auto built = VpIndex::Build(
+          [tpr_opt](BufferPool* pool, const Rect&) {
+            return std::make_unique<TprStarTree>(pool, tpr_opt);
+          },
+          vp, sample);
+      return built.ok() ? std::move(built).value() : nullptr;
+    }
+    case IndexKind::kBxVp: {
+      VpIndexOptions vp;
+      vp.domain = domain;
+      auto built = VpIndex::Build(
+          [bx_opt](BufferPool* pool, const Rect& frame_domain) {
+            BxTreeOptions o = bx_opt;
+            o.domain = frame_domain;
+            return std::make_unique<BxTree>(pool, o);
+          },
+          vp, sample);
+      return built.ok() ? std::move(built).value() : nullptr;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace testing_util
+}  // namespace vpmoi
+
+#endif  // VPMOI_TESTS_TEST_UTIL_H_

@@ -1,0 +1,138 @@
+// Concurrency tests for the ThreadSafeIndex decorator: hammering one
+// index from many threads must neither corrupt structure nor lose
+// objects, and queries must always observe each object in exactly one
+// state (Section 5.3's atomic-update requirement).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/random.h"
+#include "common/thread_safe_index.h"
+#include "test_util.h"
+#include "tpr/tpr_tree.h"
+
+namespace vpmoi {
+namespace {
+
+const Rect kDomain{{0, 0}, {10000, 10000}};
+
+TEST(ThreadSafeIndexTest, ForwardsOperations) {
+  ThreadSafeIndex index(std::make_unique<TprStarTree>());
+  EXPECT_EQ(index.Name(), "TPR*");
+  ASSERT_TRUE(index.Insert(MovingObject(1, {10, 10}, {1, 1}, 0)).ok());
+  EXPECT_EQ(index.Size(), 1u);
+  auto got = index.GetObject(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->pos, (Point2{10, 10}));
+  ASSERT_TRUE(index.Update(MovingObject(1, {20, 20}, {0, 1}, 5)).ok());
+  std::vector<ObjectId> hits;
+  ASSERT_TRUE(index
+                  .Search(RangeQuery::TimeSlice(
+                              QueryRegion::MakeCircle(Circle{{20, 25}, 1.0}),
+                              10.0),
+                          &hits)
+                  .ok());
+  EXPECT_EQ(hits.size(), 1u);
+  ASSERT_TRUE(index.Delete(1).ok());
+  EXPECT_EQ(index.Size(), 0u);
+}
+
+TEST(ThreadSafeIndexTest, ConcurrentDisjointWriters) {
+  ThreadSafeIndex index(std::make_unique<TprStarTree>());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int th = 0; th < kThreads; ++th) {
+    threads.emplace_back([&, th] {
+      Rng rng(1000 + th);
+      for (int i = 0; i < kPerThread; ++i) {
+        const ObjectId id = static_cast<ObjectId>(th * kPerThread + i);
+        const Status st = index.Insert(
+            MovingObject(id, rng.PointIn(kDomain),
+                         {rng.Uniform(-50, 50), rng.Uniform(-50, 50)}, 0.0));
+        ASSERT_TRUE(st.ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(index.Size(), static_cast<std::size_t>(kThreads * kPerThread));
+  auto* tree = dynamic_cast<TprStarTree*>(index.inner());
+  ASSERT_NE(tree, nullptr);
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+}
+
+TEST(ThreadSafeIndexTest, MixedReadersAndWritersStayConsistent) {
+  ThreadSafeIndex index(std::make_unique<TprStarTree>());
+  constexpr ObjectId kObjects = 400;
+  for (ObjectId id = 0; id < kObjects; ++id) {
+    ASSERT_TRUE(index
+                    .Insert(MovingObject(id, {100.0 + id, 100.0}, {1, 0},
+                                         0.0))
+                    .ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> searches{0};
+  // Writers continuously update objects; readers continuously run a query
+  // that covers the whole domain — every object must always be reported
+  // exactly once (updates are atomic delete+insert).
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 3; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(2000 + w);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ObjectId id = rng.UniformInt(kObjects);
+        (void)index.Update(MovingObject(
+            id, rng.PointIn(kDomain),
+            {rng.Uniform(-50, 50), rng.Uniform(-50, 50)}, 0.0));
+      }
+    });
+  }
+  for (int r = 0; r < 3; ++r) {
+    threads.emplace_back([&] {
+      std::vector<ObjectId> hits;
+      const RangeQuery everything = RangeQuery::TimeSlice(
+          QueryRegion::MakeRect(kDomain.Inflated(100000.0)), 0.0);
+      while (!stop.load(std::memory_order_relaxed)) {
+        hits.clear();
+        ASSERT_TRUE(index.Search(everything, &hits).ok());
+        ASSERT_EQ(hits.size(), kObjects);
+        searches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  EXPECT_GT(searches.load(), 0u);
+  EXPECT_EQ(index.Size(), kObjects);
+  auto* tree = dynamic_cast<TprStarTree*>(index.inner());
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+}
+
+TEST(ThreadSafeIndexTest, WrapsVpIndex) {
+  testing_util::ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.9;
+  const auto objects = testing_util::MakeObjects(500, gen, 11);
+  std::vector<Vec2> sample;
+  for (const auto& o : objects) sample.push_back(o.vel);
+  ThreadSafeIndex index(
+      testing_util::MakeIndex(testing_util::IndexKind::kTprVp, kDomain,
+                              sample));
+  EXPECT_EQ(index.Name(), "TPR*(VP)");
+  std::vector<std::thread> threads;
+  for (int th = 0; th < 4; ++th) {
+    threads.emplace_back([&, th] {
+      for (std::size_t i = th; i < objects.size(); i += 4) {
+        ASSERT_TRUE(index.Insert(objects[i]).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(index.Size(), objects.size());
+}
+
+}  // namespace
+}  // namespace vpmoi

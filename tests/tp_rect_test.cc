@@ -1,0 +1,205 @@
+// Tests of the time-parameterized rectangle: expansion, union,
+// moving-vs-moving intersection (validated against dense sampling), and the
+// sweeping-region integral from the paper's cost model (Equations 2-7).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "tpr/tp_rect.h"
+
+namespace vpmoi {
+namespace {
+
+TEST(TpRectTest, RectAtExpands) {
+  TpRect r;
+  r.mbr = {{0, 0}, {10, 10}};
+  r.vbr = {{-1, -2}, {3, 4}};
+  r.tref = 5.0;
+  EXPECT_EQ(r.RectAt(5.0), (Rect{{0, 0}, {10, 10}}));
+  const Rect at7 = r.RectAt(7.0);
+  EXPECT_EQ(at7, (Rect{{-2, -4}, {16, 18}}));
+}
+
+TEST(TpRectTest, AtReferencePreservesMotion) {
+  TpRect r{{{0, 0}, {10, 10}}, {{-1, -1}, {1, 1}}, 0.0};
+  const TpRect moved = r.AtReference(4.0);
+  EXPECT_EQ(moved.tref, 4.0);
+  EXPECT_EQ(moved.RectAt(9.0), r.RectAt(9.0));
+}
+
+TEST(TpRectTest, UnionCoversBothForever) {
+  const TpRect a{{{0, 0}, {2, 2}}, {{-1, 0}, {1, 0}}, 0.0};
+  const TpRect b{{{5, 5}, {6, 6}}, {{0, -2}, {0, 2}}, 0.0};
+  const TpRect u = TpRect::Union(a, b, 0.0);
+  for (double t : {0.0, 1.0, 5.0, 20.0}) {
+    EXPECT_TRUE(u.RectAt(t).Contains(a.RectAt(t))) << t;
+    EXPECT_TRUE(u.RectAt(t).Contains(b.RectAt(t))) << t;
+  }
+}
+
+TEST(TpRectTest, UnionWithEmptyIsIdentity) {
+  const TpRect a{{{1, 1}, {2, 2}}, {{0, 0}, {0, 0}}, 3.0};
+  const TpRect u = TpRect::Union(a, TpRect::Empty(), 5.0);
+  EXPECT_EQ(u.RectAt(8.0), a.RectAt(8.0));
+  EXPECT_EQ(u.tref, 5.0);
+}
+
+TEST(TpRectTest, FromObjectTracksPoint) {
+  const MovingObject o(1, {3, 4}, {1, -1}, 2.0);
+  const TpRect r = TpRect::FromObject(o);
+  for (double t : {2.0, 5.0, 10.0}) {
+    const Rect at = r.RectAt(t);
+    EXPECT_EQ(at.lo, o.PositionAt(t));
+    EXPECT_EQ(at.hi, o.PositionAt(t));
+  }
+}
+
+TEST(TpRectTest, ContainsTrajectoryInvariant) {
+  const MovingObject o(1, {3, 4}, {1, -1}, 2.0);
+  TpRect node = TpRect::FromObject(o);
+  // Grow the node with another object; both must stay contained.
+  const MovingObject o2(2, {8, 1}, {-2, 0.5}, 2.0);
+  node.ExtendToCover(TpRect::FromObject(o2), 2.0);
+  EXPECT_TRUE(node.ContainsTrajectory(o, 2.0));
+  EXPECT_TRUE(node.ContainsTrajectory(o2, 2.0));
+  EXPECT_TRUE(node.ContainsTrajectory(o, 50.0));
+  const MovingObject fast(3, {3, 4}, {100, 0}, 2.0);
+  EXPECT_FALSE(node.ContainsTrajectory(fast, 2.0));
+}
+
+TEST(TpRectTest, IntersectsStationaryQuery) {
+  // Node moving right at speed 1, query box sitting at x in [20, 21].
+  const TpRect n{{{0, 0}, {1, 1}}, {{1, 0}, {1, 0}}, 0.0};
+  const Rect q{{20, 0}, {21, 1}};
+  EXPECT_FALSE(n.Intersects(q, {0, 0}, 0.0, 10.0));   // arrives at t=19
+  EXPECT_TRUE(n.Intersects(q, {0, 0}, 0.0, 19.5));
+  EXPECT_TRUE(n.Intersects(q, {0, 0}, 19.0, 25.0));
+  EXPECT_FALSE(n.Intersects(q, {0, 0}, 22.0, 30.0));  // already past
+}
+
+TEST(TpRectTest, IntersectsMovingQuery) {
+  // Node and query approach each other.
+  const TpRect n{{{0, 0}, {1, 1}}, {{1, 0}, {1, 0}}, 0.0};
+  const Rect q{{10, 0}, {11, 1}};
+  EXPECT_TRUE(n.Intersects(q, {-1, 0}, 0.0, 5.0));   // meet at t=4.5
+  EXPECT_FALSE(n.Intersects(q, {-1, 0}, 0.0, 4.0));
+  // Query fleeing at same speed: never meet.
+  EXPECT_FALSE(n.Intersects(q, {1, 0}, 0.0, 1000.0));
+}
+
+// Property: Intersects agrees with dense time sampling.
+TEST(TpRectTest, IntersectsAgreesWithSampling) {
+  Rng rng(77);
+  int positives = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    TpRect n;
+    const Point2 lo = rng.PointIn(Rect{{-20, -20}, {20, 20}});
+    n.mbr = {lo, lo + Vec2{rng.Uniform(0, 5), rng.Uniform(0, 5)}};
+    const Vec2 vlo{rng.Uniform(-3, 3), rng.Uniform(-3, 3)};
+    n.vbr = {vlo, vlo + Vec2{rng.Uniform(0, 2), rng.Uniform(0, 2)}};
+    n.tref = rng.Uniform(0, 2);
+    const Point2 qlo = rng.PointIn(Rect{{-25, -25}, {25, 25}});
+    const Rect q{qlo, qlo + Vec2{rng.Uniform(0, 6), rng.Uniform(0, 6)}};
+    const Vec2 qv{rng.Uniform(-3, 3), rng.Uniform(-3, 3)};
+    const double t0 = rng.Uniform(2, 6);
+    const double t1 = t0 + rng.Uniform(0, 10);
+
+    bool sampled = false;
+    const int steps = 800;
+    for (int s = 0; s <= steps && !sampled; ++s) {
+      const double t = t0 + (t1 - t0) * s / steps;
+      const Rect nr = n.RectAt(t);
+      const Vec2 shift = qv * (t - t0);
+      const Rect qr{q.lo + shift, q.hi + shift};
+      sampled = nr.Intersects(qr);
+    }
+    const bool analytic = n.Intersects(q, qv, t0, t1);
+    if (sampled) {
+      EXPECT_TRUE(analytic) << "trial " << trial;
+      ++positives;
+    }
+    if (!analytic) {
+      EXPECT_FALSE(sampled) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(positives, 100);
+}
+
+TEST(SweepIntegralTest, StationaryPointMatchesClosedForm) {
+  // A stationary unit square with no query inflation: integral = area * h.
+  const TpRect r{{{0, 0}, {1, 1}}, {{0, 0}, {0, 0}}, 0.0};
+  EXPECT_DOUBLE_EQ(SweepIntegral(r, 0.0, 10.0, 0.0, 0.0), 10.0);
+  // Inflated by a 2x2 query (half-extents 1): (1+2)^2 * h.
+  EXPECT_DOUBLE_EQ(SweepIntegral(r, 0.0, 10.0, 1.0, 1.0), 90.0);
+}
+
+TEST(SweepIntegralTest, MatchesPaperEquation4) {
+  // Equation 4: V_S(th) = d^2 th + 2 d v th^2 + 4/3 v^2 th^3 for a node of
+  // extent d expanding at speed v on each side in both dimensions.
+  const double d = 2.0, v = 0.5, th = 6.0;
+  const TpRect r{{{0, 0}, {d, d}}, {{-v, -v}, {v, v}}, 0.0};
+  const double expected = d * d * th + 2 * d * (2 * v) * th * th / 2.0 +
+                          (2 * v) * (2 * v) * th * th * th / 3.0;
+  // Note: per-side speed v means total expansion rate g = 2v per dimension.
+  EXPECT_NEAR(SweepIntegral(r, 0.0, th, 0.0, 0.0), expected, 1e-9);
+  const double paper_form =
+      d * d * th + 2 * d * v * th * th + 4.0 / 3.0 * v * v * th * th * th;
+  EXPECT_NEAR(expected, paper_form, 1e-9);
+}
+
+TEST(SweepIntegralTest, NumericalAgreement) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    TpRect r;
+    const Point2 lo = rng.PointIn(Rect{{-5, -5}, {5, 5}});
+    r.mbr = {lo, lo + Vec2{rng.Uniform(0, 4), rng.Uniform(0, 4)}};
+    const Vec2 vlo{rng.Uniform(-2, 2), rng.Uniform(-2, 2)};
+    r.vbr = {vlo, vlo + Vec2{rng.Uniform(0, 3), rng.Uniform(0, 3)}};
+    r.tref = rng.Uniform(0, 3);
+    const double t_now = r.tref + rng.Uniform(0, 2);
+    const double h = rng.Uniform(0.5, 8.0);
+    const double qx = rng.Uniform(0, 2), qy = rng.Uniform(0, 2);
+    // Numeric integration.
+    const int steps = 20000;
+    double acc = 0.0;
+    for (int s = 0; s < steps; ++s) {
+      const double u = h * (s + 0.5) / steps;
+      const Rect at = r.RectAt(t_now + u);
+      acc += (at.Width() + 2 * qx) * (at.Height() + 2 * qy) * (h / steps);
+    }
+    EXPECT_NEAR(SweepIntegral(r, t_now, h, qx, qy), acc,
+                1e-3 * std::max(1.0, acc))
+        << "trial " << trial;
+  }
+}
+
+TEST(SweepIntegralTest, PartitionedBeatsUnpartitionedOverTime) {
+  // The paper's core analytic claim (Equation 6): splitting objects moving
+  // along x from objects moving along y wins once th > d*sqrt(3)/(2v).
+  const double d = 4.0, v = 2.0;
+  // Unpartitioned node: expands in both dimensions.
+  const TpRect both{{{0, 0}, {d, d}}, {{-v, -v}, {v, v}}, 0.0};
+  // Partitioned: one node expands only in x, the other only in y.
+  const TpRect only_x{{{0, 0}, {d, d}}, {{-v, 0}, {v, 0}}, 0.0};
+  const TpRect only_y{{{0, 0}, {d, d}}, {{0, -v}, {0, v}}, 0.0};
+  const double crossover = d * std::sqrt(3.0) / (2.0 * v);
+  const double before = crossover * 0.5;
+  const double after = crossover * 3.0;
+  const auto vol = [&](const TpRect& r, double th) {
+    return SweepIntegral(r, 0.0, th, 0.0, 0.0);
+  };
+  EXPECT_LT(vol(both, before), vol(only_x, before) + vol(only_y, before));
+  EXPECT_GT(vol(both, after), vol(only_x, after) + vol(only_y, after));
+}
+
+TEST(SweepEnlargementTest, CoveringEntryIsFree) {
+  const TpRect big{{{0, 0}, {10, 10}}, {{-2, -2}, {2, 2}}, 0.0};
+  const TpRect inside{{{4, 4}, {5, 5}}, {{-1, -1}, {1, 1}}, 0.0};
+  EXPECT_NEAR(SweepEnlargement(big, inside, 0.0, 10.0, 0.0, 0.0), 0.0, 1e-9);
+  const TpRect outside{{{50, 50}, {51, 51}}, {{0, 0}, {0, 0}}, 0.0};
+  EXPECT_GT(SweepEnlargement(big, outside, 0.0, 10.0, 0.0, 0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace vpmoi

@@ -1,0 +1,275 @@
+// TPR*-tree tests: CRUD semantics, structural invariants under churn,
+// query exactness against the brute-force oracle, I/O accounting, and the
+// near-1D expansion behaviour that motivates the VP technique.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "test_util.h"
+#include "tpr/tpr_tree.h"
+
+namespace vpmoi {
+namespace {
+
+using testing_util::MakeObjects;
+using testing_util::ObjectGenOptions;
+using testing_util::OracleSearch;
+using testing_util::Sorted;
+
+TEST(TprTreeTest, EmptyTree) {
+  TprStarTree tree;
+  EXPECT_EQ(tree.Size(), 0u);
+  EXPECT_EQ(tree.Height(), 1);
+  EXPECT_TRUE(tree.Delete(1).IsNotFound());
+  std::vector<ObjectId> out;
+  EXPECT_TRUE(tree
+                  .Search(RangeQuery::TimeSlice(
+                              QueryRegion::MakeRect(Rect{{0, 0}, {1, 1}}), 0),
+                          &out)
+                  .ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(TprTreeTest, InsertDuplicateRejected) {
+  TprStarTree tree;
+  ASSERT_TRUE(tree.Insert(MovingObject(1, {0, 0}, {1, 1}, 0)).ok());
+  EXPECT_TRUE(tree.Insert(MovingObject(1, {5, 5}, {0, 0}, 0)).IsAlreadyExists());
+  EXPECT_EQ(tree.Size(), 1u);
+}
+
+TEST(TprTreeTest, InsertDeleteRoundTrip) {
+  TprStarTree tree;
+  const auto objects = MakeObjects(500, {}, 1);
+  for (const auto& o : objects) ASSERT_TRUE(tree.Insert(o).ok());
+  EXPECT_EQ(tree.Size(), 500u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (const auto& o : objects) ASSERT_TRUE(tree.Delete(o.id).ok()) << o.id;
+  EXPECT_EQ(tree.Size(), 0u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(TprTreeTest, GetObjectReturnsStoredTrajectory) {
+  TprStarTree tree;
+  const MovingObject o(9, {10, 20}, {3, -4}, 1.5);
+  ASSERT_TRUE(tree.Insert(o).ok());
+  auto got = tree.GetObject(9);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->pos, o.pos);
+  EXPECT_EQ(got->vel, o.vel);
+  EXPECT_TRUE(tree.GetObject(10).status().IsNotFound());
+}
+
+TEST(TprTreeTest, HeightGrowsAndQueriesStillExact) {
+  TprStarTree tree;
+  const auto objects = MakeObjects(5000, {}, 2);
+  for (const auto& o : objects) ASSERT_TRUE(tree.Insert(o).ok());
+  EXPECT_GE(tree.Height(), 2);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    const Point2 c = rng.PointIn(Rect{{0, 0}, {10000, 10000}});
+    const RangeQuery q = RangeQuery::TimeSlice(
+        QueryRegion::MakeCircle(Circle{c, rng.Uniform(100, 800)}),
+        rng.Uniform(0, 60));
+    std::vector<ObjectId> got;
+    ASSERT_TRUE(tree.Search(q, &got).ok());
+    EXPECT_EQ(Sorted(got), OracleSearch(objects, q)) << "query " << i;
+  }
+}
+
+TEST(TprTreeTest, AllThreeQueryTypesExact) {
+  TprStarTree tree;
+  const auto objects = MakeObjects(2000, {}, 5);
+  for (const auto& o : objects) ASSERT_TRUE(tree.Insert(o).ok());
+  Rng rng(6);
+  for (int i = 0; i < 30; ++i) {
+    const Point2 c = rng.PointIn(Rect{{0, 0}, {10000, 10000}});
+    auto region = QueryRegion::MakeRect(
+        Rect::FromCenter(c, rng.Uniform(100, 600), rng.Uniform(100, 600)));
+    const double t0 = rng.Uniform(0, 40);
+    // Time slice.
+    RangeQuery slice = RangeQuery::TimeSlice(region, t0);
+    // Time interval.
+    RangeQuery interval = RangeQuery::TimeInterval(region, t0, t0 + 15);
+    // Moving.
+    auto moving_region = region;
+    moving_region.vel = {rng.Uniform(-40, 40), rng.Uniform(-40, 40)};
+    RangeQuery moving = RangeQuery::Moving(moving_region, t0, t0 + 15);
+    for (const RangeQuery& q : {slice, interval, moving}) {
+      std::vector<ObjectId> got;
+      ASSERT_TRUE(tree.Search(q, &got).ok());
+      EXPECT_EQ(Sorted(got), OracleSearch(objects, q));
+    }
+  }
+}
+
+TEST(TprTreeTest, UpdateMovesObject) {
+  TprStarTree tree;
+  ASSERT_TRUE(tree.Insert(MovingObject(1, {100, 100}, {1, 0}, 0)).ok());
+  ASSERT_TRUE(tree.Update(MovingObject(1, {5000, 5000}, {0, 1}, 10)).ok());
+  EXPECT_EQ(tree.Size(), 1u);
+  std::vector<ObjectId> out;
+  const RangeQuery at_new = RangeQuery::TimeSlice(
+      QueryRegion::MakeCircle(Circle{{5000, 5010}, 1.0}), 20.0);
+  ASSERT_TRUE(tree.Search(at_new, &out).ok());
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  const RangeQuery at_old = RangeQuery::TimeSlice(
+      QueryRegion::MakeCircle(Circle{{120, 100}, 5.0}), 20.0);
+  ASSERT_TRUE(tree.Search(at_old, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TprTreeTest, ChurnKeepsInvariants) {
+  TprStarTree tree;
+  Rng rng(11);
+  std::unordered_map<ObjectId, MovingObject> live;
+  double now = 0.0;
+  ObjectId next_id = 0;
+  for (int op = 0; op < 8000; ++op) {
+    now += 0.01;
+    tree.AdvanceTime(now);
+    const double r = rng.NextDouble();
+    if (r < 0.5 || live.empty()) {
+      MovingObject o(next_id++, rng.PointIn(Rect{{0, 0}, {10000, 10000}}),
+                     {rng.Uniform(-100, 100), rng.Uniform(-100, 100)}, now);
+      ASSERT_TRUE(tree.Insert(o).ok());
+      live.emplace(o.id, o);
+    } else if (r < 0.8) {
+      auto it = live.begin();
+      std::advance(it, rng.UniformInt(live.size()));
+      MovingObject o = it->second;
+      o.pos = rng.PointIn(Rect{{0, 0}, {10000, 10000}});
+      o.vel = {rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+      o.t_ref = now;
+      ASSERT_TRUE(tree.Update(o).ok());
+      it->second = o;
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.UniformInt(live.size()));
+      ASSERT_TRUE(tree.Delete(it->first).ok());
+      live.erase(it);
+    }
+    if (op % 1000 == 999) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "op " << op;
+      EXPECT_EQ(tree.Size(), live.size());
+    }
+  }
+  // Final exactness check.
+  std::vector<MovingObject> objects;
+  for (const auto& [id, o] : live) objects.push_back(o);
+  Rng qrng(13);
+  for (int i = 0; i < 20; ++i) {
+    const RangeQuery q = RangeQuery::TimeSlice(
+        QueryRegion::MakeCircle(
+            Circle{qrng.PointIn(Rect{{0, 0}, {10000, 10000}}),
+                   qrng.Uniform(200, 900)}),
+        now + qrng.Uniform(0, 30));
+    std::vector<ObjectId> got;
+    ASSERT_TRUE(tree.Search(q, &got).ok());
+    EXPECT_EQ(Sorted(got), OracleSearch(objects, q));
+  }
+}
+
+TEST(TprTreeTest, SearchCountsIo) {
+  TprStarTree tree;
+  const auto objects = MakeObjects(20000, {}, 17);
+  for (const auto& o : objects) ASSERT_TRUE(tree.Insert(o).ok());
+  tree.ResetStats();
+  std::vector<ObjectId> out;
+  const RangeQuery q = RangeQuery::TimeSlice(
+      QueryRegion::MakeCircle(Circle{{5000, 5000}, 500.0}), 30.0);
+  ASSERT_TRUE(tree.Search(q, &out).ok());
+  // With 20k objects behind a 50-page buffer, a predictive query must do
+  // real I/O.
+  EXPECT_GT(tree.Stats().physical_reads, 0u);
+}
+
+TEST(TprTreeTest, LeafBoundsCoverEveryObject) {
+  TprStarTree tree;
+  const auto objects = MakeObjects(3000, {}, 23);
+  for (const auto& o : objects) ASSERT_TRUE(tree.Insert(o).ok());
+  const auto bounds = tree.LeafBounds();
+  ASSERT_FALSE(bounds.empty());
+  // Every object must be inside at least one leaf bound, now and later.
+  for (const auto& o : objects) {
+    bool covered = false;
+    for (const auto& b : bounds) {
+      if (b.ContainsTrajectory(o, tree.Now())) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << o.id;
+  }
+}
+
+TEST(TprTreeTest, AxisAlignedWorkloadYieldsNarrowVbrs) {
+  // Objects moving only along x: leaf VBRs should be much wider in x than
+  // in y — the observation behind Figure 7.
+  ObjectGenOptions opt;
+  opt.axis_fraction = 1.0;  // all on the axes
+  TprStarTree tree;
+  const auto objects = MakeObjects(4000, opt, 29);
+  // Keep only (near) x-movers.
+  for (const auto& o : objects) {
+    if (std::abs(o.vel.y) <= std::abs(o.vel.x)) {
+      ASSERT_TRUE(tree.Insert(o).ok());
+    }
+  }
+  double sum_gx = 0.0, sum_gy = 0.0;
+  for (const auto& b : tree.LeafBounds()) {
+    sum_gx += b.vbr.hi.x - b.vbr.lo.x;
+    sum_gy += b.vbr.hi.y - b.vbr.lo.y;
+  }
+  EXPECT_GT(sum_gx, 5.0 * sum_gy);
+}
+
+TEST(TprTreeTest, SharedPoolConstruction) {
+  PageStore store;
+  BufferPool pool(&store, 50);
+  TprStarTree a(&pool, TprTreeOptions{});
+  TprStarTree b(&pool, TprTreeOptions{});
+  ASSERT_TRUE(a.Insert(MovingObject(1, {1, 1}, {0, 0}, 0)).ok());
+  ASSERT_TRUE(b.Insert(MovingObject(1, {2, 2}, {0, 0}, 0)).ok());
+  // Distinct trees, same pool: both see combined stats.
+  EXPECT_EQ(a.Stats().LogicalTotal(), b.Stats().LogicalTotal());
+  EXPECT_EQ(a.Size(), 1u);
+  EXPECT_EQ(b.Size(), 1u);
+}
+
+TEST(TprTreeTest, ProjectedAreaPolicyStaysExact) {
+  // The ablation insertion policy changes tree shape, never answers.
+  TprTreeOptions opt;
+  opt.insert_policy = TprInsertPolicy::kProjectedArea;
+  TprStarTree tree(opt);
+  const auto objects = MakeObjects(3000, {}, 83);
+  for (const auto& o : objects) ASSERT_TRUE(tree.Insert(o).ok());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  Rng rng(89);
+  for (int i = 0; i < 25; ++i) {
+    const RangeQuery q = RangeQuery::TimeSlice(
+        QueryRegion::MakeCircle(
+            Circle{rng.PointIn(Rect{{0, 0}, {10000, 10000}}),
+                   rng.Uniform(200, 800)}),
+        rng.Uniform(0, 60));
+    std::vector<ObjectId> got;
+    ASSERT_TRUE(tree.Search(q, &got).ok());
+    EXPECT_EQ(Sorted(got), OracleSearch(objects, q));
+  }
+  for (const auto& o : objects) ASSERT_TRUE(tree.Delete(o.id).ok());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(TprTreeTest, RejectsInvalidQueryInterval) {
+  TprStarTree tree;
+  std::vector<ObjectId> out;
+  const RangeQuery bad{QueryRegion::MakeRect(Rect{{0, 0}, {1, 1}}), 10.0, 5.0};
+  EXPECT_TRUE(tree.Search(bad, &out).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace vpmoi

@@ -1,0 +1,258 @@
+// Velocity analyzer tests: DVA recovery on synthetic cross-shaped velocity
+// distributions (the San Francisco scenario of Figures 1/10/11), tau
+// selection per Equation 10, outlier handling, and the naive-strategy
+// ablation baselines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "vp/velocity_analyzer.h"
+
+namespace vpmoi {
+namespace {
+
+// Velocity sample with two dominant axes at `angle` and angle+90deg plus a
+// fraction of isotropic outliers — the paper's canonical input.
+std::vector<Vec2> CrossSample(double angle, double outlier_fraction,
+                              std::size_t n, std::uint64_t seed,
+                              double lateral_noise = 1.0) {
+  Rng rng(seed);
+  std::vector<Vec2> out;
+  out.reserve(n);
+  const Vec2 a1{std::cos(angle), std::sin(angle)};
+  const Vec2 a2{-a1.y, a1.x};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < outlier_fraction) {
+      const double theta = rng.Uniform(0, 2 * M_PI);
+      const double speed = rng.Uniform(0, 100);
+      out.push_back(Vec2{std::cos(theta), std::sin(theta)} * speed);
+      continue;
+    }
+    const Vec2 axis = rng.Bernoulli(0.5) ? a1 : a2;
+    const double speed = rng.Uniform(-100, 100);
+    const Vec2 perp{-axis.y, axis.x};
+    out.push_back(axis * speed + perp * rng.Gaussian(0.0, lateral_noise));
+  }
+  return out;
+}
+
+double AxisAlignment(const Vec2& found, const Vec2& expected) {
+  return std::abs(found.Normalized().Dot(expected.Normalized()));
+}
+
+TEST(VelocityAnalyzerTest, RejectsBadInput) {
+  VelocityAnalyzerOptions opt;
+  opt.k = 0;
+  EXPECT_TRUE(VelocityAnalyzer(opt).FindDvas({}).status().IsInvalidArgument());
+  opt.k = 2;
+  EXPECT_TRUE(VelocityAnalyzer(opt).Analyze({}).status().IsInvalidArgument());
+}
+
+TEST(VelocityAnalyzerTest, FindsAxisAlignedDvas) {
+  const auto sample = CrossSample(0.0, 0.05, 8000, 1);
+  VelocityAnalyzer analyzer;
+  auto result = analyzer.Analyze(sample);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->dvas.size(), 2u);
+  // One DVA near x-axis, the other near y-axis (order unknown).
+  const double ax0 = AxisAlignment(result->dvas[0].axis, {1, 0});
+  const double ax1 = AxisAlignment(result->dvas[1].axis, {1, 0});
+  const double best_x = std::max(ax0, ax1);
+  const double best_y = std::max(AxisAlignment(result->dvas[0].axis, {0, 1}),
+                                 AxisAlignment(result->dvas[1].axis, {0, 1}));
+  EXPECT_GT(best_x, 0.999);
+  EXPECT_GT(best_y, 0.999);
+}
+
+TEST(VelocityAnalyzerTest, FindsRotatedDvas) {
+  for (double angle : {0.3, 0.47, 0.9}) {  // e.g. San Francisco's ~27deg
+    const auto sample = CrossSample(angle, 0.05, 8000, 7);
+    VelocityAnalyzer analyzer;
+    auto result = analyzer.Analyze(sample);
+    ASSERT_TRUE(result.ok());
+    const Vec2 a1{std::cos(angle), std::sin(angle)};
+    const Vec2 a2{-a1.y, a1.x};
+    const double best1 = std::max(AxisAlignment(result->dvas[0].axis, a1),
+                                  AxisAlignment(result->dvas[1].axis, a1));
+    const double best2 = std::max(AxisAlignment(result->dvas[0].axis, a2),
+                                  AxisAlignment(result->dvas[1].axis, a2));
+    EXPECT_GT(best1, 0.998) << "angle " << angle;
+    EXPECT_GT(best2, 0.998) << "angle " << angle;
+  }
+}
+
+TEST(VelocityAnalyzerTest, OutliersAreRelegated) {
+  const auto sample = CrossSample(0.0, 0.2, 6000, 11);
+  VelocityAnalyzer analyzer;
+  auto result = analyzer.Analyze(sample);
+  ASSERT_TRUE(result.ok());
+  // A meaningful share of points must land in the outlier partition, but
+  // far from everything (the axes carry ~80%).
+  EXPECT_GT(result->outlier_count, sample.size() / 50);
+  EXPECT_LT(result->outlier_count, sample.size() / 2);
+  // Assignment labels match acceptance by the published taus. The DVA is
+  // refit after outlier removal (Algorithm 1 line 6), which can nudge a
+  // handful of borderline points past tau — tolerate < 1% of those.
+  std::size_t violations = 0;
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    const int c = result->assignment[i];
+    if (c >= 0) {
+      ++assigned;
+      if (!result->dvas[c].Accepts(sample[i])) ++violations;
+    }
+  }
+  EXPECT_LT(violations, assigned / 100 + 1);
+}
+
+TEST(VelocityAnalyzerTest, PartitionOfRouting) {
+  const auto sample = CrossSample(0.0, 0.05, 5000, 13);
+  auto result = VelocityAnalyzer().Analyze(sample);
+  ASSERT_TRUE(result.ok());
+  // A pure x-mover routes to the x-ish DVA; a diagonal fast mover with a
+  // large perpendicular speed to both axes is an outlier.
+  const int px = result->PartitionOf({90.0, 0.5});
+  ASSERT_GE(px, 0);
+  EXPECT_GT(AxisAlignment(result->dvas[px].axis, {1, 0}), 0.99);
+  const double diag = 70.0;
+  EXPECT_EQ(result->PartitionOf({diag, diag}), -1);
+}
+
+TEST(VelocityAnalyzerTest, SingleDvaWithKOne) {
+  VelocityAnalyzerOptions opt;
+  opt.k = 1;
+  Rng rng(17);
+  std::vector<Vec2> sample;
+  const Vec2 axis = Vec2{2.0, 1.0}.Normalized();
+  for (int i = 0; i < 3000; ++i) {
+    sample.push_back(axis * rng.Uniform(-50, 50) +
+                     Vec2{-axis.y, axis.x} * rng.Gaussian(0, 0.5));
+  }
+  auto result = VelocityAnalyzer(opt).Analyze(sample);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->dvas.size(), 1u);
+  EXPECT_GT(AxisAlignment(result->dvas[0].axis, axis), 0.999);
+}
+
+TEST(VelocityAnalyzerTest, ChooseTauMinimizesEquation10) {
+  VelocityAnalyzer analyzer;
+  // Perpendicular speeds: 90% tiny (on-axis traffic), 10% large outliers.
+  std::vector<double> perp;
+  Rng rng(19);
+  for (int i = 0; i < 9000; ++i) perp.push_back(rng.Uniform(0.0, 2.0));
+  for (int i = 0; i < 1000; ++i) perp.push_back(rng.Uniform(40.0, 100.0));
+  const double tau = analyzer.ChooseTau(perp);
+  // tau must keep the dense on-axis mass (within one histogram bucket of
+  // its upper edge) and exclude the heavy tail.
+  EXPECT_GE(tau, 1.9);
+  EXPECT_LT(tau, 40.0);
+  // Verify optimality against direct evaluation of Equation 10 on the
+  // same histogram grid.
+  double vymax = 0.0;
+  for (double s : perp) vymax = std::max(vymax, s);
+  const int buckets = analyzer.options().tau_histogram_buckets;
+  double best_cost = 0.0, tau_cost = 0.0;
+  for (int b = 0; b < buckets; ++b) {
+    const double cand = vymax * (b + 1) / buckets;
+    std::size_t nd = 0;
+    for (double s : perp) {
+      if (s <= cand) ++nd;
+    }
+    const double cost = static_cast<double>(nd) * (cand - vymax);
+    if (b == 0 || cost < best_cost) best_cost = cost;
+    if (std::abs(cand - tau) < vymax / buckets / 2) tau_cost = cost;
+  }
+  EXPECT_NEAR(tau_cost, best_cost, std::abs(best_cost) * 0.05 + 1e-9);
+}
+
+TEST(VelocityAnalyzerTest, ChooseTauDegenerateInputs) {
+  VelocityAnalyzer analyzer;
+  EXPECT_EQ(analyzer.ChooseTau({}), 0.0);
+  const std::vector<double> zeros(100, 0.0);
+  EXPECT_EQ(analyzer.ChooseTau(zeros), 0.0);
+}
+
+TEST(VelocityAnalyzerTest, FixedTauOverride) {
+  VelocityAnalyzerOptions opt;
+  opt.use_fixed_tau = true;
+  opt.fixed_tau = 12.5;
+  const auto sample = CrossSample(0.0, 0.1, 3000, 23);
+  auto result = VelocityAnalyzer(opt).Analyze(sample);
+  ASSERT_TRUE(result.ok());
+  for (const Dva& d : result->dvas) EXPECT_EQ(d.tau, 12.5);
+}
+
+TEST(VelocityAnalyzerTest, NaiveIPcaOnlyAveragesAxes) {
+  // On a rotated cross, global PCA cannot recover either axis (Figure
+  // 10(a)); our approach can. This is the paper's motivating comparison.
+  const double angle = M_PI / 4.0;  // axes at 45 and 135 degrees
+  const auto sample = CrossSample(angle, 0.0, 8000, 29, 0.5);
+  const Vec2 a1{std::cos(angle), std::sin(angle)};
+  const Vec2 a2{-a1.y, a1.x};
+
+  VelocityAnalyzerOptions naive1;
+  naive1.strategy = PartitioningStrategy::kPcaOnly;
+  auto n1 = VelocityAnalyzer(naive1).FindDvas(sample);
+  ASSERT_TRUE(n1.ok());
+  // The symmetric cross makes the principal direction ambiguous; whatever
+  // PCA picks, report alignment with the best-matching true axis.
+  const double n1_best =
+      std::max({AxisAlignment(n1->dvas[0].axis, a1),
+                AxisAlignment(n1->dvas[0].axis, a2)});
+
+  auto ours = VelocityAnalyzer().FindDvas(sample);
+  ASSERT_TRUE(ours.ok());
+  const double ours_best =
+      std::max(AxisAlignment(ours->dvas[0].axis, a1),
+               AxisAlignment(ours->dvas[0].axis, a2));
+  EXPECT_GT(ours_best, 0.999);
+  EXPECT_GT(ours_best, n1_best);
+}
+
+TEST(VelocityAnalyzerTest, NaiveIRejectsKAboveTwo) {
+  VelocityAnalyzerOptions opt;
+  opt.strategy = PartitioningStrategy::kPcaOnly;
+  opt.k = 3;
+  const auto sample = CrossSample(0.0, 0.0, 100, 1);
+  EXPECT_TRUE(
+      VelocityAnalyzer(opt).FindDvas(sample).status().IsInvalidArgument());
+}
+
+TEST(VelocityAnalyzerTest, NaiveIIMisgroupsByCentroid) {
+  // Figure 12: centroid k-means groups by proximity to a point, so the
+  // mean perpendicular distance to the fitted axes is worse than ours.
+  const auto sample = CrossSample(0.0, 0.0, 8000, 31, 0.5);
+
+  const auto mean_perp = [&](const VelocityAnalysis& a) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const Dva& d : a.dvas) {
+        best = std::min(best, d.PerpendicularSpeed(sample[i]));
+      }
+      total += best;
+    }
+    return total / sample.size();
+  };
+
+  VelocityAnalyzerOptions naive2;
+  naive2.strategy = PartitioningStrategy::kCentroidKMeans;
+  auto n2 = VelocityAnalyzer(naive2).FindDvas(sample);
+  ASSERT_TRUE(n2.ok());
+  auto ours = VelocityAnalyzer().FindDvas(sample);
+  ASSERT_TRUE(ours.ok());
+  EXPECT_LT(mean_perp(*ours) * 1.5, mean_perp(*n2));
+}
+
+TEST(VelocityAnalyzerTest, AnalyzeReportsRuntime) {
+  const auto sample = CrossSample(0.0, 0.05, 10000, 37);
+  auto result = VelocityAnalyzer().Analyze(sample);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->analyze_millis, 0.0);
+  // Figure 18's claim: the analyzer is cheap (tens of ms at 10k points).
+  EXPECT_LT(result->analyze_millis, 2000.0);
+}
+
+}  // namespace
+}  // namespace vpmoi

@@ -1,0 +1,114 @@
+// Velocity grid tests: extremes maintenance, conservative removal
+// semantics, spatial selectivity, and clamping — the machinery behind the
+// Bx-tree's query enlargement.
+#include <gtest/gtest.h>
+
+#include "bx/velocity_grid.h"
+#include "common/random.h"
+
+namespace vpmoi {
+namespace {
+
+const Rect kDomain{{0, 0}, {1000, 1000}};
+
+TEST(VelocityGridTest, EmptyGridHasNoExtremes) {
+  VelocityGrid grid(kDomain, 8);
+  EXPECT_FALSE(grid.Global().any);
+  EXPECT_FALSE(grid.Query(kDomain).any);
+}
+
+TEST(VelocityGridTest, SingleInsertSetsExtremes) {
+  VelocityGrid grid(kDomain, 8);
+  grid.Insert({100, 100}, {5, -3});
+  const auto g = grid.Global();
+  ASSERT_TRUE(g.any);
+  EXPECT_EQ(g.vmin, (Vec2{5, -3}));
+  EXPECT_EQ(g.vmax, (Vec2{5, -3}));
+}
+
+TEST(VelocityGridTest, ExtremesGrowWithInserts) {
+  VelocityGrid grid(kDomain, 8);
+  grid.Insert({100, 100}, {5, -3});
+  grid.Insert({100, 100}, {-7, 9});
+  const auto g = grid.Query(Rect{{0, 0}, {200, 200}});
+  ASSERT_TRUE(g.any);
+  EXPECT_EQ(g.vmin, (Vec2{-7, -3}));
+  EXPECT_EQ(g.vmax, (Vec2{5, 9}));
+}
+
+TEST(VelocityGridTest, QueryIsSpatiallySelective) {
+  VelocityGrid grid(kDomain, 10);  // 100x100 cells
+  grid.Insert({50, 50}, {100, 0});     // cell (0,0)
+  grid.Insert({950, 950}, {0, -100});  // cell (9,9)
+  const auto corner = grid.Query(Rect{{0, 0}, {99, 99}});
+  ASSERT_TRUE(corner.any);
+  EXPECT_EQ(corner.vmax.x, 100.0);
+  EXPECT_EQ(corner.vmin.y, 0.0);  // the fast-down object is elsewhere
+  const auto other = grid.Query(Rect{{900, 900}, {999, 999}});
+  ASSERT_TRUE(other.any);
+  EXPECT_EQ(other.vmin.y, -100.0);
+  EXPECT_EQ(other.vmax.x, 0.0);
+}
+
+TEST(VelocityGridTest, RemovalResetsEmptiedCell) {
+  VelocityGrid grid(kDomain, 4);
+  grid.Insert({10, 10}, {50, 50});
+  grid.Remove({10, 10}, {50, 50});
+  EXPECT_FALSE(grid.Query(Rect{{0, 0}, {100, 100}}).any);
+  EXPECT_FALSE(grid.Global().any);
+}
+
+TEST(VelocityGridTest, RemovalIsConservativeWhileCellOccupied) {
+  VelocityGrid grid(kDomain, 4);
+  grid.Insert({10, 10}, {50, 0});
+  grid.Insert({10, 10}, {5, 0});
+  grid.Remove({10, 10}, {50, 0});  // the fast one leaves
+  const auto e = grid.Query(Rect{{0, 0}, {100, 100}});
+  ASSERT_TRUE(e.any);
+  // Conservative: extremes may stay loose (still report 50), but must
+  // still cover the remaining object.
+  EXPECT_GE(e.vmax.x, 5.0);
+}
+
+TEST(VelocityGridTest, OutOfDomainPositionsClampToEdgeCells) {
+  VelocityGrid grid(kDomain, 4);
+  grid.Insert({-500, 2000}, {1, 2});  // clamps to cell (0, 3)
+  const auto e = grid.Query(Rect{{0, 900}, {100, 999}});
+  ASSERT_TRUE(e.any);
+  EXPECT_EQ(e.vmax, (Vec2{1, 2}));
+}
+
+TEST(VelocityGridTest, RandomizedCoverageInvariant) {
+  // Property: for any window, the grid extremes over that window cover the
+  // velocities of all objects whose position falls inside it.
+  VelocityGrid grid(kDomain, 16);
+  Rng rng(33);
+  struct Obj {
+    Point2 pos;
+    Vec2 vel;
+  };
+  std::vector<Obj> objs;
+  for (int i = 0; i < 2000; ++i) {
+    Obj o{rng.PointIn(kDomain),
+          {rng.Uniform(-80, 80), rng.Uniform(-80, 80)}};
+    grid.Insert(o.pos, o.vel);
+    objs.push_back(o);
+  }
+  for (int trial = 0; trial < 100; ++trial) {
+    const Point2 lo = rng.PointIn(kDomain);
+    const Rect w{lo, {std::min(1000.0, lo.x + rng.Uniform(10, 400)),
+                      std::min(1000.0, lo.y + rng.Uniform(10, 400))}};
+    const auto e = grid.Query(w);
+    for (const Obj& o : objs) {
+      if (!w.Contains(o.pos)) continue;
+      ASSERT_TRUE(e.any);
+      EXPECT_LE(e.vmin.x, o.vel.x);
+      EXPECT_GE(e.vmax.x, o.vel.x);
+      EXPECT_LE(e.vmin.y, o.vel.y);
+      EXPECT_GE(e.vmax.y, o.vel.y);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vpmoi

@@ -1,0 +1,311 @@
+// VP index manager tests: routing into DVA vs outlier partitions, query
+// transformation and refinement, migration on update, tau refresh, and the
+// transform round-trip guarantees that make Algorithm 3 sound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "test_util.h"
+#include "tpr/tpr_tree.h"
+#include "vp/transform.h"
+#include "vp/vp_index.h"
+
+namespace vpmoi {
+namespace {
+
+using testing_util::MakeObjects;
+using testing_util::ObjectGenOptions;
+using testing_util::OracleSearch;
+using testing_util::Sorted;
+
+const Rect kDomain{{0, 0}, {10000, 10000}};
+
+std::vector<Vec2> AxisSample(double angle, std::size_t n, std::uint64_t seed,
+                             double outlier_fraction = 0.05) {
+  Rng rng(seed);
+  std::vector<Vec2> out;
+  const Vec2 a1{std::cos(angle), std::sin(angle)};
+  const Vec2 a2{-a1.y, a1.x};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < outlier_fraction) {
+      const double theta = rng.Uniform(0, 2 * M_PI);
+      out.push_back(Vec2{std::cos(theta), std::sin(theta)} *
+                    rng.Uniform(0, 100));
+    } else {
+      const Vec2 axis = rng.Bernoulli(0.5) ? a1 : a2;
+      out.push_back(axis * rng.Uniform(-100, 100) +
+                    Vec2{-axis.y, axis.x} * rng.Gaussian(0, 1.0));
+    }
+  }
+  return out;
+}
+
+IndexFactory TprFactory() {
+  return [](BufferPool* pool, const Rect&) {
+    return std::make_unique<TprStarTree>(pool, TprTreeOptions{});
+  };
+}
+
+TEST(DvaTransformTest, ObjectRoundTrip) {
+  Dva dva;
+  dva.axis = Vec2{1.0, 2.0}.Normalized();
+  const DvaTransform tf(dva, kDomain);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const MovingObject o(i, rng.PointIn(kDomain),
+                         {rng.Uniform(-50, 50), rng.Uniform(-50, 50)},
+                         rng.Uniform(0, 10));
+    const MovingObject back = tf.ToWorld(tf.ToFrame(o));
+    EXPECT_NEAR(back.pos.x, o.pos.x, 1e-8);
+    EXPECT_NEAR(back.pos.y, o.pos.y, 1e-8);
+    EXPECT_NEAR(back.vel.x, o.vel.x, 1e-10);
+    EXPECT_NEAR(back.vel.y, o.vel.y, 1e-10);
+  }
+}
+
+TEST(DvaTransformTest, FrameDomainCoversAllWorldPoints) {
+  Dva dva;
+  dva.axis = Vec2{3.0, 1.0}.Normalized();
+  const DvaTransform tf(dva, kDomain);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(tf.frame_domain().Contains(tf.ToFramePoint(rng.PointIn(kDomain))));
+  }
+}
+
+TEST(DvaTransformTest, DvaVelocityBecomesAxisParallel) {
+  Dva dva;
+  dva.axis = Vec2{1.0, 1.0}.Normalized();
+  const DvaTransform tf(dva, kDomain);
+  const Vec2 v = dva.axis * 70.0;
+  const Vec2 fv = tf.ToFrameVector(v);
+  EXPECT_NEAR(fv.x, 70.0, 1e-9);
+  EXPECT_NEAR(fv.y, 0.0, 1e-9);
+}
+
+TEST(DvaTransformTest, TransformedQueryIsConservative) {
+  // Every object matching the original query must match the transformed
+  // query in frame coordinates (the superset property Algorithm 3 needs).
+  Dva dva;
+  dva.axis = Vec2{2.0, 1.0}.Normalized();
+  const DvaTransform tf(dva, kDomain);
+  Rng rng(7);
+  int matched = 0;
+  for (int trial = 0; trial < 12000; ++trial) {
+    const bool circle = rng.Bernoulli(0.5);
+    const Point2 c = rng.PointIn(kDomain);
+    QueryRegion region =
+        circle ? QueryRegion::MakeCircle(Circle{c, rng.Uniform(50, 500)})
+               : QueryRegion::MakeRect(Rect::FromCenter(
+                     c, rng.Uniform(50, 500), rng.Uniform(50, 500)));
+    region.vel = {rng.Uniform(-20, 20), rng.Uniform(-20, 20)};
+    const double t0 = rng.Uniform(0, 30);
+    const RangeQuery q{region, t0, t0 + rng.Uniform(0, 20)};
+    const RangeQuery fq = tf.TransformQuery(q);
+
+    const MovingObject o(1, rng.PointIn(kDomain),
+                         {rng.Uniform(-60, 60), rng.Uniform(-60, 60)},
+                         rng.Uniform(0, 5));
+    if (q.Matches(o)) {
+      EXPECT_TRUE(fq.Matches(tf.ToFrame(o))) << "trial " << trial;
+      ++matched;
+    }
+    if (circle) {
+      // Circle transforms are exact both ways.
+      EXPECT_EQ(q.Matches(o), fq.Matches(tf.ToFrame(o)));
+    }
+  }
+  EXPECT_GT(matched, 30);
+}
+
+TEST(VpIndexTest, BuildsWithPartitionsAndName) {
+  VpIndexOptions opt;
+  opt.domain = kDomain;
+  auto built = VpIndex::Build(TprFactory(), opt, AxisSample(0.0, 4000, 1));
+  ASSERT_TRUE(built.ok());
+  auto& vp = *built;
+  EXPECT_EQ(vp->DvaCount(), 2);
+  EXPECT_EQ(vp->Name(), "TPR*(VP)");
+  for (int i = 0; i <= vp->DvaCount(); ++i) {
+    EXPECT_EQ(vp->PartitionSize(i), 0u);
+  }
+}
+
+TEST(VpIndexTest, RoutesOnAxisObjectsToDvaPartitions) {
+  VpIndexOptions opt;
+  opt.domain = kDomain;
+  auto built = VpIndex::Build(TprFactory(), opt, AxisSample(0.0, 4000, 2));
+  ASSERT_TRUE(built.ok());
+  auto& vp = *built;
+  // Pure x-mover and pure y-mover go to (different) DVA partitions.
+  ASSERT_TRUE(vp->Insert(MovingObject(1, {100, 100}, {80, 0.2}, 0)).ok());
+  ASSERT_TRUE(vp->Insert(MovingObject(2, {200, 200}, {-0.1, 75}, 0)).ok());
+  // A fast diagonal mover is an outlier.
+  ASSERT_TRUE(vp->Insert(MovingObject(3, {300, 300}, {60, 60}, 0)).ok());
+  auto p1 = vp->PartitionOfObject(1);
+  auto p2 = vp->PartitionOfObject(2);
+  auto p3 = vp->PartitionOfObject(3);
+  ASSERT_TRUE(p1.ok() && p2.ok() && p3.ok());
+  EXPECT_LT(*p1, vp->DvaCount());
+  EXPECT_LT(*p2, vp->DvaCount());
+  EXPECT_NE(*p1, *p2);
+  EXPECT_EQ(*p3, vp->DvaCount());  // outlier
+  EXPECT_TRUE(vp->CheckInvariants().ok());
+}
+
+TEST(VpIndexTest, UpdateMigratesAcrossPartitions) {
+  VpIndexOptions opt;
+  opt.domain = kDomain;
+  auto built = VpIndex::Build(TprFactory(), opt, AxisSample(0.0, 4000, 3));
+  ASSERT_TRUE(built.ok());
+  auto& vp = *built;
+  ASSERT_TRUE(vp->Insert(MovingObject(1, {100, 100}, {80, 0}, 0)).ok());
+  const int before = *vp->PartitionOfObject(1);
+  // The object turns: now moving along y.
+  ASSERT_TRUE(vp->Update(MovingObject(1, {500, 100}, {0, 80}, 5)).ok());
+  const int after = *vp->PartitionOfObject(1);
+  EXPECT_NE(before, after);
+  EXPECT_EQ(vp->Size(), 1u);
+  // And to an outlier direction.
+  ASSERT_TRUE(vp->Update(MovingObject(1, {500, 500}, {57, -57}, 9)).ok());
+  EXPECT_EQ(*vp->PartitionOfObject(1), vp->DvaCount());
+  EXPECT_TRUE(vp->CheckInvariants().ok());
+}
+
+TEST(VpIndexTest, DeleteAcrossPartitions) {
+  VpIndexOptions opt;
+  opt.domain = kDomain;
+  auto built = VpIndex::Build(TprFactory(), opt, AxisSample(0.0, 4000, 4));
+  ASSERT_TRUE(built.ok());
+  auto& vp = *built;
+  ASSERT_TRUE(vp->Insert(MovingObject(1, {100, 100}, {80, 0}, 0)).ok());
+  ASSERT_TRUE(vp->Insert(MovingObject(2, {100, 100}, {55, 55}, 0)).ok());
+  ASSERT_TRUE(vp->Delete(1).ok());
+  ASSERT_TRUE(vp->Delete(2).ok());
+  EXPECT_TRUE(vp->Delete(2).IsNotFound());
+  EXPECT_EQ(vp->Size(), 0u);
+}
+
+TEST(VpIndexTest, SearchExactOnRotatedWorkload) {
+  // Rotated-axis workload (SA-style): the DVA frames are oblique, rect
+  // queries go through the conservative MBR + refinement path.
+  const double angle = 27.0 * M_PI / 180.0;
+  VpIndexOptions opt;
+  opt.domain = kDomain;
+  auto built =
+      VpIndex::Build(TprFactory(), opt, AxisSample(angle, 6000, 5));
+  ASSERT_TRUE(built.ok());
+  auto& vp = *built;
+
+  ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.9;
+  gen.axis_angle = angle;
+  const auto objects = MakeObjects(3000, gen, 6);
+  for (const auto& o : objects) ASSERT_TRUE(vp->Insert(o).ok());
+  EXPECT_TRUE(vp->CheckInvariants().ok());
+  // Objects actually spread across partitions.
+  EXPECT_GT(vp->PartitionSize(0), 100u);
+  EXPECT_GT(vp->PartitionSize(1), 100u);
+
+  Rng rng(8);
+  for (int i = 0; i < 40; ++i) {
+    const bool circle = rng.Bernoulli(0.5);
+    const Point2 c = rng.PointIn(kDomain);
+    QueryRegion region =
+        circle ? QueryRegion::MakeCircle(Circle{c, rng.Uniform(100, 700)})
+               : QueryRegion::MakeRect(Rect::FromCenter(
+                     c, rng.Uniform(100, 700), rng.Uniform(100, 700)));
+    const double t0 = rng.Uniform(0, 60);
+    const RangeQuery q = rng.Bernoulli(0.5)
+                             ? RangeQuery::TimeSlice(region, t0)
+                             : RangeQuery::TimeInterval(region, t0, t0 + 10);
+    std::vector<ObjectId> got;
+    ASSERT_TRUE(vp->Search(q, &got).ok());
+    EXPECT_EQ(Sorted(got), OracleSearch(objects, q)) << "query " << i;
+  }
+}
+
+TEST(VpIndexTest, TauRefreshReactsToSpeedChange) {
+  VpIndexOptions opt;
+  opt.domain = kDomain;
+  opt.tau_refresh_interval = 10.0;
+  auto built = VpIndex::Build(TprFactory(), opt, AxisSample(0.0, 4000, 9));
+  ASSERT_TRUE(built.ok());
+  auto& vp = *built;
+  const double tau_before = vp->GetDva(0).tau;
+  // Feed a population whose perpendicular speeds are much larger than the
+  // sample's, then advance time past the refresh interval.
+  Rng rng(10);
+  for (ObjectId id = 0; id < 2000; ++id) {
+    const double vx = rng.Uniform(-100, 100);
+    const double vy = rng.Gaussian(0.0, 8.0);  // wider lateral spread
+    ASSERT_TRUE(
+        vp->Insert(MovingObject(id, rng.PointIn(kDomain), {vx, vy}, 0.0)).ok());
+  }
+  vp->AdvanceTime(20.0);
+  const double tau_after =
+      std::max(vp->GetDva(0).tau, vp->GetDva(1).tau);
+  EXPECT_NE(tau_before, tau_after);
+  EXPECT_GT(tau_after, tau_before);
+}
+
+TEST(VpIndexTest, DriftDetectionFlagsDirectionChange) {
+  VpIndexOptions opt;
+  opt.domain = kDomain;
+  auto built = VpIndex::Build(TprFactory(), opt, AxisSample(0.0, 4000, 21));
+  ASSERT_TRUE(built.ok());
+  auto& vp = *built;
+  // Population matching the sample's axes: indicator stays near baseline.
+  Rng rng(22);
+  for (ObjectId id = 0; id < 1500; ++id) {
+    const bool x_axis = rng.Bernoulli(0.5);
+    const double s = rng.Uniform(-100, 100);
+    const Vec2 vel = x_axis ? Vec2{s, rng.Gaussian(0, 1)}
+                            : Vec2{rng.Gaussian(0, 1), s};
+    ASSERT_TRUE(
+        vp->Insert(MovingObject(id, rng.PointIn(kDomain), vel, 0.0)).ok());
+  }
+  EXPECT_FALSE(vp->NeedsReanalysis());
+  const double aligned_drift = vp->DirectionDriftIndicator();
+
+  // The city repaints its roads 45 degrees: updates rotate every velocity.
+  const Rotation turn = Rotation::FromAngle(M_PI / 4.0);
+  for (ObjectId id = 0; id < 1500; ++id) {
+    auto obj = vp->GetObject(id);
+    ASSERT_TRUE(obj.ok());
+    MovingObject o = *obj;
+    o.vel = turn.Invert(o.vel);
+    ASSERT_TRUE(vp->Update(o).ok());
+  }
+  EXPECT_GT(vp->DirectionDriftIndicator(), aligned_drift * 5.0);
+  EXPECT_TRUE(vp->NeedsReanalysis());
+}
+
+TEST(VpIndexTest, StatsAggregateAcrossPartitions) {
+  VpIndexOptions opt;
+  opt.domain = kDomain;
+  opt.buffer_pages = 8;  // tiny shared buffer forces misses
+  auto built = VpIndex::Build(TprFactory(), opt, AxisSample(0.0, 4000, 11));
+  ASSERT_TRUE(built.ok());
+  auto& vp = *built;
+  ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.9;
+  const auto objects = MakeObjects(4000, gen, 12);
+  for (const auto& o : objects) ASSERT_TRUE(vp->Insert(o).ok());
+  vp->ResetStats();
+  std::vector<ObjectId> out;
+  ASSERT_TRUE(vp
+                  ->Search(RangeQuery::TimeSlice(
+                               QueryRegion::MakeCircle(
+                                   Circle{{5000, 5000}, 800.0}),
+                               30.0),
+                           &out)
+                  .ok());
+  EXPECT_GT(vp->Stats().physical_reads, 0u);
+}
+
+}  // namespace
+}  // namespace vpmoi

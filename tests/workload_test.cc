@@ -1,0 +1,287 @@
+// Workload substrate tests: road network structure, the per-city presets'
+// advertised properties (skew ordering, density ordering), simulator
+// physics (objects follow their reported trajectories, bounded speeds,
+// max update interval honored) and the query generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/pca.h"
+#include "vp/velocity_analyzer.h"
+#include "workload/network_presets.h"
+#include "workload/object_simulator.h"
+#include "workload/query_generator.h"
+
+namespace vpmoi {
+namespace {
+
+using workload::Dataset;
+using workload::DatasetName;
+using workload::GridNetworkParams;
+using workload::MakeGridNetwork;
+using workload::MakeNetwork;
+using workload::ObjectSimulator;
+using workload::QueryGenerator;
+using workload::QueryGeneratorOptions;
+using workload::RoadNetwork;
+using workload::SimulatorOptions;
+
+const Rect kDomain{{0, 0}, {100000, 100000}};
+
+TEST(RoadNetworkTest, BasicConstruction) {
+  RoadNetwork net;
+  const auto a = net.AddNode({0, 0});
+  const auto b = net.AddNode({3, 4});
+  const auto c = net.AddNode({6, 0});
+  net.AddEdge(a, b);
+  net.AddEdge(b, c);
+  net.AddEdge(b, c);  // duplicate ignored
+  net.AddEdge(a, a);  // self loop ignored
+  EXPECT_EQ(net.NodeCount(), 3u);
+  EXPECT_EQ(net.EdgeCount(), 2u);
+  EXPECT_DOUBLE_EQ(net.AverageEdgeLength(), 5.0);
+  EXPECT_TRUE(net.Validate().ok());
+}
+
+TEST(RoadNetworkTest, ValidateCatchesIsolatedNode) {
+  RoadNetwork net;
+  net.AddNode({0, 0});
+  const auto b = net.AddNode({1, 1});
+  const auto c = net.AddNode({2, 2});
+  net.AddEdge(b, c);
+  EXPECT_FALSE(net.Validate().ok());
+}
+
+TEST(GridNetworkTest, NodesStayInDomainEvenRotated) {
+  GridNetworkParams p;
+  p.rows = 10;
+  p.cols = 10;
+  p.domain = kDomain;
+  p.rotation = 0.6;
+  p.jitter = 0.05;
+  const RoadNetwork net = MakeGridNetwork(p);
+  EXPECT_TRUE(net.Validate().ok());
+  EXPECT_TRUE(kDomain.Contains(net.BoundingBox()));
+}
+
+TEST(GridNetworkTest, DropoutNeverIsolatesNodes) {
+  GridNetworkParams p;
+  p.rows = 30;
+  p.cols = 30;
+  p.dropout = 0.5;  // extreme dropout
+  p.seed = 9;
+  const RoadNetwork net = MakeGridNetwork(p);
+  EXPECT_TRUE(net.Validate().ok());
+}
+
+TEST(NetworkPresetsTest, NamesAndExistence) {
+  EXPECT_EQ(DatasetName(Dataset::kChicago), "CH");
+  EXPECT_EQ(DatasetName(Dataset::kUniform), "uniform");
+  for (Dataset d : workload::kAllDatasets) {
+    auto net = MakeNetwork(d, kDomain, 1);
+    if (d == Dataset::kUniform) {
+      EXPECT_FALSE(net.has_value());
+    } else {
+      ASSERT_TRUE(net.has_value()) << DatasetName(d);
+      EXPECT_TRUE(net->Validate().ok()) << DatasetName(d);
+    }
+  }
+}
+
+TEST(NetworkPresetsTest, DensityOrderingMatchesPaper) {
+  // Section 6: NY and MEL have the most nodes/edges (and hence the highest
+  // update frequency); CH and SA have fewer.
+  const auto ch = MakeNetwork(Dataset::kChicago, kDomain, 1);
+  const auto sa = MakeNetwork(Dataset::kSanFrancisco, kDomain, 1);
+  const auto mel = MakeNetwork(Dataset::kMelbourne, kDomain, 1);
+  const auto ny = MakeNetwork(Dataset::kNewYork, kDomain, 1);
+  EXPECT_LT(ch->NodeCount(), mel->NodeCount());
+  EXPECT_LT(sa->NodeCount(), mel->NodeCount());
+  EXPECT_LT(mel->NodeCount(), ny->NodeCount());
+  EXPECT_GT(ch->AverageEdgeLength(), mel->AverageEdgeLength());
+  EXPECT_GT(mel->AverageEdgeLength(), ny->AverageEdgeLength());
+}
+
+// Measures velocity skew as the mean perpendicular speed to the two fitted
+// DVAs (lower = more skewed toward two axes).
+double MeasureResidual(Dataset d) {
+  auto net = MakeNetwork(d, kDomain, 5);
+  SimulatorOptions opt;
+  opt.num_objects = 4000;
+  opt.domain = kDomain;
+  opt.seed = 5;
+  ObjectSimulator sim(net.has_value() ? &*net : nullptr, opt);
+  const auto sample = sim.SampleVelocities(3000, 5);
+  VelocityAnalyzer analyzer;
+  auto analysis = analyzer.FindDvas(sample);
+  double total = 0.0;
+  double speed_total = 0.0;
+  for (const Vec2& v : sample) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const Dva& dva : analysis->dvas) {
+      best = std::min(best, dva.PerpendicularSpeed(v));
+    }
+    total += best;
+    speed_total += v.Norm();
+  }
+  return total / std::max(1e-9, speed_total);  // normalized residual
+}
+
+TEST(NetworkPresetsTest, SkewOrderingMatchesPaper) {
+  // Section 6: CH most skewed, then SA, then MEL, then NY; uniform has no
+  // dominant axes at all.
+  const double ch = MeasureResidual(Dataset::kChicago);
+  const double sa = MeasureResidual(Dataset::kSanFrancisco);
+  const double ny = MeasureResidual(Dataset::kNewYork);
+  const double uni = MeasureResidual(Dataset::kUniform);
+  EXPECT_LE(ch, sa);
+  EXPECT_LT(sa, ny);
+  EXPECT_LT(ny, uni);
+}
+
+TEST(ObjectSimulatorTest, InitialPopulation) {
+  auto net = MakeNetwork(Dataset::kChicago, kDomain, 2);
+  SimulatorOptions opt;
+  opt.num_objects = 500;
+  opt.max_speed = 100;
+  opt.domain = kDomain;
+  ObjectSimulator sim(&*net, opt);
+  EXPECT_EQ(sim.InitialObjects().size(), 500u);
+  for (const auto& o : sim.InitialObjects()) {
+    EXPECT_TRUE(kDomain.Contains(o.pos));
+    EXPECT_LE(o.vel.Norm(), opt.max_speed * 1.0001);
+    EXPECT_GE(o.vel.Norm(), opt.min_speed_fraction * opt.max_speed * 0.999);
+    EXPECT_EQ(o.t_ref, 0.0);
+  }
+}
+
+TEST(ObjectSimulatorTest, UpdatesAreConsistentTrajectories) {
+  auto net = MakeNetwork(Dataset::kMelbourne, kDomain, 3);
+  SimulatorOptions opt;
+  opt.num_objects = 300;
+  opt.domain = kDomain;
+  ObjectSimulator sim(&*net, opt);
+  std::vector<MovingObject> last(sim.InitialObjects());
+  for (int t = 1; t <= 150; ++t) {
+    for (const MovingObject& u : sim.Tick()) {
+      // The update's position must lie on the previous trajectory (the
+      // object really was where its last report said it would be).
+      const MovingObject& prev = last[u.id];
+      const Point2 expect = prev.PositionAt(u.t_ref);
+      EXPECT_NEAR(expect.x, u.pos.x, 1e-5);
+      EXPECT_NEAR(expect.y, u.pos.y, 1e-5);
+      EXPECT_LE(u.vel.Norm(), opt.max_speed * 1.0001);
+      EXPECT_GE(u.t_ref, t - 1.0);
+      EXPECT_LE(u.t_ref, static_cast<double>(t));
+      last[u.id] = u;
+    }
+  }
+  EXPECT_EQ(sim.Now(), 150.0);
+}
+
+TEST(ObjectSimulatorTest, MaxUpdateIntervalHonored) {
+  auto net = MakeNetwork(Dataset::kChicago, kDomain, 4);
+  SimulatorOptions opt;
+  opt.num_objects = 200;
+  opt.max_update_interval = 40.0;
+  opt.domain = kDomain;
+  // Slow objects on long CH edges would otherwise travel for hundreds of
+  // ts without updating.
+  opt.max_speed = 30.0;
+  ObjectSimulator sim(&*net, opt);
+  std::vector<double> last_update(opt.num_objects, 0.0);
+  for (int t = 1; t <= 120; ++t) {
+    for (const MovingObject& u : sim.Tick()) {
+      EXPECT_LE(u.t_ref - last_update[u.id], opt.max_update_interval + 1.0);
+      last_update[u.id] = u.t_ref;
+    }
+  }
+  // Every object must have reported at least once by 40 + slack.
+  for (double lu : last_update) EXPECT_GT(lu, 0.0);
+}
+
+TEST(ObjectSimulatorTest, UniformModeStaysInDomain) {
+  SimulatorOptions opt;
+  opt.num_objects = 300;
+  opt.domain = kDomain;
+  ObjectSimulator sim(nullptr, opt);
+  std::vector<MovingObject> last(sim.InitialObjects());
+  for (int t = 1; t <= 200; ++t) {
+    for (const MovingObject& u : sim.Tick()) last[u.id] = u;
+    for (const auto& o : last) {
+      const Point2 p = o.PositionAt(sim.Now());
+      EXPECT_GE(p.x, kDomain.lo.x - 1.0);
+      EXPECT_LE(p.x, kDomain.hi.x + 1.0);
+      EXPECT_GE(p.y, kDomain.lo.y - 1.0);
+      EXPECT_LE(p.y, kDomain.hi.y + 1.0);
+    }
+  }
+}
+
+TEST(ObjectSimulatorTest, NetworkVelocitiesFollowRoadDirections) {
+  auto net = MakeNetwork(Dataset::kChicago, kDomain, 6);
+  SimulatorOptions opt;
+  opt.num_objects = 2000;
+  opt.domain = kDomain;
+  ObjectSimulator sim(&*net, opt);
+  // On the (axis-aligned) CH grid nearly all velocities hug the x or y
+  // axis.
+  std::size_t axis_aligned = 0;
+  const auto sample = sim.SampleVelocities(1000, 3);
+  for (const Vec2& v : sample) {
+    const double m = std::max(std::abs(v.x), std::abs(v.y));
+    const double s = std::min(std::abs(v.x), std::abs(v.y));
+    if (s < 0.15 * m) ++axis_aligned;
+  }
+  EXPECT_GT(axis_aligned, sample.size() * 8 / 10);
+}
+
+TEST(QueryGeneratorTest, RespectsOptions) {
+  QueryGeneratorOptions opt;
+  opt.domain = kDomain;
+  opt.radius = 321.0;
+  opt.predictive_time = 45.0;
+  QueryGenerator gen(opt);
+  for (int i = 0; i < 50; ++i) {
+    const RangeQuery q = gen.Next(100.0);
+    EXPECT_TRUE(q.IsTimeSlice());
+    EXPECT_EQ(q.t_begin, 145.0);
+    EXPECT_EQ(q.region.kind, RegionKind::kCircle);
+    EXPECT_EQ(q.region.circle.radius, 321.0);
+    EXPECT_TRUE(kDomain.Contains(q.region.circle.center));
+  }
+}
+
+TEST(QueryGeneratorTest, RectAndMovingModes) {
+  QueryGeneratorOptions opt;
+  opt.domain = kDomain;
+  opt.region = RegionKind::kRectangle;
+  opt.rect_side = 1000.0;
+  opt.time_mode = workload::QueryTimeMode::kMoving;
+  opt.interval_length = 25.0;
+  opt.max_query_speed = 40.0;
+  QueryGenerator gen(opt);
+  for (int i = 0; i < 50; ++i) {
+    const RangeQuery q = gen.Next(0.0);
+    EXPECT_EQ(q.region.kind, RegionKind::kRectangle);
+    EXPECT_NEAR(q.region.rect.Width(), 1000.0, 1e-9);
+    EXPECT_EQ(q.t_end - q.t_begin, 25.0);
+    EXPECT_LE(q.region.vel.Norm(), 40.0);
+  }
+}
+
+TEST(QueryGeneratorTest, RandomizedPredictiveWithinRange) {
+  QueryGeneratorOptions opt;
+  opt.domain = kDomain;
+  opt.randomize_predictive = true;
+  opt.predictive_time = 120.0;
+  QueryGenerator gen(opt);
+  for (int i = 0; i < 100; ++i) {
+    const RangeQuery q = gen.Next(10.0);
+    EXPECT_GE(q.t_begin, 10.0);
+    EXPECT_LE(q.t_begin, 130.0);
+  }
+}
+
+}  // namespace
+}  // namespace vpmoi

@@ -1,0 +1,155 @@
+// Command-line experiment driver: runs any index variant on any dataset
+// with Table-1-style parameters and prints the paper's four metrics.
+//
+//   vpmoi_cli --dataset=CH "--index=TPR*(VP)" --objects=20000
+//             --duration=120 --queries=200 --radius=500 --predictive=60
+//             --max-speed=100 --buffer-pages=50 [--rect] [--k=2] [--seed=N]
+//
+// `--index=all` (default) runs the four configurations side by side.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace vpmoi;
+using namespace vpmoi::bench;
+
+struct CliArgs {
+  std::string dataset = "CH";
+  std::string index = "all";
+  BenchConfig cfg;
+  int k = 2;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: vpmoi_cli [options]\n"
+      "  --dataset=CH|SA|MEL|NY|uniform   (default CH)\n"
+      "  --index=Bx|Bx(VP)|TPR*|TPR*(VP)|all\n"
+      "  --objects=N          number of moving objects\n"
+      "  --duration=T         simulated timestamps\n"
+      "  --queries=N          total range queries\n"
+      "  --radius=M           circular query radius (m)\n"
+      "  --predictive=T       query predictive time (ts)\n"
+      "  --max-speed=V        max object speed (m/ts)\n"
+      "  --buffer-pages=N     shared buffer pool size\n"
+      "  --k=N                number of DVA partitions\n"
+      "  --seed=N             workload seed\n"
+      "  --rect               rectangular 1000x1000 queries\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+std::optional<CliArgs> ParseArgs(int argc, char** argv) {
+  CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--dataset", &value)) {
+      args.dataset = value;
+    } else if (ParseFlag(argv[i], "--index", &value)) {
+      args.index = value;
+    } else if (ParseFlag(argv[i], "--objects", &value)) {
+      args.cfg.num_objects = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--duration", &value)) {
+      args.cfg.duration = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--queries", &value)) {
+      args.cfg.total_queries = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--radius", &value)) {
+      args.cfg.query_radius = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--predictive", &value)) {
+      args.cfg.predictive_time = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--max-speed", &value)) {
+      args.cfg.max_speed = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--buffer-pages", &value)) {
+      args.cfg.buffer_pages = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--k", &value)) {
+      args.k = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      args.cfg.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--rect") == 0) {
+      args.cfg.rect_queries = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      PrintUsage();
+      return std::nullopt;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n\n", argv[i]);
+      PrintUsage();
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+std::optional<workload::Dataset> DatasetFromName(const std::string& name) {
+  for (workload::Dataset d : workload::kAllDatasets) {
+    if (workload::DatasetName(d) == name) return d;
+  }
+  return std::nullopt;
+}
+
+std::optional<IndexVariant> VariantFromName(const std::string& name) {
+  for (IndexVariant v : kAllVariants) {
+    if (VariantName(v) == name) return v;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = ParseArgs(argc, argv);
+  if (!parsed.has_value()) return 1;
+  CliArgs args = std::move(*parsed);
+
+  const auto dataset = DatasetFromName(args.dataset);
+  if (!dataset.has_value()) {
+    std::fprintf(stderr, "unknown dataset '%s'\n", args.dataset.c_str());
+    return 1;
+  }
+
+  std::vector<IndexVariant> variants;
+  if (args.index == "all") {
+    variants.assign(std::begin(kAllVariants), std::end(kAllVariants));
+  } else {
+    const auto v = VariantFromName(args.index);
+    if (!v.has_value()) {
+      std::fprintf(stderr, "unknown index '%s'\n", args.index.c_str());
+      return 1;
+    }
+    variants.push_back(*v);
+  }
+
+  VelocityAnalyzerOptions analyzer;
+  analyzer.k = args.k;
+
+  std::printf("dataset %s, %zu objects, %.0f ts, %zu queries "
+              "(%s, radius %.0f m, predictive %.0f ts), max speed %.0f\n",
+              args.dataset.c_str(), args.cfg.num_objects, args.cfg.duration,
+              args.cfg.total_queries,
+              args.cfg.rect_queries ? "rect" : "circular",
+              args.cfg.query_radius, args.cfg.predictive_time,
+              args.cfg.max_speed);
+  std::printf("%-10s %12s %14s %12s %14s %12s\n", "index", "query I/O",
+              "query ms", "update I/O", "update ms", "avg results");
+  for (IndexVariant v : variants) {
+    const auto m = RunOne(*dataset, v, args.cfg, &analyzer);
+    std::printf("%-10s %12.2f %14.4f %12.3f %14.5f %12.1f\n", VariantName(v),
+                m.avg_query_io, m.avg_query_ms, m.avg_update_io,
+                m.avg_update_ms, m.avg_result_size);
+    std::fflush(stdout);
+  }
+  return 0;
+}
