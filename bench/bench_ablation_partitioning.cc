@@ -12,6 +12,7 @@ int main() {
   using namespace vpmoi::bench;
 
   BenchConfig cfg;
+  BenchReporter rep("ablation_partitioning");
   const workload::Dataset datasets[] = {workload::Dataset::kChicago,
                                         workload::Dataset::kSanFrancisco};
 
@@ -32,12 +33,18 @@ int main() {
       VelocityAnalyzerOptions an;
       an.strategy = e.strategy;
       const auto m = RunOne(d, IndexVariant::kTprVp, cfg, &an);
+      rep.AddExperiment(e.name, "TPR*(VP)", m)
+          .Set("section", "strategy")
+          .Set("dataset", workload::DatasetName(d));
       std::printf("%-6s %-22s %12.2f %14.4f\n",
                   workload::DatasetName(d).c_str(), e.name, m.avg_query_io,
                   m.avg_query_ms);
       std::fflush(stdout);
     }
     const auto base = RunOne(d, IndexVariant::kTpr, cfg);
+    rep.AddExperiment("unpartitioned", "TPR*", base)
+        .Set("section", "strategy")
+        .Set("dataset", workload::DatasetName(d));
     std::printf("%-6s %-22s %12.2f %14.4f\n", workload::DatasetName(d).c_str(),
                 "unpartitioned", base.avg_query_io, base.avg_query_ms);
   }
@@ -51,6 +58,9 @@ int main() {
     const auto m =
         RunOne(workload::Dataset::kSanFrancisco, IndexVariant::kTprVp, cfg,
                &an);
+    rep.AddExperiment(std::to_string(k), "TPR*(VP)", m)
+        .Set("section", "num_partitions")
+        .Set("dataset", "SA");
     std::printf("%-6d %12.2f %14.4f\n", k, m.avg_query_io, m.avg_query_ms);
     std::fflush(stdout);
   }
@@ -62,10 +72,13 @@ int main() {
     c2.tpr_projected_area = projected;
     for (IndexVariant v : {IndexVariant::kTpr, IndexVariant::kTprVp}) {
       const auto m = RunOne(workload::Dataset::kChicago, v, c2);
-      std::printf("%-26s %-10s %12.2f\n",
-                  projected ? "projected area (classic)"
-                            : "sweep integral (TPR*)",
-                  VariantName(v), m.avg_query_io);
+      const char* policy = projected ? "projected area (classic)"
+                                     : "sweep integral (TPR*)";
+      rep.AddExperiment(policy, VariantName(v), m)
+          .Set("section", "tpr_insert_policy")
+          .Set("dataset", "CH");
+      std::printf("%-26s %-10s %12.2f\n", policy, VariantName(v),
+                  m.avg_query_io);
       std::fflush(stdout);
     }
   }
@@ -77,6 +90,9 @@ int main() {
     c2.buffer_pages = pages;
     for (IndexVariant v : {IndexVariant::kTpr, IndexVariant::kTprVp}) {
       const auto m = RunOne(workload::Dataset::kChicago, v, c2);
+      rep.AddExperiment(std::to_string(pages), VariantName(v), m)
+          .Set("section", "buffer_pages")
+          .Set("dataset", "CH");
       std::printf("%-8zu %-10s %12.2f\n", pages, VariantName(v),
                   m.avg_query_io);
       std::fflush(stdout);

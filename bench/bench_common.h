@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_reporter.h"
 #include "bx/bx_tree.h"
 #include "common/moving_object_index.h"
 #include "tpr/tpr_tree.h"
@@ -26,11 +27,6 @@
 
 namespace vpmoi {
 namespace bench {
-
-inline bool PaperScale() {
-  const char* env = std::getenv("VPMOI_PAPER_SCALE");
-  return env != nullptr && std::strcmp(env, "0") != 0;
-}
 
 /// One benchmark configuration; defaults follow Table 1 (bold values),
 /// scaled down unless VPMOI_PAPER_SCALE is set.
@@ -177,15 +173,21 @@ inline workload::ExperimentMetrics RunOne(
   return metrics;
 }
 
-inline void PrintHeader(const char* title, const char* x_label) {
+/// Prints the table header and wires the x-axis label into the reporter's
+/// JSON row key.
+inline void PrintHeader(BenchReporter& rep, const char* title,
+                        const char* x_label) {
+  rep.SetRowKey(x_label);
   std::printf("\n== %s ==\n", title);
   std::printf("%-12s %-10s %12s %14s %12s %14s %12s\n", x_label, "index",
               "query I/O", "query ms", "update I/O", "update ms",
               "avg results");
 }
 
-inline void PrintRow(const std::string& x, const char* name,
-                     const workload::ExperimentMetrics& m) {
+/// Prints one table row and records the full metrics in the reporter.
+inline void PrintRow(BenchReporter& rep, const std::string& x,
+                     const char* name, const workload::ExperimentMetrics& m) {
+  rep.AddExperiment(x, name, m);
   std::printf("%-12s %-10s %12.2f %14.4f %12.3f %14.5f %12.1f\n", x.c_str(),
               name, m.avg_query_io, m.avg_query_ms, m.avg_update_io,
               m.avg_update_ms, m.avg_result_size);

@@ -56,18 +56,20 @@ workload::ExperimentMetrics RunBdual(workload::Dataset dataset,
 
 int main() {
   BenchConfig cfg;
-  PrintHeader("Index family comparison (+ Bdual, Section 3.3)", "dataset");
+  BenchReporter rep("family");
+  PrintHeader(rep, "Index family comparison (+ Bdual, Section 3.3)",
+              "dataset");
   for (workload::Dataset d : {workload::Dataset::kChicago,
                               workload::Dataset::kSanFrancisco,
                               workload::Dataset::kUniform}) {
     for (IndexVariant v : kAllVariants) {
       const auto m = RunOne(d, v, cfg);
-      PrintRow(workload::DatasetName(d), VariantName(v), m);
+      PrintRow(rep, workload::DatasetName(d), VariantName(v), m);
     }
     const auto bd = RunBdual(d, cfg, /*with_vp=*/false);
-    PrintRow(workload::DatasetName(d), "Bdual", bd);
+    PrintRow(rep, workload::DatasetName(d), "Bdual", bd);
     const auto bdvp = RunBdual(d, cfg, /*with_vp=*/true);
-    PrintRow(workload::DatasetName(d), "Bdual(VP)", bdvp);
+    PrintRow(rep, workload::DatasetName(d), "Bdual(VP)", bdvp);
   }
   return 0;
 }

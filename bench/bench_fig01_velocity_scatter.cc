@@ -12,7 +12,8 @@ namespace {
 using namespace vpmoi;
 using namespace vpmoi::bench;
 
-void ScatterDataset(workload::Dataset d, const BenchConfig& cfg) {
+void ScatterDataset(BenchReporter& rep, workload::Dataset d,
+                    const BenchConfig& cfg) {
   workload::ObjectSimulator sim = MakeSimulator(d, cfg);
   const auto sample = sim.SampleVelocities(cfg.sample_size, cfg.seed + 5);
 
@@ -43,6 +44,11 @@ void ScatterDataset(workload::Dataset d, const BenchConfig& cfg) {
   }
 
   // Concentration: fraction of velocity within 10 degrees of a fitted DVA.
+  auto& row = rep.AddRow()
+                  .Set("dataset", workload::DatasetName(d))
+                  .Set("sample_size",
+                       static_cast<std::uint64_t>(sample.size()))
+                  .Set("vmax", vmax);
   VelocityAnalyzer analyzer;
   auto found = analyzer.FindDvas(sample);
   if (found.ok()) {
@@ -58,11 +64,14 @@ void ScatterDataset(workload::Dataset d, const BenchConfig& cfg) {
         }
       }
     }
-    std::printf("within 10 deg of a DVA: %.1f%%  (DVA angles: ",
-                100.0 * static_cast<double>(near_axis) / sample.size());
-    for (const Dva& dva : found->dvas) {
-      std::printf("%.1f deg  ",
-                  std::atan2(dva.axis.y, dva.axis.x) * 180.0 / M_PI);
+    const double pct = 100.0 * static_cast<double>(near_axis) / sample.size();
+    row.Set("within_10deg_pct", pct);
+    std::printf("within 10 deg of a DVA: %.1f%%  (DVA angles: ", pct);
+    for (std::size_t i = 0; i < found->dvas.size(); ++i) {
+      const Dva& dva = found->dvas[i];
+      const double deg = std::atan2(dva.axis.y, dva.axis.x) * 180.0 / M_PI;
+      row.Set("axis" + std::to_string(i) + "_deg", deg);
+      std::printf("%.1f deg  ", deg);
     }
     std::printf(")\n");
   }
@@ -74,9 +83,10 @@ int main() {
   using namespace vpmoi::bench;
   BenchConfig cfg;
   cfg.sample_size = 10000;
+  BenchReporter rep("fig01_velocity_scatter");
   std::printf("== Figure 1(b): velocity scatter per dataset ==\n");
   for (vpmoi::workload::Dataset d : vpmoi::workload::kAllDatasets) {
-    ScatterDataset(d, cfg);
+    ScatterDataset(rep, d, cfg);
   }
   return 0;
 }

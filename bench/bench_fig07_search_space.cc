@@ -45,6 +45,7 @@ void PrintScatterSample(const char* label,
 int main() {
   BenchConfig cfg;
   cfg.predictive_time = 60.0;
+  BenchReporter rep("fig07_search_space");
   std::printf("== Figure 7: search space expansion on the CH data set ==\n");
   std::printf("(x = expansion rate along x / DVA; y = along y / orthogonal; "
               "m per ts)\n");
@@ -68,6 +69,11 @@ int main() {
       pts.emplace_back(gx, gy);
     }
     stats.Finish();
+    rep.AddRow()
+        .Set("series", "TPR* unpartitioned")
+        .Set("mean_rate_x", stats.mean_x)
+        .Set("mean_rate_y", stats.mean_y)
+        .Set("samples", static_cast<std::uint64_t>(stats.n));
     std::printf("\n(a) unpartitioned TPR*: mean rate x = %.1f, y = %.1f "
                 "(2-D expansion)\n", stats.mean_x, stats.mean_y);
     PrintScatterSample("    leaf VBR rates", pts);
@@ -97,6 +103,13 @@ int main() {
         pts.emplace_back(gx, gy);
       }
       stats.Finish();
+      rep.AddRow()
+          .Set("series", "TPR* partitioned")
+          .Set("partition", p)
+          .Set("objects", static_cast<std::uint64_t>(index->PartitionSize(p)))
+          .Set("mean_rate_x", stats.mean_x)
+          .Set("mean_rate_y", stats.mean_y)
+          .Set("samples", static_cast<std::uint64_t>(stats.n));
       std::printf("    partition %d (%zu objs): mean rate in-DVA = %.1f, "
                   "orthogonal = %.1f (near 1-D: ratio %.1fx)\n",
                   p, index->PartitionSize(p), stats.mean_x, stats.mean_y,
@@ -129,6 +142,11 @@ int main() {
       stats.Add(s.rate_x, s.rate_y);
     }
     stats.Finish();
+    rep.AddRow()
+        .Set("series", "Bx unpartitioned")
+        .Set("mean_rate_x", stats.mean_x)
+        .Set("mean_rate_y", stats.mean_y)
+        .Set("samples", static_cast<std::uint64_t>(stats.n));
     std::printf("\n(c) unpartitioned Bx: mean query expansion rate "
                 "x = %.1f, y = %.1f (2-D expansion)\n",
                 stats.mean_x, stats.mean_y);
@@ -163,6 +181,12 @@ int main() {
         stats.Add(s.rate_x, s.rate_y);
       }
       stats.Finish();
+      rep.AddRow()
+          .Set("series", "Bx partitioned")
+          .Set("partition", p)
+          .Set("mean_rate_x", stats.mean_x)
+          .Set("mean_rate_y", stats.mean_y)
+          .Set("samples", static_cast<std::uint64_t>(stats.n));
       std::printf("    partition %d: mean rate in-DVA = %.1f, orthogonal = "
                   "%.1f (near 1-D: ratio %.1fx)\n",
                   p, stats.mean_x, stats.mean_y,

@@ -16,7 +16,7 @@ namespace {
 using namespace vpmoi;
 using namespace vpmoi::bench;
 
-void Report(const char* name, const VelocityAnalysis& a,
+void Report(BenchReporter& rep, const char* name, const VelocityAnalysis& a,
             const std::vector<Vec2>& sample) {
   std::vector<double> perp;
   perp.reserve(sample.size());
@@ -29,9 +29,17 @@ void Report(const char* name, const VelocityAnalysis& a,
   double mean = 0.0;
   for (double p : perp) mean += p;
   mean /= static_cast<double>(perp.size());
+  auto& row = rep.AddRow()
+                  .Set("strategy", name)
+                  .Set("perp_dist_mean", mean)
+                  .Set("perp_dist_median", perp[perp.size() / 2])
+                  .Set("perp_dist_p95", perp[perp.size() * 95 / 100]);
   std::printf("%-22s axes:", name);
-  for (const Dva& d : a.dvas) {
-    std::printf(" %6.1f deg", std::atan2(d.axis.y, d.axis.x) * 180.0 / M_PI);
+  for (std::size_t i = 0; i < a.dvas.size(); ++i) {
+    const double deg =
+        std::atan2(a.dvas[i].axis.y, a.dvas[i].axis.x) * 180.0 / M_PI;
+    row.Set("axis" + std::to_string(i) + "_deg", deg);
+    std::printf(" %6.1f deg", deg);
   }
   std::printf("  | perp dist mean %.2f median %.2f p95 %.2f\n", mean,
               perp[perp.size() / 2], perp[perp.size() * 95 / 100]);
@@ -41,6 +49,7 @@ void Report(const char* name, const VelocityAnalysis& a,
 
 int main() {
   BenchConfig cfg;
+  BenchReporter rep("fig10_partitioners");
   std::printf("== Figures 10-13: DVA partitioning strategies (SA sample) ==\n");
   workload::ObjectSimulator sim =
       MakeSimulator(workload::Dataset::kSanFrancisco, cfg);
@@ -51,19 +60,19 @@ int main() {
     VelocityAnalyzerOptions opt;
     opt.strategy = PartitioningStrategy::kPcaOnly;
     auto a = VelocityAnalyzer(opt).FindDvas(sample);
-    Report("naive I (PCA only)", *a, sample);
+    Report(rep, "naive I (PCA only)", *a, sample);
   }
   // Naive approach II: centroid k-means + per-cluster PCA (Figure 10(b)).
   {
     VelocityAnalyzerOptions opt;
     opt.strategy = PartitioningStrategy::kCentroidKMeans;
     auto a = VelocityAnalyzer(opt).FindDvas(sample);
-    Report("naive II (centroid)", *a, sample);
+    Report(rep, "naive II (centroid)", *a, sample);
   }
   // The paper's approach (Figure 11), before outlier removal.
   VelocityAnalyzer ours;
   auto clustered = ours.FindDvas(sample);
-  Report("ours (Algorithm 2)", *clustered, sample);
+  Report(rep, "ours (Algorithm 2)", *clustered, sample);
 
   // Full Algorithm 1 with tau + outlier relegation (Figure 13).
   auto full = ours.Analyze(sample);
@@ -73,15 +82,25 @@ int main() {
               100.0 * static_cast<double>(full->outlier_count) /
                   static_cast<double>(sample.size()),
               full->analyze_millis);
+  auto& full_row =
+      rep.AddRow()
+          .Set("strategy", "ours (Algorithm 1, tau + outliers)")
+          .Set("sample_size", static_cast<std::uint64_t>(sample.size()))
+          .Set("outliers", static_cast<std::uint64_t>(full->outlier_count))
+          .Set("analyze_ms", full->analyze_millis);
   for (std::size_t i = 0; i < full->dvas.size(); ++i) {
     const Dva& d = full->dvas[i];
     std::size_t members = 0;
     for (int a : full->assignment) {
       if (a == static_cast<int>(i)) ++members;
     }
+    const double deg = std::atan2(d.axis.y, d.axis.x) * 180.0 / M_PI;
+    full_row.Set("axis" + std::to_string(i) + "_deg", deg)
+        .Set("tau" + std::to_string(i), d.tau)
+        .Set("members" + std::to_string(i),
+             static_cast<std::uint64_t>(members));
     std::printf("  DVA %zu: angle %.1f deg, tau = %.2f m/ts, members %zu\n",
-                i, std::atan2(d.axis.y, d.axis.x) * 180.0 / M_PI, d.tau,
-                members);
+                i, deg, d.tau, members);
   }
   return 0;
 }

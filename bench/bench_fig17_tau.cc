@@ -14,6 +14,8 @@ int main() {
                                         workload::Dataset::kSanFrancisco};
   const IndexVariant variants[] = {IndexVariant::kBxVp, IndexVariant::kTprVp};
 
+  BenchReporter rep("fig17_tau");
+  rep.SetRowKey("tau");
   std::printf("== Figure 17: fixed tau sweep vs automatic tau ==\n");
   for (workload::Dataset d : datasets) {
     std::printf("\n-- %s road network --\n", workload::DatasetName(d).c_str());
@@ -24,12 +26,17 @@ int main() {
         an.use_fixed_tau = true;
         an.fixed_tau = tau;
         const auto m = RunOne(d, v, cfg, &an);
+        rep.AddExperiment(std::to_string(static_cast<int>(tau)),
+                          VariantName(v), m)
+            .Set("dataset", workload::DatasetName(d));
         std::printf("%-10.0f %-10s %12.2f\n", tau, VariantName(v),
                     m.avg_query_io);
         std::fflush(stdout);
       }
       // Automatic tau (Section 5.2) — the paper's straight line.
       const auto m = RunOne(d, v, cfg);
+      rep.AddExperiment("auto", VariantName(v), m)
+          .Set("dataset", workload::DatasetName(d));
       std::printf("%-10s %-10s %12.2f\n", "auto", VariantName(v),
                   m.avg_query_io);
       std::fflush(stdout);

@@ -10,6 +10,7 @@ int main() {
 
   BenchConfig cfg;
   cfg.sample_size = 10000;  // the paper's analyzer sample size
+  BenchReporter rep("fig18_analyzer_overhead");
   std::printf("== Figure 18: velocity analyzer overhead ==\n");
   std::printf("%-10s %16s\n", "dataset", "analyzer ms");
   for (workload::Dataset d : workload::kAllDatasets) {
@@ -24,6 +25,11 @@ int main() {
       auto analysis = VelocityAnalyzer(opt).Analyze(sample);
       total_ms += analysis->analyze_millis;
     }
+    rep.AddRow()
+        .Set("dataset", workload::DatasetName(d))
+        .Set("sample_size", static_cast<std::uint64_t>(cfg.sample_size))
+        .Set("runs", kRuns)
+        .Set("analyzer_ms", total_ms / kRuns);
     std::printf("%-10s %16.1f\n", workload::DatasetName(d).c_str(),
                 total_ms / kRuns);
   }

@@ -8,11 +8,12 @@ int main() {
   using namespace vpmoi::bench;
 
   BenchConfig cfg;
-  PrintHeader("Figure 19: effect of varying data sets", "dataset");
+  BenchReporter rep("fig19_datasets");
+  PrintHeader(rep, "Figure 19: effect of varying data sets", "dataset");
   for (workload::Dataset d : workload::kAllDatasets) {
     for (IndexVariant v : kAllVariants) {
       const auto m = RunOne(d, v, cfg);
-      PrintRow(workload::DatasetName(d), VariantName(v), m);
+      PrintRow(rep, workload::DatasetName(d), VariantName(v), m);
     }
   }
   return 0;

@@ -9,13 +9,14 @@ int main() {
 
   BenchConfig base;
   const std::size_t unit = PaperScale() ? 100000 : 10000;
-  PrintHeader("Figure 20: effect of data size", "objects");
+  BenchReporter rep("fig20_datasize");
+  PrintHeader(rep, "Figure 20: effect of data size", "objects");
   for (int mult = 1; mult <= 5; ++mult) {
     BenchConfig cfg = base;
     cfg.num_objects = unit * mult;
     for (IndexVariant v : kAllVariants) {
       const auto m = RunOne(workload::Dataset::kChicago, v, cfg);
-      PrintRow(std::to_string(cfg.num_objects), VariantName(v), m);
+      PrintRow(rep, std::to_string(cfg.num_objects), VariantName(v), m);
     }
   }
   return 0;

@@ -8,13 +8,15 @@ int main() {
   using namespace vpmoi;
   using namespace vpmoi::bench;
 
-  PrintHeader("Figure 21: effect of maximum object speed", "max speed");
+  BenchReporter rep("fig21_maxspeed");
+  PrintHeader(rep, "Figure 21: effect of maximum object speed", "max speed");
   for (double speed : {20.0, 60.0, 100.0, 140.0, 200.0}) {
     BenchConfig cfg;
     cfg.max_speed = speed;
     for (IndexVariant v : kAllVariants) {
       const auto m = RunOne(workload::Dataset::kChicago, v, cfg);
-      PrintRow(std::to_string(static_cast<int>(speed)), VariantName(v), m);
+      PrintRow(rep, std::to_string(static_cast<int>(speed)), VariantName(v),
+               m);
     }
   }
   return 0;

@@ -8,13 +8,15 @@ int main() {
   using namespace vpmoi;
   using namespace vpmoi::bench;
 
-  PrintHeader("Figure 22: effect of range query size", "radius");
+  BenchReporter rep("fig22_radius");
+  PrintHeader(rep, "Figure 22: effect of range query size", "radius");
   for (double radius : {100.0, 300.0, 500.0, 700.0, 1000.0}) {
     BenchConfig cfg;
     cfg.query_radius = radius;
     for (IndexVariant v : kAllVariants) {
       const auto m = RunOne(workload::Dataset::kChicago, v, cfg);
-      PrintRow(std::to_string(static_cast<int>(radius)), VariantName(v), m);
+      PrintRow(rep, std::to_string(static_cast<int>(radius)), VariantName(v),
+               m);
     }
   }
   return 0;

@@ -8,14 +8,15 @@ int main() {
   using namespace vpmoi;
   using namespace vpmoi::bench;
 
-  PrintHeader("Figure 23: effect of query predictive time (circular)",
+  BenchReporter rep("fig23_predictive");
+  PrintHeader(rep, "Figure 23: effect of query predictive time (circular)",
               "predictive");
   for (double pt : {20.0, 40.0, 60.0, 80.0, 100.0, 120.0}) {
     BenchConfig cfg;
     cfg.predictive_time = pt;
     for (IndexVariant v : kAllVariants) {
       const auto m = RunOne(workload::Dataset::kChicago, v, cfg);
-      PrintRow(std::to_string(static_cast<int>(pt)), VariantName(v), m);
+      PrintRow(rep, std::to_string(static_cast<int>(pt)), VariantName(v), m);
     }
   }
   return 0;

@@ -7,7 +7,8 @@ int main() {
   using namespace vpmoi;
   using namespace vpmoi::bench;
 
-  PrintHeader("Figure 24: effect of query predictive time (rectangular)",
+  BenchReporter rep("fig24_rect");
+  PrintHeader(rep, "Figure 24: effect of query predictive time (rectangular)",
               "predictive");
   for (double pt : {20.0, 40.0, 60.0, 80.0, 100.0, 120.0}) {
     BenchConfig cfg;
@@ -15,7 +16,7 @@ int main() {
     cfg.rect_queries = true;
     for (IndexVariant v : kAllVariants) {
       const auto m = RunOne(workload::Dataset::kChicago, v, cfg);
-      PrintRow(std::to_string(static_cast<int>(pt)), VariantName(v), m);
+      PrintRow(rep, std::to_string(static_cast<int>(pt)), VariantName(v), m);
     }
   }
   return 0;

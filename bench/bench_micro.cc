@@ -3,6 +3,11 @@
 // TPR*-tree operations, buffer pool accesses, and query transforms.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_reporter.h"
 #include "bptree/bplus_tree.h"
 #include "common/random.h"
 #include "math/pca.h"
@@ -172,4 +177,29 @@ BENCHMARK(BM_QueryTransform);
 }  // namespace
 }  // namespace vpmoi
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults the JSON output to the repo's
+// BENCH_<name>.json convention (see bench_reporter.h) unless the caller
+// passes --benchmark_out explicitly or sets VPMOI_BENCH_JSON=0.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  std::string out_flag, fmt_flag;
+  if (!has_out && vpmoi::bench::BenchReporter::Enabled()) {
+    out_flag = "--benchmark_out=" +
+               vpmoi::bench::BenchReporter::OutputPathFor("micro");
+    fmt_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

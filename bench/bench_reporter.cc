@@ -1,0 +1,203 @@
+#include "bench_reporter.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace vpmoi {
+namespace bench {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendValue(const BenchReporter::Value& v, std::string* out) {
+  if (const auto* d = std::get_if<double>(&v)) {
+    if (std::isfinite(*d)) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.10g", *d);
+      *out += buf;
+    } else {
+      *out += "null";
+    }
+  } else if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    *out += std::to_string(*i);
+  } else if (const auto* u = std::get_if<std::uint64_t>(&v)) {
+    *out += std::to_string(*u);
+  } else if (const auto* s = std::get_if<std::string>(&v)) {
+    *out += '"';
+    *out += JsonEscape(*s);
+    *out += '"';
+  } else {
+    *out += std::get<bool>(v) ? "true" : "false";
+  }
+}
+
+void AppendFields(
+    const std::vector<std::pair<std::string, BenchReporter::Value>>& fields,
+    const char* indent, std::string* out) {
+  bool first = true;
+  for (const auto& [key, value] : fields) {
+    if (!first) *out += ",";
+    first = false;
+    *out += "\n";
+    *out += indent;
+    *out += '"';
+    *out += JsonEscape(key);
+    *out += "\": ";
+    AppendValue(value, out);
+  }
+}
+
+}  // namespace
+
+bool PaperScale() {
+  const char* env = std::getenv("VPMOI_PAPER_SCALE");
+  return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
+bool BenchReporter::Enabled() {
+  const char* env = std::getenv("VPMOI_BENCH_JSON");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+BenchReporter::Row& BenchReporter::Row::SetMetrics(
+    const workload::ExperimentMetrics& m) {
+  Set("num_queries", m.num_queries)
+      .Set("num_updates", m.num_updates)
+      .Set("avg_query_io", m.avg_query_io)
+      .Set("avg_query_ms", m.avg_query_ms)
+      .Set("query_ms_p50", m.query_ms_p50)
+      .Set("query_ms_p95", m.query_ms_p95)
+      .Set("query_ms_p99", m.query_ms_p99)
+      .Set("query_throughput_per_s", m.query_throughput)
+      .Set("avg_update_io", m.avg_update_io)
+      .Set("avg_update_ms", m.avg_update_ms)
+      .Set("update_ms_p50", m.update_ms_p50)
+      .Set("update_ms_p95", m.update_ms_p95)
+      .Set("update_ms_p99", m.update_ms_p99)
+      .Set("update_throughput_per_s", m.update_throughput)
+      .Set("avg_result_size", m.avg_result_size)
+      .Set("load_ms", m.load_ms)
+      .Set("total_query_ms", m.total_query_ms)
+      .Set("total_update_ms", m.total_update_ms)
+      .Set("io_logical_reads", m.total_io.logical_reads)
+      .Set("io_logical_writes", m.total_io.logical_writes)
+      .Set("io_physical_reads", m.total_io.physical_reads)
+      .Set("io_physical_writes", m.total_io.physical_writes);
+  return *this;
+}
+
+BenchReporter::BenchReporter(std::string name) : name_(std::move(name)) {
+  SetContext("paper_scale", PaperScale());
+}
+
+BenchReporter::~BenchReporter() {
+  const Status st = Write();
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench reporter: %s\n", st.ToString().c_str());
+  }
+}
+
+void BenchReporter::SetContext(std::string key, Value v) {
+  for (auto& [k, existing] : context_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  context_.emplace_back(std::move(key), std::move(v));
+}
+
+void BenchReporter::SetRowKey(std::string key) {
+  for (char& c : key) {
+    c = std::isalnum(static_cast<unsigned char>(c))
+            ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+            : '_';
+  }
+  if (key.empty()) key = "x";
+  row_key_ = std::move(key);
+}
+
+BenchReporter::Row& BenchReporter::AddRow() { return rows_.emplace_back(); }
+
+BenchReporter::Row& BenchReporter::AddExperiment(
+    const std::string& x, const std::string& index,
+    const workload::ExperimentMetrics& m) {
+  return AddRow().Set(row_key_, x).Set("index", index).SetMetrics(m);
+}
+
+std::string BenchReporter::OutputPathFor(const std::string& name) {
+  const char* dir = std::getenv("VPMOI_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0') ? dir : ".";
+  if (path.back() != '/') path += '/';
+  return path + "BENCH_" + name + ".json";
+}
+
+Status BenchReporter::Write() {
+  if (write_attempted_ || !Enabled()) return Status::OK();
+  write_attempted_ = true;
+
+  std::string json = "{\n  \"bench\": \"" + JsonEscape(name_) + "\",";
+  json += "\n  \"schema_version\": 1";
+  if (!context_.empty()) {
+    json += ",";
+    AppendFields(context_, "  ", &json);
+  }
+  json += ",\n  \"rows\": [";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (i > 0) json += ",";
+    json += "\n    {";
+    AppendFields(rows_[i].fields_, "      ", &json);
+    json += "\n    }";
+  }
+  json += rows_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+
+  const std::string path = OutputPath();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (n != json.size() || !close_ok) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace bench
+}  // namespace vpmoi

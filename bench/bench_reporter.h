@@ -1,0 +1,114 @@
+// Structured bench telemetry: every bench records its rows into a
+// BenchReporter, which writes `BENCH_<name>.json` when it goes out of
+// scope. The JSON carries the paper's table metrics plus latency
+// percentiles, throughput and the I/O counters from storage/io_stats.h,
+// so the repo's perf trajectory is machine-readable from this PR onward.
+//
+// Output location: $VPMOI_BENCH_JSON_DIR if set, else the working
+// directory. Set VPMOI_BENCH_JSON=0 to disable writing entirely.
+#ifndef VPMOI_BENCH_BENCH_REPORTER_H_
+#define VPMOI_BENCH_BENCH_REPORTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/io_stats.h"
+#include "workload/experiment.h"
+
+namespace vpmoi {
+namespace bench {
+
+/// True when VPMOI_PAPER_SCALE selects the paper's Table 1 defaults over
+/// the reduced bench scale. Shared by the bench harness and the reporter
+/// (which records it as the `paper_scale` context field).
+bool PaperScale();
+
+/// Collects named rows of scalar metrics and serializes them to
+/// `BENCH_<name>.json` (an object with a `rows` array). Not thread-safe.
+class BenchReporter {
+ public:
+  using Value =
+      std::variant<double, std::int64_t, std::uint64_t, std::string, bool>;
+
+  /// A single JSON row under `rows`; keys keep insertion order.
+  class Row {
+   public:
+    Row& Set(std::string key, double v) { return Put(std::move(key), v); }
+    Row& Set(std::string key, std::uint64_t v) { return Put(std::move(key), v); }
+    Row& Set(std::string key, std::int64_t v) { return Put(std::move(key), v); }
+    Row& Set(std::string key, int v) {
+      return Put(std::move(key), static_cast<std::int64_t>(v));
+    }
+    Row& Set(std::string key, std::string v) {
+      return Put(std::move(key), std::move(v));
+    }
+    Row& Set(std::string key, const char* v) {
+      return Put(std::move(key), std::string(v));
+    }
+    Row& Set(std::string key, bool v) { return Put(std::move(key), v); }
+    /// Expands the paper's four metrics plus percentiles, throughput and
+    /// I/O counters from one experiment run.
+    Row& SetMetrics(const workload::ExperimentMetrics& m);
+
+   private:
+    friend class BenchReporter;
+    Row& Put(std::string key, Value v) {
+      fields_.emplace_back(std::move(key), std::move(v));
+      return *this;
+    }
+    std::vector<std::pair<std::string, Value>> fields_;
+  };
+
+  /// `name` becomes the output file suffix: BENCH_<name>.json.
+  explicit BenchReporter(std::string name);
+  /// Writes the JSON if `Write()` has not run yet (failures go to stderr).
+  ~BenchReporter();
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  /// Adds a top-level context field (e.g. the sweep parameter name).
+  void SetContext(std::string key, Value v);
+
+  /// Key used by AddExperiment for the sweep value; PrintHeader sets it
+  /// from the table's x-axis label (sanitized to snake_case).
+  void SetRowKey(std::string key);
+  const std::string& row_key() const { return row_key_; }
+
+  /// Starts an empty row; fill it with Set()/SetMetrics().
+  Row& AddRow();
+
+  /// Convenience for the common table shape: one experiment run at sweep
+  /// value `x` for index variant `index`.
+  Row& AddExperiment(const std::string& x, const std::string& index,
+                     const workload::ExperimentMetrics& m);
+
+  /// False when the VPMOI_BENCH_JSON=0 kill switch suppresses output.
+  static bool Enabled();
+
+  /// Serializes to OutputPath(); idempotent (later calls are no-ops, even
+  /// after a failed attempt — the failure is reported once).
+  Status Write();
+
+  /// $VPMOI_BENCH_JSON_DIR/BENCH_<name>.json (dir defaults to ".").
+  static std::string OutputPathFor(const std::string& name);
+  std::string OutputPath() const { return OutputPathFor(name_); }
+
+ private:
+  std::string name_;
+  std::string row_key_ = "x";
+  std::vector<std::pair<std::string, Value>> context_;
+  /// Deque, not vector: AddRow()/AddExperiment() hand out Row& that must
+  /// survive later insertions.
+  std::deque<Row> rows_;
+  bool write_attempted_ = false;
+};
+
+}  // namespace bench
+}  // namespace vpmoi
+
+#endif  // VPMOI_BENCH_BENCH_REPORTER_H_

@@ -5,8 +5,15 @@
 
 namespace vpmoi {
 
-VelocityGrid::VelocityGrid(const Rect& domain, int side)
-    : domain_(domain), side_(side), cells_(static_cast<std::size_t>(side) * side) {
+VelocityGrid::VelocityGrid(const Rect& domain, int side,
+                           std::uint32_t rebuild_threshold)
+    : domain_(domain),
+      side_(side),
+      rebuild_threshold_(std::max<std::uint32_t>(1, rebuild_threshold)),
+      global_rebuild_threshold_(std::max<std::uint64_t>(
+          rebuild_threshold_,
+          static_cast<std::uint64_t>(side) * side / 4)),
+      cells_(static_cast<std::size_t>(side) * side) {
   assert(side >= 1);
   assert(!domain.IsEmpty());
 }
@@ -23,23 +30,48 @@ int VelocityGrid::CellY(double y) const {
 
 void VelocityGrid::Insert(const Point2& pos, const Vec2& vel) {
   Cell& c = At(CellX(pos.x), CellY(pos.y));
-  c.ext.Extend(vel);
+  ++c.members[VelKey::Of(vel)];
   ++c.count;
+  c.ext.Extend(vel);
   global_.Extend(vel);
   ++total_count_;
 }
 
 void VelocityGrid::Remove(const Point2& pos, const Vec2& vel) {
-  (void)vel;
   Cell& c = At(CellX(pos.x), CellY(pos.y));
-  if (c.count > 0) {
-    --c.count;
-    if (c.count == 0) c.ext = VelocityExtremes{};
+  auto it = c.members.find(VelKey::Of(vel));
+  if (it == c.members.end()) return;  // unmatched removal: stay conservative
+  if (--it->second == 0) c.members.erase(it);
+  --c.count;
+  --total_count_;
+
+  if (c.count == 0) {
+    c.ext = VelocityExtremes{};
+    c.removals_since_rebuild = 0;
+  } else if (++c.removals_since_rebuild >= rebuild_threshold_) {
+    RebuildCell(c);
   }
-  if (total_count_ > 0) {
-    --total_count_;
-    if (total_count_ == 0) global_ = VelocityExtremes{};
+
+  if (total_count_ == 0) {
+    global_ = VelocityExtremes{};
+    global_removals_since_rebuild_ = 0;
+  } else if (++global_removals_since_rebuild_ >= global_rebuild_threshold_) {
+    RebuildGlobal();
   }
+}
+
+void VelocityGrid::RebuildCell(Cell& c) {
+  c.ext = VelocityExtremes{};
+  for (const auto& [key, multiplicity] : c.members) c.ext.Extend(key.AsVec2());
+  c.removals_since_rebuild = 0;
+}
+
+void VelocityGrid::RebuildGlobal() {
+  global_ = VelocityExtremes{};
+  for (const Cell& c : cells_) {
+    if (c.count > 0) global_.Extend(c.ext);
+  }
+  global_removals_since_rebuild_ = 0;
 }
 
 VelocityExtremes VelocityGrid::Query(const Rect& window) const {

@@ -4,13 +4,19 @@
 // global maximum (the iterative expanding query algorithm of Jensen et
 // al. [14]).
 //
-// Maintenance is conservative: removing an object never shrinks a non-empty
-// cell's extremes (they reset only when the cell empties), so enlargement
-// windows may be slightly loose but never miss an object.
+// Maintenance is conservative but self-correcting: removing an object never
+// shrinks extremes immediately (so enlargement windows may be temporarily
+// loose yet never miss an object), and after `rebuild_threshold` removals
+// hit a cell its extremes are recomputed from the cell's surviving members,
+// so velocity extremes cannot inflate monotonically under insert/delete
+// churn. The global extremes are rebuilt from the per-cell extremes on the
+// same amortized schedule.
 #ifndef VPMOI_BX_VELOCITY_GRID_H_
 #define VPMOI_BX_VELOCITY_GRID_H_
 
+#include <bit>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/geometry.h"
@@ -45,15 +51,24 @@ struct VelocityExtremes {
 /// Grid of velocity extremes over a rectangular domain.
 class VelocityGrid {
  public:
+  /// Default number of removals a cell absorbs before its extremes are
+  /// recomputed from the surviving members.
+  static constexpr std::uint32_t kDefaultRebuildThreshold = 16;
+
   /// `side` cells per dimension over `domain` (the paper uses a 1000x1000
   /// histogram; smaller grids trade enlargement tightness for memory).
-  VelocityGrid(const Rect& domain, int side);
+  /// `rebuild_threshold` bounds how many removals a cell tolerates before
+  /// its extremes are recomputed (lower = tighter windows, more CPU).
+  VelocityGrid(const Rect& domain, int side,
+               std::uint32_t rebuild_threshold = kDefaultRebuildThreshold);
 
   /// Records an object with velocity `vel` whose indexed position is `pos`
   /// (positions outside the domain clamp to edge cells).
   void Insert(const Point2& pos, const Vec2& vel);
 
-  /// Removes a previously inserted record.
+  /// Removes a previously inserted record. `pos` and `vel` must match an
+  /// earlier `Insert`; unmatched removals are ignored (extremes stay
+  /// conservative).
   void Remove(const Point2& pos, const Vec2& vel);
 
   /// Extremes over all cells intersecting `window`.
@@ -65,9 +80,39 @@ class VelocityGrid {
   int side() const { return side_; }
 
  private:
+  /// Velocity as raw bit patterns: hashable, and removal matches exactly
+  /// what was inserted (Insert/Remove always see bit-identical copies of
+  /// the same stored value).
+  struct VelKey {
+    std::uint64_t x_bits;
+    std::uint64_t y_bits;
+    bool operator==(const VelKey&) const = default;
+
+    static VelKey Of(const Vec2& v) {
+      return VelKey{std::bit_cast<std::uint64_t>(v.x),
+                    std::bit_cast<std::uint64_t>(v.y)};
+    }
+    Vec2 AsVec2() const {
+      return Vec2{std::bit_cast<double>(x_bits), std::bit_cast<double>(y_bits)};
+    }
+  };
+  struct VelKeyHash {
+    std::size_t operator()(const VelKey& k) const {
+      std::uint64_t h = k.x_bits * 0x9E3779B97F4A7C15ull;
+      h ^= k.y_bits + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
   struct Cell {
     VelocityExtremes ext;
+    /// Multiset (velocity -> multiplicity) of the objects currently hashed
+    /// to this cell; the source of truth the churn-triggered rebuild
+    /// recomputes `ext` from. Hashed so removal stays O(1) even in hot
+    /// cells.
+    std::unordered_map<VelKey, std::uint32_t, VelKeyHash> members;
     std::uint32_t count = 0;
+    std::uint32_t removals_since_rebuild = 0;
   };
 
   int CellX(double x) const;
@@ -75,11 +120,19 @@ class VelocityGrid {
   Cell& At(int cx, int cy) { return cells_[cy * side_ + cx]; }
   const Cell& At(int cx, int cy) const { return cells_[cy * side_ + cx]; }
 
+  void RebuildCell(Cell& c);
+  void RebuildGlobal();
+
   Rect domain_;
   int side_;
+  std::uint32_t rebuild_threshold_;
+  /// Removals between global rebuilds; scales with the cell count so the
+  /// O(cells) global scan stays amortized-constant per removal.
+  std::uint64_t global_rebuild_threshold_;
   std::vector<Cell> cells_;
   VelocityExtremes global_;
   std::uint64_t total_count_ = 0;
+  std::uint64_t global_removals_since_rebuild_ = 0;
 };
 
 }  // namespace vpmoi

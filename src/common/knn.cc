@@ -28,13 +28,41 @@ Status KnnSearch(MovingObjectIndex* index, const Point2& center,
   // the circle (the k-th neighbor distance is at most the radius), so
   // exact ranking of the candidates yields the exact answer.
   std::vector<ObjectId> candidates;
-  for (int probe = 0; probe < options.max_probes; ++probe) {
+  const auto probe_at = [&](double r) -> Status {
     candidates.clear();
     const RangeQuery q = RangeQuery::TimeSlice(
-        QueryRegion::MakeCircle(Circle{center, radius}), t);
-    VPMOI_RETURN_IF_ERROR(index->Search(q, &candidates));
+        QueryRegion::MakeCircle(Circle{center, r}), t);
+    return index->Search(q, &candidates);
+  };
+  for (int probe = 0; probe < options.max_probes; ++probe) {
+    VPMOI_RETURN_IF_ERROR(probe_at(radius));
     if (candidates.size() >= target) break;
     radius *= options.growth;
+  }
+
+  if (candidates.size() < target) {
+    // `max_probes` ran out before the circle held `target` candidates (a
+    // tiny initial radius or slow growth factor). Never return a silently
+    // incomplete answer: fall back to a probe whose circle covers the whole
+    // domain as seen from `center`, then keep doubling — objects can have
+    // drifted outside the domain by time `t` — until enough are captured.
+    const double cover_x = std::max(std::abs(center.x - options.domain.lo.x),
+                                    std::abs(options.domain.hi.x - center.x));
+    const double cover_y = std::max(std::abs(center.y - options.domain.lo.y),
+                                    std::abs(options.domain.hi.y - center.y));
+    radius = std::max(radius, std::hypot(cover_x, cover_y));
+    constexpr int kFallbackProbes = 64;  // 2^64 x the domain diagonal
+    for (int probe = 0; probe < kFallbackProbes; ++probe) {
+      VPMOI_RETURN_IF_ERROR(probe_at(radius));
+      if (candidates.size() >= target) break;
+      radius *= 2.0;
+    }
+    if (candidates.size() < target) {
+      return Status::Internal(
+          "kNN fallback probes captured " +
+          std::to_string(candidates.size()) + " of " +
+          std::to_string(target) + " required candidates");
+    }
   }
 
   // Refine: rank candidates by exact predicted distance.

@@ -21,7 +21,9 @@ struct KnnOptions {
   double initial_radius = 0.0;
   /// Radius multiplier between probes.
   double growth = 2.0;
-  /// Safety cap on probes.
+  /// Safety cap on probes. If it runs out before enough candidates are
+  /// captured, the search falls back to a domain-covering probe rather
+  /// than returning a silently incomplete answer.
   int max_probes = 24;
   /// Data space used for the initial-radius estimate.
   Rect domain{{0.0, 0.0}, {100000.0, 100000.0}};
@@ -35,8 +37,9 @@ struct KnnNeighbor {
 };
 
 /// Finds the k objects nearest to `center` at (future) time `t`,
-/// ascending by distance (ties broken by id). Returns fewer than k
-/// entries only if the index holds fewer than k objects.
+/// ascending by distance (ties broken by id). On an OK status the result
+/// holds exactly min(k, index size) entries; an exhausted probe budget
+/// yields a non-OK status instead of a silently truncated result.
 Status KnnSearch(MovingObjectIndex* index, const Point2& center,
                  std::size_t k, Timestamp t, const KnnOptions& options,
                  std::vector<KnnNeighbor>* out);

@@ -1,12 +1,26 @@
 #include "workload/experiment.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <vector>
 
 #include "common/stopwatch.h"
 
 namespace vpmoi {
 namespace workload {
+
+namespace {
+
+/// Nearest-rank percentile over an ascending-sorted sample vector.
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
 
 ExperimentMetrics RunExperiment(MovingObjectIndex* index,
                                 ObjectSimulator* simulator,
@@ -31,6 +45,8 @@ ExperimentMetrics RunExperiment(MovingObjectIndex* index,
   std::uint64_t query_io = 0, update_io = 0;
   double query_ms = 0.0, update_ms = 0.0;
   std::uint64_t results_total = 0;
+  std::vector<double> query_lat, update_lat;
+  query_lat.reserve(options.total_queries);
 
   std::vector<ObjectId> result;
   for (double t = 1.0; t <= options.duration; t += 1.0) {
@@ -41,7 +57,9 @@ ExperimentMetrics RunExperiment(MovingObjectIndex* index,
       const IoStats before = index->Stats();
       Stopwatch timer;
       Status st = index->Update(u);
-      update_ms += timer.ElapsedMillis();
+      const double op_ms = timer.ElapsedMillis();
+      update_ms += op_ms;
+      update_lat.push_back(op_ms);
       assert(st.ok());
       (void)st;
       update_io += (index->Stats() - before).PhysicalTotal();
@@ -55,7 +73,9 @@ ExperimentMetrics RunExperiment(MovingObjectIndex* index,
       const IoStats before = index->Stats();
       Stopwatch timer;
       Status st = index->Search(q, &result);
-      query_ms += timer.ElapsedMillis();
+      const double op_ms = timer.ElapsedMillis();
+      query_ms += op_ms;
+      query_lat.push_back(op_ms);
       assert(st.ok());
       (void)st;
       query_io += (index->Stats() - before).PhysicalTotal();
@@ -69,11 +89,30 @@ ExperimentMetrics RunExperiment(MovingObjectIndex* index,
     m.avg_query_ms = query_ms / static_cast<double>(m.num_queries);
     m.avg_result_size =
         static_cast<double>(results_total) / static_cast<double>(m.num_queries);
+    std::sort(query_lat.begin(), query_lat.end());
+    m.query_ms_p50 = PercentileSorted(query_lat, 50.0);
+    m.query_ms_p95 = PercentileSorted(query_lat, 95.0);
+    m.query_ms_p99 = PercentileSorted(query_lat, 99.0);
+    if (query_ms > 0.0) {
+      m.query_throughput = static_cast<double>(m.num_queries) * 1000.0 /
+                           query_ms;
+    }
   }
   if (m.num_updates > 0) {
     m.avg_update_io = static_cast<double>(update_io) / m.num_updates;
     m.avg_update_ms = update_ms / static_cast<double>(m.num_updates);
+    std::sort(update_lat.begin(), update_lat.end());
+    m.update_ms_p50 = PercentileSorted(update_lat, 50.0);
+    m.update_ms_p95 = PercentileSorted(update_lat, 95.0);
+    m.update_ms_p99 = PercentileSorted(update_lat, 99.0);
+    if (update_ms > 0.0) {
+      m.update_throughput = static_cast<double>(m.num_updates) * 1000.0 /
+                            update_ms;
+    }
   }
+  m.total_query_ms = query_ms;
+  m.total_update_ms = update_ms;
+  m.total_io = index->Stats();
   return m;
 }
 

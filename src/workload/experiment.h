@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/moving_object_index.h"
+#include "storage/io_stats.h"
 #include "workload/object_simulator.h"
 #include "workload/query_generator.h"
 
@@ -40,6 +41,21 @@ struct ExperimentMetrics {
   /// indexes must report identical result sets for the same workload).
   double avg_result_size = 0.0;
   double load_ms = 0.0;
+  /// Latency percentiles (nearest-rank) over the per-operation timings.
+  double query_ms_p50 = 0.0;
+  double query_ms_p95 = 0.0;
+  double query_ms_p99 = 0.0;
+  double update_ms_p50 = 0.0;
+  double update_ms_p95 = 0.0;
+  double update_ms_p99 = 0.0;
+  /// Total measured time spent inside queries / updates.
+  double total_query_ms = 0.0;
+  double total_update_ms = 0.0;
+  /// Operations per second of measured query / update time.
+  double query_throughput = 0.0;
+  double update_throughput = 0.0;
+  /// Index I/O counters accumulated over the whole run (load included).
+  IoStats total_io;
 };
 
 /// Runs one experiment. The simulator must be freshly constructed (time 0)

@@ -124,6 +124,53 @@ TEST(KnnEdgeCaseTest, PredictiveTimeChangesRanking) {
   EXPECT_EQ(got[0].id, 2u);  // in 15 ts object 2 has come closer
 }
 
+TEST(KnnEdgeCaseTest, ExhaustedProbeBudgetFallsBackToFullAnswer) {
+  // Regression: with a tiny initial radius, a slow growth factor and a
+  // probe budget too small for the circle to ever reach the data, the
+  // filter loop ends with fewer than k candidates. KnnSearch used to
+  // silently return the incomplete set; it must now fall back to a
+  // domain-covering probe and return the exact answer.
+  ObjectGenOptions gen;
+  gen.domain = kDomain;
+  const auto objects = MakeObjects(300, gen, 311);
+  auto index = MakeIndex(IndexKind::kBx, kDomain, {});
+  for (const auto& o : objects) ASSERT_TRUE(index->Insert(o).ok());
+
+  KnnOptions opt;
+  opt.domain = kDomain;
+  opt.initial_radius = 0.1;
+  opt.growth = 1.1;
+  opt.max_probes = 2;  // max radius 0.121: can never hold k candidates
+  std::vector<KnnNeighbor> got;
+  ASSERT_TRUE(KnnSearch(index.get(), {5000, 5000}, 10, 20.0, opt, &got).ok());
+  const auto expected = BruteForceKnn(objects, {5000, 5000}, 10, 20.0);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, expected[i].id) << "rank " << i;
+  }
+}
+
+TEST(KnnEdgeCaseTest, FallbackReachesObjectsOutsideDomain) {
+  // The fallback must keep growing past the domain-covering radius:
+  // objects can have drifted outside the domain by the query time.
+  auto index = MakeIndex(IndexKind::kTpr, kDomain, {});
+  // At t = 60 this object sits at x = 15999, well outside the domain and
+  // beyond the domain-covering radius as seen from the query center.
+  ASSERT_TRUE(index->Insert(MovingObject(1, {9999, 5000}, {100, 0}, 0)).ok());
+  ASSERT_TRUE(index->Insert(MovingObject(2, {5000, 5000}, {0, 0}, 0)).ok());
+  KnnOptions opt;
+  opt.domain = kDomain;
+  opt.initial_radius = 0.1;
+  opt.growth = 1.1;
+  opt.max_probes = 1;
+  std::vector<KnnNeighbor> got;
+  ASSERT_TRUE(KnnSearch(index.get(), {0, 5000}, 2, 60.0, opt, &got).ok());
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].id, 2u);
+  EXPECT_EQ(got[1].id, 1u);
+  EXPECT_NEAR(got[1].distance, 15999.0, 1e-6);
+}
+
 TEST(KnnEdgeCaseTest, TinyInitialRadiusStillExact) {
   ObjectGenOptions gen;
   gen.domain = kDomain;

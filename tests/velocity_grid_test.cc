@@ -78,6 +78,96 @@ TEST(VelocityGridTest, OutOfDomainPositionsClampToEdgeCells) {
   EXPECT_EQ(e.vmax, (Vec2{1, 2}));
 }
 
+TEST(VelocityGridTest, ChurnTriggeredRebuildTightensExtremes) {
+  // Regression: extremes used to inflate monotonically under
+  // insert/delete churn (removals never shrank a non-empty cell). After
+  // `rebuild_threshold` removals hit a cell, its extremes must be
+  // recomputed from the surviving members.
+  VelocityGrid grid(kDomain, 4, /*rebuild_threshold=*/8);
+  const Point2 pos{10, 10};
+  grid.Insert(pos, {1, 1});  // the slow resident
+  const Rect window{{0, 0}, {100, 100}};
+
+  for (int cycle = 0; cycle < 64; ++cycle) {
+    grid.Insert(pos, {100, -100});
+    // While the fast transient is present, extremes must cover it.
+    const auto loose = grid.Query(window);
+    ASSERT_TRUE(loose.any);
+    EXPECT_GE(loose.vmax.x, 100.0);
+    EXPECT_LE(loose.vmin.y, -100.0);
+    grid.Remove(pos, {100, -100});
+  }
+
+  // 64 removals = 8 rebuilds; the last one happened after the final fast
+  // object left, so both the window and the global extremes are tight
+  // around the lone survivor again.
+  const auto e = grid.Query(window);
+  ASSERT_TRUE(e.any);
+  EXPECT_EQ(e.vmin, (Vec2{1, 1}));
+  EXPECT_EQ(e.vmax, (Vec2{1, 1}));
+  const auto g = grid.Global();
+  ASSERT_TRUE(g.any);
+  EXPECT_EQ(g.vmin, (Vec2{1, 1}));
+  EXPECT_EQ(g.vmax, (Vec2{1, 1}));
+}
+
+TEST(VelocityGridTest, ExtremesStayConservativeBetweenRebuilds) {
+  // Between rebuilds the grid may report loose extremes but must always
+  // cover every remaining member.
+  VelocityGrid grid(kDomain, 4, /*rebuild_threshold=*/100);
+  const Point2 pos{10, 10};
+  grid.Insert(pos, {5, 0});
+  grid.Insert(pos, {50, 0});
+  grid.Remove(pos, {50, 0});  // below threshold: no rebuild yet
+  const auto e = grid.Query(Rect{{0, 0}, {100, 100}});
+  ASSERT_TRUE(e.any);
+  EXPECT_LE(e.vmin.x, 5.0);
+  EXPECT_GE(e.vmax.x, 5.0);
+}
+
+TEST(VelocityGridTest, RandomizedChurnCoverageInvariant) {
+  // Under random interleaved inserts/removes with aggressive rebuilds,
+  // window extremes must always cover the live population.
+  VelocityGrid grid(kDomain, 8, /*rebuild_threshold=*/2);
+  Rng rng(71);
+  struct Obj {
+    Point2 pos;
+    Vec2 vel;
+  };
+  std::vector<Obj> live;
+  for (int step = 0; step < 3000; ++step) {
+    if (live.empty() || rng.Bernoulli(0.55)) {
+      Obj o{rng.PointIn(kDomain),
+            {rng.Uniform(-80, 80), rng.Uniform(-80, 80)}};
+      grid.Insert(o.pos, o.vel);
+      live.push_back(o);
+    } else {
+      const std::size_t idx = rng.UniformInt(live.size() - 1);
+      grid.Remove(live[idx].pos, live[idx].vel);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point2 lo = rng.PointIn(kDomain);
+    const Rect w{lo, {std::min(1000.0, lo.x + rng.Uniform(10, 400)),
+                      std::min(1000.0, lo.y + rng.Uniform(10, 400))}};
+    const auto e = grid.Query(w);
+    const auto g = grid.Global();
+    for (const Obj& o : live) {
+      if (!w.Contains(o.pos)) continue;
+      ASSERT_TRUE(e.any);
+      EXPECT_LE(e.vmin.x, o.vel.x);
+      EXPECT_GE(e.vmax.x, o.vel.x);
+      EXPECT_LE(e.vmin.y, o.vel.y);
+      EXPECT_GE(e.vmax.y, o.vel.y);
+      ASSERT_TRUE(g.any);
+      EXPECT_LE(g.vmin.x, o.vel.x);
+      EXPECT_GE(g.vmax.x, o.vel.x);
+    }
+  }
+}
+
 TEST(VelocityGridTest, RandomizedCoverageInvariant) {
   // Property: for any window, the grid extremes over that window cover the
   // velocities of all objects whose position falls inside it.

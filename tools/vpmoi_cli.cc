@@ -24,6 +24,7 @@ struct CliArgs {
   std::string index = "all";
   BenchConfig cfg;
   int k = 2;
+  bool json = false;
 };
 
 void PrintUsage() {
@@ -40,7 +41,9 @@ void PrintUsage() {
       "  --buffer-pages=N     shared buffer pool size\n"
       "  --k=N                number of DVA partitions\n"
       "  --seed=N             workload seed\n"
-      "  --rect               rectangular 1000x1000 queries\n");
+      "  --rect               rectangular 1000x1000 queries\n"
+      "  --json               also write BENCH_cli.json "
+      "(see bench_reporter.h)\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -80,6 +83,8 @@ std::optional<CliArgs> ParseArgs(int argc, char** argv) {
       args.cfg.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--rect") == 0) {
       args.cfg.rect_queries = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      args.json = true;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       PrintUsage();
@@ -142,14 +147,35 @@ int main(int argc, char** argv) {
               args.cfg.rect_queries ? "rect" : "circular",
               args.cfg.query_radius, args.cfg.predictive_time,
               args.cfg.max_speed);
+  std::optional<BenchReporter> rep;
+  if (args.json) {
+    rep.emplace("cli");
+    rep->SetRowKey("dataset");
+    rep->SetContext("objects",
+                    static_cast<std::uint64_t>(args.cfg.num_objects));
+    rep->SetContext("duration", args.cfg.duration);
+    rep->SetContext("seed", args.cfg.seed);
+  }
+
   std::printf("%-10s %12s %14s %12s %14s %12s\n", "index", "query I/O",
               "query ms", "update I/O", "update ms", "avg results");
   for (IndexVariant v : variants) {
     const auto m = RunOne(*dataset, v, args.cfg, &analyzer);
+    if (rep.has_value()) rep->AddExperiment(args.dataset, VariantName(v), m);
     std::printf("%-10s %12.2f %14.4f %12.3f %14.5f %12.1f\n", VariantName(v),
                 m.avg_query_io, m.avg_query_ms, m.avg_update_io,
                 m.avg_update_ms, m.avg_result_size);
     std::fflush(stdout);
+  }
+  if (rep.has_value()) {
+    const Status st = rep->Write();
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (BenchReporter::Enabled()) {
+      std::printf("wrote %s\n", rep->OutputPath().c_str());
+    }
   }
   return 0;
 }
