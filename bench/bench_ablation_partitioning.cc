@@ -32,7 +32,7 @@ int main() {
     for (const Entry& e : entries) {
       VelocityAnalyzerOptions an;
       an.strategy = e.strategy;
-      const auto m = RunOne(d, IndexVariant::kTprVp, cfg, &an);
+      const auto m = RunOne(d, "vp(tpr)", cfg, &an);
       rep.AddExperiment(e.name, "TPR*(VP)", m)
           .Set("section", "strategy")
           .Set("dataset", workload::DatasetName(d));
@@ -41,7 +41,7 @@ int main() {
                   m.avg_query_ms);
       std::fflush(stdout);
     }
-    const auto base = RunOne(d, IndexVariant::kTpr, cfg);
+    const auto base = RunOne(d, "tpr", cfg);
     rep.AddExperiment("unpartitioned", "TPR*", base)
         .Set("section", "strategy")
         .Set("dataset", workload::DatasetName(d));
@@ -56,8 +56,7 @@ int main() {
     VelocityAnalyzerOptions an;
     an.k = k;
     const auto m =
-        RunOne(workload::Dataset::kSanFrancisco, IndexVariant::kTprVp, cfg,
-               &an);
+        RunOne(workload::Dataset::kSanFrancisco, "vp(tpr)", cfg, &an);
     rep.AddExperiment(std::to_string(k), "TPR*(VP)", m)
         .Set("section", "num_partitions")
         .Set("dataset", "SA");
@@ -70,14 +69,14 @@ int main() {
   for (bool projected : {false, true}) {
     BenchConfig c2 = cfg;
     c2.tpr_projected_area = projected;
-    for (IndexVariant v : {IndexVariant::kTpr, IndexVariant::kTprVp}) {
-      const auto m = RunOne(workload::Dataset::kChicago, v, c2);
+    for (const char* spec : {"tpr", "vp(tpr)"}) {
+      const auto m = RunOne(workload::Dataset::kChicago, spec, c2);
       const char* policy = projected ? "projected area (classic)"
                                      : "sweep integral (TPR*)";
-      rep.AddExperiment(policy, VariantName(v), m)
+      rep.AddExperiment(policy, spec, m)
           .Set("section", "tpr_insert_policy")
           .Set("dataset", "CH");
-      std::printf("%-26s %-10s %12.2f\n", policy, VariantName(v),
+      std::printf("%-26s %-10s %12.2f\n", policy, spec,
                   m.avg_query_io);
       std::fflush(stdout);
     }
@@ -88,12 +87,12 @@ int main() {
   for (std::size_t pages : {10ul, 25ul, 50ul, 100ul, 200ul}) {
     BenchConfig c2 = cfg;
     c2.buffer_pages = pages;
-    for (IndexVariant v : {IndexVariant::kTpr, IndexVariant::kTprVp}) {
-      const auto m = RunOne(workload::Dataset::kChicago, v, c2);
-      rep.AddExperiment(std::to_string(pages), VariantName(v), m)
+    for (const char* spec : {"tpr", "vp(tpr)"}) {
+      const auto m = RunOne(workload::Dataset::kChicago, spec, c2);
+      rep.AddExperiment(std::to_string(pages), spec, m)
           .Set("section", "buffer_pages")
           .Set("dataset", "CH");
-      std::printf("%-8zu %-10s %12.2f\n", pages, VariantName(v),
+      std::printf("%-8zu %-10s %12.2f\n", pages, spec,
                   m.avg_query_io);
       std::fflush(stdout);
     }

@@ -1,6 +1,9 @@
 // Shared harness for the figure-reproduction benches: paper-default index
-// configurations (Table 1), dataset wiring, experiment execution and table
-// printing.
+// configurations (Table 1) expressed as registry specs, dataset wiring,
+// experiment execution and table printing. Every index is built through
+// BuildIndex(ParseIndexSpec(...)) — benches and the CLI accept any
+// --index=<spec> the registry understands and need zero new code for new
+// configurations.
 //
 // Scale control: benches default to a reduced scale (20k objects, 120 ts,
 // 200 queries) so the whole suite finishes in minutes. Set
@@ -16,10 +19,9 @@
 #include <vector>
 
 #include "bench_reporter.h"
-#include "bx/bx_tree.h"
+#include "common/index_registry.h"
+#include "common/index_spec.h"
 #include "common/moving_object_index.h"
-#include "tpr/tpr_tree.h"
-#include "vp/vp_index.h"
 #include "workload/experiment.h"
 #include "workload/network_presets.h"
 #include "workload/object_simulator.h"
@@ -49,86 +51,71 @@ struct BenchConfig {
   std::uint64_t seed = 4242;
 };
 
-inline TprTreeOptions MakeTprOptions(const BenchConfig& cfg) {
-  TprTreeOptions o;
-  o.horizon = cfg.predictive_time;
-  o.query_half_x = 500.0;  // "optimized for query size 1000x1000 m^2"
-  o.query_half_y = 500.0;
-  o.buffer_pages = cfg.buffer_pages;
-  o.insert_policy = cfg.tpr_projected_area ? TprInsertPolicy::kProjectedArea
-                                           : TprInsertPolicy::kSweepIntegral;
-  return o;
+/// The paper's four Table 1 configurations.
+inline constexpr const char* kCoreIndexSpecs[] = {"bx", "vp(bx)", "tpr",
+                                                  "vp(tpr)"};
+/// All selectable variants, Section 3.3's dual-transform family included.
+inline constexpr const char* kAllIndexSpecs[] = {"bx",  "vp(bx)", "tpr",
+                                                 "vp(tpr)", "bdual",
+                                                 "vp(bdual)"};
+
+inline std::string FormatNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
 }
 
-inline BxTreeOptions MakeBxOptions(const BenchConfig& cfg,
-                                   const Rect& domain) {
-  BxTreeOptions o;
-  o.domain = domain;
-  o.curve_order = 10;          // 1024x1024 grid cells
-  o.num_buckets = 2;           // "two time buckets"
-  o.bucket_duration = cfg.max_update_interval / 2.0;
-  o.velocity_grid_side = 128;  // histogram granularity
-  o.buffer_pages = cfg.buffer_pages;
-  return o;
-}
-
-enum class IndexVariant { kBx, kBxVp, kTpr, kTprVp };
-
-inline const char* VariantName(IndexVariant v) {
-  switch (v) {
-    case IndexVariant::kBx:
-      return "Bx";
-    case IndexVariant::kBxVp:
-      return "Bx(VP)";
-    case IndexVariant::kTpr:
-      return "TPR*";
-    case IndexVariant::kTprVp:
-      return "TPR*(VP)";
+/// Injects Table-1 defaults derived from `cfg` into every node of a spec
+/// that does not set the option explicitly, so `--index=tpr` means "the
+/// paper's TPR* configuration" while `--index=tpr(horizon=10)` still wins.
+inline void ApplyBenchDefaults(IndexSpec& spec, const BenchConfig& cfg) {
+  if (spec.kind == "tpr") {
+    // "optimized for query size 1000x1000 m^2", horizon = predictive time.
+    spec.SetDefaultOption("horizon", FormatNumber(cfg.predictive_time));
+    if (cfg.tpr_projected_area) spec.SetDefaultOption("policy", "projected");
+  } else if (spec.kind == "bx") {
+    spec.SetDefaultOption("velocity_grid_side", "128");
+    spec.SetDefaultOption("bucket_duration",
+                          FormatNumber(cfg.max_update_interval / 2.0));
+  } else if (spec.kind == "bdual") {
+    spec.SetDefaultOption("vel_bits", "2");
+    spec.SetDefaultOption("max_speed_hint", FormatNumber(cfg.max_speed));
+    spec.SetDefaultOption("bucket_duration",
+                          FormatNumber(cfg.max_update_interval / 2.0));
   }
-  return "?";
+  for (IndexSpec& child : spec.children) ApplyBenchDefaults(child, cfg);
 }
 
-inline constexpr IndexVariant kAllVariants[] = {
-    IndexVariant::kBx, IndexVariant::kBxVp, IndexVariant::kTpr,
-    IndexVariant::kTprVp};
-
-/// Builds an index variant. `sample` feeds the velocity analyzer of the VP
-/// variants; `analyzer_overrides` (optional) customizes it.
-inline std::unique_ptr<MovingObjectIndex> MakeVariant(
-    IndexVariant v, const BenchConfig& cfg, const std::vector<Vec2>& sample,
+/// Builds `spec_text` through the registry under `cfg`'s environment.
+/// `sample` feeds the velocity analyzer of VP specs; `analyzer_overrides`
+/// (optional) customizes it. Benches are executables, so a bad spec or a
+/// failed build aborts with a message instead of returning null.
+inline std::unique_ptr<MovingObjectIndex> MakeBenchIndex(
+    const std::string& spec_text, const BenchConfig& cfg,
+    const std::vector<Vec2>& sample,
     const VelocityAnalyzerOptions* analyzer_overrides = nullptr) {
-  switch (v) {
-    case IndexVariant::kBx:
-      return std::make_unique<BxTree>(MakeBxOptions(cfg, cfg.domain));
-    case IndexVariant::kTpr:
-      return std::make_unique<TprStarTree>(MakeTprOptions(cfg));
-    case IndexVariant::kBxVp: {
-      VpIndexOptions vp;
-      vp.domain = cfg.domain;
-      vp.buffer_pages = cfg.buffer_pages;
-      if (analyzer_overrides != nullptr) vp.analyzer = *analyzer_overrides;
-      auto built = VpIndex::Build(
-          [&cfg](BufferPool* pool, const Rect& frame_domain) {
-            return std::make_unique<BxTree>(pool,
-                                            MakeBxOptions(cfg, frame_domain));
-          },
-          vp, sample);
-      return built.ok() ? std::move(built).value() : nullptr;
-    }
-    case IndexVariant::kTprVp: {
-      VpIndexOptions vp;
-      vp.domain = cfg.domain;
-      vp.buffer_pages = cfg.buffer_pages;
-      if (analyzer_overrides != nullptr) vp.analyzer = *analyzer_overrides;
-      auto built = VpIndex::Build(
-          [&cfg](BufferPool* pool, const Rect&) {
-            return std::make_unique<TprStarTree>(pool, MakeTprOptions(cfg));
-          },
-          vp, sample);
-      return built.ok() ? std::move(built).value() : nullptr;
-    }
+  auto parsed = ParseIndexSpec(spec_text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    std::exit(1);
   }
-  return nullptr;
+  IndexSpec spec = std::move(parsed).value();
+  ApplyBenchDefaults(spec, cfg);
+  IndexEnv env;
+  env.domain = cfg.domain;
+  env.buffer_pages = cfg.buffer_pages;
+  env.sample_velocities = sample;
+  if (analyzer_overrides != nullptr) {
+    env.analyzer = *analyzer_overrides;
+    env.seed = analyzer_overrides->seed;
+  }
+  auto built = BuildIndex(spec, env);
+  if (!built.ok()) {
+    std::fprintf(stderr, "building index '%s' failed: %s\n",
+                 spec_text.c_str(), built.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(built).value();
 }
 
 /// Builds the simulator for a dataset under `cfg`.
@@ -158,13 +145,14 @@ inline workload::QueryGeneratorOptions MakeQueryOptions(
   return qo;
 }
 
-/// Runs one (dataset, variant) experiment end to end.
+/// Runs one (dataset, index spec) experiment end to end.
 inline workload::ExperimentMetrics RunOne(
-    workload::Dataset dataset, IndexVariant variant, const BenchConfig& cfg,
+    workload::Dataset dataset, const std::string& spec_text,
+    const BenchConfig& cfg,
     const VelocityAnalyzerOptions* analyzer_overrides = nullptr) {
   workload::ObjectSimulator sim = MakeSimulator(dataset, cfg);
   const auto sample = sim.SampleVelocities(cfg.sample_size, cfg.seed + 5);
-  auto index = MakeVariant(variant, cfg, sample, analyzer_overrides);
+  auto index = MakeBenchIndex(spec_text, cfg, sample, analyzer_overrides);
   workload::QueryGenerator qgen(MakeQueryOptions(cfg));
   workload::ExperimentOptions eo;
   eo.duration = cfg.duration;

@@ -7,69 +7,72 @@
 // captures axis-aligned skew (CH) but smears a rotated dominant axis (SA)
 // across many cells, while VP adapts its frame to the data — exactly the
 // Section 3.3 argument for why dual transforms do not subsume VP.
+//
+//   bench_family [--index=<spec>] [--objects=N] [--duration=T] [--queries=N]
+//
+// By default every registry variant runs; --index restricts the run to one
+// spec (any spec the registry understands), which is how the CI bench
+// smoke matrix collects per-variant BENCH_*.json telemetry.
+#include <optional>
+#include <string>
+
 #include "bench_common.h"
-#include "dual/bdual_tree.h"
 
 namespace {
 
 using namespace vpmoi;
 using namespace vpmoi::bench;
 
-BdualTreeOptions MakeBdualOptions(const BenchConfig& cfg, const Rect& domain) {
-  BdualTreeOptions o;
-  o.domain = domain;
-  o.curve_order = 10;
-  o.vel_bits = 2;
-  o.max_speed_hint = cfg.max_speed;
-  o.num_buckets = 2;
-  o.bucket_duration = cfg.max_update_interval / 2.0;
-  o.buffer_pages = cfg.buffer_pages;
-  return o;
-}
-
-workload::ExperimentMetrics RunBdual(workload::Dataset dataset,
-                                     const BenchConfig& cfg, bool with_vp) {
-  workload::ObjectSimulator sim = MakeSimulator(dataset, cfg);
-  std::unique_ptr<MovingObjectIndex> index;
-  if (with_vp) {
-    VpIndexOptions vp;
-    vp.domain = cfg.domain;
-    vp.buffer_pages = cfg.buffer_pages;
-    auto built = VpIndex::Build(
-        [&cfg](BufferPool* pool, const Rect& frame_domain) {
-          return std::make_unique<BdualTree>(
-              pool, MakeBdualOptions(cfg, frame_domain));
-        },
-        vp, sim.SampleVelocities(cfg.sample_size, cfg.seed + 5));
-    index = std::move(built).value();
-  } else {
-    index = std::make_unique<BdualTree>(MakeBdualOptions(cfg, cfg.domain));
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
   }
-  workload::QueryGenerator qgen(MakeQueryOptions(cfg));
-  workload::ExperimentOptions eo;
-  eo.duration = cfg.duration;
-  eo.total_queries = cfg.total_queries;
-  return workload::RunExperiment(index.get(), &sim, &qgen, eo);
+  return false;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   BenchConfig cfg;
-  BenchReporter rep("family");
+  std::optional<std::string> only_index;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--index", &value)) {
+      only_index = value;
+    } else if (ParseFlag(argv[i], "--objects", &value)) {
+      cfg.num_objects = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--duration", &value)) {
+      cfg.duration = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--queries", &value)) {
+      cfg.total_queries = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_family [--index=<spec>] [--objects=N] "
+                   "[--duration=T] [--queries=N]\n");
+      return 1;
+    }
+  }
+
+  std::vector<std::string> specs;
+  if (only_index.has_value()) {
+    specs.push_back(*only_index);
+  } else {
+    specs.assign(std::begin(kAllIndexSpecs), std::end(kAllIndexSpecs));
+  }
+
+  BenchReporter rep(only_index.has_value() ? "family_" + IndexSpecSlug(*only_index)
+                                           : "family");
   PrintHeader(rep, "Index family comparison (+ Bdual, Section 3.3)",
               "dataset");
   for (workload::Dataset d : {workload::Dataset::kChicago,
                               workload::Dataset::kSanFrancisco,
                               workload::Dataset::kUniform}) {
-    for (IndexVariant v : kAllVariants) {
-      const auto m = RunOne(d, v, cfg);
-      PrintRow(rep, workload::DatasetName(d), VariantName(v), m);
+    for (const std::string& spec : specs) {
+      const auto m = RunOne(d, spec, cfg);
+      PrintRow(rep, workload::DatasetName(d), spec.c_str(), m);
     }
-    const auto bd = RunBdual(d, cfg, /*with_vp=*/false);
-    PrintRow(rep, workload::DatasetName(d), "Bdual", bd);
-    const auto bdvp = RunBdual(d, cfg, /*with_vp=*/true);
-    PrintRow(rep, workload::DatasetName(d), "Bdual(VP)", bdvp);
   }
   return 0;
 }

@@ -7,6 +7,9 @@
 #include <cmath>
 
 #include "bench_common.h"
+#include "bx/bx_tree.h"
+#include "tpr/tpr_tree.h"
+#include "vp/vp_index.h"
 
 namespace {
 
@@ -56,7 +59,8 @@ int main() {
 
   // --- TPR* variants: leaf VBR expansion rates. ---
   {
-    auto unpart = std::make_unique<TprStarTree>(MakeTprOptions(cfg));
+    auto index = MakeBenchIndex("tpr", cfg, sample);
+    auto* unpart = dynamic_cast<TprStarTree*>(index.get());
     for (const auto& o : sim.InitialObjects()) {
       (void)unpart->Insert(o);
     }
@@ -79,15 +83,8 @@ int main() {
     PrintScatterSample("    leaf VBR rates", pts);
   }
   {
-    VpIndexOptions vp;
-    vp.domain = cfg.domain;
-    vp.buffer_pages = cfg.buffer_pages;
-    auto built = VpIndex::Build(
-        [&cfg](BufferPool* pool, const Rect&) {
-          return std::make_unique<TprStarTree>(pool, MakeTprOptions(cfg));
-        },
-        vp, sample);
-    auto& index = *built;
+    auto built = MakeBenchIndex("vp(tpr)", cfg, sample);
+    auto* index = dynamic_cast<VpIndex*>(built.get());
     for (const auto& o : sim.InitialObjects()) {
       (void)index->Insert(o);
     }
@@ -127,7 +124,8 @@ int main() {
   qo.randomize_predictive = true;
   qo.predictive_time = 120.0;
   {
-    auto unpart = std::make_unique<BxTree>(MakeBxOptions(cfg, cfg.domain));
+    auto index = MakeBenchIndex("bx", cfg, sample);
+    auto* unpart = dynamic_cast<BxTree*>(index.get());
     for (const auto& o : sim.InitialObjects()) {
       (void)unpart->Insert(o);
     }
@@ -152,16 +150,8 @@ int main() {
                 stats.mean_x, stats.mean_y);
   }
   {
-    VpIndexOptions vp;
-    vp.domain = cfg.domain;
-    vp.buffer_pages = cfg.buffer_pages;
-    auto built = VpIndex::Build(
-        [&cfg](BufferPool* pool, const Rect& frame_domain) {
-          return std::make_unique<BxTree>(pool,
-                                          MakeBxOptions(cfg, frame_domain));
-        },
-        vp, sample);
-    auto& index = *built;
+    auto built = MakeBenchIndex("vp(bx)", cfg, sample);
+    auto* index = dynamic_cast<VpIndex*>(built.get());
     for (const auto& o : sim.InitialObjects()) {
       (void)index->Insert(o);
     }

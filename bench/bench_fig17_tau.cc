@@ -12,7 +12,7 @@ int main() {
   const double taus[] = {0, 1, 2, 5, 10, 15, 20, 40, 60};
   const workload::Dataset datasets[] = {workload::Dataset::kChicago,
                                         workload::Dataset::kSanFrancisco};
-  const IndexVariant variants[] = {IndexVariant::kBxVp, IndexVariant::kTprVp};
+  const char* const variants[] = {"vp(bx)", "vp(tpr)"};
 
   BenchReporter rep("fig17_tau");
   rep.SetRowKey("tau");
@@ -20,24 +20,24 @@ int main() {
   for (workload::Dataset d : datasets) {
     std::printf("\n-- %s road network --\n", workload::DatasetName(d).c_str());
     std::printf("%-10s %-10s %12s\n", "tau", "index", "query I/O");
-    for (IndexVariant v : variants) {
+    for (const char* spec : variants) {
       for (double tau : taus) {
         VelocityAnalyzerOptions an;
         an.use_fixed_tau = true;
         an.fixed_tau = tau;
-        const auto m = RunOne(d, v, cfg, &an);
+        const auto m = RunOne(d, spec, cfg, &an);
         rep.AddExperiment(std::to_string(static_cast<int>(tau)),
-                          VariantName(v), m)
+                          spec, m)
             .Set("dataset", workload::DatasetName(d));
-        std::printf("%-10.0f %-10s %12.2f\n", tau, VariantName(v),
+        std::printf("%-10.0f %-10s %12.2f\n", tau, spec,
                     m.avg_query_io);
         std::fflush(stdout);
       }
       // Automatic tau (Section 5.2) — the paper's straight line.
-      const auto m = RunOne(d, v, cfg);
-      rep.AddExperiment("auto", VariantName(v), m)
+      const auto m = RunOne(d, spec, cfg);
+      rep.AddExperiment("auto", spec, m)
           .Set("dataset", workload::DatasetName(d));
-      std::printf("%-10s %-10s %12.2f\n", "auto", VariantName(v),
+      std::printf("%-10s %-10s %12.2f\n", "auto", spec,
                   m.avg_query_io);
       std::fflush(stdout);
     }

@@ -11,9 +11,9 @@ int main() {
   BenchReporter rep("fig19_datasets");
   PrintHeader(rep, "Figure 19: effect of varying data sets", "dataset");
   for (workload::Dataset d : workload::kAllDatasets) {
-    for (IndexVariant v : kAllVariants) {
-      const auto m = RunOne(d, v, cfg);
-      PrintRow(rep, workload::DatasetName(d), VariantName(v), m);
+    for (const char* spec : kCoreIndexSpecs) {
+      const auto m = RunOne(d, spec, cfg);
+      PrintRow(rep, workload::DatasetName(d), spec, m);
     }
   }
   return 0;

@@ -13,9 +13,9 @@ int main() {
   for (double radius : {100.0, 300.0, 500.0, 700.0, 1000.0}) {
     BenchConfig cfg;
     cfg.query_radius = radius;
-    for (IndexVariant v : kAllVariants) {
-      const auto m = RunOne(workload::Dataset::kChicago, v, cfg);
-      PrintRow(rep, std::to_string(static_cast<int>(radius)), VariantName(v),
+    for (const char* spec : kCoreIndexSpecs) {
+      const auto m = RunOne(workload::Dataset::kChicago, spec, cfg);
+      PrintRow(rep, std::to_string(static_cast<int>(radius)), spec,
                m);
     }
   }

@@ -14,8 +14,8 @@
 #include "sfc/hilbert.h"
 #include "sfc/range_decomposer.h"
 #include "sfc/zcurve.h"
+#include "common/index_registry.h"
 #include "storage/buffer_pool.h"
-#include "tpr/tpr_tree.h"
 #include "vp/transform.h"
 #include "vp/velocity_analyzer.h"
 
@@ -129,11 +129,11 @@ void BM_BufferPoolHit(benchmark::State& state) {
 BENCHMARK(BM_BufferPoolHit);
 
 void BM_TprInsert(benchmark::State& state) {
-  TprStarTree tree;
+  auto tree = std::move(BuildIndex("tpr", IndexEnv{})).value();
   Rng rng(9);
   ObjectId id = 0;
   for (auto _ : state) {
-    (void)tree.Insert(MovingObject(
+    (void)tree->Insert(MovingObject(
         id++, rng.PointIn(Rect{{0, 0}, {100000, 100000}}),
         {rng.Uniform(-100, 100), rng.Uniform(-100, 100)}, 0.0));
   }
@@ -142,10 +142,10 @@ void BM_TprInsert(benchmark::State& state) {
 BENCHMARK(BM_TprInsert);
 
 void BM_TprSearch(benchmark::State& state) {
-  TprStarTree tree;
+  auto tree = std::move(BuildIndex("tpr", IndexEnv{})).value();
   Rng rng(11);
   for (ObjectId id = 0; id < 50000; ++id) {
-    (void)tree.Insert(MovingObject(
+    (void)tree->Insert(MovingObject(
         id, rng.PointIn(Rect{{0, 0}, {100000, 100000}}),
         {rng.Uniform(-100, 100), rng.Uniform(-100, 100)}, 0.0));
   }
@@ -156,7 +156,7 @@ void BM_TprSearch(benchmark::State& state) {
         QueryRegion::MakeCircle(
             Circle{rng.PointIn(Rect{{0, 0}, {100000, 100000}}), 500.0}),
         30.0);
-    (void)tree.Search(q, &out);
+    (void)tree->Search(q, &out);
     benchmark::DoNotOptimize(out);
   }
 }

@@ -1,6 +1,7 @@
 // Airspace monitoring: aircraft fly along two fixed corridor headings
 // (flights are a canonical skewed-velocity workload, Section 1). A
-// TPR*(VP) index answers two kinds of safety queries:
+// vp(tpr(horizon=15)) index — note the option threaded through the spec
+// grammar — answers two kinds of safety queries:
 //   * a moving range query tracking a storm cell drifting across the
 //     space — which flights intersect it during the next 15 minutes, and
 //   * time-slice conflict probes around an airport.
@@ -10,8 +11,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/index_registry.h"
 #include "common/random.h"
-#include "tpr/tpr_tree.h"
 #include "vp/vp_index.h"
 
 using namespace vpmoi;
@@ -50,21 +51,17 @@ int main() {
   std::vector<Vec2> sample;
   for (const auto& ac : traffic) sample.push_back(ac.vel);
 
-  VpIndexOptions opt;
-  opt.domain = airspace;
-  auto built = VpIndex::Build(
-      [](BufferPool* pool, const Rect&) {
-        TprTreeOptions t;
-        t.horizon = 15.0;
-        return std::make_unique<TprStarTree>(pool, t);
-      },
-      opt, sample);
+  IndexEnv env;
+  env.domain = airspace;
+  env.sample_velocities = sample;
+  auto built = BuildIndex("vp(tpr(horizon=15))", env);
   if (!built.ok()) {
     std::fprintf(stderr, "index build failed: %s\n",
                  built.status().ToString().c_str());
     return 1;
   }
-  std::unique_ptr<VpIndex> radar = std::move(built).value();
+  std::unique_ptr<MovingObjectIndex> index = std::move(built).value();
+  auto* radar = dynamic_cast<VpIndex*>(index.get());
   for (const auto& ac : traffic) (void)radar->Insert(ac);
 
   std::printf("%zu aircraft indexed by %s\n", radar->Size(),

@@ -1,15 +1,14 @@
-// City traffic monitoring: a side-by-side comparison of all four index
-// configurations (Bx, Bx(VP), TPR*, TPR*(VP)) on the same live Chicago
-// workload — a miniature of the paper's Figure 19 experiment, showing how
-// to drive the experiment runner from application code.
+// City traffic monitoring: a side-by-side comparison of four index specs
+// (bx, vp(bx), tpr, vp(tpr)) on the same live Chicago workload — a
+// miniature of the paper's Figure 19 experiment, showing how to drive the
+// experiment runner from application code. Every index is one registry
+// spec string; adding a variant to the comparison is adding a string.
 //
 // Build & run:  ./build/examples/city_traffic
 #include <cstdio>
 #include <memory>
 
-#include "bx/bx_tree.h"
-#include "tpr/tpr_tree.h"
-#include "vp/vp_index.h"
+#include "common/index_registry.h"
 #include "workload/experiment.h"
 #include "workload/network_presets.h"
 #include "workload/object_simulator.h"
@@ -18,50 +17,15 @@
 using namespace vpmoi;
 using workload::Dataset;
 
-namespace {
-
-const Rect kDomain{{0.0, 0.0}, {100000.0, 100000.0}};
-
-std::unique_ptr<MovingObjectIndex> MakeIndex(const std::string& kind,
-                                             const std::vector<Vec2>& sample) {
-  if (kind == "Bx") {
-    BxTreeOptions o;
-    o.domain = kDomain;
-    return std::make_unique<BxTree>(o);
-  }
-  if (kind == "TPR*") {
-    return std::make_unique<TprStarTree>(TprTreeOptions{});
-  }
-  VpIndexOptions vp;
-  vp.domain = kDomain;
-  if (kind == "Bx(VP)") {
-    auto built = VpIndex::Build(
-        [](BufferPool* pool, const Rect& frame_domain) {
-          BxTreeOptions o;
-          o.domain = frame_domain;
-          return std::make_unique<BxTree>(pool, o);
-        },
-        vp, sample);
-    return built.ok() ? std::move(built).value() : nullptr;
-  }
-  auto built = VpIndex::Build(
-      [](BufferPool* pool, const Rect&) {
-        return std::make_unique<TprStarTree>(pool, TprTreeOptions{});
-      },
-      vp, sample);
-  return built.ok() ? std::move(built).value() : nullptr;
-}
-
-}  // namespace
-
 int main() {
+  const Rect kDomain{{0.0, 0.0}, {100000.0, 100000.0}};
   constexpr std::size_t kVehicles = 15000;
   std::printf("city traffic monitor: %zu vehicles on the CH network\n",
               kVehicles);
   std::printf("%-10s %12s %12s %12s %12s\n", "index", "query I/O", "query ms",
               "update I/O", "avg hits");
 
-  for (const char* kind : {"Bx", "Bx(VP)", "TPR*", "TPR*(VP)"}) {
+  for (const char* spec : {"bx", "vp(bx)", "tpr", "vp(tpr)"}) {
     // A fresh simulator per index so every index replays the identical
     // update/query stream.
     auto network = workload::MakeNetwork(Dataset::kChicago, kDomain, 31);
@@ -71,11 +35,17 @@ int main() {
     so.seed = 31;
     workload::ObjectSimulator city(&*network, so);
 
-    auto index = MakeIndex(kind, city.SampleVelocities(5000, 37));
-    if (index == nullptr) {
-      std::fprintf(stderr, "could not build %s\n", kind);
+    const auto sample = city.SampleVelocities(5000, 37);
+    IndexEnv env;
+    env.domain = kDomain;
+    env.sample_velocities = sample;
+    auto built = BuildIndex(spec, env);
+    if (!built.ok()) {
+      std::fprintf(stderr, "could not build %s: %s\n", spec,
+                   built.status().ToString().c_str());
       return 1;
     }
+    std::unique_ptr<MovingObjectIndex> index = std::move(built).value();
 
     workload::QueryGeneratorOptions qo;
     qo.domain = kDomain;
@@ -88,7 +58,7 @@ int main() {
     eo.duration = 120.0;
     eo.total_queries = 100;
     const auto m = workload::RunExperiment(index.get(), &city, &queries, eo);
-    std::printf("%-10s %12.2f %12.4f %12.3f %12.1f\n", kind, m.avg_query_io,
+    std::printf("%-10s %12.2f %12.4f %12.3f %12.1f\n", spec, m.avg_query_io,
                 m.avg_query_ms, m.avg_update_io, m.avg_result_size);
   }
   std::printf("\n(identical 'avg hits' across rows confirms all four indexes "

@@ -1,12 +1,13 @@
-// Quickstart: index moving objects, run all three predictive range query
-// types, then wrap the same index type with the VP technique and compare
-// query I/O on a direction-skewed workload.
+// Quickstart: index moving objects through the registry, run all three
+// predictive range query types (plus a streaming existence probe), then
+// build the same index type with the VP technique and compare query I/O
+// on a direction-skewed workload.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 #include <memory>
 
-#include "common/moving_object_index.h"
+#include "common/index_registry.h"
 #include "common/random.h"
 #include "tpr/tpr_tree.h"
 #include "vp/vp_index.h"
@@ -37,17 +38,25 @@ std::vector<MovingObject> MakeFleet(std::size_t n, const Rect& domain) {
 int main() {
   const Rect domain{{0.0, 0.0}, {100000.0, 100000.0}};
 
-  // --- 1. A plain TPR*-tree. ---
-  TprStarTree tree;
+  // --- 1. A plain TPR*-tree, built from a declarative spec. ---
+  IndexEnv env;
+  env.domain = domain;
+  auto built_tree = BuildIndex("tpr", env);
+  if (!built_tree.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built_tree.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<MovingObjectIndex> tree = std::move(built_tree).value();
   for (const MovingObject& o : MakeFleet(30000, domain)) {
-    const Status st = tree.Insert(o);
+    const Status st = tree->Insert(o);
     if (!st.ok()) {
       std::fprintf(stderr, "insert failed: %s\n", st.ToString().c_str());
       return 1;
     }
   }
-  std::printf("indexed %zu objects, tree height %d\n", tree.Size(),
-              tree.Height());
+  std::printf("indexed %zu objects, tree height %d\n", tree->Size(),
+              dynamic_cast<TprStarTree*>(tree.get())->Height());
 
   // --- 2. The three predictive range query types (Section 2.1). ---
   std::vector<ObjectId> hits;
@@ -55,43 +64,47 @@ int main() {
   // (a) Time-slice: who is within 1 km of the center 30 ts from now?
   const auto center_circle =
       QueryRegion::MakeCircle(Circle{{50000.0, 50000.0}, 1000.0});
-  (void)tree.Search(RangeQuery::TimeSlice(center_circle, 30.0), &hits);
+  (void)tree->Search(RangeQuery::TimeSlice(center_circle, 30.0), &hits);
   std::printf("time-slice    t=30        : %zu objects\n", hits.size());
 
   // (b) Time-interval: who crosses the box at any time in [30, 60]?
   hits.clear();
   const auto box =
       QueryRegion::MakeRect(Rect{{49000.0, 49000.0}, {51000.0, 51000.0}});
-  (void)tree.Search(RangeQuery::TimeInterval(box, 30.0, 60.0), &hits);
+  (void)tree->Search(RangeQuery::TimeInterval(box, 30.0, 60.0), &hits);
   std::printf("time-interval t=[30,60]   : %zu objects\n", hits.size());
 
   // (c) Moving range: a region sweeping east at 20 m/ts.
   hits.clear();
   const auto sweep = QueryRegion::MakeCircle(
       Circle{{20000.0, 50000.0}, 1500.0}, /*vel=*/{20.0, 0.0});
-  (void)tree.Search(RangeQuery::Moving(sweep, 0.0, 60.0), &hits);
+  (void)tree->Search(RangeQuery::Moving(sweep, 0.0, 60.0), &hits);
   std::printf("moving range  t=[0,60]    : %zu objects\n", hits.size());
+
+  // (d) Streaming: an existence probe stops the search at the first hit
+  // instead of materializing the full result (see result_sink.h).
+  FirstNSink any(1);
+  (void)tree->Search(RangeQuery::TimeSlice(center_circle, 30.0), any);
+  std::printf("existence probe           : %s\n",
+              any.ids().empty() ? "empty" : "occupied");
 
   // --- 3. The same index type, velocity partitioned. ---
   // Sample the fleet's velocities, find the dominant velocity axes, and
-  // maintain one TPR*-tree per axis plus an outlier tree (Section 5).
+  // maintain one TPR*-tree per axis plus an outlier tree (Section 5) —
+  // the spec just wraps the inner kind: vp(tpr).
   const auto fleet = MakeFleet(30000, domain);
   std::vector<Vec2> sample;
   for (const auto& o : fleet) sample.push_back(o.vel);
 
-  VpIndexOptions options;
-  options.domain = domain;
-  auto built = VpIndex::Build(
-      [](BufferPool* pool, const Rect&) {
-        return std::make_unique<TprStarTree>(pool, TprTreeOptions{});
-      },
-      options, sample);
-  if (!built.ok()) {
+  env.sample_velocities = sample;
+  auto built_vp = BuildIndex("vp(tpr)", env);
+  if (!built_vp.ok()) {
     std::fprintf(stderr, "VP build failed: %s\n",
-                 built.status().ToString().c_str());
+                 built_vp.status().ToString().c_str());
     return 1;
   }
-  std::unique_ptr<VpIndex> vp = std::move(built).value();
+  std::unique_ptr<MovingObjectIndex> vp_index = std::move(built_vp).value();
+  auto* vp = dynamic_cast<VpIndex*>(vp_index.get());
   for (const MovingObject& o : fleet) (void)vp->Insert(o);
 
   std::printf("\nVP index '%s': %d DVA partitions + outliers\n",
@@ -105,13 +118,13 @@ int main() {
 
   // --- 4. Compare query I/O: unpartitioned vs VP. ---
   Rng rng(7);
-  tree.ResetStats();
+  tree->ResetStats();
   vp->ResetStats();
   for (int i = 0; i < 100; ++i) {
     const RangeQuery q = RangeQuery::TimeSlice(
         QueryRegion::MakeCircle(Circle{rng.PointIn(domain), 500.0}), 60.0);
     hits.clear();
-    (void)tree.Search(q, &hits);
+    (void)tree->Search(q, &hits);
     const std::size_t a = hits.size();
     hits.clear();
     (void)vp->Search(q, &hits);
@@ -122,7 +135,7 @@ int main() {
   }
   std::printf("\n100 identical queries, 60 ts ahead:\n");
   std::printf("  TPR*     : %llu page I/Os\n",
-              static_cast<unsigned long long>(tree.Stats().PhysicalTotal()));
+              static_cast<unsigned long long>(tree->Stats().PhysicalTotal()));
   std::printf("  TPR*(VP) : %llu page I/Os\n",
               static_cast<unsigned long long>(vp->Stats().PhysicalTotal()));
   return 0;

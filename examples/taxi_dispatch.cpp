@@ -1,16 +1,16 @@
 // Taxi dispatch on a San-Francisco-style road network — the paper's own
 // motivating scenario ("a taxi driver is interested in potential
-// passengers within 200 meters of itself", Section 6). A Bx(VP) index
-// tracks the fleet; each simulated minute the dispatcher answers pickup
-// requests with predictive circular range queries, and taxis report
-// updates as they turn at junctions.
+// passengers within 200 meters of itself", Section 6). A vp(bx) index
+// tracks the fleet; each simulated minute the taxis' position reports are
+// applied as one batch (`ApplyBatch`), and the dispatcher answers pickup
+// requests with predictive circular range queries, falling back to
+// first-class kNN (`index->Knn`) when nobody is close.
 //
 // Build & run:  ./build/examples/taxi_dispatch
 #include <cstdio>
 #include <memory>
 
-#include "bx/bx_tree.h"
-#include "common/knn.h"
+#include "common/index_registry.h"
 #include "common/random.h"
 #include "vp/vp_index.h"
 #include "workload/network_presets.h"
@@ -33,29 +33,26 @@ int main() {
 
   // Dispatcher index: a velocity-partitioned Bx-tree. The analyzer learns
   // the two dominant street directions from a fleet velocity sample.
-  VpIndexOptions vp_opt;
-  vp_opt.domain = domain;
-  auto built = VpIndex::Build(
-      [&domain](BufferPool* pool, const Rect& frame_domain) {
-        BxTreeOptions o;
-        o.domain = frame_domain;
-        return std::make_unique<BxTree>(pool, o);
-      },
-      vp_opt, city.SampleVelocities(5000, 13));
+  const auto sample = city.SampleVelocities(5000, 13);
+  IndexEnv env;
+  env.domain = domain;
+  env.sample_velocities = sample;
+  auto built = BuildIndex("vp(bx)", env);
   if (!built.ok()) {
     std::fprintf(stderr, "failed to build index: %s\n",
                  built.status().ToString().c_str());
     return 1;
   }
-  std::unique_ptr<VpIndex> dispatch = std::move(built).value();
+  std::unique_ptr<MovingObjectIndex> dispatch = std::move(built).value();
   for (const MovingObject& taxi : city.InitialObjects()) {
     (void)dispatch->Insert(taxi);
   }
+  auto* vp = dynamic_cast<VpIndex*>(dispatch.get());
   std::printf("taxi fleet of %zu indexed by %s; street DVAs at:\n",
               dispatch->Size(), dispatch->Name().c_str());
-  for (int i = 0; i < dispatch->DvaCount(); ++i) {
-    std::printf("  %s (%zu taxis)\n", dispatch->GetDva(i).ToString().c_str(),
-                dispatch->PartitionSize(i));
+  for (int i = 0; i < vp->DvaCount(); ++i) {
+    std::printf("  %s (%zu taxis)\n", vp->GetDva(i).ToString().c_str(),
+                vp->PartitionSize(i));
   }
 
   // Run a simulated hour: updates stream in, pickup requests arrive.
@@ -63,13 +60,18 @@ int main() {
   std::size_t total_candidates = 0, served = 0, knn_fallback = 0;
   std::vector<ObjectId> candidates;
   std::vector<KnnNeighbor> nearest;
+  std::vector<IndexOp> batch;
   KnnOptions knn_opt;
   knn_opt.domain = domain;
   double nearest_distance_total = 0.0;
   for (int minute = 1; minute <= 60; ++minute) {
     const auto updates = city.Tick();
     dispatch->AdvanceTime(city.Now());
-    for (const MovingObject& u : updates) (void)dispatch->Update(u);
+    // One batch per minute: the whole position-report wave is applied as a
+    // unit (and, under a threadsafe(...) spec, atomically).
+    batch.clear();
+    for (const MovingObject& u : updates) batch.push_back(IndexOp::Updating(u));
+    (void)dispatch->ApplyBatch(batch);
 
     // Five pickup requests per minute: find taxis that will be within
     // 200 m of the passenger within the next 2 ts.
@@ -82,11 +84,11 @@ int main() {
           &candidates);
       if (candidates.empty()) {
         // Nobody close: fall back to the 3 nearest taxis, predicted one
-        // minute out (the circular range query is the kNN filter step the
-        // paper mentions in Section 6).
+        // minute out. Knn is a first-class index verb, so the VP index
+        // probes each partition directly in its rotated frame.
         ++knn_fallback;
-        (void)KnnSearch(dispatch.get(), passenger, 3, city.Now() + 1.0,
-                        knn_opt, &nearest);
+        (void)dispatch->Knn(passenger, 3, city.Now() + 1.0, knn_opt,
+                            &nearest);
         for (const KnnNeighbor& nb : nearest) candidates.push_back(nb.id);
         if (!nearest.empty()) nearest_distance_total += nearest[0].distance;
       }

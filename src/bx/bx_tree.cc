@@ -179,8 +179,8 @@ Rect BxTree::EnlargeWindow(const Rect& w, Timestamp t0, Timestamp t1,
   return cur;
 }
 
-void BxTree::SearchBucket(std::int64_t label, const RangeQuery& q,
-                          std::vector<ObjectId>* out) {
+bool BxTree::SearchBucket(std::int64_t label, const RangeQuery& q,
+                          ResultSink& sink) {
   const Timestamp tlab = LabelTime(label);
   const Rect w = q.SweepMbr();
   const Rect enlarged = EnlargeWindow(w, q.t_begin, q.t_end, tlab);
@@ -212,27 +212,40 @@ void BxTree::SearchBucket(std::int64_t label, const RangeQuery& q,
   const std::vector<CurveRange> ranges = CoalesceRanges(
       DecomposeWindowRecursive(*curve_, cx0, cy0, cx1, cy1),
       options_.max_scan_ranges);
+  bool keep_going = true;
   for (const CurveRange& r : ranges) {
     btree_->Scan(KeyOf(label, r.lo), KeyOf(label, r.hi),
                  [&](BptKey k, const BptPayload& p) {
                    const MovingObject o(k.sub, {p.px, p.py}, {p.vx, p.vy},
                                         tlab);
-                   if (q.Matches(o)) out->push_back(k.sub);
+                   if (q.Matches(o) && !sink.Emit(k.sub)) {
+                     keep_going = false;
+                     return false;
+                   }
                    return true;
                  });
+    if (!keep_going) break;
   }
+  return keep_going;
 }
 
-Status BxTree::Search(const RangeQuery& q, std::vector<ObjectId>* out) {
+Status BxTree::Search(const RangeQuery& q, ResultSink& sink) {
   if (q.t_end < q.t_begin) {
     return Status::InvalidArgument("query interval end precedes begin");
   }
   // Each object lives in exactly one bucket, so buckets can be searched
   // independently without deduplication.
   for (const auto& [label, count] : label_counts_) {
-    if (count > 0) SearchBucket(label, q, out);
+    if (count > 0 && !SearchBucket(label, q, sink)) break;
   }
   return Status::OK();
+}
+
+Status BxTree::ApplyBatch(std::span<const IndexOp> ops) {
+  velocity_grid_.BeginDeferredMaintenance();
+  const Status st = MovingObjectIndex::ApplyBatch(ops);
+  velocity_grid_.EndDeferredMaintenance();
+  return st;
 }
 
 StatusOr<MovingObject> BxTree::GetObject(ObjectId id) const {

@@ -65,7 +65,11 @@ class BxTree final : public MovingObjectIndex {
   /// the B+-tree. Requires an empty tree.
   Status BulkLoad(std::span<const MovingObject> objects) override;
   Status Delete(ObjectId id) override;
-  Status Search(const RangeQuery& q, std::vector<ObjectId>* out) override;
+  /// Defers velocity-grid extreme recomputation to the end of the batch
+  /// (at most one maintenance pass instead of one per deletion).
+  Status ApplyBatch(std::span<const IndexOp> ops) override;
+  Status Search(const RangeQuery& q, ResultSink& sink) override;
+  using MovingObjectIndex::Search;
   std::size_t Size() const override { return objects_.size(); }
   void AdvanceTime(Timestamp now) override;
   IoStats Stats() const override { return pool_->stats(); }
@@ -109,8 +113,9 @@ class BxTree final : public MovingObjectIndex {
   Rect EnlargeWindow(const Rect& w, Timestamp t0, Timestamp t1,
                      Timestamp tlab) const;
 
-  void SearchBucket(std::int64_t label, const RangeQuery& q,
-                    std::vector<ObjectId>* out);
+  /// Returns false when the sink stopped the search.
+  bool SearchBucket(std::int64_t label, const RangeQuery& q,
+                    ResultSink& sink);
 
   struct StoredObject {
     MovingObject stored;  // position at the bucket reference time

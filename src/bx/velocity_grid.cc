@@ -49,14 +49,50 @@ void VelocityGrid::Remove(const Point2& pos, const Vec2& vel) {
     c.ext = VelocityExtremes{};
     c.removals_since_rebuild = 0;
   } else if (++c.removals_since_rebuild >= rebuild_threshold_) {
-    RebuildCell(c);
+    if (deferred_) {
+      deferred_cell_dirty_ = true;
+    } else {
+      RebuildCell(c);
+    }
   }
 
   if (total_count_ == 0) {
     global_ = VelocityExtremes{};
     global_removals_since_rebuild_ = 0;
   } else if (++global_removals_since_rebuild_ >= global_rebuild_threshold_) {
-    RebuildGlobal();
+    if (deferred_) {
+      deferred_global_dirty_ = true;
+    } else {
+      RebuildGlobal();
+    }
+  }
+}
+
+void VelocityGrid::BeginDeferredMaintenance() {
+  deferred_ = true;
+  deferred_cell_dirty_ = false;
+  deferred_global_dirty_ = false;
+}
+
+void VelocityGrid::EndDeferredMaintenance() {
+  deferred_ = false;
+  // Settle every threshold crossing postponed during the batch in one
+  // pass; counters keep their exact churn-triggered semantics. A batch
+  // that postponed nothing skips the cell scan entirely.
+  if (deferred_cell_dirty_) {
+    for (Cell& c : cells_) {
+      if (c.count > 0 && c.removals_since_rebuild >= rebuild_threshold_) {
+        RebuildCell(c);
+      }
+    }
+    deferred_cell_dirty_ = false;
+  }
+  if (deferred_global_dirty_) {
+    if (total_count_ > 0 &&
+        global_removals_since_rebuild_ >= global_rebuild_threshold_) {
+      RebuildGlobal();
+    }
+    deferred_global_dirty_ = false;
   }
 }
 

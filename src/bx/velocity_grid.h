@@ -71,6 +71,14 @@ class VelocityGrid {
   /// conservative).
   void Remove(const Point2& pos, const Vec2& vel);
 
+  /// Batch mode: between Begin and End, churn-triggered extreme
+  /// recomputation is postponed, so a batch of removals pays for at most
+  /// one maintenance pass (at End) instead of one per threshold crossing.
+  /// Extremes stay conservative (never shrink) throughout, so concurrent
+  /// queries remain exact. Not reentrant.
+  void BeginDeferredMaintenance();
+  void EndDeferredMaintenance();
+
   /// Extremes over all cells intersecting `window`.
   VelocityExtremes Query(const Rect& window) const;
 
@@ -126,6 +134,12 @@ class VelocityGrid {
   Rect domain_;
   int side_;
   std::uint32_t rebuild_threshold_;
+  /// True between Begin/EndDeferredMaintenance.
+  bool deferred_ = false;
+  /// Set when a cell / the global threshold crossing was postponed, so
+  /// EndDeferredMaintenance skips its scan entirely for clean batches.
+  bool deferred_cell_dirty_ = false;
+  bool deferred_global_dirty_ = false;
   /// Removals between global rebuilds; scales with the cell count so the
   /// O(cells) global scan stays amortized-constant per removal.
   std::uint64_t global_rebuild_threshold_;

@@ -1,0 +1,376 @@
+#include "common/index_registry.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <deque>
+#include <limits>
+#include <span>
+#include <utility>
+
+#include "bx/bx_tree.h"
+#include "common/thread_safe_index.h"
+#include "dual/bdual_tree.h"
+#include "tpr/tpr_tree.h"
+#include "vp/vp_index.h"
+
+namespace vpmoi {
+
+namespace {
+
+/// Typed, validated access to a spec node's options: every getter records
+/// the first conversion error, and Finish() rejects options no getter
+/// consumed — so misspelled keys fail loudly instead of being ignored.
+class OptionReader {
+ public:
+  explicit OptionReader(const IndexSpec& spec) : spec_(spec) {
+    for (const auto& [k, v] : spec.options) unread_.emplace(k, v);
+  }
+
+  void Double(std::string_view key, double* out) {
+    const std::string* v = Take(key);
+    if (v == nullptr || !status_.ok()) return;
+    char* end = nullptr;
+    const double parsed = std::strtod(v->c_str(), &end);
+    if (end == v->c_str() || *end != '\0') {
+      Fail(key, *v, "a number");
+      return;
+    }
+    *out = parsed;
+  }
+
+  void Int(std::string_view key, int* out) {
+    double d = 0.0;
+    const bool present = unread_.contains(std::string(key));
+    Double(key, &d);
+    if (!present || !status_.ok()) return;
+    // Range-check before casting: an out-of-int-range (or NaN) double to
+    // int conversion is undefined behavior, not a recoverable error.
+    if (!(d >= static_cast<double>(std::numeric_limits<int>::min()) &&
+          d <= static_cast<double>(std::numeric_limits<int>::max()))) {
+      Fail(key, std::to_string(d), "an integer");
+      return;
+    }
+    const int parsed = static_cast<int>(d);
+    if (static_cast<double>(parsed) != d) {
+      Fail(key, std::to_string(d), "an integer");
+      return;
+    }
+    *out = parsed;
+  }
+
+  void SizeT(std::string_view key, std::size_t* out) {
+    int v = 0;
+    const bool present = unread_.contains(std::string(key));
+    Int(key, &v);
+    if (!present || !status_.ok()) return;
+    if (v < 0) {
+      Fail(key, std::to_string(v), "a non-negative integer");
+      return;
+    }
+    *out = static_cast<std::size_t>(v);
+  }
+
+  void Uint64(std::string_view key, std::uint64_t* out) {
+    const std::string* v = Take(key);
+    if (v == nullptr || !status_.ok()) return;
+    // strtoull silently wraps negative inputs modulo 2^64; reject them.
+    if (!v->empty() && v->front() == '-') {
+      Fail(key, *v, "an unsigned integer");
+      return;
+    }
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(v->c_str(), &end, 10);
+    if (end == v->c_str() || *end != '\0') {
+      Fail(key, *v, "an unsigned integer");
+      return;
+    }
+    *out = parsed;
+  }
+
+  /// Case-insensitive choice among named values.
+  void Choice(std::string_view key,
+              std::span<const std::pair<const char*, int>> choices, int* out) {
+    const std::string* v = Take(key);
+    if (v == nullptr || !status_.ok()) return;
+    std::string lower = *v;
+    for (char& c : lower) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    for (const auto& [name, value] : choices) {
+      if (lower == name) {
+        *out = value;
+        return;
+      }
+    }
+    std::string expected;
+    for (const auto& [name, value] : choices) {
+      if (!expected.empty()) expected += "|";
+      expected += name;
+    }
+    Fail(key, *v, expected);
+  }
+
+  /// First conversion error, or an unknown-option error for leftovers.
+  Status Finish() {
+    if (!status_.ok()) return status_;
+    if (!unread_.empty()) {
+      return Status::InvalidArgument("unknown option '" +
+                                     unread_.begin()->first +
+                                     "' for index kind '" + spec_.kind + "'");
+    }
+    return Status::OK();
+  }
+
+ private:
+  const std::string* Take(std::string_view key) {
+    auto it = unread_.find(std::string(key));
+    if (it == unread_.end()) return nullptr;
+    taken_.push_back(it->second);
+    unread_.erase(it);
+    return &taken_.back();
+  }
+
+  void Fail(std::string_view key, const std::string& value,
+            const std::string& expected) {
+    if (status_.ok()) {
+      status_ = Status::InvalidArgument(
+          "option '" + std::string(key) + "' of index kind '" + spec_.kind +
+          "' must be " + expected + ", got '" + value + "'");
+    }
+  }
+
+  const IndexSpec& spec_;
+  std::map<std::string, std::string> unread_;
+  std::deque<std::string> taken_;
+  Status status_;
+};
+
+Status RequireLeaf(const IndexSpec& spec) {
+  if (!spec.children.empty()) {
+    return Status::InvalidArgument("index kind '" + spec.kind +
+                                   "' takes no sub-spec");
+  }
+  return Status::OK();
+}
+
+Status RequireOneChild(const IndexSpec& spec) {
+  if (spec.children.size() != 1) {
+    return Status::InvalidArgument("index kind '" + spec.kind +
+                                   "' requires exactly one sub-spec, got " +
+                                   std::to_string(spec.children.size()));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<MovingObjectIndex>> BuildTpr(const IndexSpec& spec,
+                                                      const IndexEnv& env) {
+  VPMOI_RETURN_IF_ERROR(RequireLeaf(spec));
+  TprTreeOptions o;
+  o.buffer_pages = env.buffer_pages;
+  OptionReader opts(spec);
+  opts.Double("horizon", &o.horizon);
+  opts.Double("query_half_x", &o.query_half_x);
+  opts.Double("query_half_y", &o.query_half_y);
+  opts.Double("min_fill", &o.min_fill);
+  opts.Double("reinsert_fraction", &o.reinsert_fraction);
+  opts.SizeT("buffer_pages", &o.buffer_pages);
+  static constexpr std::pair<const char*, int> kPolicies[] = {
+      {"sweep", static_cast<int>(TprInsertPolicy::kSweepIntegral)},
+      {"projected", static_cast<int>(TprInsertPolicy::kProjectedArea)}};
+  int policy = static_cast<int>(o.insert_policy);
+  opts.Choice("policy", kPolicies, &policy);
+  o.insert_policy = static_cast<TprInsertPolicy>(policy);
+  VPMOI_RETURN_IF_ERROR(opts.Finish());
+  if (env.shared_pool != nullptr) {
+    return std::unique_ptr<MovingObjectIndex>(
+        std::make_unique<TprStarTree>(env.shared_pool, o));
+  }
+  return std::unique_ptr<MovingObjectIndex>(std::make_unique<TprStarTree>(o));
+}
+
+StatusOr<std::unique_ptr<MovingObjectIndex>> BuildBx(const IndexSpec& spec,
+                                                     const IndexEnv& env) {
+  VPMOI_RETURN_IF_ERROR(RequireLeaf(spec));
+  BxTreeOptions o;
+  o.domain = env.domain;
+  o.buffer_pages = env.buffer_pages;
+  OptionReader opts(spec);
+  opts.Int("curve_order", &o.curve_order);
+  static constexpr std::pair<const char*, int> kCurves[] = {
+      {"hilbert", static_cast<int>(CurveKind::kHilbert)},
+      {"z", static_cast<int>(CurveKind::kZ)}};
+  int curve = static_cast<int>(o.curve);
+  opts.Choice("curve", kCurves, &curve);
+  o.curve = static_cast<CurveKind>(curve);
+  opts.Int("num_buckets", &o.num_buckets);
+  opts.Double("bucket_duration", &o.bucket_duration);
+  opts.Int("velocity_grid_side", &o.velocity_grid_side);
+  opts.Int("max_expand_iterations", &o.max_expand_iterations);
+  opts.SizeT("max_scan_ranges", &o.max_scan_ranges);
+  opts.SizeT("buffer_pages", &o.buffer_pages);
+  VPMOI_RETURN_IF_ERROR(opts.Finish());
+  if (env.shared_pool != nullptr) {
+    return std::unique_ptr<MovingObjectIndex>(
+        std::make_unique<BxTree>(env.shared_pool, o));
+  }
+  return std::unique_ptr<MovingObjectIndex>(std::make_unique<BxTree>(o));
+}
+
+StatusOr<std::unique_ptr<MovingObjectIndex>> BuildBdual(const IndexSpec& spec,
+                                                        const IndexEnv& env) {
+  VPMOI_RETURN_IF_ERROR(RequireLeaf(spec));
+  BdualTreeOptions o;
+  o.domain = env.domain;
+  o.buffer_pages = env.buffer_pages;
+  OptionReader opts(spec);
+  opts.Int("curve_order", &o.curve_order);
+  opts.Int("vel_bits", &o.vel_bits);
+  opts.Double("max_speed_hint", &o.max_speed_hint);
+  opts.Int("num_buckets", &o.num_buckets);
+  opts.Double("bucket_duration", &o.bucket_duration);
+  opts.SizeT("buffer_pages", &o.buffer_pages);
+  VPMOI_RETURN_IF_ERROR(opts.Finish());
+  if (env.shared_pool != nullptr) {
+    return std::unique_ptr<MovingObjectIndex>(
+        std::make_unique<BdualTree>(env.shared_pool, o));
+  }
+  return std::unique_ptr<MovingObjectIndex>(std::make_unique<BdualTree>(o));
+}
+
+StatusOr<std::unique_ptr<MovingObjectIndex>> BuildVp(const IndexSpec& spec,
+                                                     const IndexEnv& env) {
+  if (env.shared_pool != nullptr) {
+    return Status::InvalidArgument(
+        "'vp' cannot be nested inside another 'vp' (partitions share one "
+        "buffer pool)");
+  }
+  VPMOI_RETURN_IF_ERROR(RequireOneChild(spec));
+  VpIndexOptions o;
+  o.domain = env.domain;
+  o.buffer_pages = env.buffer_pages;
+  o.analyzer = env.analyzer;
+  o.analyzer.seed = env.seed;
+  OptionReader opts(spec);
+  opts.Int("k", &o.analyzer.k);
+  static constexpr std::pair<const char*, int> kStrategies[] = {
+      {"pca_kmeans", static_cast<int>(PartitioningStrategy::kPcaKMeans)},
+      {"pca_only", static_cast<int>(PartitioningStrategy::kPcaOnly)},
+      {"centroid_kmeans",
+       static_cast<int>(PartitioningStrategy::kCentroidKMeans)}};
+  int strategy = static_cast<int>(o.analyzer.strategy);
+  opts.Choice("strategy", kStrategies, &strategy);
+  o.analyzer.strategy = static_cast<PartitioningStrategy>(strategy);
+  opts.Int("restarts", &o.analyzer.restarts);
+  opts.Uint64("seed", &o.analyzer.seed);
+  if (spec.FindOption("fixed_tau") != nullptr) {
+    o.analyzer.use_fixed_tau = true;
+  }
+  opts.Double("fixed_tau", &o.analyzer.fixed_tau);
+  opts.Double("tau_refresh", &o.tau_refresh_interval);
+  opts.SizeT("buffer_pages", &o.buffer_pages);
+  VPMOI_RETURN_IF_ERROR(opts.Finish());
+
+  // The partition factory recurses through the registry with the shared
+  // pool and frame domain; VpIndex::Build turns a null partition into an
+  // error, and the first recorded child error is surfaced instead.
+  const IndexSpec& child = spec.children[0];
+  Status child_error;
+  const IndexFactory factory =
+      [&child, &env, &child_error](
+          BufferPool* pool,
+          const Rect& frame_domain) -> std::unique_ptr<MovingObjectIndex> {
+    IndexEnv child_env = env;
+    child_env.shared_pool = pool;
+    child_env.domain = frame_domain;
+    auto built = BuildIndex(child, child_env);
+    if (!built.ok()) {
+      if (child_error.ok()) child_error = built.status();
+      return nullptr;
+    }
+    return std::move(built).value();
+  };
+  auto built = VpIndex::Build(factory, o, env.sample_velocities);
+  if (!child_error.ok()) return child_error;
+  if (!built.ok()) return built.status();
+  return std::unique_ptr<MovingObjectIndex>(std::move(built).value());
+}
+
+StatusOr<std::unique_ptr<MovingObjectIndex>> BuildThreadSafe(
+    const IndexSpec& spec, const IndexEnv& env) {
+  if (env.shared_pool != nullptr) {
+    return Status::InvalidArgument(
+        "'threadsafe' cannot be a 'vp' partition; wrap the whole vp spec "
+        "instead: threadsafe(vp(...))");
+  }
+  VPMOI_RETURN_IF_ERROR(RequireOneChild(spec));
+  OptionReader opts(spec);
+  VPMOI_RETURN_IF_ERROR(opts.Finish());
+  auto inner = BuildIndex(spec.children[0], env);
+  if (!inner.ok()) return inner.status();
+  return std::unique_ptr<MovingObjectIndex>(
+      std::make_unique<ThreadSafeIndex>(std::move(inner).value()));
+}
+
+}  // namespace
+
+IndexRegistry& IndexRegistry::Global() {
+  static IndexRegistry* registry = [] {
+    auto* r = new IndexRegistry();
+    (void)r->Register("tpr", BuildTpr);
+    (void)r->Register("bx", BuildBx);
+    (void)r->Register("bdual", BuildBdual);
+    (void)r->Register("vp", BuildVp);
+    (void)r->Register("threadsafe", BuildThreadSafe);
+    return r;
+  }();
+  return *registry;
+}
+
+Status IndexRegistry::Register(std::string kind, Builder builder) {
+  if (builders_.contains(kind)) {
+    return Status::AlreadyExists("index kind '" + kind +
+                                 "' is already registered");
+  }
+  builders_.emplace(std::move(kind), std::move(builder));
+  return Status::OK();
+}
+
+bool IndexRegistry::Contains(std::string_view kind) const {
+  return builders_.find(kind) != builders_.end();
+}
+
+std::vector<std::string> IndexRegistry::Kinds() const {
+  std::vector<std::string> out;
+  out.reserve(builders_.size());
+  for (const auto& [kind, builder] : builders_) out.push_back(kind);
+  return out;
+}
+
+StatusOr<std::unique_ptr<MovingObjectIndex>> IndexRegistry::Build(
+    const IndexSpec& spec, const IndexEnv& env) const {
+  auto it = builders_.find(spec.kind);
+  if (it == builders_.end()) {
+    std::string known;
+    for (const auto& [kind, builder] : builders_) {
+      if (!known.empty()) known += ", ";
+      known += kind;
+    }
+    return Status::InvalidArgument("unknown index kind '" + spec.kind +
+                                   "' (known: " + known + ")");
+  }
+  return it->second(spec, env);
+}
+
+StatusOr<std::unique_ptr<MovingObjectIndex>> BuildIndex(const IndexSpec& spec,
+                                                        const IndexEnv& env) {
+  return IndexRegistry::Global().Build(spec, env);
+}
+
+StatusOr<std::unique_ptr<MovingObjectIndex>> BuildIndex(
+    std::string_view spec_text, const IndexEnv& env) {
+  auto spec = ParseIndexSpec(spec_text);
+  if (!spec.ok()) return spec.status();
+  return BuildIndex(*spec, env);
+}
+
+}  // namespace vpmoi

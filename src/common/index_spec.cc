@@ -1,0 +1,180 @@
+#include "common/index_spec.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace vpmoi {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsValueChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '.' || c == '+' || c == '-';
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// Recursive-descent parser over the spec grammar (see index_spec.h).
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<IndexSpec> Parse() {
+    auto spec = ParseSpec();
+    if (!spec.ok()) return spec;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("unexpected trailing text");
+    }
+    return spec;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("bad index spec: " + what + " at offset " +
+                                   std::to_string(pos_) + " in '" +
+                                   std::string(text_) + "'");
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    if (!Peek(c)) return false;
+    ++pos_;
+    return true;
+  }
+
+  StatusOr<std::string> ParseIdent() {
+    SkipSpace();
+    if (pos_ >= text_.size() || !IsIdentStart(text_[pos_])) {
+      return Error("expected identifier");
+    }
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+    return ToLower(text_.substr(start, pos_ - start));
+  }
+
+  StatusOr<std::string> ParseValue() {
+    SkipSpace();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && IsValueChar(text_[pos_])) ++pos_;
+    if (pos_ == start) return Error("expected option value");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  StatusOr<IndexSpec> ParseSpec() {
+    IndexSpec spec;
+    auto kind = ParseIdent();
+    if (!kind.ok()) return kind.status();
+    spec.kind = std::move(kind).value();
+    if (!Consume('(')) return spec;
+    if (Consume(')')) return Error("empty argument list");
+    do {
+      // Disambiguate option vs child spec: ident followed by '='.
+      const std::size_t mark = pos_;
+      auto ident = ParseIdent();
+      if (ident.ok() && Consume('=')) {
+        auto value = ParseValue();
+        if (!value.ok()) return value.status();
+        if (spec.FindOption(*ident) != nullptr) {
+          return Error("duplicate option '" + *ident + "'");
+        }
+        spec.SetOption(*ident, std::move(value).value());
+      } else {
+        pos_ = mark;
+        auto child = ParseSpec();
+        if (!child.ok()) return child;
+        spec.children.push_back(std::move(child).value());
+      }
+    } while (Consume(','));
+    if (!Consume(')')) return Error("expected ')'");
+    return spec;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const std::string* IndexSpec::FindOption(std::string_view key) const {
+  for (const auto& [k, v] : options) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void IndexSpec::SetOption(std::string_view key, std::string value) {
+  auto it = std::lower_bound(
+      options.begin(), options.end(), key,
+      [](const auto& kv, std::string_view k) { return kv.first < k; });
+  if (it != options.end() && it->first == key) {
+    it->second = std::move(value);
+  } else {
+    options.emplace(it, std::string(key), std::move(value));
+  }
+}
+
+void IndexSpec::SetDefaultOption(std::string_view key, std::string value) {
+  if (FindOption(key) == nullptr) SetOption(key, std::move(value));
+}
+
+StatusOr<IndexSpec> ParseIndexSpec(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+std::string IndexSpecSlug(std::string_view spec_text) {
+  std::string out;
+  for (char c : spec_text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += c;
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+std::string FormatIndexSpec(const IndexSpec& spec) {
+  std::string out = spec.kind;
+  if (spec.children.empty() && spec.options.empty()) return out;
+  out += '(';
+  bool first = true;
+  for (const IndexSpec& child : spec.children) {
+    if (!first) out += ',';
+    first = false;
+    out += FormatIndexSpec(child);
+  }
+  for (const auto& [k, v] : spec.options) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += '=';
+    out += v;
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace vpmoi

@@ -1,0 +1,73 @@
+// Declarative index construction specs: a tiny, round-trippable grammar
+// naming an index kind with optional positional sub-specs and key=value
+// options, e.g.
+//
+//   tpr
+//   bx(curve_order=8,velocity_grid_side=32)
+//   vp(tpr,k=4)
+//   threadsafe(vp(bx))
+//
+// Grammar (whitespace is insignificant; kinds and keys are
+// case-insensitive and canonicalized to lower case):
+//
+//   spec    := kind [ '(' arg { ',' arg } ')' ]
+//   arg     := spec | option
+//   option  := key '=' value
+//   kind    := ident        key := ident
+//   ident   := [A-Za-z_][A-Za-z0-9_]*
+//   value   := [A-Za-z0-9_.+-]+
+//
+// `ParseIndexSpec` canonicalizes (children keep order, options sort by
+// key, duplicate keys are an error), and `FormatIndexSpec` emits the
+// canonical text, so `ParseIndexSpec(FormatIndexSpec(s)) == s` for every
+// parsed spec. What kinds exist and which options they accept is the
+// registry's business (index_registry.h), not the grammar's.
+#ifndef VPMOI_COMMON_INDEX_SPEC_H_
+#define VPMOI_COMMON_INDEX_SPEC_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vpmoi {
+
+/// One node of a parsed index spec tree.
+struct IndexSpec {
+  /// Lower-case index kind, e.g. "tpr", "vp".
+  std::string kind;
+  /// Positional sub-specs in written order (e.g. vp's inner index).
+  std::vector<IndexSpec> children;
+  /// key=value options sorted by key; values are kept verbatim and
+  /// interpreted by the registry's builders.
+  std::vector<std::pair<std::string, std::string>> options;
+
+  friend bool operator==(const IndexSpec&, const IndexSpec&) = default;
+
+  /// Value of option `key`, or nullptr when absent.
+  const std::string* FindOption(std::string_view key) const;
+  /// Inserts or replaces option `key` (keeps the sorted order).
+  void SetOption(std::string_view key, std::string value);
+  /// Sets option `key` only when the spec does not already carry it —
+  /// how harnesses inject context defaults without clobbering an explicit
+  /// user choice.
+  void SetDefaultOption(std::string_view key, std::string value);
+};
+
+/// Parses `text` into a canonical spec tree. Errors carry the offending
+/// position, e.g. "expected ')' at offset 12".
+StatusOr<IndexSpec> ParseIndexSpec(std::string_view text);
+
+/// Canonical text form; Parse(Format(s)) == s for every parsed `s`.
+std::string FormatIndexSpec(const IndexSpec& spec);
+
+/// Identifier-safe slug of a spec string, e.g. "vp(bx,k=4)" -> "vp_bx_k_4".
+/// Shared by bench artifact names (BENCH_family_<slug>.json) and gtest
+/// parameter names, which must stay in step.
+std::string IndexSpecSlug(std::string_view spec_text);
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_COMMON_INDEX_SPEC_H_

@@ -4,22 +4,23 @@
 #include <cmath>
 
 namespace vpmoi {
+namespace internal {
 
-Status KnnSearch(MovingObjectIndex* index, const Point2& center,
-                 std::size_t k, Timestamp t, const KnnOptions& options,
-                 std::vector<KnnNeighbor>* out) {
+Status GrowingRadiusKnn(std::size_t population, const Point2& center,
+                        std::size_t k, Timestamp t, const KnnOptions& options,
+                        const KnnProbeFn& probe, const KnnLookupFn& lookup,
+                        std::vector<KnnNeighbor>* out) {
   out->clear();
   if (k == 0) return Status::OK();
-  const std::size_t n = index->Size();
-  if (n == 0) return Status::OK();
-  const std::size_t target = std::min(k, n);
+  if (population == 0) return Status::OK();
+  const std::size_t target = std::min(k, population);
 
   // Expected distance to the k-th neighbor under uniformity:
   // sqrt(area * k / (n * pi)); inflate for skew.
   double radius = options.initial_radius;
   if (radius <= 0.0) {
     radius = 1.5 * std::sqrt(options.domain.Area() * static_cast<double>(k) /
-                             (static_cast<double>(n) * M_PI));
+                             (static_cast<double>(population) * M_PI));
     radius = std::max(radius, 1.0);
   }
 
@@ -28,14 +29,8 @@ Status KnnSearch(MovingObjectIndex* index, const Point2& center,
   // the circle (the k-th neighbor distance is at most the radius), so
   // exact ranking of the candidates yields the exact answer.
   std::vector<ObjectId> candidates;
-  const auto probe_at = [&](double r) -> Status {
-    candidates.clear();
-    const RangeQuery q = RangeQuery::TimeSlice(
-        QueryRegion::MakeCircle(Circle{center, r}), t);
-    return index->Search(q, &candidates);
-  };
-  for (int probe = 0; probe < options.max_probes; ++probe) {
-    VPMOI_RETURN_IF_ERROR(probe_at(radius));
+  for (int p = 0; p < options.max_probes; ++p) {
+    VPMOI_RETURN_IF_ERROR(probe(radius, &candidates));
     if (candidates.size() >= target) break;
     radius *= options.growth;
   }
@@ -52,8 +47,8 @@ Status KnnSearch(MovingObjectIndex* index, const Point2& center,
                                     std::abs(options.domain.hi.y - center.y));
     radius = std::max(radius, std::hypot(cover_x, cover_y));
     constexpr int kFallbackProbes = 64;  // 2^64 x the domain diagonal
-    for (int probe = 0; probe < kFallbackProbes; ++probe) {
-      VPMOI_RETURN_IF_ERROR(probe_at(radius));
+    for (int p = 0; p < kFallbackProbes; ++p) {
+      VPMOI_RETURN_IF_ERROR(probe(radius, &candidates));
       if (candidates.size() >= target) break;
       radius *= 2.0;
     }
@@ -68,7 +63,7 @@ Status KnnSearch(MovingObjectIndex* index, const Point2& center,
   // Refine: rank candidates by exact predicted distance.
   out->reserve(candidates.size());
   for (ObjectId id : candidates) {
-    auto obj = index->GetObject(id);
+    auto obj = lookup(id);
     if (!obj.ok()) return obj.status();
     out->push_back(KnnNeighbor{id, Distance(obj->PositionAt(t), center)});
   }
@@ -81,4 +76,5 @@ Status KnnSearch(MovingObjectIndex* index, const Point2& center,
   return Status::OK();
 }
 
+}  // namespace internal
 }  // namespace vpmoi

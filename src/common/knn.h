@@ -1,49 +1,49 @@
-// Predictive k-nearest-neighbor search on top of any MovingObjectIndex,
-// via the classic filter-and-refine scheme the paper alludes to in
-// Section 6: issue circular time-slice range queries of growing radius
-// until k candidates are found, then rank candidates by their exact
-// predicted distance. Works unchanged on plain and velocity-partitioned
-// indexes because rotations preserve distances.
+// Predictive k-nearest-neighbor search via the classic filter-and-refine
+// scheme the paper alludes to in Section 6: issue circular time-slice
+// range queries of growing radius until k candidates are found, then rank
+// candidates by their exact predicted distance. Works unchanged on plain
+// and velocity-partitioned indexes because rotations preserve distances.
+//
+// kNN is a first-class index verb: call `index->Knn(...)` (declared on
+// MovingObjectIndex, with this driver as the default implementation). The
+// free `KnnSearch` function is kept as a thin compatibility wrapper.
 #ifndef VPMOI_COMMON_KNN_H_
 #define VPMOI_COMMON_KNN_H_
 
+#include <functional>
 #include <vector>
 
 #include "common/moving_object_index.h"
 
 namespace vpmoi {
 
-/// Options for the kNN driver.
-struct KnnOptions {
-  /// Initial probe radius. If <= 0, it is estimated from the data-space
-  /// area and the index cardinality (expected k-th neighbor distance under
-  /// uniformity).
-  double initial_radius = 0.0;
-  /// Radius multiplier between probes.
-  double growth = 2.0;
-  /// Safety cap on probes. If it runs out before enough candidates are
-  /// captured, the search falls back to a domain-covering probe rather
-  /// than returning a silently incomplete answer.
-  int max_probes = 24;
-  /// Data space used for the initial-radius estimate.
-  Rect domain{{0.0, 0.0}, {100000.0, 100000.0}};
-};
+/// Compatibility wrapper over `index->Knn(...)`.
+inline Status KnnSearch(MovingObjectIndex* index, const Point2& center,
+                        std::size_t k, Timestamp t, const KnnOptions& options,
+                        std::vector<KnnNeighbor>* out) {
+  return index->Knn(center, k, t, options, out);
+}
 
-/// One kNN result entry.
-struct KnnNeighbor {
-  ObjectId id = kInvalidObjectId;
-  /// Distance from the query point at the query time.
-  double distance = 0.0;
-};
+namespace internal {
 
-/// Finds the k objects nearest to `center` at (future) time `t`,
-/// ascending by distance (ties broken by id). On an OK status the result
-/// holds exactly min(k, index size) entries; an exhausted probe budget
-/// yields a non-OK status instead of a silently truncated result.
-Status KnnSearch(MovingObjectIndex* index, const Point2& center,
-                 std::size_t k, Timestamp t, const KnnOptions& options,
-                 std::vector<KnnNeighbor>* out);
+/// Fills `*candidates` (cleared first) with the ids of all objects within
+/// `radius` of `center` at the query time.
+using KnnProbeFn = std::function<Status(double radius,
+                                        std::vector<ObjectId>* candidates)>;
+/// Resolves a candidate id to its stored trajectory.
+using KnnLookupFn = std::function<StatusOr<MovingObject>(ObjectId id)>;
 
+/// The shared growing-radius filter-and-refine driver behind
+/// MovingObjectIndex::Knn and its structure-aware overrides: grows the
+/// probe circle until it holds min(k, population) candidates (falling back
+/// to domain-covering probes when the budget runs out), then ranks
+/// candidates by exact predicted distance, ties broken by id.
+Status GrowingRadiusKnn(std::size_t population, const Point2& center,
+                        std::size_t k, Timestamp t, const KnnOptions& options,
+                        const KnnProbeFn& probe, const KnnLookupFn& lookup,
+                        std::vector<KnnNeighbor>* out);
+
+}  // namespace internal
 }  // namespace vpmoi
 
 #endif  // VPMOI_COMMON_KNN_H_

@@ -1,0 +1,60 @@
+#include "common/moving_object_index.h"
+
+#include "common/knn.h"
+
+namespace vpmoi {
+
+Status MovingObjectIndex::Update(const MovingObject& o) {
+  // Capture the current trajectory first so a failed re-insertion can roll
+  // back instead of losing the object (delete succeeded, insert did not).
+  auto old = GetObject(o.id);
+  if (!old.ok()) return old.status();
+  VPMOI_RETURN_IF_ERROR(Delete(o.id));
+  const Status inserted = Insert(o);
+  if (!inserted.ok()) {
+    const Status restored = Insert(*old);
+    if (!restored.ok()) {
+      return Status::Corruption("update failed (" + inserted.ToString() +
+                                ") and rollback failed (" +
+                                restored.ToString() + "); object " +
+                                std::to_string(o.id) + " is lost");
+    }
+  }
+  return inserted;
+}
+
+Status MovingObjectIndex::ApplyBatch(std::span<const IndexOp> ops) {
+  for (const IndexOp& op : ops) {
+    switch (op.kind) {
+      case IndexOpKind::kInsert:
+        VPMOI_RETURN_IF_ERROR(Insert(op.object));
+        break;
+      case IndexOpKind::kDelete:
+        VPMOI_RETURN_IF_ERROR(Delete(op.object.id));
+        break;
+      case IndexOpKind::kUpdate:
+        VPMOI_RETURN_IF_ERROR(Update(op.object));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status MovingObjectIndex::Knn(const Point2& center, std::size_t k,
+                              Timestamp t, const KnnOptions& options,
+                              std::vector<KnnNeighbor>* out) {
+  // Generic filter-and-refine: circular time-slice range probes of growing
+  // radius through the regular Search path. Structure-aware overrides
+  // (e.g. VpIndex) must return the identical answer.
+  return internal::GrowingRadiusKnn(
+      Size(), center, k, t, options,
+      [&](double radius, std::vector<ObjectId>* candidates) {
+        candidates->clear();
+        const RangeQuery q = RangeQuery::TimeSlice(
+            QueryRegion::MakeCircle(Circle{center, radius}), t);
+        return Search(q, candidates);
+      },
+      [&](ObjectId id) { return GetObject(id); }, out);
+}
+
+}  // namespace vpmoi

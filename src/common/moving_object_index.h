@@ -1,7 +1,15 @@
-// The abstract moving-object index interface. The TPR*-tree, the Bx-tree and
-// the VP wrapper all implement it, which is what lets the VP technique apply
-// "to a wide range of moving object index structures" (Section 1): the VP
-// index manager composes any factory of MovingObjectIndex instances.
+// The abstract moving-object index interface. The TPR*-tree, the Bx-tree,
+// the Bdual-tree and the VP wrapper all implement it, which is what lets
+// the VP technique apply "to a wide range of moving object index
+// structures" (Section 1): the VP index manager composes any factory of
+// MovingObjectIndex instances.
+//
+// Queries stream: Search pushes ids into a ResultSink, and the sink can
+// stop the search early (see result_sink.h); a vector-returning overload
+// is kept as a thin adapter. kNN and batched maintenance are first-class
+// verbs with overridable defaults so implementations can exploit their
+// structure (the VP index probes per-partition in the rotated frames; the
+// thread-safe decorator applies a whole batch under one lock).
 #ifndef VPMOI_COMMON_MOVING_OBJECT_INDEX_H_
 #define VPMOI_COMMON_MOVING_OBJECT_INDEX_H_
 
@@ -12,11 +20,58 @@
 
 #include "common/moving_object.h"
 #include "common/query.h"
+#include "common/result_sink.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "storage/io_stats.h"
 
 namespace vpmoi {
+
+/// Options for kNN search (the filter-and-refine driver of Section 6).
+struct KnnOptions {
+  /// Initial probe radius. If <= 0, it is estimated from the data-space
+  /// area and the index cardinality (expected k-th neighbor distance under
+  /// uniformity).
+  double initial_radius = 0.0;
+  /// Radius multiplier between probes.
+  double growth = 2.0;
+  /// Safety cap on probes. If it runs out before enough candidates are
+  /// captured, the search falls back to a domain-covering probe rather
+  /// than returning a silently incomplete answer.
+  int max_probes = 24;
+  /// Data space used for the initial-radius estimate.
+  Rect domain{{0.0, 0.0}, {100000.0, 100000.0}};
+};
+
+/// One kNN result entry.
+struct KnnNeighbor {
+  ObjectId id = kInvalidObjectId;
+  /// Distance from the query point at the query time.
+  double distance = 0.0;
+};
+
+/// Kind of one batched maintenance operation.
+enum class IndexOpKind { kInsert, kDelete, kUpdate };
+
+/// One entry of an ApplyBatch call.
+struct IndexOp {
+  IndexOpKind kind = IndexOpKind::kInsert;
+  /// Insert/update payload; for deletes only `object.id` is meaningful.
+  MovingObject object;
+
+  static IndexOp Inserting(const MovingObject& o) {
+    return IndexOp{IndexOpKind::kInsert, o};
+  }
+  static IndexOp Deleting(ObjectId id) {
+    IndexOp op;
+    op.kind = IndexOpKind::kDelete;
+    op.object.id = id;
+    return op;
+  }
+  static IndexOp Updating(const MovingObject& o) {
+    return IndexOp{IndexOpKind::kUpdate, o};
+  }
+};
 
 /// Interface of a predictive moving-object index following the linear motion
 /// model (Section 2.1). An update is a deletion followed by an insertion, as
@@ -45,16 +100,43 @@ class MovingObjectIndex {
   virtual Status Delete(ObjectId id) = 0;
 
   /// Update = delete + insert (Section 2.1); implementations may override
-  /// with something smarter but must keep the same semantics.
-  virtual Status Update(const MovingObject& o) {
-    VPMOI_RETURN_IF_ERROR(Delete(o.id));
-    return Insert(o);
+  /// with something smarter but must keep the same semantics. On failure
+  /// the object's previous trajectory is restored (the default
+  /// re-inserts it), so a failed update never loses the object.
+  virtual Status Update(const MovingObject& o);
+
+  /// Applies a mixed sequence of inserts/deletes/updates in order. The
+  /// default dispatches one by one and stops at the first error (earlier
+  /// operations stay applied — the batch is not atomic on failure).
+  /// Overrides amortize per-operation overhead: the thread-safe decorator
+  /// takes its lock once for the whole batch, the VP index refreshes its
+  /// outlier thresholds once, the Bx-tree defers velocity-histogram
+  /// maintenance to the end of the batch.
+  virtual Status ApplyBatch(std::span<const IndexOp> ops);
+
+  /// Streams the ids of all indexed objects matching `q` into `sink`, in
+  /// index-visit order. Results are exact: implementations must apply the
+  /// final refinement filter (`RangeQuery::Matches`) before emitting.
+  /// When the sink returns false the search stops immediately and this
+  /// returns OK with the results emitted so far.
+  virtual Status Search(const RangeQuery& q, ResultSink& sink) = 0;
+
+  /// Compatibility adapter: appends all matches to `*out` (no early
+  /// termination). Thin wrapper over the streaming overload.
+  Status Search(const RangeQuery& q, std::vector<ObjectId>* out) {
+    VectorSink sink(out);
+    return Search(q, sink);
   }
 
-  /// Appends to `*out` the ids of all indexed objects matching `q`.
-  /// Results are exact: implementations must apply the final refinement
-  /// filter (`RangeQuery::Matches`) to candidates.
-  virtual Status Search(const RangeQuery& q, std::vector<ObjectId>* out) = 0;
+  /// Finds the k objects nearest to `center` at (future) time `t`,
+  /// ascending by distance (ties broken by id). On an OK status the result
+  /// holds exactly min(k, Size()) entries; an exhausted probe budget
+  /// yields a non-OK status instead of a silently truncated result.
+  /// The default is the generic filter-and-refine driver (growing circular
+  /// time-slice range queries); implementations may override with a
+  /// structure-aware strategy that returns the identical answer.
+  virtual Status Knn(const Point2& center, std::size_t k, Timestamp t,
+                     const KnnOptions& options, std::vector<KnnNeighbor>* out);
 
   /// Number of currently indexed objects.
   virtual std::size_t Size() const = 0;

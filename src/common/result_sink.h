@@ -1,0 +1,88 @@
+// Streaming consumer of query results. Indexes push matching object ids
+// into a ResultSink as they are found instead of materializing a full
+// vector, and the sink's return value lets a caller terminate the search
+// early — a stopped search skips the remaining index pages entirely, which
+// is what makes existence probes and top-N consumers cheap on the hot
+// path.
+#ifndef VPMOI_COMMON_RESULT_SINK_H_
+#define VPMOI_COMMON_RESULT_SINK_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vpmoi {
+
+/// Receives query results one id at a time, in index-visit order (no
+/// global ordering guarantee). `Emit` returns false to stop the search:
+/// the index abandons all remaining work and its Search returns OK with
+/// the results emitted so far.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual bool Emit(ObjectId id) = 0;
+};
+
+/// Appends every result to a vector (never stops). Backs the
+/// vector-returning Search compatibility overload.
+class VectorSink final : public ResultSink {
+ public:
+  explicit VectorSink(std::vector<ObjectId>* out) : out_(out) {}
+  bool Emit(ObjectId id) override {
+    out_->push_back(id);
+    return true;
+  }
+
+ private:
+  std::vector<ObjectId>* out_;
+};
+
+/// Counts results without storing them (cardinality-only consumers).
+class CountingSink final : public ResultSink {
+ public:
+  bool Emit(ObjectId) override {
+    ++count_;
+    return true;
+  }
+  std::size_t count() const { return count_; }
+
+ private:
+  std::size_t count_ = 0;
+};
+
+/// Collects at most `limit` results, then stops the search. With
+/// limit == 1 this is an existence probe.
+class FirstNSink final : public ResultSink {
+ public:
+  explicit FirstNSink(std::size_t limit) : limit_(limit) {}
+  bool Emit(ObjectId id) override {
+    if (ids_.size() >= limit_) return false;  // limit 0: collect nothing
+    ids_.push_back(id);
+    return ids_.size() < limit_;
+  }
+  const std::vector<ObjectId>& ids() const { return ids_; }
+
+ private:
+  std::size_t limit_;
+  std::vector<ObjectId> ids_;
+};
+
+/// Adapts any callable `bool(ObjectId)` into a sink.
+template <typename F>
+class CallbackSink final : public ResultSink {
+ public:
+  explicit CallbackSink(F fn) : fn_(std::move(fn)) {}
+  bool Emit(ObjectId id) override { return fn_(id); }
+
+ private:
+  F fn_;
+};
+
+template <typename F>
+CallbackSink(F) -> CallbackSink<F>;
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_COMMON_RESULT_SINK_H_

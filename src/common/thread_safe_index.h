@@ -24,13 +24,16 @@ class ThreadSafeIndex final : public MovingObjectIndex {
   explicit ThreadSafeIndex(std::unique_ptr<MovingObjectIndex> inner)
       : inner_(std::move(inner)) {}
 
-  std::string Name() const override {
-    std::lock_guard<std::mutex> lock(mu_);
-    return inner_->Name();
-  }
+  /// Lock-free: every index's name is immutable after construction.
+  std::string Name() const override { return inner_->Name(); }
+
   Status Insert(const MovingObject& o) override {
     std::lock_guard<std::mutex> lock(mu_);
     return inner_->Insert(o);
+  }
+  Status BulkLoad(std::span<const MovingObject> objects) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->BulkLoad(objects);
   }
   Status Delete(ObjectId id) override {
     std::lock_guard<std::mutex> lock(mu_);
@@ -42,9 +45,26 @@ class ThreadSafeIndex final : public MovingObjectIndex {
     std::lock_guard<std::mutex> lock(mu_);
     return inner_->Update(o);
   }
-  Status Search(const RangeQuery& q, std::vector<ObjectId>* out) override {
+  /// One lock acquisition for the whole batch: concurrent queries observe
+  /// either none or all of its operations.
+  Status ApplyBatch(std::span<const IndexOp> ops) override {
     std::lock_guard<std::mutex> lock(mu_);
-    return inner_->Search(q, out);
+    return inner_->ApplyBatch(ops);
+  }
+  /// The lock is held while `sink` callbacks run; sinks must not call
+  /// back into this index.
+  Status Search(const RangeQuery& q, ResultSink& sink) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->Search(q, sink);
+  }
+  using MovingObjectIndex::Search;
+  Status Knn(const Point2& center, std::size_t k, Timestamp t,
+             const KnnOptions& options,
+             std::vector<KnnNeighbor>* out) override {
+    // Forwarded under one lock so every probe of the growing-radius driver
+    // sees the same population (the base default would lock per probe).
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->Knn(center, k, t, options, out);
   }
   std::size_t Size() const override {
     std::lock_guard<std::mutex> lock(mu_);
@@ -70,6 +90,7 @@ class ThreadSafeIndex final : public MovingObjectIndex {
   /// The wrapped index (callers must provide their own synchronization
   /// when touching it directly).
   MovingObjectIndex* inner() { return inner_.get(); }
+  const MovingObjectIndex* inner() const { return inner_.get(); }
 
  private:
   mutable std::mutex mu_;

@@ -126,9 +126,9 @@ Status BdualTree::Delete(ObjectId id) {
 
 void BdualTree::AdvanceTime(Timestamp now) { now_ = std::max(now_, now); }
 
-void BdualTree::SearchGroup(std::int64_t label, std::uint32_t vcell,
+bool BdualTree::SearchGroup(std::int64_t label, std::uint32_t vcell,
                             const GroupStats& stats, const RangeQuery& q,
-                            std::vector<ObjectId>* out) {
+                            ResultSink& sink) {
   const Timestamp tlab = LabelTime(label);
   const Rect w = q.SweepMbr();
   const Rect enlarged =
@@ -149,18 +149,24 @@ void BdualTree::SearchGroup(std::int64_t label, std::uint32_t vcell,
   const auto ranges =
       CoalesceRanges(DecomposeWindowRecursive(*curve_, cx0, cy0, cx1, cy1),
                      /*max_ranges=*/128);
+  bool keep_going = true;
   for (const CurveRange& r : ranges) {
     btree_->Scan(base + r.lo, base + r.hi,
                  [&](BptKey k, const BptPayload& p) {
                    const MovingObject o(k.sub, {p.px, p.py}, {p.vx, p.vy},
                                         tlab);
-                   if (q.Matches(o)) out->push_back(k.sub);
+                   if (q.Matches(o) && !sink.Emit(k.sub)) {
+                     keep_going = false;
+                     return false;
+                   }
                    return true;
                  });
+    if (!keep_going) break;
   }
+  return keep_going;
 }
 
-Status BdualTree::Search(const RangeQuery& q, std::vector<ObjectId>* out) {
+Status BdualTree::Search(const RangeQuery& q, ResultSink& sink) {
   if (q.t_end < q.t_begin) {
     return Status::InvalidArgument("query interval end precedes begin");
   }
@@ -169,7 +175,7 @@ Status BdualTree::Search(const RangeQuery& q, std::vector<ObjectId>* out) {
     if (stats.count == 0) continue;
     const auto label = static_cast<std::int64_t>(gk / vcells);
     const auto vcell = static_cast<std::uint32_t>(gk % vcells);
-    SearchGroup(label, vcell, stats, q, out);
+    if (!SearchGroup(label, vcell, stats, q, sink)) break;
   }
   return Status::OK();
 }

@@ -61,7 +61,8 @@ class BdualTree final : public MovingObjectIndex {
   std::string Name() const override { return "Bdual"; }
   Status Insert(const MovingObject& o) override;
   Status Delete(ObjectId id) override;
-  Status Search(const RangeQuery& q, std::vector<ObjectId>* out) override;
+  Status Search(const RangeQuery& q, ResultSink& sink) override;
+  using MovingObjectIndex::Search;
   std::size_t Size() const override { return objects_.size(); }
   StatusOr<MovingObject> GetObject(ObjectId id) const override;
   void AdvanceTime(Timestamp now) override;
@@ -103,9 +104,10 @@ class BdualTree final : public MovingObjectIndex {
   /// [base, base + 4^order).
   std::uint64_t GroupBase(std::int64_t label, std::uint32_t vcell) const;
 
-  void SearchGroup(std::int64_t label, std::uint32_t vcell,
+  /// Returns false when the sink stopped the search.
+  bool SearchGroup(std::int64_t label, std::uint32_t vcell,
                    const GroupStats& stats, const RangeQuery& q,
-                   std::vector<ObjectId>* out);
+                   ResultSink& sink);
 
   std::unique_ptr<PageStore> owned_store_;
   std::unique_ptr<BufferPool> owned_pool_;

@@ -565,30 +565,31 @@ Status TprStarTree::Delete(ObjectId id) {
   return Status::OK();
 }
 
-void TprStarTree::SearchRec(PageId node, int level, const RangeQuery& q,
-                            std::vector<ObjectId>* out) const {
+bool TprStarTree::SearchRec(PageId node, int level, const RangeQuery& q,
+                            ResultSink& sink) const {
   const Page* p = pool_->Read(node);
   const TprNodeHeader* h = TprHeader(p);
   if (level == 1) {
     const TprLeafEntry* e = TprLeafEntries(p);
     for (std::size_t i = 0; i < h->count; ++i) {
-      if (q.Matches(e[i].ToObject())) out->push_back(e[i].id);
+      if (q.Matches(e[i].ToObject()) && !sink.Emit(e[i].id)) return false;
     }
-    return;
+    return true;
   }
   const TprInnerEntry* e = TprInnerEntries(p);
   for (std::size_t i = 0; i < h->count; ++i) {
     if (e[i].Bound().Intersects(q)) {
-      SearchRec(e[i].child, level - 1, q, out);
+      if (!SearchRec(e[i].child, level - 1, q, sink)) return false;
     }
   }
+  return true;
 }
 
-Status TprStarTree::Search(const RangeQuery& q, std::vector<ObjectId>* out) {
+Status TprStarTree::Search(const RangeQuery& q, ResultSink& sink) {
   if (q.t_end < q.t_begin) {
     return Status::InvalidArgument("query interval end precedes begin");
   }
-  SearchRec(root_, height_, q, out);
+  SearchRec(root_, height_, q, sink);
   return Status::OK();
 }
 

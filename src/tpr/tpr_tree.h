@@ -72,7 +72,8 @@ class TprStarTree final : public MovingObjectIndex {
   /// parent levels are packed the same way. Requires an empty tree.
   Status BulkLoad(std::span<const MovingObject> objects) override;
   Status Delete(ObjectId id) override;
-  Status Search(const RangeQuery& q, std::vector<ObjectId>* out) override;
+  Status Search(const RangeQuery& q, ResultSink& sink) override;
+  using MovingObjectIndex::Search;
   std::size_t Size() const override { return objects_.size(); }
   void AdvanceTime(Timestamp now) override;
   IoStats Stats() const override { return pool_->stats(); }
@@ -147,8 +148,9 @@ class TprStarTree final : public MovingObjectIndex {
   DeleteResult DeleteRec(PageId node, int level, const MovingObject& target,
                          OpContext* ctx);
 
-  void SearchRec(PageId node, int level, const RangeQuery& q,
-                 std::vector<ObjectId>* out) const;
+  /// Returns false when the sink stopped the search.
+  bool SearchRec(PageId node, int level, const RangeQuery& q,
+                 ResultSink& sink) const;
 
   Status CheckRec(PageId node, int level, const TpRect* stored_bound,
                   std::size_t* objects_seen) const;

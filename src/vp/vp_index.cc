@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/knn.h"
+
 namespace vpmoi {
 
 VpIndex::VpIndex(const VpIndexOptions& options, VelocityAnalysis analysis)
@@ -43,6 +45,12 @@ StatusOr<std::unique_ptr<VpIndex>> VpIndex::Build(
         index->pool_.get(), index->transforms_.back().frame_domain()));
   }
   index->partitions_.push_back(factory(index->pool_.get(), options.domain));
+  for (const auto& p : index->partitions_) {
+    if (p == nullptr) {
+      return Status::InvalidArgument(
+          "index factory failed to build a VP partition");
+    }
+  }
   index->name_ = index->partitions_.back()->Name() + "(VP)";
 
   // Baseline direction fit of the sample, for drift detection later.
@@ -144,28 +152,70 @@ Status VpIndex::Delete(ObjectId id) {
   return Status::OK();
 }
 
-Status VpIndex::Search(const RangeQuery& q, std::vector<ObjectId>* out) {
-  // Algorithm 3: query every index in its own frame, merge, refine.
-  std::vector<ObjectId> candidates;
+Status VpIndex::Search(const RangeQuery& q, ResultSink& sink) {
+  // Algorithm 3, streaming: query every index in its own frame and refine
+  // each candidate as it arrives. Refinement (line 8): rectangle queries
+  // were transformed into their rotated MBR, a superset; verify against
+  // the original region using the object's world-frame trajectory.
+  bool stopped = false;
+  CallbackSink refine([&](ObjectId id) {
+    auto it = objects_.find(id);
+    if (it == objects_.end()) return true;  // should not happen
+    if (!q.Matches(it->second.world)) return true;
+    if (!sink.Emit(id)) {
+      stopped = true;
+      return false;
+    }
+    return true;
+  });
   for (int i = 0; i < DvaCount(); ++i) {
     const RangeQuery tq = transforms_[i].TransformQuery(q);
-    VPMOI_RETURN_IF_ERROR(partitions_[i]->Search(tq, &candidates));
+    VPMOI_RETURN_IF_ERROR(partitions_[i]->Search(tq, refine));
+    if (stopped) return Status::OK();
   }
-  VPMOI_RETURN_IF_ERROR(partitions_[DvaCount()]->Search(q, &candidates));
-  // Refinement (line 8): rectangle queries were transformed into their
-  // rotated MBR, a superset; verify against the original region using the
-  // object's world-frame trajectory.
-  for (ObjectId id : candidates) {
-    auto it = objects_.find(id);
-    if (it == objects_.end()) continue;  // should not happen
-    if (q.Matches(it->second.world)) out->push_back(id);
-  }
-  return Status::OK();
+  return partitions_[DvaCount()]->Search(q, refine);
+}
+
+Status VpIndex::Knn(const Point2& center, std::size_t k, Timestamp t,
+                    const KnnOptions& options,
+                    std::vector<KnnNeighbor>* out) {
+  // Same growing-radius schedule as the generic driver, but each probe
+  // queries the partitions directly with the circle rotated into their
+  // frames. Circles transform exactly under rotation, so the partition
+  // results need no refinement against the world-frame query region, and
+  // partitions hold disjoint objects, so no deduplication either.
+  return internal::GrowingRadiusKnn(
+      Size(), center, k, t, options,
+      [&](double radius, std::vector<ObjectId>* candidates) -> Status {
+        candidates->clear();
+        VectorSink collect(candidates);
+        const RangeQuery world = RangeQuery::TimeSlice(
+            QueryRegion::MakeCircle(Circle{center, radius}), t);
+        for (int i = 0; i < DvaCount(); ++i) {
+          VPMOI_RETURN_IF_ERROR(
+              partitions_[i]->Search(transforms_[i].TransformQuery(world),
+                                     collect));
+        }
+        return partitions_[DvaCount()]->Search(world, collect);
+      },
+      [&](ObjectId id) { return GetObject(id); }, out);
+}
+
+Status VpIndex::ApplyBatch(std::span<const IndexOp> ops) {
+  const Status st = MovingObjectIndex::ApplyBatch(ops);
+  // One tau refresh for the whole batch (inserts/updates advanced `now_`
+  // through their reference times).
+  MaybeRefreshTaus();
+  return st;
 }
 
 void VpIndex::AdvanceTime(Timestamp now) {
   now_ = std::max(now_, now);
   for (auto& p : partitions_) p->AdvanceTime(now_);
+  MaybeRefreshTaus();
+}
+
+void VpIndex::MaybeRefreshTaus() {
   if (options_.tau_refresh_interval > 0.0 &&
       now_ - last_tau_refresh_ >= options_.tau_refresh_interval) {
     RecomputeTaus();

@@ -64,7 +64,24 @@ class VpIndex final : public MovingObjectIndex {
   /// at once. Requires an empty index.
   Status BulkLoad(std::span<const MovingObject> objects) override;
   Status Delete(ObjectId id) override;
-  Status Search(const RangeQuery& q, std::vector<ObjectId>* out) override;
+  /// Applies the ops one by one (each maintains routing and the
+  /// perpendicular-speed histograms), then performs at most one tau
+  /// refresh for the whole batch instead of one per elapsed interval.
+  Status ApplyBatch(std::span<const IndexOp> ops) override;
+  /// Algorithm 3, streaming: queries every partition in its own frame and
+  /// refines candidates against the original region as they arrive — no
+  /// intermediate candidate vector, and an early-terminating sink stops
+  /// the remaining partitions too.
+  Status Search(const RangeQuery& q, ResultSink& sink) override;
+  using MovingObjectIndex::Search;
+  /// Structure-aware kNN: probes each DVA partition directly with the
+  /// query circle rotated into its frame (rotations preserve circles, so
+  /// no conservative-MBR refinement pass is needed), sharing the generic
+  /// driver's growing-radius schedule — the answer is identical to the
+  /// default filter-and-refine implementation.
+  Status Knn(const Point2& center, std::size_t k, Timestamp t,
+             const KnnOptions& options,
+             std::vector<KnnNeighbor>* out) override;
   std::size_t Size() const override { return objects_.size(); }
   StatusOr<MovingObject> GetObject(ObjectId id) const override;
   void AdvanceTime(Timestamp now) override;
@@ -119,6 +136,8 @@ class VpIndex final : public MovingObjectIndex {
   int RoutePartition(const Vec2& v, int* closest_dva, double* perp) const;
 
   void RecomputeTaus();
+  /// Runs RecomputeTaus when the refresh interval has elapsed.
+  void MaybeRefreshTaus();
 
   VpIndexOptions options_;
   VelocityAnalysis analysis_;

@@ -160,20 +160,14 @@ TEST(BdualTreeTest, ComposesWithVpWrapper) {
   std::vector<Vec2> sample;
   for (const auto& o : objects) sample.push_back(o.vel);
 
-  VpIndexOptions vp_opt;
-  vp_opt.domain = kDomain;
-  auto built = VpIndex::Build(
-      [](BufferPool* pool, const Rect& frame_domain) {
-        BdualTreeOptions o = SmallOptions();
-        o.domain = frame_domain;
-        return std::make_unique<BdualTree>(pool, o);
-      },
-      vp_opt, sample);
-  ASSERT_TRUE(built.ok());
-  auto& vp = *built;
+  // SmallOptions() expressed through the spec grammar.
+  auto vp = testing_util::MakeIndex(
+      "vp(bdual(curve_order=8,vel_bits=3,max_speed_hint=100))", kDomain,
+      sample);
+  ASSERT_NE(vp, nullptr);
   EXPECT_EQ(vp->Name(), "Bdual(VP)");
   for (const auto& o : objects) ASSERT_TRUE(vp->Insert(o).ok());
-  EXPECT_TRUE(vp->CheckInvariants().ok());
+  EXPECT_TRUE(testing_util::CheckIndexInvariants(vp.get()).ok());
 
   Rng rng(619);
   for (int i = 0; i < 20; ++i) {

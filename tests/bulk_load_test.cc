@@ -158,8 +158,7 @@ TEST(VpBulkLoadTest, RoutesAndStaysExact) {
   const auto objects = MakeObjects(3000, gen, 541);
   std::vector<Vec2> sample;
   for (const auto& o : objects) sample.push_back(o.vel);
-  auto index =
-      testing_util::MakeIndex(testing_util::IndexKind::kTprVp, kDomain, sample);
+  auto index = testing_util::MakeIndex("vp(tpr)", kDomain, sample);
   ASSERT_NE(index, nullptr);
   ASSERT_TRUE(index->BulkLoad(objects).ok());
   EXPECT_EQ(index->Size(), objects.size());

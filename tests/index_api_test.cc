@@ -1,0 +1,299 @@
+// Interface-level API tests: the Update rollback guarantee, streaming
+// Search with early termination (and its I/O savings — the acceptance
+// criterion for the sink redesign), the vector compatibility adapter, and
+// ApplyBatch semantics across index kinds.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/moving_object_index.h"
+#include "common/random.h"
+#include "common/result_sink.h"
+#include "test_util.h"
+
+namespace vpmoi {
+namespace {
+
+using testing_util::MakeIndex;
+using testing_util::MakeObjects;
+using testing_util::ObjectGenOptions;
+using testing_util::OracleSearch;
+using testing_util::Sorted;
+using testing_util::SpecTestName;
+
+const Rect kDomain{{0, 0}, {10000, 10000}};
+
+std::vector<Vec2> SkewedSample() {
+  ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.9;
+  const auto objs = MakeObjects(2000, gen, 771);
+  std::vector<Vec2> sample;
+  for (const auto& o : objs) sample.push_back(o.vel);
+  return sample;
+}
+
+/// Minimal in-memory index with an injectable Insert failure, for testing
+/// the default Update/ApplyBatch implementations on the base class.
+class FlakyIndex final : public MovingObjectIndex {
+ public:
+  std::string Name() const override { return "Flaky"; }
+  Status Insert(const MovingObject& o) override {
+    if (fail_next_insert_) {
+      fail_next_insert_ = false;
+      return Status::Internal("injected insert failure");
+    }
+    if (objects_.contains(o.id)) {
+      return Status::AlreadyExists("object already indexed");
+    }
+    objects_.emplace(o.id, o);
+    return Status::OK();
+  }
+  Status Delete(ObjectId id) override {
+    if (objects_.erase(id) == 0) {
+      return Status::NotFound("object is not indexed");
+    }
+    return Status::OK();
+  }
+  Status Search(const RangeQuery& q, ResultSink& sink) override {
+    for (const auto& [id, o] : objects_) {
+      if (q.Matches(o) && !sink.Emit(id)) break;
+    }
+    return Status::OK();
+  }
+  using MovingObjectIndex::Search;
+  std::size_t Size() const override { return objects_.size(); }
+  StatusOr<MovingObject> GetObject(ObjectId id) const override {
+    auto it = objects_.find(id);
+    if (it == objects_.end()) return Status::NotFound("object is not indexed");
+    return it->second;
+  }
+  IoStats Stats() const override { return IoStats{}; }
+  void ResetStats() override {}
+
+  void FailNextInsert() { fail_next_insert_ = true; }
+
+ private:
+  std::unordered_map<ObjectId, MovingObject> objects_;
+  bool fail_next_insert_ = false;
+};
+
+TEST(UpdateRollbackTest, FailedInsertRestoresOldTrajectory) {
+  // Regression: the default Update used to lose the object when Delete
+  // succeeded but the subsequent Insert failed. It must restore the old
+  // trajectory and surface the insert error.
+  FlakyIndex index;
+  const MovingObject original(7, {100, 100}, {5, 5}, 0.0);
+  ASSERT_TRUE(index.Insert(original).ok());
+
+  index.FailNextInsert();
+  const Status st = index.Update(MovingObject(7, {200, 200}, {1, 1}, 10.0));
+  EXPECT_TRUE(st.IsInternal()) << st.ToString();
+  EXPECT_EQ(index.Size(), 1u);  // the object was not lost
+  auto restored = index.GetObject(7);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->pos, original.pos);
+  EXPECT_EQ(restored->vel, original.vel);
+  EXPECT_EQ(restored->t_ref, original.t_ref);
+
+  // A normal update still goes through afterwards.
+  ASSERT_TRUE(index.Update(MovingObject(7, {200, 200}, {1, 1}, 10.0)).ok());
+  EXPECT_EQ(index.GetObject(7)->pos, (Point2{200, 200}));
+}
+
+TEST(UpdateRollbackTest, MissingObjectStillFailsNotFound) {
+  FlakyIndex index;
+  EXPECT_TRUE(index.Update(MovingObject(1, {0, 0}, {0, 0}, 0.0)).IsNotFound());
+}
+
+class IndexApiTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(IndexApiTest, SinkEarlyTerminationSavesPageReads) {
+  // Acceptance: a stop-after-1 sink on a large result set must perform
+  // measurably fewer page reads than full materialization.
+  auto index = MakeIndex(GetParam(), kDomain, SkewedSample());
+  ASSERT_NE(index, nullptr);
+  ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.9;
+  const auto objects = MakeObjects(8000, gen, 773);
+  for (const auto& o : objects) ASSERT_TRUE(index->Insert(o).ok());
+
+  // A domain-covering query: every object matches.
+  const RangeQuery everything = RangeQuery::TimeSlice(
+      QueryRegion::MakeRect(kDomain.Inflated(100000.0)), 10.0);
+
+  index->ResetStats();
+  CountingSink full;
+  ASSERT_TRUE(index->Search(everything, full).ok());
+  const std::uint64_t full_reads = index->Stats().logical_reads;
+  ASSERT_EQ(full.count(), objects.size());
+
+  index->ResetStats();
+  FirstNSink first(1);
+  ASSERT_TRUE(index->Search(everything, first).ok());
+  const std::uint64_t early_reads = index->Stats().logical_reads;
+  ASSERT_EQ(first.ids().size(), 1u);
+
+  EXPECT_LT(early_reads, full_reads) << GetParam();
+  // "Measurably fewer": stopping after the first of 8000 results must
+  // skip at least half of the pages a full scan touches.
+  EXPECT_LE(early_reads * 2, full_reads) << GetParam();
+}
+
+TEST_P(IndexApiTest, VectorOverloadMatchesSink) {
+  auto index = MakeIndex(GetParam(), kDomain, SkewedSample());
+  ASSERT_NE(index, nullptr);
+  ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.9;
+  const auto objects = MakeObjects(1500, gen, 775);
+  for (const auto& o : objects) ASSERT_TRUE(index->Insert(o).ok());
+
+  Rng rng(779);
+  for (int i = 0; i < 10; ++i) {
+    const RangeQuery q = RangeQuery::TimeSlice(
+        QueryRegion::MakeCircle(
+            Circle{rng.PointIn(kDomain), rng.Uniform(300, 1200)}),
+        rng.Uniform(0, 60));
+    std::vector<ObjectId> via_vector;
+    ASSERT_TRUE(index->Search(q, &via_vector).ok());
+    std::vector<ObjectId> via_sink;
+    VectorSink sink(&via_sink);
+    ASSERT_TRUE(index->Search(q, sink).ok());
+    EXPECT_EQ(Sorted(via_vector), Sorted(via_sink));
+    EXPECT_EQ(Sorted(via_vector), OracleSearch(objects, q));
+  }
+}
+
+TEST_P(IndexApiTest, ApplyBatchMixedOpsMatchesSequential) {
+  const auto sample = SkewedSample();
+  auto batched = MakeIndex(GetParam(), kDomain, sample);
+  auto sequential = MakeIndex(GetParam(), kDomain, sample);
+  ASSERT_NE(batched, nullptr);
+  ASSERT_NE(sequential, nullptr);
+
+  ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.9;
+  auto objects = MakeObjects(800, gen, 781);
+  std::vector<IndexOp> batch;
+  for (const auto& o : objects) batch.push_back(IndexOp::Inserting(o));
+  ASSERT_TRUE(batched->ApplyBatch(batch).ok());
+  for (const auto& o : objects) ASSERT_TRUE(sequential->Insert(o).ok());
+
+  // A mixed wave: updates, deletes, and fresh inserts.
+  Rng rng(787);
+  batch.clear();
+  for (std::size_t j = 0; j < objects.size(); j += 3) {
+    MovingObject o = objects[j];
+    o.pos = rng.PointIn(kDomain);
+    o.vel = {rng.Uniform(-80, 80), rng.Uniform(-80, 80)};
+    o.t_ref = 12.0;
+    objects[j] = o;
+    batch.push_back(IndexOp::Updating(o));
+  }
+  for (std::size_t j = 1; j < 40; j += 3) {
+    batch.push_back(IndexOp::Deleting(objects[j].id));
+  }
+  for (ObjectId id = 5000; id < 5020; ++id) {
+    const MovingObject o(id, rng.PointIn(kDomain),
+                         {rng.Uniform(-50, 50), rng.Uniform(-50, 50)}, 12.0);
+    objects.push_back(o);
+    batch.push_back(IndexOp::Inserting(o));
+  }
+  batched->AdvanceTime(12.0);
+  sequential->AdvanceTime(12.0);
+  ASSERT_TRUE(batched->ApplyBatch(batch).ok());
+  for (const IndexOp& op : batch) {
+    switch (op.kind) {
+      case IndexOpKind::kInsert:
+        ASSERT_TRUE(sequential->Insert(op.object).ok());
+        break;
+      case IndexOpKind::kDelete:
+        ASSERT_TRUE(sequential->Delete(op.object.id).ok());
+        break;
+      case IndexOpKind::kUpdate:
+        ASSERT_TRUE(sequential->Update(op.object).ok());
+        break;
+    }
+  }
+
+  EXPECT_EQ(batched->Size(), sequential->Size());
+  Rng qrng(791);
+  for (int i = 0; i < 8; ++i) {
+    const RangeQuery q = RangeQuery::TimeSlice(
+        QueryRegion::MakeCircle(
+            Circle{qrng.PointIn(kDomain), qrng.Uniform(300, 1200)}),
+        12.0 + qrng.Uniform(0, 40));
+    std::vector<ObjectId> a, b;
+    ASSERT_TRUE(batched->Search(q, &a).ok());
+    ASSERT_TRUE(sequential->Search(q, &b).ok());
+    EXPECT_EQ(Sorted(a), Sorted(b)) << GetParam() << " query " << i;
+  }
+  EXPECT_TRUE(testing_util::CheckIndexInvariants(batched.get()).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, IndexApiTest,
+                         ::testing::Values("tpr", "bx", "bdual", "vp(tpr)",
+                                           "vp(bx)", "threadsafe(vp(tpr))"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return SpecTestName(info.param);
+                         });
+
+TEST(ApplyBatchTest, StopsAtFirstErrorLeavingPriorOpsApplied) {
+  auto index = MakeIndex("tpr", kDomain, {});
+  ASSERT_NE(index, nullptr);
+  const std::vector<IndexOp> batch = {
+      IndexOp::Inserting(MovingObject(1, {10, 10}, {1, 0}, 0.0)),
+      IndexOp::Inserting(MovingObject(2, {20, 20}, {0, 1}, 0.0)),
+      IndexOp::Deleting(999),  // fails: not indexed
+      IndexOp::Inserting(MovingObject(3, {30, 30}, {1, 1}, 0.0)),
+  };
+  const Status st = index->ApplyBatch(batch);
+  EXPECT_TRUE(st.IsNotFound()) << st.ToString();
+  // The batch is applied in order and not atomic: ops before the failure
+  // stay, ops after it never ran.
+  EXPECT_EQ(index->Size(), 2u);
+  EXPECT_TRUE(index->GetObject(1).ok());
+  EXPECT_TRUE(index->GetObject(2).ok());
+  EXPECT_TRUE(index->GetObject(3).status().IsNotFound());
+}
+
+TEST(ApplyBatchTest, EmptyBatchIsANoOp) {
+  auto index = MakeIndex("bx", kDomain, {});
+  ASSERT_NE(index, nullptr);
+  EXPECT_TRUE(index->ApplyBatch({}).ok());
+  EXPECT_EQ(index->Size(), 0u);
+}
+
+TEST(ResultSinkTest, SinkHelpersBehave) {
+  std::vector<ObjectId> out;
+  VectorSink vec(&out);
+  EXPECT_TRUE(vec.Emit(1));
+  EXPECT_TRUE(vec.Emit(2));
+  EXPECT_EQ(out, (std::vector<ObjectId>{1, 2}));
+
+  CountingSink count;
+  EXPECT_TRUE(count.Emit(1));
+  EXPECT_TRUE(count.Emit(1));
+  EXPECT_EQ(count.count(), 2u);
+
+  FirstNSink first(2);
+  EXPECT_TRUE(first.Emit(4));
+  EXPECT_FALSE(first.Emit(5));  // limit reached: stop
+  EXPECT_EQ(first.ids(), (std::vector<ObjectId>{4, 5}));
+
+  FirstNSink none(0);
+  EXPECT_FALSE(none.Emit(6));  // limit 0: collects nothing
+  EXPECT_TRUE(none.ids().empty());
+
+  int calls = 0;
+  CallbackSink cb([&](ObjectId) { return ++calls < 2; });
+  EXPECT_TRUE(cb.Emit(1));
+  EXPECT_FALSE(cb.Emit(2));
+}
+
+}  // namespace
+}  // namespace vpmoi

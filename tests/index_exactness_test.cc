@@ -1,7 +1,10 @@
-// Parameterized property suite: every index configuration (TPR*, Bx,
-// TPR*(VP), Bx(VP)) must return exactly the oracle's answer for every query
-// type, region shape and workload skew — including after update churn.
-// This is the master correctness gate for the whole library.
+// Parameterized property suite: every registry index spec (TPR*, Bx,
+// Bdual, their VP compositions and the thread-safe decorator) must return
+// exactly the oracle's answer for every query type, region shape and
+// workload skew — including after update churn. This is the master
+// correctness gate for the whole library, and because the matrix is a
+// list of spec strings, a newly registered index kind joins it by adding
+// one line.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -13,18 +16,18 @@
 namespace vpmoi {
 namespace {
 
-using testing_util::IndexKind;
-using testing_util::IndexKindName;
+using testing_util::CheckIndexInvariants;
 using testing_util::MakeIndex;
 using testing_util::MakeObjects;
 using testing_util::ObjectGenOptions;
 using testing_util::OracleSearch;
 using testing_util::Sorted;
+using testing_util::SpecTestName;
 
 const Rect kDomain{{0, 0}, {10000, 10000}};
 
-// (index kind, dominant-axis angle, axis fraction)
-using Param = std::tuple<IndexKind, double, double>;
+// (registry spec, dominant-axis angle, axis fraction)
+using Param = std::tuple<const char*, double, double>;
 
 class IndexExactnessTest : public ::testing::TestWithParam<Param> {
  protected:
@@ -42,8 +45,8 @@ class IndexExactnessTest : public ::testing::TestWithParam<Param> {
 };
 
 TEST_P(IndexExactnessTest, StaticPopulationAllQueryShapes) {
-  const auto [kind, angle, axis_fraction] = GetParam();
-  auto index = MakeIndex(kind, kDomain, MakeSample(angle, axis_fraction));
+  const auto [spec, angle, axis_fraction] = GetParam();
+  auto index = MakeIndex(spec, kDomain, MakeSample(angle, axis_fraction));
   ASSERT_NE(index, nullptr);
 
   ObjectGenOptions gen;
@@ -78,14 +81,14 @@ TEST_P(IndexExactnessTest, StaticPopulationAllQueryShapes) {
     }
     std::vector<ObjectId> got;
     ASSERT_TRUE(index->Search(q, &got).ok());
-    EXPECT_EQ(Sorted(got), OracleSearch(objects, q))
-        << IndexKindName(kind) << " query " << i;
+    EXPECT_EQ(Sorted(got), OracleSearch(objects, q)) << spec << " query "
+                                                     << i;
   }
 }
 
 TEST_P(IndexExactnessTest, ExactAfterUpdateChurn) {
-  const auto [kind, angle, axis_fraction] = GetParam();
-  auto index = MakeIndex(kind, kDomain, MakeSample(angle, axis_fraction));
+  const auto [spec, angle, axis_fraction] = GetParam();
+  auto index = MakeIndex(spec, kDomain, MakeSample(angle, axis_fraction));
   ASSERT_NE(index, nullptr);
 
   ObjectGenOptions gen;
@@ -129,16 +132,67 @@ TEST_P(IndexExactnessTest, ExactAfterUpdateChurn) {
           now + rng.Uniform(0, 60));
       std::vector<ObjectId> got;
       ASSERT_TRUE(index->Search(q, &got).ok());
-      EXPECT_EQ(Sorted(got), OracleSearch(objects, q))
-          << IndexKindName(kind) << " round " << round;
+      EXPECT_EQ(Sorted(got), OracleSearch(objects, q)) << spec << " round "
+                                                       << round;
     }
   }
   EXPECT_EQ(index->Size(), objects.size());
+  EXPECT_TRUE(CheckIndexInvariants(index.get()).ok());
+}
+
+TEST_P(IndexExactnessTest, ChurnViaApplyBatchStaysExact) {
+  // The same churn applied through ApplyBatch (one mixed batch per round)
+  // must leave answers identical to the oracle — this exercises the
+  // deferred-maintenance batch paths of every configuration.
+  const auto [spec, angle, axis_fraction] = GetParam();
+  auto index = MakeIndex(spec, kDomain, MakeSample(angle, axis_fraction));
+  ASSERT_NE(index, nullptr);
+
+  ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = axis_fraction;
+  gen.axis_angle = angle;
+  auto objects = MakeObjects(1200, gen, 271);
+  {
+    std::vector<IndexOp> load;
+    for (const auto& o : objects) load.push_back(IndexOp::Inserting(o));
+    ASSERT_TRUE(index->ApplyBatch(load).ok());
+  }
+  ASSERT_EQ(index->Size(), objects.size());
+
+  Rng rng(277);
+  double now = 0.0;
+  for (int round = 0; round < 4; ++round) {
+    now += 15.0;
+    index->AdvanceTime(now);
+    std::vector<IndexOp> batch;
+    for (std::size_t j = round % 2; j < objects.size(); j += 2) {
+      MovingObject& o = objects[j];
+      o.pos = o.PositionAt(now);
+      const double theta = rng.Uniform(0, 2 * M_PI);
+      o.vel = Vec2{std::cos(theta), std::sin(theta)} * o.vel.Norm();
+      o.t_ref = now;
+      batch.push_back(IndexOp::Updating(o));
+    }
+    ASSERT_TRUE(index->ApplyBatch(batch).ok());
+
+    for (int i = 0; i < 6; ++i) {
+      const RangeQuery q = RangeQuery::TimeSlice(
+          QueryRegion::MakeCircle(
+              Circle{rng.PointIn(kDomain), rng.Uniform(200, 900)}),
+          now + rng.Uniform(0, 60));
+      std::vector<ObjectId> got;
+      ASSERT_TRUE(index->Search(q, &got).ok());
+      EXPECT_EQ(Sorted(got), OracleSearch(objects, q)) << spec << " round "
+                                                       << round;
+    }
+  }
+  EXPECT_TRUE(CheckIndexInvariants(index.get()).ok());
 }
 
 std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
-  const auto [kind, angle, axis_fraction] = info.param;
-  std::string name = IndexKindName(kind);
+  const auto [spec, angle, axis_fraction] = info.param;
+  std::string name = SpecTestName(spec);
   name += angle == 0.0 ? "_axes0" : "_axes27";
   name += axis_fraction > 0.5 ? "_skewed" : "_uniform";
   return name;
@@ -147,16 +201,18 @@ std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
 INSTANTIATE_TEST_SUITE_P(
     AllIndexes, IndexExactnessTest,
     ::testing::Values(
-        // Skewed axis-aligned workloads (CH-like).
-        Param{IndexKind::kTpr, 0.0, 0.9}, Param{IndexKind::kBx, 0.0, 0.9},
-        Param{IndexKind::kTprVp, 0.0, 0.9}, Param{IndexKind::kBxVp, 0.0, 0.9},
+        // Skewed axis-aligned workloads (CH-like): the full registry
+        // matrix, decorator composition included.
+        Param{"tpr", 0.0, 0.9}, Param{"bx", 0.0, 0.9},
+        Param{"bdual", 0.0, 0.9}, Param{"vp(tpr)", 0.0, 0.9},
+        Param{"vp(bx)", 0.0, 0.9}, Param{"threadsafe(vp(tpr))", 0.0, 0.9},
         // Skewed rotated workloads (SA-like).
-        Param{IndexKind::kTprVp, 27.0 * M_PI / 180.0, 0.9},
-        Param{IndexKind::kBxVp, 27.0 * M_PI / 180.0, 0.9},
+        Param{"vp(tpr)", 27.0 * M_PI / 180.0, 0.9},
+        Param{"vp(bx)", 27.0 * M_PI / 180.0, 0.9},
+        Param{"vp(bdual)", 27.0 * M_PI / 180.0, 0.9},
         // Uniform directions (no DVAs): VP must stay correct even when
         // partitioning buys nothing.
-        Param{IndexKind::kTprVp, 0.0, 0.0},
-        Param{IndexKind::kBxVp, 0.0, 0.0}),
+        Param{"vp(tpr)", 0.0, 0.0}, Param{"vp(bx)", 0.0, 0.0}),
     ParamName);
 
 }  // namespace

@@ -1,0 +1,239 @@
+// IndexSpec grammar and registry tests: canonical round-trips
+// (Parse(Format(s)) == s), whitespace/case normalization, parse errors,
+// registry builds for every kind (options honored end to end), and
+// build-time rejection of malformed compositions.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bx/bx_tree.h"
+#include "common/index_registry.h"
+#include "common/index_spec.h"
+#include "common/thread_safe_index.h"
+#include "dual/bdual_tree.h"
+#include "test_util.h"
+#include "tpr/tpr_tree.h"
+#include "vp/vp_index.h"
+
+namespace vpmoi {
+namespace {
+
+const Rect kDomain{{0, 0}, {10000, 10000}};
+
+std::vector<Vec2> AxisSample() {
+  testing_util::ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.9;
+  const auto objs = testing_util::MakeObjects(1500, gen, 31);
+  std::vector<Vec2> sample;
+  for (const auto& o : objs) sample.push_back(o.vel);
+  return sample;
+}
+
+TEST(IndexSpecTest, ParseFormatRoundTrip) {
+  const char* kSpecs[] = {
+      "tpr",
+      "bx",
+      "bdual",
+      "vp(tpr)",
+      "vp(bx,k=4)",
+      "threadsafe(vp(bx))",
+      "tpr(horizon=120,query_half_x=250)",
+      "bx(bucket_duration=30.5,curve=z,curve_order=8)",
+      "vp(bdual(vel_bits=2),fixed_tau=7.5,k=3,strategy=pca_only)",
+      "threadsafe(vp(tpr(policy=projected),seed=11))",
+  };
+  for (const char* text : kSpecs) {
+    auto parsed = ParseIndexSpec(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+    const std::string formatted = FormatIndexSpec(*parsed);
+    auto reparsed = ParseIndexSpec(formatted);
+    ASSERT_TRUE(reparsed.ok()) << formatted;
+    EXPECT_EQ(*parsed, *reparsed) << text << " -> " << formatted;
+    // The inputs above are already canonical, so formatting is identity.
+    EXPECT_EQ(formatted, text);
+  }
+}
+
+TEST(IndexSpecTest, CanonicalizesWhitespaceCaseAndOptionOrder) {
+  auto canonical = ParseIndexSpec("vp(tpr,k=4,seed=9)");
+  ASSERT_TRUE(canonical.ok());
+  for (const char* variant : {
+           "  VP( TPR , k=4, seed=9 )",
+           "vp(tpr,seed=9,k=4)",
+           "Vp(k=4,tpr,seed=9)",  // options and children interleave freely
+       }) {
+    auto parsed = ParseIndexSpec(variant);
+    ASSERT_TRUE(parsed.ok()) << variant;
+    EXPECT_EQ(*parsed, *canonical) << variant;
+    EXPECT_EQ(FormatIndexSpec(*parsed), "vp(tpr,k=4,seed=9)") << variant;
+  }
+}
+
+TEST(IndexSpecTest, OptionHelpers) {
+  auto parsed = ParseIndexSpec("tpr(horizon=60)");
+  ASSERT_TRUE(parsed.ok());
+  IndexSpec spec = std::move(*parsed);
+  ASSERT_NE(spec.FindOption("horizon"), nullptr);
+  EXPECT_EQ(*spec.FindOption("horizon"), "60");
+  EXPECT_EQ(spec.FindOption("min_fill"), nullptr);
+  spec.SetDefaultOption("horizon", "120");  // present: no change
+  EXPECT_EQ(*spec.FindOption("horizon"), "60");
+  spec.SetDefaultOption("min_fill", "0.3");  // absent: set
+  EXPECT_EQ(*spec.FindOption("min_fill"), "0.3");
+  spec.SetOption("horizon", "90");  // replace
+  EXPECT_EQ(FormatIndexSpec(spec), "tpr(horizon=90,min_fill=0.3)");
+}
+
+TEST(IndexSpecTest, ParseErrors) {
+  const char* kBad[] = {
+      "",                 // empty
+      "vp(",              // unbalanced
+      "vp()",             // empty argument list
+      "vp(tpr",           // missing ')'
+      "tpr(horizon=)",    // empty value
+      "tpr(=60)",         // missing key
+      "tpr(a=1,a=2)",     // duplicate key
+      "tpr extra",        // trailing garbage
+      "tpr()x",           // also trailing garbage
+      "7up",              // kind must start with a letter
+  };
+  for (const char* text : kBad) {
+    auto parsed = ParseIndexSpec(text);
+    EXPECT_FALSE(parsed.ok()) << "'" << text << "' should not parse";
+    if (!parsed.ok()) {
+      EXPECT_TRUE(parsed.status().IsInvalidArgument()) << text;
+    }
+  }
+}
+
+TEST(IndexRegistryTest, BuildsEveryKind) {
+  const auto sample = AxisSample();
+  IndexEnv env;
+  env.domain = kDomain;
+  env.sample_velocities = sample;
+  const std::pair<const char*, const char*> kKindToName[] = {
+      {"tpr", "TPR*"},          {"bx", "Bx"},
+      {"bdual", "Bdual"},       {"vp(tpr)", "TPR*(VP)"},
+      {"vp(bx)", "Bx(VP)"},     {"vp(bdual)", "Bdual(VP)"},
+      {"threadsafe(bx)", "Bx"}, {"threadsafe(vp(tpr))", "TPR*(VP)"},
+  };
+  for (const auto& [spec, name] : kKindToName) {
+    auto built = BuildIndex(spec, env);
+    ASSERT_TRUE(built.ok()) << spec << ": " << built.status().ToString();
+    EXPECT_EQ((*built)->Name(), name) << spec;
+  }
+}
+
+TEST(IndexRegistryTest, OptionsReachTheBuiltIndex) {
+  IndexEnv env;
+  env.domain = kDomain;
+  {
+    auto built = BuildIndex("tpr(horizon=33,policy=projected)", env);
+    ASSERT_TRUE(built.ok());
+    auto* tree = dynamic_cast<TprStarTree*>(built->get());
+    ASSERT_NE(tree, nullptr);
+    EXPECT_DOUBLE_EQ(tree->options().horizon, 33.0);
+    EXPECT_EQ(tree->options().insert_policy, TprInsertPolicy::kProjectedArea);
+  }
+  {
+    auto built = BuildIndex("bx(curve=z,curve_order=6,num_buckets=3)", env);
+    ASSERT_TRUE(built.ok());
+    auto* tree = dynamic_cast<BxTree*>(built->get());
+    ASSERT_NE(tree, nullptr);
+    EXPECT_EQ(tree->options().curve, CurveKind::kZ);
+    EXPECT_EQ(tree->options().curve_order, 6);
+    EXPECT_EQ(tree->options().num_buckets, 3);
+  }
+  {
+    auto built = BuildIndex("bdual(vel_bits=5,max_speed_hint=42)", env);
+    ASSERT_TRUE(built.ok());
+    auto* tree = dynamic_cast<BdualTree*>(built->get());
+    ASSERT_NE(tree, nullptr);
+    EXPECT_EQ(tree->options().vel_bits, 5);
+    EXPECT_DOUBLE_EQ(tree->options().max_speed_hint, 42.0);
+  }
+  {
+    const auto sample = AxisSample();
+    IndexEnv vp_env = env;
+    vp_env.sample_velocities = sample;
+    auto built = BuildIndex("vp(tpr,k=3)", vp_env);
+    ASSERT_TRUE(built.ok());
+    auto* vp = dynamic_cast<VpIndex*>(built->get());
+    ASSERT_NE(vp, nullptr);
+    EXPECT_EQ(vp->DvaCount(), 3);
+  }
+}
+
+TEST(IndexRegistryTest, EnvironmentFlowsIntoVpPartitions) {
+  // The vp builder must hand the shared pool and the rotated frame domain
+  // to its partition builds: stats aggregate through one pool, and
+  // partition counts add up.
+  const auto sample = AxisSample();
+  IndexEnv env;
+  env.domain = kDomain;
+  env.sample_velocities = sample;
+  env.buffer_pages = 8;
+  auto built = BuildIndex("vp(bx(curve_order=6))", env);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  auto* vp = dynamic_cast<VpIndex*>(built->get());
+  ASSERT_NE(vp, nullptr);
+  testing_util::ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.9;
+  const auto objects = testing_util::MakeObjects(2000, gen, 37);
+  for (const auto& o : objects) ASSERT_TRUE(vp->Insert(o).ok());
+  std::size_t total = 0;
+  for (int i = 0; i <= vp->DvaCount(); ++i) total += vp->PartitionSize(i);
+  EXPECT_EQ(total, objects.size());
+  vp->ResetStats();
+  std::vector<ObjectId> out;
+  ASSERT_TRUE(vp->Search(RangeQuery::TimeSlice(
+                             QueryRegion::MakeCircle(
+                                 Circle{{5000, 5000}, 900.0}),
+                             30.0),
+                         &out)
+                  .ok());
+  EXPECT_GT(vp->Stats().LogicalTotal(), 0u);
+}
+
+TEST(IndexRegistryTest, BuildErrors) {
+  const auto sample = AxisSample();
+  IndexEnv env;
+  env.domain = kDomain;
+  env.sample_velocities = sample;
+  const char* kBad[] = {
+      "frobtree",                // unknown kind
+      "vp",                      // vp needs a child
+      "vp(tpr,bx)",              // exactly one child
+      "threadsafe",              // threadsafe needs a child
+      "vp(vp(tpr))",             // vp cannot nest (shared pool)
+      "vp(threadsafe(tpr))",     // decorator cannot be a partition
+      "tpr(bogus=1)",            // unknown option
+      "tpr(horizon=abc)",        // non-numeric value
+      "tpr(buffer_pages=-3)",    // negative size
+      "vp(tpr,seed=-5)",         // negative value for an unsigned option
+      "bx(curve_order=9999999999999)",  // out of int range
+      "bx(curve=moebius)",       // unknown enum value
+      "tpr(curve_order=8)",      // option of a different kind
+      "threadsafe(bx,k=2)",      // threadsafe takes no options
+      "tpr(tpr)",                // leaf kinds take no sub-spec
+      "tpr(horizon)",            // bare ident parses as a sub-spec
+  };
+  for (const char* spec : kBad) {
+    auto built = BuildIndex(spec, env);
+    EXPECT_FALSE(built.ok()) << "'" << spec << "' should not build";
+  }
+}
+
+TEST(IndexRegistryTest, KindsAreEnumerable) {
+  const auto kinds = IndexRegistry::Global().Kinds();
+  for (const char* expected : {"bdual", "bx", "threadsafe", "tpr", "vp"}) {
+    EXPECT_TRUE(IndexRegistry::Global().Contains(expected)) << expected;
+    EXPECT_NE(std::find(kinds.begin(), kinds.end(), expected), kinds.end());
+  }
+  EXPECT_FALSE(IndexRegistry::Global().Contains("frobtree"));
+}
+
+}  // namespace
+}  // namespace vpmoi

@@ -7,10 +7,7 @@
 
 #include <memory>
 
-#include "bx/bx_tree.h"
 #include "test_util.h"
-#include "tpr/tpr_tree.h"
-#include "vp/vp_index.h"
 #include "workload/experiment.h"
 #include "workload/network_presets.h"
 #include "workload/object_simulator.h"
@@ -40,14 +37,14 @@ SimulatorOptions SimOpts(std::size_t n) {
   return o;
 }
 
-std::unique_ptr<MovingObjectIndex> BuildIndex(testing_util::IndexKind kind,
-                                              Dataset dataset,
-                                              std::size_t n_objects) {
+std::unique_ptr<MovingObjectIndex> BuildFor(const std::string& spec,
+                                            Dataset dataset,
+                                            std::size_t n_objects) {
   auto net = MakeNetwork(dataset, kDomain, 7);
   ObjectSimulator sampler(net.has_value() ? &*net : nullptr,
                           SimOpts(n_objects));
   const auto sample = sampler.SampleVelocities(2000, 11);
-  return testing_util::MakeIndex(kind, kDomain, sample);
+  return testing_util::MakeIndex(spec, kDomain, sample);
 }
 
 TEST(IntegrationTest, AllIndexesAgreeOnLiveWorkload) {
@@ -58,10 +55,8 @@ TEST(IntegrationTest, AllIndexesAgreeOnLiveWorkload) {
   const auto sample = sim.SampleVelocities(1500, 11);
 
   std::vector<std::unique_ptr<MovingObjectIndex>> indexes;
-  for (auto kind :
-       {testing_util::IndexKind::kTpr, testing_util::IndexKind::kBx,
-        testing_util::IndexKind::kTprVp, testing_util::IndexKind::kBxVp}) {
-    indexes.push_back(testing_util::MakeIndex(kind, kDomain, sample));
+  for (const char* spec : {"tpr", "bx", "vp(tpr)", "vp(bx)"}) {
+    indexes.push_back(testing_util::MakeIndex(spec, kDomain, sample));
     ASSERT_NE(indexes.back(), nullptr);
   }
 
@@ -101,8 +96,7 @@ TEST(IntegrationTest, AllIndexesAgreeOnLiveWorkload) {
 TEST(IntegrationTest, RunExperimentProducesMetrics) {
   auto net = MakeNetwork(Dataset::kSanFrancisco, kDomain, 7);
   ObjectSimulator sim(&*net, SimOpts(3000));
-  auto index =
-      BuildIndex(testing_util::IndexKind::kTprVp, Dataset::kSanFrancisco, 3000);
+  auto index = BuildFor("vp(tpr)", Dataset::kSanFrancisco, 3000);
   ASSERT_NE(index, nullptr);
   QueryGeneratorOptions qopt;
   qopt.domain = kDomain;
@@ -133,29 +127,18 @@ TEST(IntegrationTest, VpReducesQueryIoOnSkewedNetwork) {
   qopt.radius = 500.0;
   qopt.predictive_time = 60.0;
 
-  TprTreeOptions tpr_opt;  // horizon 60, optimization query 1000x1000
-  auto run = [&](bool partitioned) {
+  // Horizon 60, optimization query 1000x1000 (the registry's defaults).
+  auto run = [&](const char* spec) {
     auto net = MakeNetwork(Dataset::kSanFrancisco, kDomain, 7);
     ObjectSimulator sim(&*net, SimOpts(n));
-    std::unique_ptr<MovingObjectIndex> index;
-    if (partitioned) {
-      VpIndexOptions vp;
-      vp.domain = kDomain;
-      auto built = VpIndex::Build(
-          [&](BufferPool* pool, const Rect&) {
-            return std::make_unique<TprStarTree>(pool, tpr_opt);
-          },
-          vp, sim.SampleVelocities(5000, 11));
-      index = std::move(built).value();
-    } else {
-      index = std::make_unique<TprStarTree>(tpr_opt);
-    }
+    auto index = testing_util::MakeIndex(spec, kDomain,
+                                         sim.SampleVelocities(5000, 11));
     QueryGenerator qgen(qopt);
     return RunExperiment(index.get(), &sim, &qgen, eopt);
   };
 
-  const auto tpr = run(false);
-  const auto tpr_vp = run(true);
+  const auto tpr = run("tpr");
+  const auto tpr_vp = run("vp(tpr)");
   // Identical workload stream: the answers must have identical sizes.
   EXPECT_DOUBLE_EQ(tpr.avg_result_size, tpr_vp.avg_result_size);
   EXPECT_LT(tpr_vp.avg_query_io, tpr.avg_query_io);
@@ -171,14 +154,14 @@ TEST(IntegrationTest, UniformWorkloadKeepsVpCorrectIfNotFaster) {
   QueryGeneratorOptions qopt;
   qopt.domain = kDomain;
 
-  auto run = [&](testing_util::IndexKind kind) {
+  auto run = [&](const char* spec) {
     ObjectSimulator sim(nullptr, SimOpts(n));
-    auto index = BuildIndex(kind, Dataset::kUniform, n);
+    auto index = BuildFor(spec, Dataset::kUniform, n);
     QueryGenerator qgen(qopt);
     return RunExperiment(index.get(), &sim, &qgen, eopt);
   };
-  const auto tpr = run(testing_util::IndexKind::kTpr);
-  const auto tpr_vp = run(testing_util::IndexKind::kTprVp);
+  const auto tpr = run("tpr");
+  const auto tpr_vp = run("vp(tpr)");
   EXPECT_DOUBLE_EQ(tpr.avg_result_size, tpr_vp.avg_result_size);
 }
 

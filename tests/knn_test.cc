@@ -1,7 +1,9 @@
-// k-nearest-neighbor tests: the filter-and-refine kNN driver must return
-// exactly the brute-force answer on every index configuration (the
-// circular range query is the filter step, as the paper notes in
-// Section 6), including predictive times, ties and degenerate inputs.
+// k-nearest-neighbor tests: the first-class `index->Knn` verb must return
+// exactly the brute-force answer on every registry index configuration
+// (the circular range query is the filter step, as the paper notes in
+// Section 6), including predictive times, ties and degenerate inputs —
+// and VpIndex's structure-aware override must return results identical to
+// the generic filter-and-refine driver.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -13,11 +15,10 @@
 namespace vpmoi {
 namespace {
 
-using testing_util::IndexKind;
-using testing_util::IndexKindName;
 using testing_util::MakeIndex;
 using testing_util::MakeObjects;
 using testing_util::ObjectGenOptions;
+using testing_util::SpecTestName;
 
 const Rect kDomain{{0, 0}, {10000, 10000}};
 
@@ -36,7 +37,7 @@ std::vector<KnnNeighbor> BruteForceKnn(const std::vector<MovingObject>& objs,
   return all;
 }
 
-class KnnTest : public ::testing::TestWithParam<IndexKind> {};
+class KnnTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(KnnTest, MatchesBruteForce) {
   ObjectGenOptions gen;
@@ -58,39 +59,84 @@ TEST_P(KnnTest, MatchesBruteForce) {
     const std::size_t k = 1 + rng.UniformInt(20);
     const Timestamp t = rng.Uniform(0, 60);
     std::vector<KnnNeighbor> got;
-    ASSERT_TRUE(KnnSearch(index.get(), center, k, t, opt, &got).ok());
+    ASSERT_TRUE(index->Knn(center, k, t, opt, &got).ok());
     const auto expected = BruteForceKnn(objects, center, k, t);
-    ASSERT_EQ(got.size(), expected.size()) << IndexKindName(GetParam());
+    ASSERT_EQ(got.size(), expected.size()) << GetParam();
     for (std::size_t i = 0; i < got.size(); ++i) {
       EXPECT_EQ(got[i].id, expected[i].id)
-          << IndexKindName(GetParam()) << " trial " << trial << " rank " << i;
+          << GetParam() << " trial " << trial << " rank " << i;
       EXPECT_NEAR(got[i].distance, expected[i].distance, 1e-6);
     }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllIndexes, KnnTest,
-                         ::testing::Values(IndexKind::kTpr, IndexKind::kBx,
-                                           IndexKind::kTprVp,
-                                           IndexKind::kBxVp),
-                         [](const ::testing::TestParamInfo<IndexKind>& info) {
-                           return IndexKindName(info.param);
+                         ::testing::Values("tpr", "bx", "bdual", "vp(tpr)",
+                                           "vp(bx)", "threadsafe(vp(tpr))"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return SpecTestName(info.param);
                          });
 
+TEST(VpKnnTest, OverrideMatchesGenericDriverOnRandomizedWorkload) {
+  // Acceptance check for the structure-aware VpIndex::Knn: per-partition
+  // probing in the rotated frames must return results identical to the
+  // generic filter-and-refine driver (invoked non-virtually through the
+  // base class) across a randomized skewed workload.
+  ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.85;
+  gen.axis_angle = 27.0 * M_PI / 180.0;
+  const auto objects = MakeObjects(3000, gen, 401);
+  std::vector<Vec2> sample;
+  for (const auto& o : objects) sample.push_back(o.vel);
+
+  auto index = MakeIndex("vp(tpr)", kDomain, sample);
+  ASSERT_NE(index, nullptr);
+  for (const auto& o : objects) ASSERT_TRUE(index->Insert(o).ok());
+
+  KnnOptions opt;
+  opt.domain = kDomain;
+  Rng rng(409);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Point2 center = rng.PointIn(kDomain);
+    const std::size_t k = 1 + rng.UniformInt(25);
+    const Timestamp t = rng.Uniform(0, 90);
+    std::vector<KnnNeighbor> vp_result, generic_result;
+    ASSERT_TRUE(index->Knn(center, k, t, opt, &vp_result).ok());
+    ASSERT_TRUE(index->MovingObjectIndex::Knn(center, k, t, opt,
+                                              &generic_result)
+                    .ok());
+    ASSERT_EQ(vp_result.size(), generic_result.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < vp_result.size(); ++i) {
+      EXPECT_EQ(vp_result[i].id, generic_result[i].id)
+          << "trial " << trial << " rank " << i;
+      EXPECT_NEAR(vp_result[i].distance, generic_result[i].distance, 1e-9);
+    }
+    // And both match the ground truth.
+    const auto expected = BruteForceKnn(objects, center, k, t);
+    ASSERT_EQ(vp_result.size(), expected.size());
+    for (std::size_t i = 0; i < vp_result.size(); ++i) {
+      EXPECT_EQ(vp_result[i].id, expected[i].id) << "trial " << trial;
+    }
+  }
+}
+
 TEST(KnnEdgeCaseTest, EmptyIndexAndZeroK) {
-  auto index = MakeIndex(IndexKind::kTpr, kDomain, {});
+  auto index = MakeIndex("tpr", kDomain, {});
+  ASSERT_NE(index, nullptr);
   KnnOptions opt;
   opt.domain = kDomain;
   std::vector<KnnNeighbor> got;
-  ASSERT_TRUE(KnnSearch(index.get(), {500, 500}, 5, 10.0, opt, &got).ok());
+  ASSERT_TRUE(index->Knn({500, 500}, 5, 10.0, opt, &got).ok());
   EXPECT_TRUE(got.empty());
   ASSERT_TRUE(index->Insert(MovingObject(1, {1, 1}, {0, 0}, 0)).ok());
-  ASSERT_TRUE(KnnSearch(index.get(), {500, 500}, 0, 10.0, opt, &got).ok());
+  ASSERT_TRUE(index->Knn({500, 500}, 0, 10.0, opt, &got).ok());
   EXPECT_TRUE(got.empty());
 }
 
 TEST(KnnEdgeCaseTest, KLargerThanPopulation) {
-  auto index = MakeIndex(IndexKind::kTpr, kDomain, {});
+  auto index = MakeIndex("tpr", kDomain, {});
+  ASSERT_NE(index, nullptr);
   for (ObjectId id = 0; id < 7; ++id) {
     ASSERT_TRUE(index
                     ->Insert(MovingObject(id, {100.0 * (id + 1), 100.0},
@@ -100,7 +146,7 @@ TEST(KnnEdgeCaseTest, KLargerThanPopulation) {
   KnnOptions opt;
   opt.domain = kDomain;
   std::vector<KnnNeighbor> got;
-  ASSERT_TRUE(KnnSearch(index.get(), {0, 100}, 100, 0.0, opt, &got).ok());
+  ASSERT_TRUE(index->Knn({0, 100}, 100, 0.0, opt, &got).ok());
   EXPECT_EQ(got.size(), 7u);
   // Ascending by distance.
   for (std::size_t i = 1; i < got.size(); ++i) {
@@ -109,17 +155,18 @@ TEST(KnnEdgeCaseTest, KLargerThanPopulation) {
 }
 
 TEST(KnnEdgeCaseTest, PredictiveTimeChangesRanking) {
-  auto index = MakeIndex(IndexKind::kTpr, kDomain, {});
+  auto index = MakeIndex("tpr", kDomain, {});
+  ASSERT_NE(index, nullptr);
   // Object 1 near but fleeing; object 2 far but approaching the center.
   ASSERT_TRUE(index->Insert(MovingObject(1, {5100, 5000}, {50, 0}, 0)).ok());
   ASSERT_TRUE(index->Insert(MovingObject(2, {6000, 5000}, {-50, 0}, 0)).ok());
   KnnOptions opt;
   opt.domain = kDomain;
   std::vector<KnnNeighbor> got;
-  ASSERT_TRUE(KnnSearch(index.get(), {5000, 5000}, 1, 0.0, opt, &got).ok());
+  ASSERT_TRUE(index->Knn({5000, 5000}, 1, 0.0, opt, &got).ok());
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0].id, 1u);  // now: object 1 is closer
-  ASSERT_TRUE(KnnSearch(index.get(), {5000, 5000}, 1, 15.0, opt, &got).ok());
+  ASSERT_TRUE(index->Knn({5000, 5000}, 1, 15.0, opt, &got).ok());
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0].id, 2u);  // in 15 ts object 2 has come closer
 }
@@ -133,7 +180,8 @@ TEST(KnnEdgeCaseTest, ExhaustedProbeBudgetFallsBackToFullAnswer) {
   ObjectGenOptions gen;
   gen.domain = kDomain;
   const auto objects = MakeObjects(300, gen, 311);
-  auto index = MakeIndex(IndexKind::kBx, kDomain, {});
+  auto index = MakeIndex("bx", kDomain, {});
+  ASSERT_NE(index, nullptr);
   for (const auto& o : objects) ASSERT_TRUE(index->Insert(o).ok());
 
   KnnOptions opt;
@@ -142,7 +190,7 @@ TEST(KnnEdgeCaseTest, ExhaustedProbeBudgetFallsBackToFullAnswer) {
   opt.growth = 1.1;
   opt.max_probes = 2;  // max radius 0.121: can never hold k candidates
   std::vector<KnnNeighbor> got;
-  ASSERT_TRUE(KnnSearch(index.get(), {5000, 5000}, 10, 20.0, opt, &got).ok());
+  ASSERT_TRUE(index->Knn({5000, 5000}, 10, 20.0, opt, &got).ok());
   const auto expected = BruteForceKnn(objects, {5000, 5000}, 10, 20.0);
   ASSERT_EQ(got.size(), expected.size());
   for (std::size_t i = 0; i < got.size(); ++i) {
@@ -153,7 +201,8 @@ TEST(KnnEdgeCaseTest, ExhaustedProbeBudgetFallsBackToFullAnswer) {
 TEST(KnnEdgeCaseTest, FallbackReachesObjectsOutsideDomain) {
   // The fallback must keep growing past the domain-covering radius:
   // objects can have drifted outside the domain by the query time.
-  auto index = MakeIndex(IndexKind::kTpr, kDomain, {});
+  auto index = MakeIndex("tpr", kDomain, {});
+  ASSERT_NE(index, nullptr);
   // At t = 60 this object sits at x = 15999, well outside the domain and
   // beyond the domain-covering radius as seen from the query center.
   ASSERT_TRUE(index->Insert(MovingObject(1, {9999, 5000}, {100, 0}, 0)).ok());
@@ -164,6 +213,7 @@ TEST(KnnEdgeCaseTest, FallbackReachesObjectsOutsideDomain) {
   opt.growth = 1.1;
   opt.max_probes = 1;
   std::vector<KnnNeighbor> got;
+  // Exercised through the compatibility wrapper on purpose.
   ASSERT_TRUE(KnnSearch(index.get(), {0, 5000}, 2, 60.0, opt, &got).ok());
   ASSERT_EQ(got.size(), 2u);
   EXPECT_EQ(got[0].id, 2u);
@@ -175,13 +225,14 @@ TEST(KnnEdgeCaseTest, TinyInitialRadiusStillExact) {
   ObjectGenOptions gen;
   gen.domain = kDomain;
   const auto objects = MakeObjects(500, gen, 307);
-  auto index = MakeIndex(IndexKind::kBx, kDomain, {});
+  auto index = MakeIndex("bx", kDomain, {});
+  ASSERT_NE(index, nullptr);
   for (const auto& o : objects) ASSERT_TRUE(index->Insert(o).ok());
   KnnOptions opt;
   opt.domain = kDomain;
   opt.initial_radius = 0.5;  // forces many expansion rounds
   std::vector<KnnNeighbor> got;
-  ASSERT_TRUE(KnnSearch(index.get(), {5000, 5000}, 10, 30.0, opt, &got).ok());
+  ASSERT_TRUE(index->Knn({5000, 5000}, 10, 30.0, opt, &got).ok());
   const auto expected = BruteForceKnn(objects, {5000, 5000}, 10, 30.0);
   ASSERT_EQ(got.size(), expected.size());
   for (std::size_t i = 0; i < got.size(); ++i) {

@@ -1,9 +1,12 @@
 // Parameterized option sweeps: every tuning knob combination must leave
 // query answers exact. Tuning may change performance, never correctness —
-// the central safety property of a configurable index library.
+// the central safety property of a configurable index library. Each
+// combination is expressed as a registry spec string, so the sweep
+// doubles as an end-to-end exercise of the IndexSpec option grammar.
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <tuple>
 
 #include "bx/bx_tree.h"
@@ -59,16 +62,16 @@ class BxOptionsSweep : public ::testing::TestWithParam<BxParam> {};
 
 TEST_P(BxOptionsSweep, AnswersStayExact) {
   const auto [curve, order, bucket_dur, max_ranges, grid_side] = GetParam();
-  BxTreeOptions opt;
-  opt.domain = kDomain;
-  opt.curve = curve;
-  opt.curve_order = order;
-  opt.bucket_duration = bucket_dur;
-  opt.max_scan_ranges = max_ranges;
-  opt.velocity_grid_side = grid_side;
-  BxTree tree(opt);
-  CheckExact(&tree, SweepObjects(), 903);
-  EXPECT_TRUE(tree.CheckInvariants().ok());
+  std::string spec = "bx(curve=";
+  spec += curve == CurveKind::kHilbert ? "hilbert" : "z";
+  spec += ",curve_order=" + std::to_string(order);
+  spec += ",bucket_duration=" + std::to_string(bucket_dur);
+  spec += ",max_scan_ranges=" + std::to_string(max_ranges);
+  spec += ",velocity_grid_side=" + std::to_string(grid_side) + ")";
+  auto tree = testing_util::MakeIndex(spec, kDomain, {});
+  ASSERT_NE(tree, nullptr) << spec;
+  CheckExact(tree.get(), SweepObjects(), 903);
+  EXPECT_TRUE(testing_util::CheckIndexInvariants(tree.get()).ok());
 }
 
 std::string BxName(const ::testing::TestParamInfo<BxParam>& info) {
@@ -104,14 +107,15 @@ class TprOptionsSweep : public ::testing::TestWithParam<TprParam> {};
 
 TEST_P(TprOptionsSweep, AnswersStayExact) {
   const auto [horizon, policy, min_fill, reinsert] = GetParam();
-  TprTreeOptions opt;
-  opt.horizon = horizon;
-  opt.insert_policy = policy;
-  opt.min_fill = min_fill;
-  opt.reinsert_fraction = reinsert;
-  TprStarTree tree(opt);
-  CheckExact(&tree, SweepObjects(), 907);
-  EXPECT_TRUE(tree.CheckInvariants().ok());
+  std::string spec = "tpr(horizon=" + std::to_string(horizon);
+  spec += ",policy=";
+  spec += policy == TprInsertPolicy::kSweepIntegral ? "sweep" : "projected";
+  spec += ",min_fill=" + std::to_string(min_fill);
+  spec += ",reinsert_fraction=" + std::to_string(reinsert) + ")";
+  auto tree = testing_util::MakeIndex(spec, kDomain, {});
+  ASSERT_NE(tree, nullptr) << spec;
+  CheckExact(tree.get(), SweepObjects(), 907);
+  EXPECT_TRUE(testing_util::CheckIndexInvariants(tree.get()).ok());
 }
 
 std::string TprName(const ::testing::TestParamInfo<TprParam>& info) {
@@ -143,15 +147,13 @@ class BdualOptionsSweep : public ::testing::TestWithParam<BdualParam> {};
 
 TEST_P(BdualOptionsSweep, AnswersStayExact) {
   const auto [vel_bits, hint, bucket_dur] = GetParam();
-  BdualTreeOptions opt;
-  opt.domain = kDomain;
-  opt.curve_order = 8;
-  opt.vel_bits = vel_bits;
-  opt.max_speed_hint = hint;
-  opt.bucket_duration = bucket_dur;
-  BdualTree tree(opt);
-  CheckExact(&tree, SweepObjects(), 911);
-  EXPECT_TRUE(tree.CheckInvariants().ok());
+  std::string spec = "bdual(curve_order=8,vel_bits=" + std::to_string(vel_bits);
+  spec += ",max_speed_hint=" + std::to_string(hint);
+  spec += ",bucket_duration=" + std::to_string(bucket_dur) + ")";
+  auto tree = testing_util::MakeIndex(spec, kDomain, {});
+  ASSERT_NE(tree, nullptr) << spec;
+  CheckExact(tree.get(), SweepObjects(), 911);
+  EXPECT_TRUE(testing_util::CheckIndexInvariants(tree.get()).ok());
 }
 
 std::string BdualName(const ::testing::TestParamInfo<BdualParam>& info) {

@@ -1,19 +1,25 @@
 // Shared helpers for the test suite: brute-force query oracles, random
-// object generators, and index factories so query-exactness suites can be
-// parameterized over every index configuration.
+// object generators, and registry-spec index construction so the
+// query-exactness suites can be parameterized over every index
+// configuration by spec string ("tpr", "vp(bx)", "threadsafe(vp(tpr))",
+// ...) instead of hand-built fixtures.
 #ifndef VPMOI_TESTS_TEST_UTIL_H_
 #define VPMOI_TESTS_TEST_UTIL_H_
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bx/bx_tree.h"
+#include "common/index_registry.h"
 #include "common/moving_object.h"
 #include "common/moving_object_index.h"
 #include "common/query.h"
 #include "common/random.h"
+#include "common/thread_safe_index.h"
+#include "dual/bdual_tree.h"
 #include "tpr/tpr_tree.h"
 #include "vp/vp_index.h"
 
@@ -72,63 +78,67 @@ inline std::vector<MovingObject> MakeObjects(std::size_t n,
   return out;
 }
 
-/// Index configurations exercised by the parameterized exactness suites.
-enum class IndexKind { kTpr, kBx, kTprVp, kBxVp };
-
-inline std::string IndexKindName(IndexKind k) {
-  switch (k) {
-    case IndexKind::kTpr:
-      return "TprStar";
-    case IndexKind::kBx:
-      return "Bx";
-    case IndexKind::kTprVp:
-      return "TprStarVP";
-    case IndexKind::kBxVp:
-      return "BxVP";
+/// Test-scale defaults injected into every node of a spec that does not
+/// set the option explicitly (smaller grids keep the suites fast).
+inline void ApplyTestDefaults(IndexSpec& spec, double horizon) {
+  if (spec.kind == "tpr") {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", horizon);
+    spec.SetDefaultOption("horizon", buf);
+  } else if (spec.kind == "bx") {
+    spec.SetDefaultOption("curve_order", "8");
+    spec.SetDefaultOption("velocity_grid_side", "32");
   }
-  return "?";
+  for (IndexSpec& child : spec.children) ApplyTestDefaults(child, horizon);
 }
 
-/// Builds an index of the requested kind over `domain`. For VP kinds,
-/// `sample` seeds the velocity analyzer.
+/// Builds an index from a registry spec over `domain`. For VP specs,
+/// `sample` seeds the velocity analyzer. Returns nullptr on any parse or
+/// build failure (suites ASSERT_NE against nullptr).
 inline std::unique_ptr<MovingObjectIndex> MakeIndex(
-    IndexKind kind, const Rect& domain, const std::vector<Vec2>& sample,
-    double horizon = 60.0) {
-  TprTreeOptions tpr_opt;
-  tpr_opt.horizon = horizon;
-  BxTreeOptions bx_opt;
-  bx_opt.domain = domain;
-  bx_opt.curve_order = 8;
-  bx_opt.velocity_grid_side = 32;
-  switch (kind) {
-    case IndexKind::kTpr:
-      return std::make_unique<TprStarTree>(tpr_opt);
-    case IndexKind::kBx:
-      return std::make_unique<BxTree>(bx_opt);
-    case IndexKind::kTprVp: {
-      VpIndexOptions vp;
-      vp.domain = domain;
-      auto built = VpIndex::Build(
-          [tpr_opt](BufferPool* pool, const Rect&) {
-            return std::make_unique<TprStarTree>(pool, tpr_opt);
-          },
-          vp, sample);
-      return built.ok() ? std::move(built).value() : nullptr;
-    }
-    case IndexKind::kBxVp: {
-      VpIndexOptions vp;
-      vp.domain = domain;
-      auto built = VpIndex::Build(
-          [bx_opt](BufferPool* pool, const Rect& frame_domain) {
-            BxTreeOptions o = bx_opt;
-            o.domain = frame_domain;
-            return std::make_unique<BxTree>(pool, o);
-          },
-          vp, sample);
-      return built.ok() ? std::move(built).value() : nullptr;
-    }
+    const std::string& spec_text, const Rect& domain,
+    const std::vector<Vec2>& sample, double horizon = 60.0) {
+  auto parsed = ParseIndexSpec(spec_text);
+  if (!parsed.ok()) return nullptr;
+  IndexSpec spec = std::move(parsed).value();
+  ApplyTestDefaults(spec, horizon);
+  IndexEnv env;
+  env.domain = domain;
+  env.sample_velocities = sample;
+  auto built = BuildIndex(spec, env);
+  if (!built.ok()) return nullptr;
+  return std::move(built).value();
+}
+
+/// gtest-safe parameter name for a spec string, e.g. "threadsafe(vp(tpr))"
+/// -> "threadsafe_vp_tpr".
+inline std::string SpecTestName(const std::string& spec) {
+  return IndexSpecSlug(spec);
+}
+
+/// Runs the structural invariant checker of whatever concrete type hides
+/// behind the interface, unwrapping decorators and VP partitions.
+inline Status CheckIndexInvariants(MovingObjectIndex* index) {
+  if (auto* ts = dynamic_cast<ThreadSafeIndex*>(index)) {
+    return CheckIndexInvariants(ts->inner());
   }
-  return nullptr;
+  if (auto* vp = dynamic_cast<VpIndex*>(index)) {
+    VPMOI_RETURN_IF_ERROR(vp->CheckInvariants());
+    for (int i = 0; i <= vp->DvaCount(); ++i) {
+      VPMOI_RETURN_IF_ERROR(CheckIndexInvariants(vp->Partition(i)));
+    }
+    return Status::OK();
+  }
+  if (auto* tpr = dynamic_cast<TprStarTree*>(index)) {
+    return tpr->CheckInvariants();
+  }
+  if (auto* bx = dynamic_cast<BxTree*>(index)) {
+    return bx->CheckInvariants();
+  }
+  if (auto* bd = dynamic_cast<BdualTree*>(index)) {
+    return bd->CheckInvariants();
+  }
+  return Status::OK();  // unknown kind: nothing to check
 }
 
 }  // namespace testing_util

@@ -1,7 +1,9 @@
 // Concurrency tests for the ThreadSafeIndex decorator: hammering one
 // index from many threads must neither corrupt structure nor lose
 // objects, and queries must always observe each object in exactly one
-// state (Section 5.3's atomic-update requirement).
+// state (Section 5.3's atomic-update requirement). The suite is a
+// parameterized matrix over registry specs — every index kind gets the
+// same hammering through `threadsafe(<spec>)`.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -10,45 +12,45 @@
 #include "common/random.h"
 #include "common/thread_safe_index.h"
 #include "test_util.h"
-#include "tpr/tpr_tree.h"
 
 namespace vpmoi {
 namespace {
 
+using testing_util::CheckIndexInvariants;
+using testing_util::MakeIndex;
+using testing_util::SpecTestName;
+
 const Rect kDomain{{0, 0}, {10000, 10000}};
 
-TEST(ThreadSafeIndexTest, ForwardsOperations) {
-  ThreadSafeIndex index(std::make_unique<TprStarTree>());
-  EXPECT_EQ(index.Name(), "TPR*");
-  ASSERT_TRUE(index.Insert(MovingObject(1, {10, 10}, {1, 1}, 0)).ok());
-  EXPECT_EQ(index.Size(), 1u);
-  auto got = index.GetObject(1);
-  ASSERT_TRUE(got.ok());
-  EXPECT_EQ(got->pos, (Point2{10, 10}));
-  ASSERT_TRUE(index.Update(MovingObject(1, {20, 20}, {0, 1}, 5)).ok());
-  std::vector<ObjectId> hits;
-  ASSERT_TRUE(index
-                  .Search(RangeQuery::TimeSlice(
-                              QueryRegion::MakeCircle(Circle{{20, 25}, 1.0}),
-                              10.0),
-                          &hits)
-                  .ok());
-  EXPECT_EQ(hits.size(), 1u);
-  ASSERT_TRUE(index.Delete(1).ok());
-  EXPECT_EQ(index.Size(), 0u);
+std::vector<Vec2> SkewedSample() {
+  testing_util::ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.9;
+  const auto objs = testing_util::MakeObjects(2000, gen, 881);
+  std::vector<Vec2> sample;
+  for (const auto& o : objs) sample.push_back(o.vel);
+  return sample;
 }
 
-TEST(ThreadSafeIndexTest, ConcurrentDisjointWriters) {
-  ThreadSafeIndex index(std::make_unique<TprStarTree>());
+/// Builds threadsafe(<inner spec>) through the registry.
+std::unique_ptr<MovingObjectIndex> MakeWrapped(const std::string& inner) {
+  return MakeIndex("threadsafe(" + inner + ")", kDomain, SkewedSample());
+}
+
+class ThreadSafeMatrixTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ThreadSafeMatrixTest, ConcurrentDisjointWriters) {
+  auto index = MakeWrapped(GetParam());
+  ASSERT_NE(index, nullptr);
   constexpr int kThreads = 8;
-  constexpr int kPerThread = 500;
+  constexpr int kPerThread = 400;
   std::vector<std::thread> threads;
   for (int th = 0; th < kThreads; ++th) {
     threads.emplace_back([&, th] {
       Rng rng(1000 + th);
       for (int i = 0; i < kPerThread; ++i) {
         const ObjectId id = static_cast<ObjectId>(th * kPerThread + i);
-        const Status st = index.Insert(
+        const Status st = index->Insert(
             MovingObject(id, rng.PointIn(kDomain),
                          {rng.Uniform(-50, 50), rng.Uniform(-50, 50)}, 0.0));
         ASSERT_TRUE(st.ok());
@@ -56,19 +58,18 @@ TEST(ThreadSafeIndexTest, ConcurrentDisjointWriters) {
     });
   }
   for (auto& t : threads) t.join();
-  EXPECT_EQ(index.Size(), static_cast<std::size_t>(kThreads * kPerThread));
-  auto* tree = dynamic_cast<TprStarTree*>(index.inner());
-  ASSERT_NE(tree, nullptr);
-  EXPECT_TRUE(tree->CheckInvariants().ok());
+  EXPECT_EQ(index->Size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_TRUE(CheckIndexInvariants(index.get()).ok());
 }
 
-TEST(ThreadSafeIndexTest, MixedReadersAndWritersStayConsistent) {
-  ThreadSafeIndex index(std::make_unique<TprStarTree>());
-  constexpr ObjectId kObjects = 400;
+TEST_P(ThreadSafeMatrixTest, MixedReadersAndWritersStayConsistent) {
+  auto index = MakeWrapped(GetParam());
+  ASSERT_NE(index, nullptr);
+  constexpr ObjectId kObjects = 300;
   for (ObjectId id = 0; id < kObjects; ++id) {
     ASSERT_TRUE(index
-                    .Insert(MovingObject(id, {100.0 + id, 100.0}, {1, 0},
-                                         0.0))
+                    ->Insert(MovingObject(id, {100.0 + id, 100.0}, {1, 0},
+                                          0.0))
                     .ok());
   }
 
@@ -83,7 +84,7 @@ TEST(ThreadSafeIndexTest, MixedReadersAndWritersStayConsistent) {
       Rng rng(2000 + w);
       while (!stop.load(std::memory_order_relaxed)) {
         const ObjectId id = rng.UniformInt(kObjects);
-        (void)index.Update(MovingObject(
+        (void)index->Update(MovingObject(
             id, rng.PointIn(kDomain),
             {rng.Uniform(-50, 50), rng.Uniform(-50, 50)}, 0.0));
       }
@@ -96,42 +97,117 @@ TEST(ThreadSafeIndexTest, MixedReadersAndWritersStayConsistent) {
           QueryRegion::MakeRect(kDomain.Inflated(100000.0)), 0.0);
       while (!stop.load(std::memory_order_relaxed)) {
         hits.clear();
-        ASSERT_TRUE(index.Search(everything, &hits).ok());
+        ASSERT_TRUE(index->Search(everything, &hits).ok());
         ASSERT_EQ(hits.size(), kObjects);
         searches.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
   stop.store(true);
   for (auto& t : threads) t.join();
   EXPECT_GT(searches.load(), 0u);
-  EXPECT_EQ(index.Size(), kObjects);
-  auto* tree = dynamic_cast<TprStarTree*>(index.inner());
-  EXPECT_TRUE(tree->CheckInvariants().ok());
+  EXPECT_EQ(index->Size(), kObjects);
+  EXPECT_TRUE(CheckIndexInvariants(index.get()).ok());
 }
 
-TEST(ThreadSafeIndexTest, WrapsVpIndex) {
-  testing_util::ObjectGenOptions gen;
-  gen.domain = kDomain;
-  gen.axis_fraction = 0.9;
-  const auto objects = testing_util::MakeObjects(500, gen, 11);
-  std::vector<Vec2> sample;
-  for (const auto& o : objects) sample.push_back(o.vel);
-  ThreadSafeIndex index(
-      testing_util::MakeIndex(testing_util::IndexKind::kTprVp, kDomain,
-                              sample));
-  EXPECT_EQ(index.Name(), "TPR*(VP)");
+TEST_P(ThreadSafeMatrixTest, ConcurrentBatchesAreAtomic) {
+  // ApplyBatch holds the lock for the whole batch: a reader's full-domain
+  // query interleaved with update batches must never see a partially
+  // applied batch (the population count never wavers).
+  auto index = MakeWrapped(GetParam());
+  ASSERT_NE(index, nullptr);
+  constexpr ObjectId kObjects = 200;
+  for (ObjectId id = 0; id < kObjects; ++id) {
+    ASSERT_TRUE(index
+                    ->Insert(MovingObject(id, {50.0 + id, 200.0}, {0, 1},
+                                          0.0))
+                    .ok());
+  }
+  std::atomic<bool> stop{false};
   std::vector<std::thread> threads;
-  for (int th = 0; th < 4; ++th) {
-    threads.emplace_back([&, th] {
-      for (std::size_t i = th; i < objects.size(); i += 4) {
-        ASSERT_TRUE(index.Insert(objects[i]).ok());
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(3000 + w);
+      std::vector<IndexOp> batch;
+      while (!stop.load(std::memory_order_relaxed)) {
+        batch.clear();
+        for (int i = 0; i < 32; ++i) {
+          const ObjectId id = rng.UniformInt(kObjects);
+          batch.push_back(IndexOp::Updating(MovingObject(
+              id, rng.PointIn(kDomain),
+              {rng.Uniform(-50, 50), rng.Uniform(-50, 50)}, 0.0)));
+        }
+        (void)index->ApplyBatch(batch);
       }
     });
   }
+  threads.emplace_back([&] {
+    std::vector<ObjectId> hits;
+    const RangeQuery everything = RangeQuery::TimeSlice(
+        QueryRegion::MakeRect(kDomain.Inflated(100000.0)), 0.0);
+    while (!stop.load(std::memory_order_relaxed)) {
+      hits.clear();
+      ASSERT_TRUE(index->Search(everything, &hits).ok());
+      ASSERT_EQ(hits.size(), kObjects);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  stop.store(true);
   for (auto& t : threads) t.join();
-  EXPECT_EQ(index.Size(), objects.size());
+  EXPECT_EQ(index->Size(), kObjects);
+  EXPECT_TRUE(CheckIndexInvariants(index.get()).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, ThreadSafeMatrixTest,
+    ::testing::Values("tpr", "bx", "bdual", "vp(tpr)", "vp(bx)"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return SpecTestName(info.param);
+    });
+
+TEST(ThreadSafeIndexTest, ForwardsOperations) {
+  auto index = MakeWrapped("tpr");
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->Name(), "TPR*");
+  ASSERT_TRUE(index->Insert(MovingObject(1, {10, 10}, {1, 1}, 0)).ok());
+  EXPECT_EQ(index->Size(), 1u);
+  auto got = index->GetObject(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->pos, (Point2{10, 10}));
+  ASSERT_TRUE(index->Update(MovingObject(1, {20, 20}, {0, 1}, 5)).ok());
+  std::vector<ObjectId> hits;
+  ASSERT_TRUE(index
+                  ->Search(RangeQuery::TimeSlice(
+                               QueryRegion::MakeCircle(Circle{{20, 25}, 1.0}),
+                               10.0),
+                           &hits)
+                  .ok());
+  EXPECT_EQ(hits.size(), 1u);
+  // kNN forwards through the decorator too.
+  std::vector<KnnNeighbor> nearest;
+  KnnOptions opt;
+  opt.domain = kDomain;
+  ASSERT_TRUE(index->Knn({20, 25}, 1, 10.0, opt, &nearest).ok());
+  ASSERT_EQ(nearest.size(), 1u);
+  EXPECT_EQ(nearest[0].id, 1u);
+  ASSERT_TRUE(index->Delete(1).ok());
+  EXPECT_EQ(index->Size(), 0u);
+}
+
+TEST(ThreadSafeIndexTest, ConstInnerAccess) {
+  auto built = MakeWrapped("vp(tpr)");
+  ASSERT_NE(built, nullptr);
+  auto* wrapper = dynamic_cast<ThreadSafeIndex*>(built.get());
+  ASSERT_NE(wrapper, nullptr);
+  // Name() needs no lock (immutable after construction) and the inner
+  // index is reachable through a const wrapper.
+  const ThreadSafeIndex& cref = *wrapper;
+  EXPECT_EQ(cref.Name(), "TPR*(VP)");
+  const MovingObjectIndex* inner = cref.inner();
+  ASSERT_NE(inner, nullptr);
+  EXPECT_NE(dynamic_cast<const VpIndex*>(inner), nullptr);
+  EXPECT_EQ(inner, wrapper->inner());
 }
 
 }  // namespace

@@ -41,10 +41,16 @@ std::vector<Vec2> AxisSample(double angle, std::size_t n, std::uint64_t seed,
   return out;
 }
 
-IndexFactory TprFactory() {
-  return [](BufferPool* pool, const Rect&) {
-    return std::make_unique<TprStarTree>(pool, TprTreeOptions{});
-  };
+/// Builds a VP-over-TPR* index through the registry (`spec` lets tests
+/// thread options through the grammar, e.g. "vp(tpr,tau_refresh=10)").
+std::unique_ptr<VpIndex> MakeVp(const std::vector<Vec2>& sample,
+                                const std::string& spec = "vp(tpr)") {
+  auto index = testing_util::MakeIndex(spec, kDomain, sample);
+  if (index == nullptr) return nullptr;
+  auto* vp = dynamic_cast<VpIndex*>(index.get());
+  if (vp == nullptr) return nullptr;
+  index.release();
+  return std::unique_ptr<VpIndex>(vp);
 }
 
 TEST(DvaTransformTest, ObjectRoundTrip) {
@@ -120,11 +126,8 @@ TEST(DvaTransformTest, TransformedQueryIsConservative) {
 }
 
 TEST(VpIndexTest, BuildsWithPartitionsAndName) {
-  VpIndexOptions opt;
-  opt.domain = kDomain;
-  auto built = VpIndex::Build(TprFactory(), opt, AxisSample(0.0, 4000, 1));
-  ASSERT_TRUE(built.ok());
-  auto& vp = *built;
+  auto vp = MakeVp(AxisSample(0.0, 4000, 1));
+  ASSERT_NE(vp, nullptr);
   EXPECT_EQ(vp->DvaCount(), 2);
   EXPECT_EQ(vp->Name(), "TPR*(VP)");
   for (int i = 0; i <= vp->DvaCount(); ++i) {
@@ -133,11 +136,8 @@ TEST(VpIndexTest, BuildsWithPartitionsAndName) {
 }
 
 TEST(VpIndexTest, RoutesOnAxisObjectsToDvaPartitions) {
-  VpIndexOptions opt;
-  opt.domain = kDomain;
-  auto built = VpIndex::Build(TprFactory(), opt, AxisSample(0.0, 4000, 2));
-  ASSERT_TRUE(built.ok());
-  auto& vp = *built;
+  auto vp = MakeVp(AxisSample(0.0, 4000, 2));
+  ASSERT_NE(vp, nullptr);
   // Pure x-mover and pure y-mover go to (different) DVA partitions.
   ASSERT_TRUE(vp->Insert(MovingObject(1, {100, 100}, {80, 0.2}, 0)).ok());
   ASSERT_TRUE(vp->Insert(MovingObject(2, {200, 200}, {-0.1, 75}, 0)).ok());
@@ -155,11 +155,8 @@ TEST(VpIndexTest, RoutesOnAxisObjectsToDvaPartitions) {
 }
 
 TEST(VpIndexTest, UpdateMigratesAcrossPartitions) {
-  VpIndexOptions opt;
-  opt.domain = kDomain;
-  auto built = VpIndex::Build(TprFactory(), opt, AxisSample(0.0, 4000, 3));
-  ASSERT_TRUE(built.ok());
-  auto& vp = *built;
+  auto vp = MakeVp(AxisSample(0.0, 4000, 3));
+  ASSERT_NE(vp, nullptr);
   ASSERT_TRUE(vp->Insert(MovingObject(1, {100, 100}, {80, 0}, 0)).ok());
   const int before = *vp->PartitionOfObject(1);
   // The object turns: now moving along y.
@@ -174,11 +171,8 @@ TEST(VpIndexTest, UpdateMigratesAcrossPartitions) {
 }
 
 TEST(VpIndexTest, DeleteAcrossPartitions) {
-  VpIndexOptions opt;
-  opt.domain = kDomain;
-  auto built = VpIndex::Build(TprFactory(), opt, AxisSample(0.0, 4000, 4));
-  ASSERT_TRUE(built.ok());
-  auto& vp = *built;
+  auto vp = MakeVp(AxisSample(0.0, 4000, 4));
+  ASSERT_NE(vp, nullptr);
   ASSERT_TRUE(vp->Insert(MovingObject(1, {100, 100}, {80, 0}, 0)).ok());
   ASSERT_TRUE(vp->Insert(MovingObject(2, {100, 100}, {55, 55}, 0)).ok());
   ASSERT_TRUE(vp->Delete(1).ok());
@@ -191,12 +185,8 @@ TEST(VpIndexTest, SearchExactOnRotatedWorkload) {
   // Rotated-axis workload (SA-style): the DVA frames are oblique, rect
   // queries go through the conservative MBR + refinement path.
   const double angle = 27.0 * M_PI / 180.0;
-  VpIndexOptions opt;
-  opt.domain = kDomain;
-  auto built =
-      VpIndex::Build(TprFactory(), opt, AxisSample(angle, 6000, 5));
-  ASSERT_TRUE(built.ok());
-  auto& vp = *built;
+  auto vp = MakeVp(AxisSample(angle, 6000, 5));
+  ASSERT_NE(vp, nullptr);
 
   ObjectGenOptions gen;
   gen.domain = kDomain;
@@ -228,12 +218,8 @@ TEST(VpIndexTest, SearchExactOnRotatedWorkload) {
 }
 
 TEST(VpIndexTest, TauRefreshReactsToSpeedChange) {
-  VpIndexOptions opt;
-  opt.domain = kDomain;
-  opt.tau_refresh_interval = 10.0;
-  auto built = VpIndex::Build(TprFactory(), opt, AxisSample(0.0, 4000, 9));
-  ASSERT_TRUE(built.ok());
-  auto& vp = *built;
+  auto vp = MakeVp(AxisSample(0.0, 4000, 9), "vp(tpr,tau_refresh=10)");
+  ASSERT_NE(vp, nullptr);
   const double tau_before = vp->GetDva(0).tau;
   // Feed a population whose perpendicular speeds are much larger than the
   // sample's, then advance time past the refresh interval.
@@ -252,11 +238,8 @@ TEST(VpIndexTest, TauRefreshReactsToSpeedChange) {
 }
 
 TEST(VpIndexTest, DriftDetectionFlagsDirectionChange) {
-  VpIndexOptions opt;
-  opt.domain = kDomain;
-  auto built = VpIndex::Build(TprFactory(), opt, AxisSample(0.0, 4000, 21));
-  ASSERT_TRUE(built.ok());
-  auto& vp = *built;
+  auto vp = MakeVp(AxisSample(0.0, 4000, 21));
+  ASSERT_NE(vp, nullptr);
   // Population matching the sample's axes: indicator stays near baseline.
   Rng rng(22);
   for (ObjectId id = 0; id < 1500; ++id) {
@@ -284,12 +267,9 @@ TEST(VpIndexTest, DriftDetectionFlagsDirectionChange) {
 }
 
 TEST(VpIndexTest, StatsAggregateAcrossPartitions) {
-  VpIndexOptions opt;
-  opt.domain = kDomain;
-  opt.buffer_pages = 8;  // tiny shared buffer forces misses
-  auto built = VpIndex::Build(TprFactory(), opt, AxisSample(0.0, 4000, 11));
-  ASSERT_TRUE(built.ok());
-  auto& vp = *built;
+  // Tiny shared buffer forces misses.
+  auto vp = MakeVp(AxisSample(0.0, 4000, 11), "vp(tpr,buffer_pages=8)");
+  ASSERT_NE(vp, nullptr);
   ObjectGenOptions gen;
   gen.domain = kDomain;
   gen.axis_fraction = 0.9;

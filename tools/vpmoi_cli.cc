@@ -1,11 +1,15 @@
-// Command-line experiment driver: runs any index variant on any dataset
-// with Table-1-style parameters and prints the paper's four metrics.
+// Command-line experiment driver: runs any registry index spec on any
+// dataset with Table-1-style parameters and prints the paper's four
+// metrics.
 //
-//   vpmoi_cli --dataset=CH "--index=TPR*(VP)" --objects=20000
+//   vpmoi_cli --dataset=CH "--index=vp(tpr)" --objects=20000
 //             --duration=120 --queries=200 --radius=500 --predictive=60
 //             --max-speed=100 --buffer-pages=50 [--rect] [--k=2] [--seed=N]
 //
-// `--index=all` (default) runs the four configurations side by side.
+// `--index` takes an IndexSpec (see common/index_spec.h): a kind with
+// optional sub-specs and key=value options, e.g. `tpr`, `bx`, `bdual`,
+// `vp(bx,k=4)`, `threadsafe(vp(tpr))`, `tpr(horizon=120)`. `--index=all`
+// (default) runs every registered variant side by side.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,7 +35,8 @@ void PrintUsage() {
   std::printf(
       "usage: vpmoi_cli [options]\n"
       "  --dataset=CH|SA|MEL|NY|uniform   (default CH)\n"
-      "  --index=Bx|Bx(VP)|TPR*|TPR*(VP)|all\n"
+      "  --index=<spec>|all   index spec, e.g. tpr, bx, bdual, vp(bx,k=4),\n"
+      "                       threadsafe(vp(tpr)), tpr(horizon=120)\n"
       "  --objects=N          number of moving objects\n"
       "  --duration=T         simulated timestamps\n"
       "  --queries=N          total range queries\n"
@@ -105,13 +110,6 @@ std::optional<workload::Dataset> DatasetFromName(const std::string& name) {
   return std::nullopt;
 }
 
-std::optional<IndexVariant> VariantFromName(const std::string& name) {
-  for (IndexVariant v : kAllVariants) {
-    if (VariantName(v) == name) return v;
-  }
-  return std::nullopt;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -125,16 +123,18 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<IndexVariant> variants;
+  std::vector<std::string> specs;
   if (args.index == "all") {
-    variants.assign(std::begin(kAllVariants), std::end(kAllVariants));
+    specs.assign(std::begin(kAllIndexSpecs), std::end(kAllIndexSpecs));
   } else {
-    const auto v = VariantFromName(args.index);
-    if (!v.has_value()) {
-      std::fprintf(stderr, "unknown index '%s'\n", args.index.c_str());
+    // Fail fast on an unparsable spec; build errors (unknown kind, bad
+    // option) surface from MakeBenchIndex when the run starts.
+    const auto spec = ParseIndexSpec(args.index);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
       return 1;
     }
-    variants.push_back(*v);
+    specs.push_back(args.index);
   }
 
   VelocityAnalyzerOptions analyzer;
@@ -157,12 +157,12 @@ int main(int argc, char** argv) {
     rep->SetContext("seed", args.cfg.seed);
   }
 
-  std::printf("%-10s %12s %14s %12s %14s %12s\n", "index", "query I/O",
+  std::printf("%-16s %12s %14s %12s %14s %12s\n", "index", "query I/O",
               "query ms", "update I/O", "update ms", "avg results");
-  for (IndexVariant v : variants) {
-    const auto m = RunOne(*dataset, v, args.cfg, &analyzer);
-    if (rep.has_value()) rep->AddExperiment(args.dataset, VariantName(v), m);
-    std::printf("%-10s %12.2f %14.4f %12.3f %14.5f %12.1f\n", VariantName(v),
+  for (const std::string& spec : specs) {
+    const auto m = RunOne(*dataset, spec, args.cfg, &analyzer);
+    if (rep.has_value()) rep->AddExperiment(args.dataset, spec, m);
+    std::printf("%-16s %12.2f %14.4f %12.3f %14.5f %12.1f\n", spec.c_str(),
                 m.avg_query_io, m.avg_query_ms, m.avg_update_io,
                 m.avg_update_ms, m.avg_result_size);
     std::fflush(stdout);
