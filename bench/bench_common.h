@@ -48,6 +48,9 @@ struct BenchConfig {
   /// Ablation: use the single-timepoint projected-area insertion policy
   /// instead of the TPR* sweeping-region integral.
   bool tpr_projected_area = false;
+  /// Apply each tick's updates as one ApplyBatch group update instead of
+  /// per-object Update calls (see ExperimentOptions::batch_updates).
+  bool batch_updates = false;
   std::uint64_t seed = 4242;
 };
 
@@ -157,6 +160,7 @@ inline workload::ExperimentMetrics RunOne(
   workload::ExperimentOptions eo;
   eo.duration = cfg.duration;
   eo.total_queries = cfg.total_queries;
+  eo.batch_updates = cfg.batch_updates;
   auto metrics = workload::RunExperiment(index.get(), &sim, &qgen, eo);
   return metrics;
 }

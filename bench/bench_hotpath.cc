@@ -1,0 +1,280 @@
+// Hot-path storage micro-benchmark: update throughput (per-op vs sorted
+// group batch), scan throughput, point-lookup throughput and raw
+// buffer-pool touch cost, plus an end-to-end Bx-tree tick-update
+// comparison. Unlike bench_micro this needs no google-benchmark, so it
+// always builds; results go to BENCH_hotpath.json for tools/
+// bench_compare.py to diff across commits.
+//
+//   bench_hotpath [--entries=N] [--rounds=N] [--batch=N]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_reporter.h"
+#include "bptree/bplus_tree.h"
+#include "common/index_registry.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+
+namespace vpmoi {
+namespace bench {
+namespace {
+
+struct HotpathConfig {
+  std::size_t entries = PaperScale() ? 200000 : 100000;
+  std::size_t rounds = 5;
+  std::size_t batch = 512;
+};
+
+std::uint64_t KeyFor(Rng& rng) { return rng.NextU64() >> 20; }
+
+void Report(BenchReporter& rep, const char* metric, std::size_t ops,
+            double elapsed_ms, const IoStats& io) {
+  const double per_s = elapsed_ms > 0.0 ? ops * 1000.0 / elapsed_ms : 0.0;
+  rep.AddRow()
+      .Set("metric", metric)
+      .Set("ops", static_cast<std::uint64_t>(ops))
+      .Set("elapsed_ms", elapsed_ms)
+      .Set("ops_per_s", per_s)
+      .Set("io_logical", io.LogicalTotal())
+      .Set("io_physical", io.PhysicalTotal())
+      .Set("buffer_hit_rate", io.BufferHitRate());
+  std::printf("%-28s %12zu ops %12.2f ms %16.0f ops/s\n", metric, ops,
+              elapsed_ms, per_s);
+  std::fflush(stdout);
+}
+
+/// B+-tree update churn: delete an existing entry, insert it back under a
+/// fresh key — the Bx-tree's per-object update pattern. Per-op vs
+/// key-sorted batch application of the identical op stream.
+void BenchBPlusTreeUpdates(BenchReporter& rep, const HotpathConfig& cfg) {
+  for (const bool batched : {false, true}) {
+    PageStore store;
+    BufferPool pool(&store, 1 << 20);  // everything resident: CPU cost only
+    BPlusTree tree(&pool);
+    Rng rng(1234);
+    std::vector<BptKey> keys;
+    keys.reserve(cfg.entries);
+    for (std::size_t i = 0; i < cfg.entries; ++i) {
+      const BptKey k{KeyFor(rng), i};
+      if (!tree.Insert(k, BptPayload{}).ok()) continue;
+      keys.push_back(k);
+    }
+
+    const IoStats before = pool.stats();
+    Stopwatch timer;
+    std::size_t updates = 0;
+    Rng urng(555);
+    for (std::size_t round = 0; round < cfg.rounds; ++round) {
+      for (std::size_t off = 0; off + cfg.batch <= keys.size() / 4;
+           off += cfg.batch) {
+        // One "tick": cfg.batch objects move to new keys.
+        std::vector<BptKey> deletes;
+        std::vector<std::pair<BptKey, BptPayload>> inserts;
+        deletes.reserve(cfg.batch);
+        inserts.reserve(cfg.batch);
+        for (std::size_t j = 0; j < cfg.batch; ++j) {
+          const std::size_t slot = off + j;  // distinct slots per tick
+          const BptKey fresh{KeyFor(urng), keys[slot].sub};
+          deletes.push_back(keys[slot]);
+          inserts.emplace_back(fresh, BptPayload{});
+          keys[slot] = fresh;
+        }
+        std::sort(deletes.begin(), deletes.end());
+        std::sort(inserts.begin(), inserts.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.first < b.first;
+                  });
+        if (batched) {
+          if (!tree.DeleteBatchSorted(deletes).ok() ||
+              !tree.InsertBatchSorted(inserts).ok()) {
+            std::fprintf(stderr, "batch update failed\n");
+            std::exit(1);
+          }
+        } else {
+          for (std::size_t j = 0; j < cfg.batch; ++j) {
+            if (!tree.Delete(deletes[j]).ok() ||
+                !tree.Insert(inserts[j].first, inserts[j].second).ok()) {
+              std::fprintf(stderr, "per-op update failed\n");
+              std::exit(1);
+            }
+          }
+        }
+        updates += cfg.batch;
+      }
+    }
+    const double ms = timer.ElapsedMillis();
+    Report(rep, batched ? "bptree_update_batch" : "bptree_update_per_op",
+           updates, ms, pool.stats() - before);
+  }
+}
+
+void BenchBPlusTreeGetAndScan(BenchReporter& rep, const HotpathConfig& cfg) {
+  PageStore store;
+  BufferPool pool(&store, 1 << 20);
+  BPlusTree tree(&pool);
+  Rng rng(1234);
+  std::vector<BptKey> keys;
+  keys.reserve(cfg.entries);
+  for (std::size_t i = 0; i < cfg.entries; ++i) {
+    const BptKey k{KeyFor(rng), i};
+    if (tree.Insert(k, BptPayload{}).ok()) keys.push_back(k);
+  }
+
+  {
+    const std::size_t lookups = 2000000;
+    const IoStats before = pool.stats();
+    Stopwatch timer;
+    std::uint64_t found = 0;
+    for (std::size_t i = 0; i < lookups; ++i) {
+      found += tree.Get(keys[i % keys.size()]).ok() ? 1 : 0;
+    }
+    const double ms = timer.ElapsedMillis();
+    if (found != lookups) {
+      std::fprintf(stderr, "lookup miss during bench\n");
+      std::exit(1);
+    }
+    Report(rep, "bptree_get", lookups, ms, pool.stats() - before);
+  }
+
+  {
+    const std::size_t passes = 20;
+    const IoStats before = pool.stats();
+    Stopwatch timer;
+    std::size_t visited = 0;
+    for (std::size_t p = 0; p < passes; ++p) {
+      tree.Scan(0, ~0ull, [&](BptKey, const BptPayload&) {
+        ++visited;
+        return true;
+      });
+    }
+    const double ms = timer.ElapsedMillis();
+    Report(rep, "bptree_scan_entries", visited, ms, pool.stats() - before);
+  }
+}
+
+void BenchBufferPoolTouch(BenchReporter& rep) {
+  PageStore store;
+  BufferPool pool(&store, 1024);
+  std::vector<PageId> pages;
+  for (int i = 0; i < 512; ++i) pages.push_back(pool.AllocatePage());
+
+  const std::size_t touches = 20000000;
+  const IoStats before = pool.stats();
+  Stopwatch timer;
+  const Page* sink = nullptr;
+  for (std::size_t i = 0; i < touches; ++i) {
+    sink = pool.Read(pages[i & 255]);  // resident working set: pure hit cost
+  }
+  const double ms = timer.ElapsedMillis();
+  if (sink == nullptr) std::exit(1);
+  Report(rep, "buffer_pool_hit", touches, ms, pool.stats() - before);
+}
+
+/// End to end: one Bx-tree tick of updates applied per-object vs as one
+/// ApplyBatch group update (what ExperimentOptions::batch_updates does).
+void BenchBxTickUpdates(BenchReporter& rep) {
+  const Rect domain{{0, 0}, {100000, 100000}};
+  const std::size_t objects = PaperScale() ? 100000 : 20000;
+  const std::size_t ticks = 10;
+  for (const bool batched : {false, true}) {
+    IndexEnv env;
+    env.domain = domain;
+    env.buffer_pages = 1 << 18;  // CPU-bound comparison
+    auto built = BuildIndex("bx", env);
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      std::exit(1);
+    }
+    auto index = std::move(built).value();
+    Rng rng(99);
+    std::vector<MovingObject> population;
+    population.reserve(objects);
+    for (ObjectId id = 0; id < objects; ++id) {
+      population.emplace_back(
+          id, rng.PointIn(domain),
+          Vec2{rng.Uniform(-100, 100), rng.Uniform(-100, 100)}, 0.0);
+      if (!index->Insert(population.back()).ok()) std::exit(1);
+    }
+    index->ResetStats();
+
+    Stopwatch timer;
+    std::size_t updates = 0;
+    Rng urng(101);
+    for (std::size_t tick = 1; tick <= ticks; ++tick) {
+      const double now = static_cast<double>(tick);
+      index->AdvanceTime(now);
+      std::vector<IndexOp> ops;
+      for (auto& o : population) {
+        if (!urng.Bernoulli(0.1)) continue;  // ~10% of objects move per tick
+        o.pos = urng.PointIn(domain);
+        o.vel = {urng.Uniform(-100, 100), urng.Uniform(-100, 100)};
+        o.t_ref = now;
+        ops.push_back(IndexOp::Updating(o));
+      }
+      if (batched) {
+        if (!index->ApplyBatch(ops).ok()) std::exit(1);
+      } else {
+        for (const IndexOp& op : ops) {
+          if (!index->Update(op.object).ok()) std::exit(1);
+        }
+      }
+      updates += ops.size();
+    }
+    const double ms = timer.ElapsedMillis();
+    Report(rep, batched ? "bx_tick_update_batch" : "bx_tick_update_per_op",
+           updates, ms, index->Stats());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vpmoi
+
+int main(int argc, char** argv) {
+  using namespace vpmoi;
+  using namespace vpmoi::bench;
+  HotpathConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const auto num_flag = [&](const char* name, std::size_t* out) {
+      const std::size_t len = std::strlen(name);
+      if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+        *out = std::strtoull(argv[i] + len + 1, nullptr, 10);
+        return true;
+      }
+      return false;
+    };
+    if (!num_flag("--entries", &cfg.entries) &&
+        !num_flag("--rounds", &cfg.rounds) && !num_flag("--batch", &cfg.batch)) {
+      std::fprintf(stderr,
+                   "usage: bench_hotpath [--entries=N] [--rounds=N] "
+                   "[--batch=N]\n");
+      return 1;
+    }
+  }
+
+  BenchReporter rep("hotpath");
+  rep.SetContext("entries", static_cast<std::uint64_t>(cfg.entries));
+  rep.SetContext("rounds", static_cast<std::uint64_t>(cfg.rounds));
+  rep.SetContext("batch", static_cast<std::uint64_t>(cfg.batch));
+  std::printf("== hotpath micro-benchmarks (%zu entries) ==\n", cfg.entries);
+  BenchBPlusTreeUpdates(rep, cfg);
+  BenchBPlusTreeGetAndScan(rep, cfg);
+  BenchBufferPoolTouch(rep);
+  BenchBxTickUpdates(rep);
+  const Status st = rep.Write();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (BenchReporter::Enabled()) {
+    std::printf("wrote %s\n", rep.OutputPath().c_str());
+  }
+  return 0;
+}

@@ -3,8 +3,10 @@
 // TPR*-tree operations, buffer pool accesses, and query transforms.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_reporter.h"
@@ -117,6 +119,58 @@ void BM_BPlusTreeGet(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BPlusTreeGet);
+
+void BM_BPlusTreeScan(benchmark::State& state) {
+  PageStore store;
+  BufferPool pool(&store, 4096);
+  BPlusTree tree(&pool);
+  Rng rng(5);
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    (void)tree.Insert(BptKey{rng.NextU64() >> 20, i}, BptPayload{});
+  }
+  std::size_t visited = 0;
+  for (auto _ : state) {
+    tree.Scan(0, ~0ull, [&](BptKey, const BptPayload&) {
+      ++visited;
+      return true;
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(visited));
+}
+BENCHMARK(BM_BPlusTreeScan);
+
+void BM_BPlusTreeBatchUpdate(benchmark::State& state) {
+  PageStore store;
+  BufferPool pool(&store, 4096);
+  BPlusTree tree(&pool);
+  Rng rng(5);
+  std::vector<BptKey> keys;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    const BptKey k{rng.NextU64() >> 20, i};
+    if (tree.Insert(k, BptPayload{}).ok()) keys.push_back(k);
+  }
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  std::size_t off = 0;
+  for (auto _ : state) {
+    std::vector<BptKey> deletes;
+    std::vector<std::pair<BptKey, BptPayload>> inserts;
+    for (std::size_t j = 0; j < batch; ++j) {
+      const std::size_t slot = (off + j) % keys.size();
+      const BptKey fresh{rng.NextU64() >> 20, keys[slot].sub};
+      deletes.push_back(keys[slot]);
+      inserts.emplace_back(fresh, BptPayload{});
+      keys[slot] = fresh;
+    }
+    off = (off + batch) % keys.size();
+    std::sort(deletes.begin(), deletes.end());
+    std::sort(inserts.begin(), inserts.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    (void)tree.DeleteBatchSorted(deletes);
+    (void)tree.InsertBatchSorted(inserts);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BPlusTreeBatchUpdate)->Arg(64)->Arg(512);
 
 void BM_BufferPoolHit(benchmark::State& state) {
   PageStore store;

@@ -117,7 +117,10 @@ BenchReporter::Row& BenchReporter::Row::SetMetrics(
       .Set("io_logical_reads", m.total_io.logical_reads)
       .Set("io_logical_writes", m.total_io.logical_writes)
       .Set("io_physical_reads", m.total_io.physical_reads)
-      .Set("io_physical_writes", m.total_io.physical_writes);
+      .Set("io_physical_writes", m.total_io.physical_writes)
+      .Set("io_buffer_hits", m.total_io.buffer_hits)
+      .Set("io_buffer_misses", m.total_io.buffer_misses)
+      .Set("buffer_hit_rate", m.total_io.BufferHitRate());
   return *this;
 }
 

@@ -6,86 +6,11 @@
 
 namespace vpmoi {
 
-namespace {
-
-struct NodeHeader {
-  std::uint8_t is_leaf = 0;
-  std::uint8_t pad0 = 0;
-  std::uint16_t count = 0;
-  PageId prev = kInvalidPageId;  // leaves only
-  PageId next = kInvalidPageId;  // leaves only
-  std::uint32_t pad1 = 0;
-};
-static_assert(sizeof(NodeHeader) == 16);
-
-struct LeafEntry {
-  BptKey k;
-  BptPayload p;
-};
-static_assert(sizeof(LeafEntry) == 48);
-
-struct InnerEntry {
-  BptKey k;      // lower separator: keys in `child` are >= k (except the
-                 // leftmost entry, whose separator acts as -infinity)
-  PageId child;
-  std::uint32_t pad = 0;
-};
-static_assert(sizeof(InnerEntry) == 24);
-
-constexpr std::size_t kLeafCap = (kPageSize - sizeof(NodeHeader)) / sizeof(LeafEntry);
-constexpr std::size_t kInnerCap =
-    (kPageSize - sizeof(NodeHeader)) / sizeof(InnerEntry);
-
-NodeHeader* Header(Page* p) { return reinterpret_cast<NodeHeader*>(p->data()); }
-const NodeHeader* Header(const Page* p) {
-  return reinterpret_cast<const NodeHeader*>(p->data());
-}
-LeafEntry* LeafEntries(Page* p) {
-  return reinterpret_cast<LeafEntry*>(p->data() + sizeof(NodeHeader));
-}
-const LeafEntry* LeafEntries(const Page* p) {
-  return reinterpret_cast<const LeafEntry*>(p->data() + sizeof(NodeHeader));
-}
-InnerEntry* InnerEntries(Page* p) {
-  return reinterpret_cast<InnerEntry*>(p->data() + sizeof(NodeHeader));
-}
-const InnerEntry* InnerEntries(const Page* p) {
-  return reinterpret_cast<const InnerEntry*>(p->data() + sizeof(NodeHeader));
-}
-
-// Index of the first leaf entry with key >= k, in [0, count].
-std::size_t LeafLowerBound(const LeafEntry* e, std::size_t count, BptKey k) {
-  std::size_t lo = 0, hi = count;
-  while (lo < hi) {
-    std::size_t mid = (lo + hi) / 2;
-    if (e[mid].k < k) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
-}
-
-// Child slot to descend into: the last entry with separator <= k,
-// clamped to 0.
-std::size_t InnerChildIndex(const InnerEntry* e, std::size_t count, BptKey k) {
-  std::size_t lo = 0, hi = count;  // first entry with separator > k
-  while (lo < hi) {
-    std::size_t mid = (lo + hi) / 2;
-    if (e[mid].k <= k) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo == 0 ? 0 : lo - 1;
-}
-
-}  // namespace
-
-std::size_t BPlusTree::LeafCapacity() { return kLeafCap; }
-std::size_t BPlusTree::InnerCapacity() { return kInnerCap; }
+// The buffer-pool call sequence of every operation is part of this file's
+// contract: the paper's metrics are physical I/O counts, and tests pin them.
+// Refactors must keep the order of pool Read/Write/Allocate/Free calls
+// unchanged (e.g. the left page is re-fetched after allocating a sibling,
+// exactly as the pre-view code did).
 
 BPlusTree::BPlusTree(BufferPool* pool) : pool_(pool) {
   root_ = NewLeaf();
@@ -93,20 +18,16 @@ BPlusTree::BPlusTree(BufferPool* pool) : pool_(pool) {
 
 PageId BPlusTree::NewLeaf() {
   PageId id = pool_->AllocatePage();
-  Page* p = pool_->Write(id);
-  NodeHeader h;
-  h.is_leaf = 1;
-  *Header(p) = h;
+  LeafView v(pool_->Write(id));
+  v.Init();
   ++node_count_;
   return id;
 }
 
 PageId BPlusTree::NewInner() {
   PageId id = pool_->AllocatePage();
-  Page* p = pool_->Write(id);
-  NodeHeader h;
-  h.is_leaf = 0;
-  *Header(p) = h;
+  InnerView v(pool_->Write(id));
+  v.Init();
   ++node_count_;
   return id;
 }
@@ -117,12 +38,10 @@ Status BPlusTree::Insert(BptKey k, const BptPayload& payload) {
   if (!st.ok()) return st;
   if (split.has_value()) {
     PageId new_root = NewInner();
-    Page* p = pool_->Write(new_root);
-    NodeHeader* h = Header(p);
-    InnerEntry* e = InnerEntries(p);
-    e[0] = InnerEntry{BptKey{0, 0}, root_};
-    e[1] = InnerEntry{split->separator, split->right_page};
-    h->count = 2;
+    InnerView v(pool_->Write(new_root));
+    v.SetEntry(0, BptKey{0, 0}, root_);
+    v.SetEntry(1, split->separator, split->right_page);
+    v.set_count(2);
     root_ = new_root;
     ++height_;
   }
@@ -133,103 +52,69 @@ Status BPlusTree::Insert(BptKey k, const BptPayload& payload) {
 std::optional<BPlusTree::SplitResult> BPlusTree::InsertRec(
     PageId node, int level, BptKey k, const BptPayload& payload, Status* st) {
   if (level == 1) {
-    Page* p = pool_->Write(node);
-    NodeHeader* h = Header(p);
-    LeafEntry* e = LeafEntries(p);
-    std::size_t pos = LeafLowerBound(e, h->count, k);
-    if (pos < h->count && e[pos].k == k) {
+    LeafView v(pool_->Write(node));
+    std::size_t pos = v.LowerBound(k);
+    if (pos < v.count() && v.key(pos) == k) {
       *st = Status::AlreadyExists("duplicate B+-tree key");
       return std::nullopt;
     }
-    if (h->count < kLeafCap) {
-      std::memmove(e + pos + 1, e + pos, (h->count - pos) * sizeof(LeafEntry));
-      e[pos] = LeafEntry{k, payload};
-      ++h->count;
+    if (v.count() < kBptLeafCapacity) {
+      v.InsertAt(pos, k, payload);
       return std::nullopt;
     }
     // Split the leaf: left keeps [0, mid), right gets [mid, count).
-    const std::size_t mid = kLeafCap / 2;
+    const std::size_t mid = kBptLeafCapacity / 2;
     PageId right_id = NewLeaf();
-    Page* rp = pool_->Write(right_id);
-    // NewLeaf may have grown internal structures; refetch left.
-    p = pool_->Write(node);
-    h = Header(p);
-    e = LeafEntries(p);
-    NodeHeader* rh = Header(rp);
-    LeafEntry* re = LeafEntries(rp);
-    std::memcpy(re, e + mid, (kLeafCap - mid) * sizeof(LeafEntry));
-    rh->count = static_cast<std::uint16_t>(kLeafCap - mid);
-    h->count = static_cast<std::uint16_t>(mid);
+    LeafView right(pool_->Write(right_id));
+    LeafView left(pool_->Write(node));
+    left.SpillTo(right, mid);
     // Chain: left <-> right <-> old_next.
-    rh->next = h->next;
-    rh->prev = node;
-    if (h->next != kInvalidPageId) {
-      Page* np = pool_->Write(h->next);
-      Header(np)->prev = right_id;
+    right.set_next(left.next());
+    right.set_prev(node);
+    if (left.next() != kInvalidPageId) {
+      LeafView nv(pool_->Write(left.next()));
+      nv.set_prev(right_id);
     }
-    h->next = right_id;
+    left.set_next(right_id);
     // Insert into the proper side.
-    if (k < re[0].k) {
-      std::size_t ipos = LeafLowerBound(e, h->count, k);
-      std::memmove(e + ipos + 1, e + ipos,
-                   (h->count - ipos) * sizeof(LeafEntry));
-      e[ipos] = LeafEntry{k, payload};
-      ++h->count;
+    if (k < right.key(0)) {
+      left.InsertAt(left.LowerBound(k), k, payload);
     } else {
-      std::size_t ipos = LeafLowerBound(re, rh->count, k);
-      std::memmove(re + ipos + 1, re + ipos,
-                   (rh->count - ipos) * sizeof(LeafEntry));
-      re[ipos] = LeafEntry{k, payload};
-      ++rh->count;
+      right.InsertAt(right.LowerBound(k), k, payload);
     }
-    return SplitResult{re[0].k, right_id};
+    return SplitResult{right.key(0), right_id};
   }
 
   // Inner node.
-  const Page* cp = pool_->Read(node);
-  std::size_t idx = InnerChildIndex(InnerEntries(cp), Header(cp)->count, k);
-  PageId child = InnerEntries(cp)[idx].child;
+  ConstInnerView cv(pool_->Read(node));
+  std::size_t idx = cv.ChildIndex(k);
+  PageId child = cv.child(idx);
   auto child_split = InsertRec(child, level - 1, k, payload, st);
   if (!st->ok() || !child_split.has_value()) return std::nullopt;
 
-  Page* p = pool_->Write(node);
-  NodeHeader* h = Header(p);
-  InnerEntry* e = InnerEntries(p);
-  InnerEntry new_entry{child_split->separator, child_split->right_page};
-  if (h->count < kInnerCap) {
-    std::memmove(e + idx + 2, e + idx + 1,
-                 (h->count - idx - 1) * sizeof(InnerEntry));
-    e[idx + 1] = new_entry;
-    ++h->count;
+  InnerView v(pool_->Write(node));
+  const BptKey sep = child_split->separator;
+  const PageId right_child = child_split->right_page;
+  if (v.count() < kBptInnerCapacity) {
+    v.InsertAt(idx + 1, sep, right_child);
     return std::nullopt;
   }
   // Split the inner node, then place new_entry into the proper half.
-  const std::size_t mid = kInnerCap / 2;
+  const std::size_t mid = kBptInnerCapacity / 2;
   PageId right_id = NewInner();
-  Page* rp = pool_->Write(right_id);
-  p = pool_->Write(node);
-  h = Header(p);
-  e = InnerEntries(p);
-  NodeHeader* rh = Header(rp);
-  InnerEntry* re = InnerEntries(rp);
-  std::memcpy(re, e + mid, (kInnerCap - mid) * sizeof(InnerEntry));
-  rh->count = static_cast<std::uint16_t>(kInnerCap - mid);
-  h->count = static_cast<std::uint16_t>(mid);
-  if (new_entry.k < re[0].k) {
-    std::size_t ipos = idx + 1;  // idx was computed against the full node
-    assert(ipos <= h->count);
-    std::memmove(e + ipos + 1, e + ipos, (h->count - ipos) * sizeof(InnerEntry));
-    e[ipos] = new_entry;
-    ++h->count;
+  InnerView right(pool_->Write(right_id));
+  InnerView left(pool_->Write(node));
+  left.SpillTo(right, mid);
+  if (sep < right.key(0)) {
+    const std::size_t ipos = idx + 1;  // idx was computed on the full node
+    assert(ipos <= left.count());
+    left.InsertAt(ipos, sep, right_child);
   } else {
-    std::size_t ipos = idx + 1 - mid;
-    assert(ipos <= rh->count);
-    std::memmove(re + ipos + 1, re + ipos,
-                 (rh->count - ipos) * sizeof(InnerEntry));
-    re[ipos] = new_entry;
-    ++rh->count;
+    const std::size_t ipos = idx + 1 - mid;
+    assert(ipos <= right.count());
+    right.InsertAt(ipos, sep, right_child);
   }
-  return SplitResult{re[0].k, right_id};
+  return SplitResult{right.key(0), right_id};
 }
 
 Status BPlusTree::BulkLoad(
@@ -247,7 +132,7 @@ Status BPlusTree::BulkLoad(
   // Free the initial empty root, then pack leaves left to right.
   pool_->FreePage(root_);
   --node_count_;
-  const auto leaf_fill = static_cast<std::size_t>(kLeafCap * 0.8);
+  const auto leaf_fill = static_cast<std::size_t>(kBptLeafCapacity * 0.8);
   struct ChildRef {
     BptKey first_key;
     PageId page;
@@ -257,16 +142,15 @@ Status BPlusTree::BulkLoad(
   for (std::size_t i = 0; i < entries.size();) {
     const std::size_t take = std::min(leaf_fill, entries.size() - i);
     PageId leaf = NewLeaf();
-    Page* p = pool_->Write(leaf);
-    NodeHeader* h = Header(p);
-    LeafEntry* e = LeafEntries(p);
+    LeafView v(pool_->Write(leaf));
     for (std::size_t j = 0; j < take; ++j) {
-      e[j] = LeafEntry{entries[i + j].first, entries[i + j].second};
+      v.SetEntry(j, entries[i + j].first, entries[i + j].second);
     }
-    h->count = static_cast<std::uint16_t>(take);
-    h->prev = prev_leaf;
+    v.set_count(take);
+    v.set_prev(prev_leaf);
     if (prev_leaf != kInvalidPageId) {
-      Header(pool_->Write(prev_leaf))->next = leaf;
+      LeafView pv(pool_->Write(prev_leaf));
+      pv.set_next(leaf);
     }
     prev_leaf = leaf;
     level.push_back(ChildRef{entries[i].first, leaf});
@@ -274,19 +158,17 @@ Status BPlusTree::BulkLoad(
   }
 
   int height = 1;
-  const auto inner_fill = static_cast<std::size_t>(kInnerCap * 0.8);
+  const auto inner_fill = static_cast<std::size_t>(kBptInnerCapacity * 0.8);
   while (level.size() > 1) {
     std::vector<ChildRef> next;
     for (std::size_t i = 0; i < level.size();) {
       const std::size_t take = std::min(inner_fill, level.size() - i);
       PageId node = NewInner();
-      Page* p = pool_->Write(node);
-      NodeHeader* h = Header(p);
-      InnerEntry* e = InnerEntries(p);
+      InnerView v(pool_->Write(node));
       for (std::size_t j = 0; j < take; ++j) {
-        e[j] = InnerEntry{level[i + j].first_key, level[i + j].page};
+        v.SetEntry(j, level[i + j].first_key, level[i + j].page);
       }
-      h->count = static_cast<std::uint16_t>(take);
+      v.set_count(take);
       next.push_back(ChildRef{level[i].first_key, node});
       i += take;
     }
@@ -306,10 +188,9 @@ Status BPlusTree::Delete(BptKey k) {
   --size_;
   // Collapse a single-child inner root.
   while (height_ > 1) {
-    Page* p = pool_->Write(root_);
-    NodeHeader* h = Header(p);
-    if (h->count != 1) break;
-    PageId only_child = InnerEntries(p)[0].child;
+    InnerView v(pool_->Write(root_));
+    if (v.count() != 1) break;
+    PageId only_child = v.child(0);
     pool_->FreePage(root_);
     --node_count_;
     root_ = only_child;
@@ -320,23 +201,22 @@ Status BPlusTree::Delete(BptKey k) {
 
 bool BPlusTree::DeleteRec(PageId node, int level, BptKey k, Status* st) {
   if (level == 1) {
-    Page* p = pool_->Write(node);
-    NodeHeader* h = Header(p);
-    LeafEntry* e = LeafEntries(p);
-    std::size_t pos = LeafLowerBound(e, h->count, k);
-    if (pos >= h->count || !(e[pos].k == k)) {
+    LeafView v(pool_->Write(node));
+    std::size_t pos = v.LowerBound(k);
+    if (pos >= v.count() || !(v.key(pos) == k)) {
       *st = Status::NotFound("B+-tree key not found");
       return false;
     }
-    std::memmove(e + pos, e + pos + 1, (h->count - pos - 1) * sizeof(LeafEntry));
-    --h->count;
-    if (h->count == 0 && node != root_) {
+    v.RemoveAt(pos);
+    if (v.count() == 0 && node != root_) {
       // Unlink from the leaf chain and free.
-      if (h->prev != kInvalidPageId) {
-        Header(pool_->Write(h->prev))->next = h->next;
+      if (v.prev() != kInvalidPageId) {
+        LeafView pv(pool_->Write(v.prev()));
+        pv.set_next(v.next());
       }
-      if (h->next != kInvalidPageId) {
-        Header(pool_->Write(h->next))->prev = h->prev;
+      if (v.next() != kInvalidPageId) {
+        LeafView nv(pool_->Write(v.next()));
+        nv.set_prev(v.prev());
       }
       pool_->FreePage(node);
       --node_count_;
@@ -345,18 +225,15 @@ bool BPlusTree::DeleteRec(PageId node, int level, BptKey k, Status* st) {
     return false;
   }
 
-  const Page* cp = pool_->Read(node);
-  std::size_t idx = InnerChildIndex(InnerEntries(cp), Header(cp)->count, k);
-  PageId child = InnerEntries(cp)[idx].child;
+  ConstInnerView cv(pool_->Read(node));
+  std::size_t idx = cv.ChildIndex(k);
+  PageId child = cv.child(idx);
   bool child_freed = DeleteRec(child, level - 1, k, st);
   if (!st->ok() || !child_freed) return false;
 
-  Page* p = pool_->Write(node);
-  NodeHeader* h = Header(p);
-  InnerEntry* e = InnerEntries(p);
-  std::memmove(e + idx, e + idx + 1, (h->count - idx - 1) * sizeof(InnerEntry));
-  --h->count;
-  if (h->count == 0 && node != root_) {
+  InnerView v(pool_->Write(node));
+  v.RemoveAt(idx);
+  if (v.count() == 0 && node != root_) {
     pool_->FreePage(node);
     --node_count_;
     return true;
@@ -367,36 +244,122 @@ bool BPlusTree::DeleteRec(PageId node, int level, BptKey k, Status* st) {
 PageId BPlusTree::FindLeaf(BptKey k) const {
   PageId node = root_;
   for (int level = height_; level > 1; --level) {
-    const Page* p = pool_->Read(node);
-    std::size_t idx = InnerChildIndex(InnerEntries(p), Header(p)->count, k);
-    node = InnerEntries(p)[idx].child;
+    ConstInnerView v(pool_->Read(node));
+    node = v.child(v.ChildIndex(k));
+  }
+  return node;
+}
+
+PageId BPlusTree::FindLeafBounded(BptKey k, BptKey* upper,
+                                  bool* has_upper) const {
+  *has_upper = false;
+  PageId node = root_;
+  for (int level = height_; level > 1; --level) {
+    ConstInnerView v(pool_->Read(node));
+    const std::size_t idx = v.ChildIndex(k);
+    if (idx + 1 < v.count()) {
+      // Each level's next separator bounds the whole subtree below; the
+      // deepest one seen is the tightest.
+      *upper = v.key(idx + 1);
+      *has_upper = true;
+    }
+    node = v.child(idx);
   }
   return node;
 }
 
 StatusOr<BptPayload> BPlusTree::Get(BptKey k) const {
   PageId leaf = FindLeaf(k);
-  const Page* p = pool_->Read(leaf);
-  const NodeHeader* h = Header(p);
-  const LeafEntry* e = LeafEntries(p);
-  std::size_t pos = LeafLowerBound(e, h->count, k);
-  if (pos < h->count && e[pos].k == k) return e[pos].p;
+  ConstLeafView v(pool_->Read(leaf));
+  const std::size_t pos = v.Find(k);
+  if (pos < v.count()) return v.payload(pos);
   return Status::NotFound("B+-tree key not found");
 }
 
-void BPlusTree::Scan(std::uint64_t lo_key, std::uint64_t hi_key,
-                     const ScanCallback& cb) const {
-  PageId leaf = FindLeaf(BptKey{lo_key, 0});
-  while (leaf != kInvalidPageId) {
-    const Page* p = pool_->Read(leaf);
-    const NodeHeader* h = Header(p);
-    const LeafEntry* e = LeafEntries(p);
-    for (std::size_t i = 0; i < h->count; ++i) {
-      if (e[i].k.key < lo_key) continue;
-      if (e[i].k.key > hi_key) return;
-      if (!cb(e[i].k, e[i].p)) return;
+Status BPlusTree::InsertBatchSorted(
+    std::span<const std::pair<BptKey, BptPayload>> entries) {
+  std::size_t i = 0;
+  while (i < entries.size()) {
+    BptKey upper;
+    bool has_upper = false;
+    const PageId leaf =
+        FindLeafBounded(entries[i].first, &upper, &has_upper);
+    LeafView v(pool_->Write(leaf));
+    // Apply every run entry that belongs to this leaf without re-descending;
+    // fall back to the recursive Insert (fresh descent) when a split is
+    // needed, then resume the run against the new topology.
+    while (i < entries.size() &&
+           (!has_upper || entries[i].first < upper)) {
+      if (i > 0 && !(entries[i - 1].first < entries[i].first)) {
+        return Status::InvalidArgument("batch input not strictly sorted");
+      }
+      if (v.count() == kBptLeafCapacity) {
+        VPMOI_RETURN_IF_ERROR(Insert(entries[i].first, entries[i].second));
+        ++i;
+        break;
+      }
+      const std::size_t pos = v.LowerBound(entries[i].first);
+      if (pos < v.count() && v.key(pos) == entries[i].first) {
+        return Status::AlreadyExists("duplicate B+-tree key");
+      }
+      v.InsertAt(pos, entries[i].first, entries[i].second);
+      ++size_;
+      ++i;
     }
-    leaf = h->next;
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::DeleteBatchSorted(std::span<const BptKey> keys) {
+  std::size_t i = 0;
+  while (i < keys.size()) {
+    BptKey upper;
+    bool has_upper = false;
+    const PageId leaf = FindLeafBounded(keys[i], &upper, &has_upper);
+    LeafView v(pool_->Write(leaf));
+    while (i < keys.size() && (!has_upper || keys[i] < upper)) {
+      if (i > 0 && !(keys[i - 1] < keys[i])) {
+        return Status::InvalidArgument("batch input not strictly sorted");
+      }
+      const std::size_t pos = v.LowerBound(keys[i]);
+      if (pos >= v.count() || !(v.key(pos) == keys[i])) {
+        return Status::NotFound("B+-tree key not found");
+      }
+      if (v.count() == 1 && leaf != root_) {
+        // Removing the last entry triggers an unlink-and-free structure
+        // modification; route through the recursive path.
+        VPMOI_RETURN_IF_ERROR(Delete(keys[i]));
+        ++i;
+        break;
+      }
+      v.RemoveAt(pos);
+      --size_;
+      ++i;
+    }
+  }
+  return Status::OK();
+}
+
+void BPlusTree::Scan(std::uint64_t lo_key, std::uint64_t hi_key,
+                     ScanCallback cb) const {
+  PageId leaf = FindLeaf(BptKey{lo_key, 0});
+  const Page* p = pool_->Read(leaf);
+  ConstLeafView first(p);
+  // Binary-search the start position in the first leaf; every later leaf
+  // starts at 0 (keys only grow along the chain).
+  std::size_t i = first.LowerBound(BptKey{lo_key, 0});
+  while (true) {
+    ConstLeafView v(p);
+    const std::size_t n = v.count();
+    for (; i < n; ++i) {
+      const BptKey& k = v.key(i);
+      if (k.key > hi_key) return;
+      if (!cb(k, v.payload(i))) return;
+    }
+    const PageId next = v.next();
+    if (next == kInvalidPageId) return;
+    p = pool_->Read(next);
+    i = 0;
   }
 }
 
@@ -404,36 +367,35 @@ Status BPlusTree::CheckNode(PageId node, int level, const BptKey* lower,
                             std::size_t* entries_seen,
                             PageId* leftmost_leaf) const {
   const Page* p = pool_->Read(node);
-  const NodeHeader* h = Header(p);
   if (level == 1) {
-    if (!h->is_leaf) return Status::Corruption("expected leaf at level 1");
+    ConstLeafView v(p);
+    if (!v.is_leaf()) return Status::Corruption("expected leaf at level 1");
     if (*leftmost_leaf == kInvalidPageId) *leftmost_leaf = node;
-    const LeafEntry* e = LeafEntries(p);
-    if (h->count == 0 && node != root_) {
+    if (v.count() == 0 && node != root_) {
       return Status::Corruption("empty non-root leaf");
     }
-    for (std::size_t i = 0; i < h->count; ++i) {
-      if (i > 0 && !(e[i - 1].k < e[i].k)) {
+    for (std::size_t i = 0; i < v.count(); ++i) {
+      if (i > 0 && !(v.key(i - 1) < v.key(i))) {
         return Status::Corruption("leaf keys out of order");
       }
-      if (lower != nullptr && e[i].k < *lower) {
+      if (lower != nullptr && v.key(i) < *lower) {
         return Status::Corruption("leaf key below separator");
       }
     }
-    *entries_seen += h->count;
+    *entries_seen += v.count();
     return Status::OK();
   }
-  if (h->is_leaf) return Status::Corruption("leaf above level 1");
-  if (h->count == 0) return Status::Corruption("empty inner node");
-  const InnerEntry* e = InnerEntries(p);
-  for (std::size_t i = 0; i < h->count; ++i) {
-    if (i > 0 && !(e[i - 1].k < e[i].k)) {
+  ConstInnerView v(p);
+  if (v.is_leaf()) return Status::Corruption("leaf above level 1");
+  if (v.count() == 0) return Status::Corruption("empty inner node");
+  for (std::size_t i = 0; i < v.count(); ++i) {
+    if (i > 0 && !(v.key(i - 1) < v.key(i))) {
       return Status::Corruption("inner separators out of order");
     }
     // The leftmost separator of each inner node acts as -infinity, so it is
     // not enforced against the child's keys.
-    const BptKey* child_lower = (i == 0) ? lower : &e[i].k;
-    VPMOI_RETURN_IF_ERROR(CheckNode(e[i].child, level - 1, child_lower,
+    const BptKey* child_lower = (i == 0) ? lower : &v.key(i);
+    VPMOI_RETURN_IF_ERROR(CheckNode(v.child(i), level - 1, child_lower,
                                     entries_seen, leftmost_leaf));
   }
   return Status::OK();
@@ -453,21 +415,19 @@ Status BPlusTree::CheckInvariants() const {
   BptKey last{0, 0};
   bool have_last = false;
   for (PageId leaf = leftmost; leaf != kInvalidPageId;) {
-    const Page* p = pool_->Read(leaf);
-    const NodeHeader* h = Header(p);
-    if (!h->is_leaf) return Status::Corruption("non-leaf in leaf chain");
-    if (h->prev != prev) return Status::Corruption("broken prev link");
-    const LeafEntry* e = LeafEntries(p);
-    for (std::size_t i = 0; i < h->count; ++i) {
-      if (have_last && !(last < e[i].k)) {
+    ConstLeafView v(pool_->Read(leaf));
+    if (!v.is_leaf()) return Status::Corruption("non-leaf in leaf chain");
+    if (v.prev() != prev) return Status::Corruption("broken prev link");
+    for (std::size_t i = 0; i < v.count(); ++i) {
+      if (have_last && !(last < v.key(i))) {
         return Status::Corruption("leaf chain keys out of order");
       }
-      last = e[i].k;
+      last = v.key(i);
       have_last = true;
     }
-    chain_entries += h->count;
+    chain_entries += v.count();
     prev = leaf;
-    leaf = h->next;
+    leaf = v.next();
   }
   if (chain_entries != size_) {
     return Status::Corruption("leaf chain entry count mismatch");

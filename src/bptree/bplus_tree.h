@@ -4,6 +4,10 @@
 // tie-breaker that makes composite keys unique), and the payload carrying
 // the object's position (at the bucket reference time) and velocity.
 //
+// Node access is zero-copy: LeafView/InnerView (bpt_node.h) overlay the
+// page bytes, in-node searches are binary over the sorted arrays, and Scan
+// takes a non-allocating FunctionRef instead of a std::function.
+//
 // Structure-modification policy: standard top-down splits on insert; on
 // delete, nodes that become empty are unlinked and freed (and the root
 // collapses when it has a single child), but partially filled nodes are not
@@ -14,39 +18,18 @@
 #define VPMOI_BPTREE_BPLUS_TREE_H_
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "bptree/bpt_node.h"
+#include "common/function_ref.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "storage/buffer_pool.h"
 
 namespace vpmoi {
-
-/// Fixed payload carried by every leaf entry: the object's 2-D position and
-/// velocity. (Position is interpreted by the Bx-tree as of the entry's time
-/// bucket reference time.)
-struct BptPayload {
-  double px = 0.0;
-  double py = 0.0;
-  double vx = 0.0;
-  double vy = 0.0;
-};
-
-/// Composite key: entries are ordered by (key, sub).
-struct BptKey {
-  std::uint64_t key = 0;
-  std::uint64_t sub = 0;
-
-  friend bool operator==(const BptKey&, const BptKey&) = default;
-  friend auto operator<=>(const BptKey& a, const BptKey& b) {
-    if (auto c = a.key <=> b.key; c != 0) return c;
-    return a.sub <=> b.sub;
-  }
-};
 
 /// A page-resident B+-tree over a BufferPool.
 class BPlusTree {
@@ -67,15 +50,28 @@ class BPlusTree {
   /// Deletes the entry with composite key `k`. Fails with NotFound.
   Status Delete(BptKey k);
 
+  /// Inserts entries sorted strictly ascending by composite key,
+  /// descending root-to-leaf once per run of entries that land in the same
+  /// leaf (group updates a la MOIST). Equivalent to calling Insert per
+  /// entry, including the failure mode: the first AlreadyExists stops the
+  /// batch with earlier entries applied.
+  Status InsertBatchSorted(
+      std::span<const std::pair<BptKey, BptPayload>> entries);
+
+  /// Deletes keys sorted strictly ascending, sharing one descent per
+  /// leaf run. Equivalent to calling Delete per key; the first NotFound
+  /// stops the batch with earlier deletions applied.
+  Status DeleteBatchSorted(std::span<const BptKey> keys);
+
   /// Point lookup.
   StatusOr<BptPayload> Get(BptKey k) const;
 
   /// Visits all entries with k.key in [lo_key, hi_key] (any sub), in key
-  /// order. The callback returns false to stop early.
-  using ScanCallback =
-      std::function<bool(BptKey, const BptPayload&)>;
+  /// order. The callback returns false to stop early. FunctionRef does not
+  /// own the callable: pass a lambda directly at the call site.
+  using ScanCallback = FunctionRef<bool(BptKey, const BptPayload&)>;
   void Scan(std::uint64_t lo_key, std::uint64_t hi_key,
-            const ScanCallback& cb) const;
+            ScanCallback cb) const;
 
   /// Number of entries.
   std::size_t Size() const { return size_; }
@@ -91,8 +87,8 @@ class BPlusTree {
   Status CheckInvariants() const;
 
   /// Maximum entries per leaf / inner node (exposed for tests).
-  static std::size_t LeafCapacity();
-  static std::size_t InnerCapacity();
+  static std::size_t LeafCapacity() { return kBptLeafCapacity; }
+  static std::size_t InnerCapacity() { return kBptInnerCapacity; }
 
  private:
   struct SplitResult {
@@ -111,6 +107,10 @@ class BPlusTree {
 
   // Descends to the leaf that may contain `k`.
   PageId FindLeaf(BptKey k) const;
+  // Like FindLeaf, but also reports the tightest upper separator seen on
+  // the way down: every key `x` with k <= x < *upper belongs to the
+  // returned leaf (no upper bound when *has_upper is false).
+  PageId FindLeafBounded(BptKey k, BptKey* upper, bool* has_upper) const;
 
   Status CheckNode(PageId node, int level, const BptKey* lower,
                    std::size_t* entries_seen, PageId* leftmost_leaf) const;

@@ -1,0 +1,307 @@
+// Zero-copy on-page layout of B+-tree nodes. A node occupies exactly one
+// 4 KB page: a 16-byte header, then a packed sorted key array, then the
+// parallel payload (leaf) or child-id (inner) array. Keys are split from
+// payloads so the binary search walks a dense 16-byte-stride array — a
+// cold node costs a fraction of the cache misses of the interleaved
+// entry layout. LeafView / InnerView overlay the page bytes directly:
+// constructing a view is a pointer cast and every accessor indexes into
+// the page with no per-field deserialization. The layout is pinned by
+// static_asserts (sizes, offsets, alignment, trivial copyability), so any
+// accidental change to the structs breaks the build instead of the
+// on-page format.
+#ifndef VPMOI_BPTREE_BPT_NODE_H_
+#define VPMOI_BPTREE_BPT_NODE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "common/types.h"
+#include "storage/page.h"
+
+namespace vpmoi {
+
+/// Fixed payload carried by every leaf entry: the object's 2-D position
+/// and velocity. (Position is interpreted by the Bx-tree as of the entry's
+/// time bucket reference time.)
+struct BptPayload {
+  double px = 0.0;
+  double py = 0.0;
+  double vx = 0.0;
+  double vy = 0.0;
+};
+
+/// Composite key: entries are ordered by (key, sub).
+struct BptKey {
+  std::uint64_t key = 0;
+  std::uint64_t sub = 0;
+
+  friend bool operator==(const BptKey&, const BptKey&) = default;
+  friend auto operator<=>(const BptKey& a, const BptKey& b) {
+    if (auto c = a.key <=> b.key; c != 0) return c;
+    return a.sub <=> b.sub;
+  }
+};
+
+struct BptNodeHeader {
+  std::uint8_t is_leaf = 0;
+  std::uint8_t pad0 = 0;
+  std::uint16_t count = 0;
+  PageId prev = kInvalidPageId;  // leaves only
+  PageId next = kInvalidPageId;  // leaves only
+  std::uint32_t pad1 = 0;
+};
+
+// The on-page format contract. Every struct overlays raw page bytes, so it
+// must be trivially copyable, with the layout pinned at compile time.
+static_assert(std::is_trivially_copyable_v<BptNodeHeader>);
+static_assert(std::is_trivially_copyable_v<BptKey>);
+static_assert(std::is_trivially_copyable_v<BptPayload>);
+static_assert(sizeof(BptNodeHeader) == 16);
+static_assert(sizeof(BptKey) == 16);
+static_assert(sizeof(BptPayload) == 32);
+static_assert(offsetof(BptNodeHeader, count) == 2);
+static_assert(offsetof(BptNodeHeader, prev) == 4);
+static_assert(offsetof(BptNodeHeader, next) == 8);
+static_assert(alignof(BptNodeHeader) <= alignof(Page));
+static_assert(alignof(BptKey) <= alignof(Page));
+static_assert(alignof(BptPayload) <= alignof(Page));
+
+/// Leaf fanout: header + count * (key + payload) fills the page exactly.
+inline constexpr std::size_t kBptLeafCapacity =
+    (kPageSize - sizeof(BptNodeHeader)) / (sizeof(BptKey) + sizeof(BptPayload));
+/// Inner fanout. Deliberately pinned to the pre-split interleaved-entry
+/// value (key + child padded to 24 bytes): the split arrays would fit 204
+/// separators, but raising the fanout changes tree shapes and therefore
+/// every reported I/O count — the slack stays reserved instead.
+inline constexpr std::size_t kBptInnerCapacity =
+    (kPageSize - sizeof(BptNodeHeader)) / (sizeof(BptKey) + 8);
+
+inline constexpr std::size_t kBptKeysOffset = sizeof(BptNodeHeader);
+inline constexpr std::size_t kBptLeafPayloadsOffset =
+    kBptKeysOffset + kBptLeafCapacity * sizeof(BptKey);
+inline constexpr std::size_t kBptInnerChildrenOffset =
+    kBptKeysOffset + kBptInnerCapacity * sizeof(BptKey);
+static_assert(kBptLeafPayloadsOffset + kBptLeafCapacity * sizeof(BptPayload) <=
+              kPageSize);
+static_assert(kBptInnerChildrenOffset + kBptInnerCapacity * sizeof(PageId) <=
+              kPageSize);
+static_assert(kBptLeafPayloadsOffset % alignof(BptPayload) == 0);
+static_assert(kBptInnerChildrenOffset % alignof(PageId) == 0);
+static_assert(kBptLeafCapacity >= 4 && kBptInnerCapacity >= 4);
+
+/// Branch-free composite-key comparison (the short-circuiting operator<
+/// would emit a data-dependent branch in the binary-search inner loop).
+inline bool BptKeyLess(const BptKey& a, const BptKey& b) {
+  return (a.key < b.key) |
+         (static_cast<unsigned>(a.key == b.key) &
+          static_cast<unsigned>(a.sub < b.sub));
+}
+
+/// Index of the first key >= k, in [0, count]. Branchless binary search:
+/// the range-halving step compiles to a conditional move, so the loop
+/// carries no mispredictable branch; both candidate next probes are
+/// prefetched (prefetch never faults, stray addresses included), so a
+/// cold node costs overlapped rather than dependent cache misses.
+inline std::size_t BptKeyLowerBound(const BptKey* keys, std::size_t count,
+                                    BptKey k) {
+  if (count == 0) return 0;
+  // Invariant: the answer lies in [base, base + len].
+  std::size_t base = 0, len = count;
+  while (len > 1) {
+    const std::size_t half = len / 2;
+    __builtin_prefetch(&keys[base + half + (len - half) / 2 - 1]);
+    __builtin_prefetch(&keys[base + half / 2 - 1]);
+    base += BptKeyLess(keys[base + half - 1], k) ? half : 0;
+    len -= half;
+  }
+  return base + (BptKeyLess(keys[base], k) ? 1 : 0);
+}
+
+/// Index of the first key > k (upper bound), in [0, count].
+inline std::size_t BptKeyUpperBound(const BptKey* keys, std::size_t count,
+                                    BptKey k) {
+  if (count == 0) return 0;
+  std::size_t base = 0, len = count;
+  while (len > 1) {
+    const std::size_t half = len / 2;
+    __builtin_prefetch(&keys[base + half + (len - half) / 2 - 1]);
+    __builtin_prefetch(&keys[base + half / 2 - 1]);
+    base += BptKeyLess(k, keys[base + half - 1]) ? 0 : half;
+    len -= half;
+  }
+  return base + (BptKeyLess(k, keys[base]) ? 0 : 1);
+}
+
+/// Read-only overlay of a leaf page.
+class ConstLeafView {
+ public:
+  explicit ConstLeafView(const Page* p)
+      : k_(reinterpret_cast<const BptKey*>(p->data() + kBptKeysOffset)),
+        p_(reinterpret_cast<const BptPayload*>(p->data() +
+                                               kBptLeafPayloadsOffset)),
+        h_(reinterpret_cast<const BptNodeHeader*>(p->data())) {}
+
+  bool is_leaf() const { return h_->is_leaf != 0; }
+  std::size_t count() const { return h_->count; }
+  PageId prev() const { return h_->prev; }
+  PageId next() const { return h_->next; }
+  const BptKey& key(std::size_t i) const { return k_[i]; }
+  const BptPayload& payload(std::size_t i) const { return p_[i]; }
+
+  /// First position with key >= k, in [0, count()].
+  std::size_t LowerBound(BptKey k) const {
+    return BptKeyLowerBound(k_, h_->count, k);
+  }
+  /// Position of `k` if present, else count().
+  std::size_t Find(BptKey k) const {
+    const std::size_t pos = LowerBound(k);
+    return (pos < h_->count && k_[pos] == k)
+               ? pos
+               : static_cast<std::size_t>(h_->count);
+  }
+
+ protected:
+  const BptKey* k_;
+  const BptPayload* p_;
+  const BptNodeHeader* h_;
+};
+
+/// Mutable overlay of a leaf page.
+class LeafView : public ConstLeafView {
+ public:
+  explicit LeafView(Page* p) : ConstLeafView(p) {}
+
+  void Init() {
+    BptNodeHeader h;
+    h.is_leaf = 1;
+    *header() = h;
+  }
+  void set_count(std::size_t n) {
+    header()->count = static_cast<std::uint16_t>(n);
+  }
+  void set_prev(PageId id) { header()->prev = id; }
+  void set_next(PageId id) { header()->next = id; }
+
+  /// Writes slot `i` (bulk load: slots are filled left to right).
+  void SetEntry(std::size_t i, BptKey k, const BptPayload& p) {
+    keys()[i] = k;
+    payloads()[i] = p;
+  }
+
+  /// Shifts [pos, count) right and writes the new entry at `pos`.
+  void InsertAt(std::size_t pos, BptKey k, const BptPayload& p) {
+    const std::size_t n = h_->count;
+    std::memmove(keys() + pos + 1, keys() + pos,
+                 (n - pos) * sizeof(BptKey));
+    std::memmove(payloads() + pos + 1, payloads() + pos,
+                 (n - pos) * sizeof(BptPayload));
+    keys()[pos] = k;
+    payloads()[pos] = p;
+    set_count(n + 1);
+  }
+  /// Removes the entry at `pos`, shifting (pos, count) left.
+  void RemoveAt(std::size_t pos) {
+    const std::size_t n = h_->count;
+    std::memmove(keys() + pos, keys() + pos + 1,
+                 (n - pos - 1) * sizeof(BptKey));
+    std::memmove(payloads() + pos, payloads() + pos + 1,
+                 (n - pos - 1) * sizeof(BptPayload));
+    set_count(n - 1);
+  }
+  /// Moves [from, count) into the (empty) right sibling view.
+  void SpillTo(LeafView& right, std::size_t from) {
+    const std::size_t n = h_->count;
+    std::memcpy(right.keys(), keys() + from, (n - from) * sizeof(BptKey));
+    std::memcpy(right.payloads(), payloads() + from,
+                (n - from) * sizeof(BptPayload));
+    right.set_count(n - from);
+    set_count(from);
+  }
+
+ private:
+  BptNodeHeader* header() { return const_cast<BptNodeHeader*>(h_); }
+  BptKey* keys() { return const_cast<BptKey*>(k_); }
+  BptPayload* payloads() { return const_cast<BptPayload*>(p_); }
+};
+
+/// Read-only overlay of an inner page.
+class ConstInnerView {
+ public:
+  explicit ConstInnerView(const Page* p)
+      : k_(reinterpret_cast<const BptKey*>(p->data() + kBptKeysOffset)),
+        c_(reinterpret_cast<const PageId*>(p->data() +
+                                           kBptInnerChildrenOffset)),
+        h_(reinterpret_cast<const BptNodeHeader*>(p->data())) {}
+
+  bool is_leaf() const { return h_->is_leaf != 0; }
+  std::size_t count() const { return h_->count; }
+  /// Lower separator of slot `i`: keys in child(i) are >= key(i), except
+  /// the leftmost slot, whose separator acts as -infinity.
+  const BptKey& key(std::size_t i) const { return k_[i]; }
+  PageId child(std::size_t i) const { return c_[i]; }
+
+  /// Child slot to descend into for key `k`: the last entry with
+  /// separator <= k, clamped to 0.
+  std::size_t ChildIndex(BptKey k) const {
+    const std::size_t ub = BptKeyUpperBound(k_, h_->count, k);
+    return ub == 0 ? 0 : ub - 1;
+  }
+
+ protected:
+  const BptKey* k_;
+  const PageId* c_;
+  const BptNodeHeader* h_;
+};
+
+/// Mutable overlay of an inner page.
+class InnerView : public ConstInnerView {
+ public:
+  explicit InnerView(Page* p) : ConstInnerView(p) {}
+
+  void Init() { *header() = BptNodeHeader{}; }
+  void set_count(std::size_t n) {
+    header()->count = static_cast<std::uint16_t>(n);
+  }
+
+  void SetEntry(std::size_t i, BptKey k, PageId child) {
+    keys()[i] = k;
+    children()[i] = child;
+  }
+
+  void InsertAt(std::size_t pos, BptKey k, PageId child) {
+    const std::size_t n = h_->count;
+    std::memmove(keys() + pos + 1, keys() + pos, (n - pos) * sizeof(BptKey));
+    std::memmove(children() + pos + 1, children() + pos,
+                 (n - pos) * sizeof(PageId));
+    keys()[pos] = k;
+    children()[pos] = child;
+    set_count(n + 1);
+  }
+  void RemoveAt(std::size_t pos) {
+    const std::size_t n = h_->count;
+    std::memmove(keys() + pos, keys() + pos + 1,
+                 (n - pos - 1) * sizeof(BptKey));
+    std::memmove(children() + pos, children() + pos + 1,
+                 (n - pos - 1) * sizeof(PageId));
+    set_count(n - 1);
+  }
+  void SpillTo(InnerView& right, std::size_t from) {
+    const std::size_t n = h_->count;
+    std::memcpy(right.keys(), keys() + from, (n - from) * sizeof(BptKey));
+    std::memcpy(right.children(), children() + from,
+                (n - from) * sizeof(PageId));
+    right.set_count(n - from);
+    set_count(from);
+  }
+
+ private:
+  BptNodeHeader* header() { return const_cast<BptNodeHeader*>(h_); }
+  BptKey* keys() { return const_cast<BptKey*>(k_); }
+  PageId* children() { return const_cast<PageId*>(c_); }
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_BPTREE_BPT_NODE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 #include "sfc/hilbert.h"
 #include "sfc/range_decomposer.h"
@@ -242,8 +243,59 @@ Status BxTree::Search(const RangeQuery& q, ResultSink& sink) {
 }
 
 Status BxTree::ApplyBatch(std::span<const IndexOp> ops) {
+  // Sorted group update is only sound when ops commute (the object table
+  // mirrors the tree exactly, so it answers the validity test). Anything
+  // else takes the sequential path, preserving the base class's
+  // stop-at-first-error semantics.
+  if (!IndexOpsAreIndependent(
+          ops, [&](ObjectId id) { return objects_.contains(id); })) {
+    velocity_grid_.BeginDeferredMaintenance();
+    const Status st = MovingObjectIndex::ApplyBatch(ops);
+    velocity_grid_.EndDeferredMaintenance();
+    return st;
+  }
+
+  // Lower every op to tree-level deletions/insertions plus the same
+  // bookkeeping Insert()/Delete() would do, then apply each kind as one
+  // key-sorted pass. Deletes run before inserts, exactly like the
+  // per-update delete-then-insert of Section 2.1.
   velocity_grid_.BeginDeferredMaintenance();
-  const Status st = MovingObjectIndex::ApplyBatch(ops);
+  std::vector<BptKey> deletes;
+  std::vector<std::pair<BptKey, BptPayload>> inserts;
+  deletes.reserve(ops.size());
+  inserts.reserve(ops.size());
+  for (const IndexOp& op : ops) {
+    if (op.kind != IndexOpKind::kInsert) {  // delete or the delete half
+      const ObjectId id = op.object.id;
+      auto it = objects_.find(id);
+      const StoredObject& rec = it->second;
+      deletes.push_back(BptKey{rec.key, id});
+      velocity_grid_.Remove(rec.stored.pos, rec.stored.vel);
+      auto lc = label_counts_.find(rec.label);
+      if (lc != label_counts_.end() && --lc->second == 0) {
+        label_counts_.erase(lc);
+      }
+      objects_.erase(it);
+    }
+    if (op.kind != IndexOpKind::kDelete) {  // insert or the insert half
+      const MovingObject& o = op.object;
+      now_ = std::max(now_, o.t_ref);
+      const std::int64_t label = LabelOf(o.t_ref);
+      const MovingObject stored = o.AtReference(LabelTime(label));
+      const std::uint64_t key = KeyOf(label, CellKeyOf(stored.pos));
+      inserts.emplace_back(BptKey{key, o.id},
+                           BptPayload{stored.pos.x, stored.pos.y, o.vel.x,
+                                      o.vel.y});
+      objects_.insert_or_assign(o.id, StoredObject{stored, label, key});
+      ++label_counts_[label];
+      velocity_grid_.Insert(stored.pos, o.vel);
+    }
+  }
+  std::sort(deletes.begin(), deletes.end());
+  std::sort(inserts.begin(), inserts.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  Status st = btree_->DeleteBatchSorted(deletes);
+  if (st.ok()) st = btree_->InsertBatchSorted(inserts);
   velocity_grid_.EndDeferredMaintenance();
   return st;
 }

@@ -65,8 +65,13 @@ class BxTree final : public MovingObjectIndex {
   /// the B+-tree. Requires an empty tree.
   Status BulkLoad(std::span<const MovingObject> objects) override;
   Status Delete(ObjectId id) override;
-  /// Defers velocity-grid extreme recomputation to the end of the batch
-  /// (at most one maintenance pass instead of one per deletion).
+  /// Group-update batching (a la MOIST): when every op in the batch is
+  /// independent (distinct ids) and valid, lowers the batch to B+-tree
+  /// deletions and insertions sorted by composite key and applies runs
+  /// sharing a leaf in one root-to-leaf traversal. Velocity-grid extreme
+  /// recomputation is deferred to the end of the batch either way (at most
+  /// one maintenance pass instead of one per deletion). Falls back to the
+  /// sequential base path when ops interact or any would fail.
   Status ApplyBatch(std::span<const IndexOp> ops) override;
   Status Search(const RangeQuery& q, ResultSink& sink) override;
   using MovingObjectIndex::Search;

@@ -1,0 +1,49 @@
+// A non-owning, non-allocating reference to a callable, used on hot paths
+// (B+-tree scans) where std::function's type erasure would heap-allocate
+// and indirect through a virtual-ish dispatch per construction. A
+// FunctionRef is two words: a pointer to the callable and a plain function
+// pointer that invokes it. The referenced callable must outlive the call —
+// which is always true for the scan-callback pattern where a lambda is
+// passed directly to a function call.
+#ifndef VPMOI_COMMON_FUNCTION_REF_H_
+#define VPMOI_COMMON_FUNCTION_REF_H_
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace vpmoi {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Binds any callable invocable as R(Args...). Intentionally implicit so
+  /// call sites keep passing lambdas as before.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* obj, Args... args) -> R {
+          return static_cast<R>((*static_cast<std::remove_reference_t<F>*>(
+              obj))(std::forward<Args>(args)...));
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_COMMON_FUNCTION_REF_H_

@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/moving_object.h"
@@ -72,6 +73,26 @@ struct IndexOp {
     return IndexOp{IndexOpKind::kUpdate, o};
   }
 };
+
+/// True when a batch's ops commute: every op touches a distinct id and
+/// would succeed against the current population (`contains(id)` queries
+/// the index's object table). Only then may an ApplyBatch override reorder
+/// or group the ops; anything else must take the sequential path so
+/// stop-at-first-error semantics are preserved. Batches of size <= 1 gain
+/// nothing from grouping and report false.
+template <typename ContainsFn>
+bool IndexOpsAreIndependent(std::span<const IndexOp> ops,
+                            ContainsFn&& contains) {
+  if (ops.size() <= 1) return false;
+  std::unordered_set<ObjectId> seen;
+  seen.reserve(ops.size());
+  for (const IndexOp& op : ops) {
+    if (!seen.insert(op.object.id).second) return false;
+    const bool exists = contains(op.object.id);
+    if (op.kind == IndexOpKind::kInsert ? exists : !exists) return false;
+  }
+  return true;
+}
 
 /// Interface of a predictive moving-object index following the linear motion
 /// model (Section 2.1). An update is a deletion followed by an insertion, as

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "sfc/hilbert.h"
 #include "sfc/range_decomposer.h"
@@ -122,6 +124,59 @@ Status BdualTree::Delete(ObjectId id) {
   }
   objects_.erase(it);
   return Status::OK();
+}
+
+Status BdualTree::ApplyBatch(std::span<const IndexOp> ops) {
+  // Same commutativity precondition as BxTree::ApplyBatch: the batch may
+  // be lowered to sorted tree ops only when IndexOpsAreIndependent (the
+  // object table mirrors the tree exactly, so it answers the validity
+  // test); otherwise apply sequentially.
+  if (!IndexOpsAreIndependent(
+          ops, [&](ObjectId id) { return objects_.contains(id); })) {
+    return MovingObjectIndex::ApplyBatch(ops);
+  }
+
+  const std::uint64_t vcells = std::uint64_t{1} << (2 * options_.vel_bits);
+  std::vector<BptKey> deletes;
+  std::vector<std::pair<BptKey, BptPayload>> inserts;
+  deletes.reserve(ops.size());
+  inserts.reserve(ops.size());
+  for (const IndexOp& op : ops) {
+    if (op.kind != IndexOpKind::kInsert) {  // delete or the delete half
+      const ObjectId id = op.object.id;
+      auto it = objects_.find(id);
+      const StoredObject& rec = it->second;
+      deletes.push_back(BptKey{rec.key, id});
+      const GroupKey gk =
+          static_cast<std::uint64_t>(rec.label) * vcells + rec.vcell;
+      auto git = cells_.find(gk);
+      if (git != cells_.end() && --git->second.count == 0) {
+        cells_.erase(git);  // extremes reset with the group
+      }
+      objects_.erase(it);
+    }
+    if (op.kind != IndexOpKind::kDelete) {  // insert or the insert half
+      const MovingObject& o = op.object;
+      now_ = std::max(now_, o.t_ref);
+      const std::int64_t label = LabelOf(o.t_ref);
+      const MovingObject stored = o.AtReference(LabelTime(label));
+      const std::uint32_t vcell = VelocityCellOf(o.vel);
+      const std::uint64_t key = GroupBase(label, vcell) + CellKeyOf(stored.pos);
+      inserts.emplace_back(BptKey{key, o.id},
+                           BptPayload{stored.pos.x, stored.pos.y, o.vel.x,
+                                      o.vel.y});
+      objects_.insert_or_assign(o.id, StoredObject{stored, label, vcell, key});
+      GroupStats& g = cells_[static_cast<std::uint64_t>(label) * vcells +
+                             vcell];
+      ++g.count;
+      g.extremes.Extend(o.vel);
+    }
+  }
+  std::sort(deletes.begin(), deletes.end());
+  std::sort(inserts.begin(), inserts.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  VPMOI_RETURN_IF_ERROR(btree_->DeleteBatchSorted(deletes));
+  return btree_->InsertBatchSorted(inserts);
 }
 
 void BdualTree::AdvanceTime(Timestamp now) { now_ = std::max(now_, now); }

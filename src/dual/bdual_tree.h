@@ -61,6 +61,11 @@ class BdualTree final : public MovingObjectIndex {
   std::string Name() const override { return "Bdual"; }
   Status Insert(const MovingObject& o) override;
   Status Delete(ObjectId id) override;
+  /// Group-update batching: independent batches (distinct ids, all ops
+  /// valid) are lowered to key-sorted B+-tree deletions then insertions so
+  /// runs sharing a leaf are applied in one traversal; anything else falls
+  /// back to the sequential base path.
+  Status ApplyBatch(std::span<const IndexOp> ops) override;
   Status Search(const RangeQuery& q, ResultSink& sink) override;
   using MovingObjectIndex::Search;
   std::size_t Size() const override { return objects_.size(); }

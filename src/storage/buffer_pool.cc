@@ -7,64 +7,69 @@ namespace vpmoi {
 BufferPool::BufferPool(PageStore* store, std::size_t capacity)
     : store_(store), capacity_(capacity) {
   assert(store != nullptr);
+  frames_.resize(capacity_);
+  free_slots_.reserve(capacity_);
+  // Pop order matches insertion order of the old list-based pool: slot 0
+  // first.
+  for (std::size_t s = capacity_; s > 0; --s) {
+    free_slots_.push_back(static_cast<Slot>(s - 1));
+  }
 }
 
-BufferPool::LruList::iterator BufferPool::Touch(PageId id, bool charge_read) {
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second;
+void BufferPool::EnsureMapped(PageId id) {
+  if (id >= page_to_frame_.size()) {
+    page_to_frame_.resize(static_cast<std::size_t>(id) + 1, kNoFrame);
   }
+}
+
+BufferPool::Slot BufferPool::EvictLru() {
+  const Slot s = tail_;
+  assert(s != kNoFrame);
+  Frame& victim = frames_[s];
+  if (victim.dirty) {
+    ++stats_.physical_writes;
+  }
+  Unlink(s);
+  page_to_frame_[victim.id] = kNoFrame;
+  victim.id = kInvalidPageId;
+  victim.dirty = false;
+  --resident_;
+  return s;
+}
+
+bool BufferPool::MissTouch(PageId id, bool charge_read) {
+  EnsureMapped(id);
+  ++stats_.buffer_misses;
   if (charge_read) {
     ++stats_.physical_reads;
   }
   if (capacity_ == 0) {
-    // Unbuffered mode: nothing becomes resident. Return a sentinel; callers
-    // only use the iterator to set the dirty bit, which is written through
-    // immediately below in Write().
-    return lru_.end();
+    return false;
   }
-  EvictIfNeeded();
-  lru_.push_front(Frame{id, false});
-  frames_[id] = lru_.begin();
-  return lru_.begin();
-}
-
-void BufferPool::EvictIfNeeded() {
-  while (frames_.size() >= capacity_ && !lru_.empty()) {
-    Frame victim = lru_.back();
-    if (victim.dirty) {
-      ++stats_.physical_writes;
-    }
-    frames_.erase(victim.id);
-    lru_.pop_back();
-  }
-}
-
-const Page* BufferPool::Read(PageId id) {
-  ++stats_.logical_reads;
-  Touch(id, /*charge_read=*/true);
-  return store_->Get(id);
-}
-
-Page* BufferPool::Write(PageId id) {
-  ++stats_.logical_writes;
-  auto it = Touch(id, /*charge_read=*/true);
-  if (it != lru_.end()) {
-    it->dirty = true;
+  Slot slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
   } else {
-    // capacity 0: write-through.
-    ++stats_.physical_writes;
+    slot = EvictLru();
   }
-  return store_->Get(id);
+  Frame& f = frames_[slot];
+  f.id = id;
+  f.dirty = false;
+  PushFront(slot);
+  page_to_frame_[id] = slot;
+  ++resident_;
+  return true;
 }
 
 PageId BufferPool::AllocatePage() {
   PageId id = store_->Allocate();
   ++stats_.logical_writes;
-  auto it = Touch(id, /*charge_read=*/false);
-  if (it != lru_.end()) {
-    it->dirty = true;
+  // A freshly allocated id is never resident (FreePage dropped it if it
+  // was recycled), so this is always the miss path, charged as a write
+  // without a physical read.
+  if (MissTouch(id, /*charge_read=*/false)) {
+    frames_[page_to_frame_[id]].dirty = true;
   } else {
     ++stats_.physical_writes;
   }
@@ -72,26 +77,41 @@ PageId BufferPool::AllocatePage() {
 }
 
 void BufferPool::FreePage(PageId id) {
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    lru_.erase(it->second);
-    frames_.erase(it);
+  if (id < page_to_frame_.size()) {
+    const Slot s = page_to_frame_[id];
+    if (s != kNoFrame) {
+      // Drop residency without a write-back: freed pages have no disk
+      // image worth preserving.
+      Unlink(s);
+      page_to_frame_[id] = kNoFrame;
+      frames_[s].id = kInvalidPageId;
+      frames_[s].dirty = false;
+      --resident_;
+      free_slots_.push_back(s);
+    }
   }
   store_->Free(id);
 }
 
 void BufferPool::FlushAll() {
-  for (Frame& f : lru_) {
-    if (f.dirty) {
+  for (Slot s = head_; s != kNoFrame; s = frames_[s].next) {
+    if (frames_[s].dirty) {
       ++stats_.physical_writes;
-      f.dirty = false;
+      frames_[s].dirty = false;
     }
   }
 }
 
 void BufferPool::Invalidate() {
-  lru_.clear();
-  frames_.clear();
+  for (Slot s = head_; s != kNoFrame;) {
+    const Slot next = frames_[s].next;
+    page_to_frame_[frames_[s].id] = kNoFrame;
+    frames_[s] = Frame{};
+    free_slots_.push_back(s);
+    s = next;
+  }
+  head_ = tail_ = kNoFrame;
+  resident_ = 0;
 }
 
 }  // namespace vpmoi

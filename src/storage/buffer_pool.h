@@ -4,6 +4,13 @@
 // backing store is RAM, eviction never invalidates pointers — the pool's
 // only job is faithful I/O accounting, exactly what the paper measures.
 //
+// Internals are O(1) with no hashing: PageIds are densely allocated by
+// PageStore, so a vector-indexed frame table maps PageId -> frame slot and
+// an intrusive doubly-linked LRU threads the fixed frame slots. The
+// eviction order and every IoStats counter are bit-identical to the
+// previous std::list + std::unordered_map implementation (the equivalence
+// test replays traces against a reference model to prove it).
+//
 // A single pool can be shared by several indexes (the VP index manager
 // shares one 50-page pool across all DVA indexes plus the outlier index so
 // the comparison against an unpartitioned index with the same 50 pages is
@@ -12,8 +19,8 @@
 #define VPMOI_STORAGE_BUFFER_POOL_H_
 
 #include <cstddef>
-#include <list>
-#include <unordered_map>
+#include <cstdint>
+#include <vector>
 
 #include "common/types.h"
 #include "storage/io_stats.h"
@@ -36,11 +43,28 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Fetches a page for reading.
-  const Page* Read(PageId id);
+  /// Fetches a page for reading. Inline fast path: a resident page costs
+  /// two counter bumps, one frame-table load and (if not already MRU) a
+  /// constant-time relink.
+  const Page* Read(PageId id) {
+    ++stats_.logical_reads;
+    if (!TouchHit(id)) {
+      MissTouch(id, /*charge_read=*/true);
+    }
+    return store_->Get(id);
+  }
 
   /// Fetches a page for writing; the frame is marked dirty.
-  Page* Write(PageId id);
+  Page* Write(PageId id) {
+    ++stats_.logical_writes;
+    if (TouchHit(id) || MissTouch(id, /*charge_read=*/true)) {
+      frames_[page_to_frame_[id]].dirty = true;
+    } else {
+      // Capacity 0: write-through.
+      ++stats_.physical_writes;
+    }
+    return store_->Get(id);
+  }
 
   /// Allocates a fresh page, resident and dirty (no physical read is
   /// charged: a newly allocated page has no disk image yet).
@@ -60,24 +84,100 @@ class BufferPool {
   void ResetStats() { stats_ = IoStats{}; }
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t ResidentCount() const { return frames_.size(); }
+  std::size_t ResidentCount() const { return resident_; }
+
+  /// True when `id` currently occupies a frame (test/diagnostic hook).
+  bool IsResident(PageId id) const {
+    return id < page_to_frame_.size() && page_to_frame_[id] != kNoFrame;
+  }
+
+  /// Resident pages from most to least recently used (test/diagnostic
+  /// hook; the equivalence test pins the eviction order with it).
+  std::vector<PageId> ResidentPagesMruOrder() const {
+    std::vector<PageId> out;
+    out.reserve(resident_);
+    for (Slot s = head_; s != kNoFrame; s = frames_[s].next) {
+      out.push_back(frames_[s].id);
+    }
+    return out;
+  }
 
  private:
-  struct Frame {
-    PageId id;
-    bool dirty;
-  };
-  using LruList = std::list<Frame>;
+  /// Frame-slot index type; slots never exceed `capacity_`.
+  using Slot = std::uint32_t;
+  static constexpr Slot kNoFrame = static_cast<Slot>(-1);
 
-  /// Makes `id` resident and most-recently-used. `charge_read` indicates
-  /// whether a miss costs a physical read.
-  LruList::iterator Touch(PageId id, bool charge_read);
-  void EvictIfNeeded();
+  struct Frame {
+    PageId id = kInvalidPageId;
+    bool dirty = false;
+    Slot prev = kNoFrame;  // toward the MRU end
+    Slot next = kNoFrame;  // toward the LRU end
+  };
+
+  /// Hit half of a page touch: when `id` is resident, promotes it to MRU,
+  /// counts the hit and returns true. Misses return false without
+  /// touching any state (MissTouch handles them).
+  bool TouchHit(PageId id) {
+    if (id < page_to_frame_.size()) {
+      const Slot s = page_to_frame_[id];
+      if (s != kNoFrame) {
+        ++stats_.buffer_hits;
+        if (s != head_) {
+          Unlink(s);
+          PushFront(s);
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Miss half of a touch: counts the miss (and a physical read when
+  /// `charge_read`), then makes `id` resident and MRU, evicting the LRU
+  /// frame if needed. Returns whether the page ended up resident (always
+  /// false at capacity 0: unbuffered mode, where the caller write-through
+  /// path charges physical I/O itself).
+  bool MissTouch(PageId id, bool charge_read);
+
+  /// Detaches slot `s` from the LRU list (it must be linked).
+  void Unlink(Slot s) {
+    Frame& f = frames_[s];
+    if (f.prev != kNoFrame) {
+      frames_[f.prev].next = f.next;
+    } else {
+      head_ = f.next;
+    }
+    if (f.next != kNoFrame) {
+      frames_[f.next].prev = f.prev;
+    } else {
+      tail_ = f.prev;
+    }
+    f.prev = f.next = kNoFrame;
+  }
+
+  /// Links slot `s` at the MRU head.
+  void PushFront(Slot s) {
+    Frame& f = frames_[s];
+    f.prev = kNoFrame;
+    f.next = head_;
+    if (head_ != kNoFrame) frames_[head_].prev = s;
+    head_ = s;
+    if (tail_ == kNoFrame) tail_ = s;
+  }
+  /// Evicts the LRU tail frame (write-back accounting included) and
+  /// returns its now-free slot.
+  Slot EvictLru();
+  /// Grows the PageId -> slot map to cover `id`.
+  void EnsureMapped(PageId id);
 
   PageStore* store_;
   std::size_t capacity_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<PageId, LruList::iterator> frames_;
+  std::vector<Frame> frames_;           // fixed `capacity_` slots
+  std::vector<Slot> page_to_frame_;     // PageId -> slot | kNoFrame
+  std::vector<Slot> free_slots_;        // unused frame slots
+  Slot head_ = kNoFrame;                // most recently used
+  Slot tail_ = kNoFrame;                // least recently used
+  std::size_t resident_ = 0;
   IoStats stats_;
 };
 

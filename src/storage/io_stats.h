@@ -12,12 +12,16 @@ namespace vpmoi {
 
 /// Cumulative page-access counters. physical_* counts buffer misses
 /// (equivalent to disk I/O in the paper's setup); logical_* counts every
-/// page access.
+/// page access. buffer_hits/buffer_misses split every buffer-pool page
+/// touch by whether the page was already resident (a freshly allocated
+/// page is a compulsory miss even though it costs no physical read).
 struct IoStats {
   std::uint64_t logical_reads = 0;
   std::uint64_t logical_writes = 0;
   std::uint64_t physical_reads = 0;
   std::uint64_t physical_writes = 0;
+  std::uint64_t buffer_hits = 0;
+  std::uint64_t buffer_misses = 0;
 
   /// Total disk I/O (the paper's "I/O" metric).
   std::uint64_t PhysicalTotal() const {
@@ -25,11 +29,21 @@ struct IoStats {
   }
   std::uint64_t LogicalTotal() const { return logical_reads + logical_writes; }
 
+  /// Fraction of page touches served from the buffer; 0 when untouched.
+  double BufferHitRate() const {
+    const std::uint64_t touches = buffer_hits + buffer_misses;
+    return touches == 0 ? 0.0
+                        : static_cast<double>(buffer_hits) /
+                              static_cast<double>(touches);
+  }
+
   IoStats& operator+=(const IoStats& o) {
     logical_reads += o.logical_reads;
     logical_writes += o.logical_writes;
     physical_reads += o.physical_reads;
     physical_writes += o.physical_writes;
+    buffer_hits += o.buffer_hits;
+    buffer_misses += o.buffer_misses;
     return *this;
   }
   friend IoStats operator+(IoStats a, const IoStats& b) { return a += b; }
@@ -38,6 +52,8 @@ struct IoStats {
     a.logical_writes -= b.logical_writes;
     a.physical_reads -= b.physical_reads;
     a.physical_writes -= b.physical_writes;
+    a.buffer_hits -= b.buffer_hits;
+    a.buffer_misses -= b.buffer_misses;
     return a;
   }
   bool operator==(const IoStats& o) const = default;
@@ -46,7 +62,9 @@ struct IoStats {
     return "logical r/w = " + std::to_string(logical_reads) + "/" +
            std::to_string(logical_writes) +
            ", physical r/w = " + std::to_string(physical_reads) + "/" +
-           std::to_string(physical_writes);
+           std::to_string(physical_writes) +
+           ", buffer hit/miss = " + std::to_string(buffer_hits) + "/" +
+           std::to_string(buffer_misses);
   }
 };
 

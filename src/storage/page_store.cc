@@ -20,14 +20,4 @@ void PageStore::Free(PageId id) {
   free_list_.push_back(id);
 }
 
-Page* PageStore::Get(PageId id) {
-  assert(id < pages_.size());
-  return pages_[id].get();
-}
-
-const Page* PageStore::Get(PageId id) const {
-  assert(id < pages_.size());
-  return pages_[id].get();
-}
-
 }  // namespace vpmoi

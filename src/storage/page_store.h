@@ -4,6 +4,7 @@
 #ifndef VPMOI_STORAGE_PAGE_STORE_H_
 #define VPMOI_STORAGE_PAGE_STORE_H_
 
+#include <cassert>
 #include <memory>
 #include <vector>
 
@@ -29,9 +30,16 @@ class PageStore {
   void Free(PageId id);
 
   /// Direct access to page contents. Only the BufferPool should call these;
-  /// indexes must go through the pool so I/O gets counted.
-  Page* Get(PageId id);
-  const Page* Get(PageId id) const;
+  /// indexes must go through the pool so I/O gets counted. Inline: this is
+  /// one vector load on the hottest path of every tree operation.
+  Page* Get(PageId id) {
+    assert(id < pages_.size());
+    return pages_[id].get();
+  }
+  const Page* Get(PageId id) const {
+    assert(id < pages_.size());
+    return pages_[id].get();
+  }
 
   /// Number of pages ever allocated (including freed ones).
   std::size_t Capacity() const { return pages_.size(); }

@@ -5,7 +5,9 @@
 #ifndef VPMOI_TPR_TPR_NODE_H_
 #define VPMOI_TPR_TPR_NODE_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <type_traits>
 
 #include "common/moving_object.h"
 #include "common/types.h"
@@ -56,10 +58,28 @@ struct TprInnerEntry {
 };
 static_assert(sizeof(TprInnerEntry) == 80);
 
+// The on-page format contract: these structs overlay raw page bytes
+// (TprHeader/TprLeafEntries/TprInnerEntries below are pointer casts, not
+// deserialization), so the layout is pinned at compile time.
+static_assert(std::is_trivially_copyable_v<TprNodeHeader>);
+static_assert(std::is_trivially_copyable_v<TprLeafEntry>);
+static_assert(std::is_trivially_copyable_v<TprInnerEntry>);
+static_assert(offsetof(TprNodeHeader, count) == 2);
+static_assert(offsetof(TprLeafEntry, px) == 8);
+static_assert(offsetof(TprInnerEntry, mbr) == 8);
+static_assert(alignof(TprNodeHeader) <= alignof(Page));
+static_assert(alignof(TprLeafEntry) <= alignof(Page));
+static_assert(alignof(TprInnerEntry) <= alignof(Page));
+
 inline constexpr std::size_t kTprLeafCapacity =
     (kPageSize - sizeof(TprNodeHeader)) / sizeof(TprLeafEntry);
 inline constexpr std::size_t kTprInnerCapacity =
     (kPageSize - sizeof(TprNodeHeader)) / sizeof(TprInnerEntry);
+static_assert(sizeof(TprNodeHeader) + kTprLeafCapacity * sizeof(TprLeafEntry) <=
+              kPageSize);
+static_assert(sizeof(TprNodeHeader) +
+                  kTprInnerCapacity * sizeof(TprInnerEntry) <=
+              kPageSize);
 
 inline TprNodeHeader* TprHeader(Page* p) {
   return reinterpret_cast<TprNodeHeader*>(p->data());

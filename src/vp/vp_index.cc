@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "common/knn.h"
 
@@ -202,11 +203,72 @@ Status VpIndex::Knn(const Point2& center, std::size_t k, Timestamp t,
 }
 
 Status VpIndex::ApplyBatch(std::span<const IndexOp> ops) {
-  const Status st = MovingObjectIndex::ApplyBatch(ops);
-  // One tau refresh for the whole batch (inserts/updates advanced `now_`
-  // through their reference times).
+  // Group ops per partition so each child index receives one sub-batch
+  // (preserving the relative order of its own ops) and can amortize it —
+  // the Bx/Bdual children turn theirs into key-sorted group updates. Only
+  // sound when IndexOpsAreIndependent; otherwise fall back to the
+  // sequential base path.
+  if (!IndexOpsAreIndependent(
+          ops, [&](ObjectId id) { return objects_.contains(id); })) {
+    const Status st = MovingObjectIndex::ApplyBatch(ops);
+    MaybeRefreshTaus();
+    return st;
+  }
+
+  std::vector<std::vector<IndexOp>> grouped(partitions_.size());
+  for (const IndexOp& op : ops) {
+    if (op.kind == IndexOpKind::kDelete) {
+      auto it = objects_.find(op.object.id);
+      const int p = it->second.partition;
+      const int closest = analysis_.ClosestDva(it->second.world.vel);
+      if (closest >= 0) {
+        perp_histograms_[closest].Remove(
+            analysis_.dvas[closest].PerpendicularSpeed(it->second.world.vel));
+      }
+      objects_.erase(it);
+      grouped[p].push_back(op);
+      continue;
+    }
+    // Insert, or the delete+insert halves of an update.
+    const MovingObject& o = op.object;
+    now_ = std::max(now_, o.t_ref);
+    int closest = -1;
+    double perp = 0.0;
+    const int target = RoutePartition(o.vel, &closest, &perp);
+    const MovingObject stored =
+        target < DvaCount() ? transforms_[target].ToFrame(o) : o;
+    if (op.kind == IndexOpKind::kUpdate) {
+      auto it = objects_.find(o.id);
+      const int old_partition = it->second.partition;
+      const int old_closest = analysis_.ClosestDva(it->second.world.vel);
+      if (old_closest >= 0) {
+        perp_histograms_[old_closest].Remove(
+            analysis_.dvas[old_closest].PerpendicularSpeed(
+                it->second.world.vel));
+      }
+      if (old_partition == target) {
+        grouped[target].push_back(IndexOp::Updating(stored));
+      } else {
+        grouped[old_partition].push_back(IndexOp::Deleting(o.id));
+        grouped[target].push_back(IndexOp::Inserting(stored));
+      }
+      it->second = ObjectEntry{target, o};
+    } else {
+      grouped[target].push_back(IndexOp::Inserting(stored));
+      objects_.emplace(o.id, ObjectEntry{target, o});
+    }
+    if (closest >= 0) perp_histograms_[closest].Add(perp);
+  }
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    if (grouped[i].empty()) continue;
+    const Status st = partitions_[i]->ApplyBatch(grouped[i]);
+    if (!st.ok()) {
+      MaybeRefreshTaus();
+      return st;
+    }
+  }
   MaybeRefreshTaus();
-  return st;
+  return Status::OK();
 }
 
 void VpIndex::AdvanceTime(Timestamp now) {

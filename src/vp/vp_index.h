@@ -64,9 +64,12 @@ class VpIndex final : public MovingObjectIndex {
   /// at once. Requires an empty index.
   Status BulkLoad(std::span<const MovingObject> objects) override;
   Status Delete(ObjectId id) override;
-  /// Applies the ops one by one (each maintains routing and the
-  /// perpendicular-speed histograms), then performs at most one tau
-  /// refresh for the whole batch instead of one per elapsed interval.
+  /// Routes the batch's ops to their partitions and hands each partition
+  /// one sub-batch (so a Bx/Bdual child can apply it as a key-sorted group
+  /// update), maintaining routing and the perpendicular-speed histograms
+  /// exactly as per-op Insert/Delete/Update would; a single tau refresh
+  /// runs at the end. Batches whose ops interact (repeated ids) or would
+  /// fail fall back to sequential one-by-one application.
   Status ApplyBatch(std::span<const IndexOp> ops) override;
   /// Algorithm 3, streaming: queries every partition in its own frame and
   /// refines candidates against the original region as they arrive — no

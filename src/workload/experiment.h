@@ -26,6 +26,12 @@ struct ExperimentOptions {
   /// Skip this many leading timestamps before measuring queries, letting
   /// the update mix reach steady state.
   double warmup = 0.0;
+  /// When true, each tick's updates are applied as one ApplyBatch call
+  /// (group updates: indexes may sort the batch by key and amortize
+  /// root-to-leaf descents) instead of per-object Update calls. Off by
+  /// default so the paper's per-update I/O figures are untouched; per-op
+  /// latency percentiles then derive from the batch mean.
+  bool batch_updates = false;
 };
 
 /// Aggregated metrics of one run.

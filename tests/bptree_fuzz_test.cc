@@ -1,0 +1,205 @@
+// Randomized B+-tree fuzzing against a std::map oracle: mixed
+// insert/delete/get/scan traffic (per-op and sorted-batch), with
+// CheckInvariants after every batch of operations. The key space is kept
+// small enough to force collisions, leaf splits, empty-leaf unlinking and
+// root collapses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "bptree/bplus_tree.h"
+#include "common/random.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+
+namespace vpmoi {
+namespace {
+
+using Oracle = std::map<std::pair<std::uint64_t, std::uint64_t>, BptPayload>;
+
+BptKey RandomKey(Rng& rng, std::uint64_t key_space, std::uint64_t sub_space) {
+  return BptKey{rng.UniformInt(key_space), rng.UniformInt(sub_space)};
+}
+
+BptPayload PayloadFor(BptKey k) {
+  return BptPayload{static_cast<double>(k.key), static_cast<double>(k.sub),
+                    static_cast<double>(k.key % 7), 1.0};
+}
+
+void ExpectPayloadEq(const BptPayload& a, const BptPayload& b) {
+  EXPECT_EQ(a.px, b.px);
+  EXPECT_EQ(a.py, b.py);
+  EXPECT_EQ(a.vx, b.vx);
+  EXPECT_EQ(a.vy, b.vy);
+}
+
+/// Full-tree scan must reproduce the oracle's ordered contents exactly.
+void ExpectScanMatchesOracle(const BPlusTree& tree, const Oracle& oracle) {
+  auto it = oracle.begin();
+  std::size_t seen = 0;
+  tree.Scan(0, ~0ull, [&](BptKey k, const BptPayload& p) {
+    EXPECT_NE(it, oracle.end());
+    if (it == oracle.end()) return false;
+    EXPECT_EQ(k.key, it->first.first);
+    EXPECT_EQ(k.sub, it->first.second);
+    ExpectPayloadEq(p, it->second);
+    ++it;
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, oracle.size());
+}
+
+TEST(BPlusTreeFuzzTest, PerOpMixedTrafficMatchesOracle) {
+  PageStore store;
+  BufferPool pool(&store, 256);
+  BPlusTree tree(&pool);
+  Oracle oracle;
+  Rng rng(20260731);
+
+  constexpr std::uint64_t kKeySpace = 600;
+  constexpr std::uint64_t kSubSpace = 4;
+  for (int batch = 0; batch < 60; ++batch) {
+    for (int op = 0; op < 50; ++op) {
+      const double roll = rng.Uniform(0.0, 1.0);
+      const BptKey k = RandomKey(rng, kKeySpace, kSubSpace);
+      const auto ok = std::make_pair(k.key, k.sub);
+      if (roll < 0.55) {
+        const Status st = tree.Insert(k, PayloadFor(k));
+        if (oracle.contains(ok)) {
+          EXPECT_EQ(st.code(), Status::Code::kAlreadyExists);
+        } else {
+          ASSERT_TRUE(st.ok()) << st.ToString();
+          oracle.emplace(ok, PayloadFor(k));
+        }
+      } else if (roll < 0.85) {
+        const Status st = tree.Delete(k);
+        if (oracle.contains(ok)) {
+          ASSERT_TRUE(st.ok()) << st.ToString();
+          oracle.erase(ok);
+        } else {
+          EXPECT_EQ(st.code(), Status::Code::kNotFound);
+        }
+      } else {
+        const auto got = tree.Get(k);
+        if (oracle.contains(ok)) {
+          ASSERT_TRUE(got.ok());
+          ExpectPayloadEq(*got, oracle.at(ok));
+        } else {
+          EXPECT_EQ(got.status().code(), Status::Code::kNotFound);
+        }
+      }
+      ASSERT_EQ(tree.Size(), oracle.size());
+    }
+    ASSERT_TRUE(tree.CheckInvariants().ok())
+        << tree.CheckInvariants().ToString() << " at batch " << batch;
+    // Spot-check a sub-range scan against the oracle each batch.
+    const std::uint64_t lo = rng.UniformInt(kKeySpace);
+    const std::uint64_t hi = lo + rng.UniformInt(kKeySpace - lo);
+    std::size_t expected = 0;
+    for (auto it = oracle.lower_bound({lo, 0}); it != oracle.end(); ++it) {
+      if (it->first.first > hi) break;
+      ++expected;
+    }
+    std::size_t seen = 0;
+    tree.Scan(lo, hi, [&](BptKey sk, const BptPayload&) {
+      EXPECT_GE(sk.key, lo);
+      EXPECT_LE(sk.key, hi);
+      ++seen;
+      return true;
+    });
+    ASSERT_EQ(seen, expected) << "scan [" << lo << ", " << hi << "]";
+  }
+  ExpectScanMatchesOracle(tree, oracle);
+}
+
+TEST(BPlusTreeFuzzTest, SortedBatchTrafficMatchesOracle) {
+  PageStore store;
+  BufferPool pool(&store, 256);
+  BPlusTree tree(&pool);
+  Oracle oracle;
+  Rng rng(77001);
+
+  constexpr std::uint64_t kKeySpace = 2000;
+  constexpr std::uint64_t kSubSpace = 3;
+  for (int round = 0; round < 40; ++round) {
+    // Build a batch of fresh keys, sorted strictly ascending.
+    std::vector<std::pair<BptKey, BptPayload>> inserts;
+    while (inserts.size() < 64) {
+      const BptKey k = RandomKey(rng, kKeySpace, kSubSpace);
+      if (oracle.contains({k.key, k.sub})) continue;
+      inserts.emplace_back(k, PayloadFor(k));
+      oracle.emplace(std::make_pair(k.key, k.sub), PayloadFor(k));
+    }
+    std::sort(inserts.begin(), inserts.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    ASSERT_TRUE(tree.InsertBatchSorted(inserts).ok());
+    ASSERT_EQ(tree.Size(), oracle.size());
+    ASSERT_TRUE(tree.CheckInvariants().ok())
+        << tree.CheckInvariants().ToString() << " after insert round "
+        << round;
+
+    // Delete a sorted sample of existing keys.
+    std::vector<BptKey> deletes;
+    for (const auto& [ok, p] : oracle) {
+      if (rng.Bernoulli(0.3)) deletes.push_back(BptKey{ok.first, ok.second});
+      if (deletes.size() >= 48) break;
+    }
+    for (const BptKey& k : deletes) oracle.erase({k.key, k.sub});
+    ASSERT_TRUE(tree.DeleteBatchSorted(deletes).ok());
+    ASSERT_EQ(tree.Size(), oracle.size());
+    ASSERT_TRUE(tree.CheckInvariants().ok())
+        << tree.CheckInvariants().ToString() << " after delete round "
+        << round;
+  }
+  ExpectScanMatchesOracle(tree, oracle);
+
+  // Drain everything through the batch path: the tree must collapse back
+  // to an empty root.
+  std::vector<BptKey> all;
+  for (const auto& [ok, p] : oracle) all.push_back(BptKey{ok.first, ok.second});
+  ASSERT_TRUE(tree.DeleteBatchSorted(all).ok());
+  EXPECT_EQ(tree.Size(), 0u);
+  EXPECT_EQ(tree.Height(), 1);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BPlusTreeFuzzTest, BatchErrorSemantics) {
+  PageStore store;
+  BufferPool pool(&store, 64);
+  BPlusTree tree(&pool);
+
+  // Unsorted input is rejected.
+  const std::vector<std::pair<BptKey, BptPayload>> unsorted = {
+      {BptKey{5, 0}, BptPayload{}}, {BptKey{3, 0}, BptPayload{}}};
+  EXPECT_EQ(tree.InsertBatchSorted(unsorted).code(),
+            Status::Code::kInvalidArgument);
+  const std::vector<BptKey> unsorted_keys = {BptKey{5, 0}, BptKey{3, 0}};
+  EXPECT_EQ(tree.DeleteBatchSorted(unsorted_keys).code(),
+            Status::Code::kInvalidArgument);
+
+  // A duplicate stops the batch with earlier entries applied, exactly like
+  // a loop of Insert calls.
+  ASSERT_TRUE(tree.Insert(BptKey{10, 0}, BptPayload{}).ok());
+  const std::vector<std::pair<BptKey, BptPayload>> dup = {
+      {BptKey{1, 0}, BptPayload{}},
+      {BptKey{10, 0}, BptPayload{}},
+      {BptKey{20, 0}, BptPayload{}}};
+  EXPECT_EQ(tree.InsertBatchSorted(dup).code(), Status::Code::kAlreadyExists);
+  EXPECT_TRUE(tree.Get(BptKey{1, 0}).ok());    // applied before the error
+  EXPECT_FALSE(tree.Get(BptKey{20, 0}).ok());  // never reached
+
+  // A missing key stops deletion the same way.
+  const std::vector<BptKey> missing = {BptKey{1, 0}, BptKey{2, 0},
+                                       BptKey{10, 0}};
+  EXPECT_EQ(tree.DeleteBatchSorted(missing).code(), Status::Code::kNotFound);
+  EXPECT_FALSE(tree.Get(BptKey{1, 0}).ok());  // applied before the error
+  EXPECT_TRUE(tree.Get(BptKey{10, 0}).ok());  // never reached
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace vpmoi

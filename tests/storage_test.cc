@@ -150,6 +150,54 @@ TEST(BufferPoolTest, InvalidateColdStartsCache) {
   EXPECT_EQ(pool.stats().physical_reads, 1u);
 }
 
+TEST(BufferPoolTest, ZeroCapacityFullAccounting) {
+  PageStore store;
+  BufferPool pool(&store, 0);
+  const PageId a = pool.AllocatePage();  // logical write + write-through
+  EXPECT_EQ(pool.ResidentCount(), 0u);
+  pool.Read(a);
+  pool.Write(a);
+  pool.Read(a);
+  const IoStats& s = pool.stats();
+  EXPECT_EQ(s.logical_reads, 2u);
+  EXPECT_EQ(s.logical_writes, 2u);  // AllocatePage + Write
+  // Every touch misses; reads and the write's touch each charge a physical
+  // read (the write-through pattern reads the page image first), and both
+  // write paths charge a physical write immediately.
+  EXPECT_EQ(s.physical_reads, 3u);
+  EXPECT_EQ(s.physical_writes, 2u);
+  EXPECT_EQ(s.buffer_hits, 0u);
+  EXPECT_EQ(s.buffer_misses, 4u);
+  // Flush/invalidate are no-ops with nothing resident.
+  pool.FlushAll();
+  pool.Invalidate();
+  EXPECT_EQ(pool.stats().physical_writes, 2u);
+  EXPECT_EQ(pool.ResidentCount(), 0u);
+}
+
+TEST(BufferPoolTest, HitAndMissCounters) {
+  PageStore store;
+  BufferPool pool(&store, 2);
+  const PageId a = store.Allocate();
+  const PageId b = store.Allocate();
+  const PageId c = store.Allocate();
+  pool.Read(a);  // miss
+  pool.Read(a);  // hit
+  pool.Read(b);  // miss
+  pool.Read(a);  // hit
+  pool.Read(c);  // miss, evicts b
+  pool.Read(b);  // miss again
+  const IoStats& s = pool.stats();
+  EXPECT_EQ(s.buffer_hits, 2u);
+  EXPECT_EQ(s.buffer_misses, 4u);
+  EXPECT_EQ(s.physical_reads, 4u);
+  EXPECT_DOUBLE_EQ(s.BufferHitRate(), 2.0 / 6.0);
+  // A fresh allocation is a compulsory miss but not a physical read.
+  pool.AllocatePage();
+  EXPECT_EQ(pool.stats().buffer_misses, 5u);
+  EXPECT_EQ(pool.stats().physical_reads, 4u);
+}
+
 TEST(IoStatsTest, Arithmetic) {
   IoStats a{10, 5, 3, 2};
   IoStats b{1, 1, 1, 1};

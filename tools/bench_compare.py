@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Diffs two BENCH_*.json files (bench_reporter.h schema) and flags
+throughput regressions.
+
+Rows are matched by their string-valued fields (e.g. metric/index/sweep
+key). For every shared numeric field the relative change is printed;
+fields that measure throughput (``*_per_s``, ``*throughput*``) count as
+regressions when they drop by more than the threshold, latency/io fields
+(``*_ms``, ``*_io``, ``io_*``) when they rise by more than it.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--threshold=0.20]
+                     [--fail-on-regress]
+
+Exit status is 0 unless --fail-on-regress is given and a regression was
+found (CI wires it without the flag, as a non-blocking report step).
+"""
+
+import argparse
+import json
+import sys
+
+
+def row_key(row):
+    return tuple(sorted((k, v) for k, v in row.items() if isinstance(v, str)))
+
+
+def is_throughput(field):
+    return field.endswith("_per_s") or "throughput" in field
+
+
+def is_cost(field):
+    return (
+        field.endswith("_ms")
+        or field.endswith("_ns")
+        or field.endswith("_io")
+        or field.startswith("io_")
+        or field.endswith("_misses")
+    )
+
+
+def load(path):
+    """Loads either the bench_reporter rows schema or google-benchmark's
+    --benchmark_out JSON (bench_micro), normalized to keyed rows."""
+    with open(path) as f:
+        doc = json.load(f)
+    raw_rows = doc.get("rows")
+    if raw_rows is None and "benchmarks" in doc:
+        raw_rows = []
+        for b in doc["benchmarks"]:
+            row = {"metric": b.get("name", "?")}
+            if isinstance(b.get("real_time"), (int, float)):
+                row["real_time_ns"] = b["real_time"]
+            if isinstance(b.get("items_per_second"), (int, float)):
+                row["items_per_s"] = b["items_per_second"]
+            raw_rows.append(row)
+        doc.setdefault("bench", doc.get("context", {}).get("executable", "micro"))
+    rows = {}
+    for row in raw_rows or []:
+        rows[row_key(row)] = row
+    return doc, rows
+
+
+def fmt_key(key):
+    return ", ".join(f"{k}={v}" for k, v in key) or "<unkeyed row>"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative change that counts as a regression "
+                             "(default 0.20 = 20%%)")
+    parser.add_argument("--fail-on-regress", action="store_true",
+                        help="exit 1 when a regression is flagged")
+    args = parser.parse_args()
+
+    base_doc, base_rows = load(args.baseline)
+    cur_doc, cur_rows = load(args.current)
+    if base_doc.get("bench") != cur_doc.get("bench"):
+        print(f"note: comparing different benches "
+              f"({base_doc.get('bench')} vs {cur_doc.get('bench')})")
+
+    regressions = []
+    improvements = []
+    for key, base in base_rows.items():
+        cur = cur_rows.get(key)
+        if cur is None:
+            print(f"~ row dropped: {fmt_key(key)}")
+            continue
+        for field, bval in base.items():
+            cval = cur.get(field)
+            if not isinstance(bval, (int, float)) or isinstance(bval, bool):
+                continue
+            if not isinstance(cval, (int, float)) or isinstance(cval, bool):
+                continue
+            if bval == 0:
+                continue
+            rel = (cval - bval) / abs(bval)
+            entry = (fmt_key(key), field, bval, cval, rel)
+            if is_throughput(field):
+                if rel < -args.threshold:
+                    regressions.append(entry)
+                elif rel > args.threshold:
+                    improvements.append(entry)
+            elif is_cost(field):
+                if rel > args.threshold:
+                    regressions.append(entry)
+                elif rel < -args.threshold:
+                    improvements.append(entry)
+    for key in cur_rows.keys() - base_rows.keys():
+        print(f"~ new row: {fmt_key(key)}")
+
+    for key, field, bval, cval, rel in improvements:
+        print(f"+ {key} :: {field}: {bval:g} -> {cval:g} ({rel:+.1%})")
+    for key, field, bval, cval, rel in regressions:
+        print(f"! REGRESSION {key} :: {field}: {bval:g} -> {cval:g} "
+              f"({rel:+.1%})")
+
+    if not regressions and not improvements:
+        print("no changes beyond threshold "
+              f"({args.threshold:.0%}) across {len(base_rows)} rows")
+    print(f"summary: {len(regressions)} regression(s), "
+          f"{len(improvements)} improvement(s)")
+    if regressions and args.fail_on_regress:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

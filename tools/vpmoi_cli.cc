@@ -47,6 +47,8 @@ void PrintUsage() {
       "  --k=N                number of DVA partitions\n"
       "  --seed=N             workload seed\n"
       "  --rect               rectangular 1000x1000 queries\n"
+      "  --batch-updates      apply each tick's updates as one group\n"
+      "                       update (ApplyBatch) instead of per-object\n"
       "  --json               also write BENCH_cli.json "
       "(see bench_reporter.h)\n");
 }
@@ -88,6 +90,8 @@ std::optional<CliArgs> ParseArgs(int argc, char** argv) {
       args.cfg.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--rect") == 0) {
       args.cfg.rect_queries = true;
+    } else if (std::strcmp(argv[i], "--batch-updates") == 0) {
+      args.cfg.batch_updates = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       args.json = true;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
@@ -155,6 +159,7 @@ int main(int argc, char** argv) {
                     static_cast<std::uint64_t>(args.cfg.num_objects));
     rep->SetContext("duration", args.cfg.duration);
     rep->SetContext("seed", args.cfg.seed);
+    rep->SetContext("batch_updates", args.cfg.batch_updates);
   }
 
   std::printf("%-16s %12s %14s %12s %14s %12s\n", "index", "query I/O",
