@@ -51,6 +51,9 @@ struct BenchConfig {
   /// Apply each tick's updates as one ApplyBatch group update instead of
   /// per-object Update calls (see ExperimentOptions::batch_updates).
   bool batch_updates = false;
+  /// Client threads submitting each tick's updates concurrently (see
+  /// ExperimentOptions::client_threads); > 1 needs a thread-safe spec.
+  int client_threads = 1;
   std::uint64_t seed = 4242;
 };
 
@@ -161,6 +164,7 @@ inline workload::ExperimentMetrics RunOne(
   eo.duration = cfg.duration;
   eo.total_queries = cfg.total_queries;
   eo.batch_updates = cfg.batch_updates;
+  eo.client_threads = cfg.client_threads;
   auto metrics = workload::RunExperiment(index.get(), &sim, &qgen, eo);
   return metrics;
 }

@@ -1,0 +1,93 @@
+// Scaling of the partition-parallel engine: update and query throughput
+// of engine(vp(tpr),threads=N) against worker-thread count on the uniform
+// dataset, with the sequential vp(tpr) as the threads=0 reference row.
+//
+// Uniform velocities have no dominant axes, so the engine is configured
+// with k=7 and a huge fixed tau: every object lands in its closest of 8
+// near-balanced partitions (7 DVA sectors + outlier), which is the load
+// shape a sharded ingest path must scale on. Updates run in batch mode
+// (one ApplyBatch per tick); the driver drains the engine inside the
+// timed window, so throughput counts applied work, not enqueue latency.
+//
+//   bench_engine_scaling [--objects=N] [--duration=T] [--queries=N]
+//
+// Emits BENCH_engine_scaling.json (rows keyed by `threads`).
+#include <cstring>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace vpmoi;
+using namespace vpmoi::bench;
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg;
+  cfg.num_objects = PaperScale() ? 100000 : 50000;
+  cfg.duration = PaperScale() ? 120.0 : 60.0;
+  cfg.total_queries = 100;
+  cfg.batch_updates = true;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--objects", &value)) {
+      cfg.num_objects = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--duration", &value)) {
+      cfg.duration = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--queries", &value)) {
+      cfg.total_queries = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  BenchReporter rep("engine_scaling");
+  rep.SetContext("objects", static_cast<std::uint64_t>(cfg.num_objects));
+  rep.SetContext("duration", cfg.duration);
+  rep.SetContext("dataset", "uniform");
+  PrintHeader(rep, "engine scaling, uniform dataset (threads=0 = sequential)",
+              "threads");
+
+  // k=7 + huge fixed tau: 8 near-balanced partitions on uniform
+  // velocities (see header comment).
+  const std::string vp_spec = "vp(tpr,k=7,fixed_tau=1e18,tau_refresh=0)";
+  const auto run = [&](int threads) {
+    const std::string spec =
+        threads == 0
+            ? vp_spec
+            : "engine(" + vp_spec + ",threads=" + std::to_string(threads) +
+                  ")";
+    const auto m = RunOne(workload::Dataset::kUniform, spec, cfg);
+    auto& row = rep.AddExperiment(std::to_string(threads), spec, m);
+    row.Set("update_ops_per_sec", m.update_throughput);
+    row.Set("query_ops_per_sec", m.query_throughput);
+    std::printf("%-12d %-10s %12.2f %14.4f %12.3f %14.5f %12.1f\n", threads,
+                "tpr", m.avg_query_io, m.avg_query_ms, m.avg_update_io,
+                m.avg_update_ms, m.avg_result_size);
+    std::printf("  -> update throughput %.0f ops/s, query throughput %.0f "
+                "ops/s\n",
+                m.update_throughput, m.query_throughput);
+    std::fflush(stdout);
+  };
+
+  run(0);
+  for (int threads : {1, 2, 4, 8}) run(threads);
+
+  const Status st = rep.Write();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -79,6 +79,8 @@ class BxTree final : public MovingObjectIndex {
   void AdvanceTime(Timestamp now) override;
   IoStats Stats() const override { return pool_->stats(); }
   void ResetStats() override { pool_->ResetStats(); }
+  /// Search only mutates buffer-pool state; locking the pool suffices.
+  void EnableConcurrentReads() override { pool_->EnableInternalLocking(); }
 
   Timestamp Now() const { return now_; }
   const BxTreeOptions& options() const { return options_; }

@@ -10,6 +10,7 @@
 #include "bx/bx_tree.h"
 #include "common/thread_safe_index.h"
 #include "dual/bdual_tree.h"
+#include "engine/vp_engine.h"
 #include "tpr/tpr_tree.h"
 #include "vp/vp_index.h"
 
@@ -237,14 +238,10 @@ StatusOr<std::unique_ptr<MovingObjectIndex>> BuildBdual(const IndexSpec& spec,
   return std::unique_ptr<MovingObjectIndex>(std::make_unique<BdualTree>(o));
 }
 
-StatusOr<std::unique_ptr<MovingObjectIndex>> BuildVp(const IndexSpec& spec,
-                                                     const IndexEnv& env) {
-  if (env.shared_pool != nullptr) {
-    return Status::InvalidArgument(
-        "'vp' cannot be nested inside another 'vp' (partitions share one "
-        "buffer pool)");
-  }
-  VPMOI_RETURN_IF_ERROR(RequireOneChild(spec));
+/// Reads the `vp` kind's options off `spec` into a VpIndexOptions; shared
+/// with the `engine` kind, whose child is a whole vp spec.
+StatusOr<VpIndexOptions> ReadVpOptions(const IndexSpec& spec,
+                                       const IndexEnv& env) {
   VpIndexOptions o;
   o.domain = env.domain;
   o.buffer_pages = env.buffer_pages;
@@ -269,27 +266,84 @@ StatusOr<std::unique_ptr<MovingObjectIndex>> BuildVp(const IndexSpec& spec,
   opts.Double("tau_refresh", &o.tau_refresh_interval);
   opts.SizeT("buffer_pages", &o.buffer_pages);
   VPMOI_RETURN_IF_ERROR(opts.Finish());
+  return o;
+}
 
-  // The partition factory recurses through the registry with the shared
-  // pool and frame domain; VpIndex::Build turns a null partition into an
-  // error, and the first recorded child error is surfaced instead.
-  const IndexSpec& child = spec.children[0];
-  Status child_error;
-  const IndexFactory factory =
-      [&child, &env, &child_error](
-          BufferPool* pool,
-          const Rect& frame_domain) -> std::unique_ptr<MovingObjectIndex> {
+/// Factory building `child` through the registry for each partition. The
+/// vp kind passes its shared pool; the engine passes null pools (each
+/// partition owns its storage). The first child build error is recorded in
+/// `*child_error` and the partition comes back null.
+IndexFactory MakePartitionFactory(const IndexSpec& child, const IndexEnv& env,
+                                  Status* child_error) {
+  return [&child, &env, child_error](
+             BufferPool* pool,
+             const Rect& frame_domain) -> std::unique_ptr<MovingObjectIndex> {
     IndexEnv child_env = env;
     child_env.shared_pool = pool;
     child_env.domain = frame_domain;
     auto built = BuildIndex(child, child_env);
     if (!built.ok()) {
-      if (child_error.ok()) child_error = built.status();
+      if (child_error->ok()) *child_error = built.status();
       return nullptr;
     }
     return std::move(built).value();
   };
-  auto built = VpIndex::Build(factory, o, env.sample_velocities);
+}
+
+StatusOr<std::unique_ptr<MovingObjectIndex>> BuildVp(const IndexSpec& spec,
+                                                     const IndexEnv& env) {
+  if (env.shared_pool != nullptr) {
+    return Status::InvalidArgument(
+        "'vp' cannot be nested inside another 'vp' (partitions share one "
+        "buffer pool)");
+  }
+  VPMOI_RETURN_IF_ERROR(RequireOneChild(spec));
+  auto o = ReadVpOptions(spec, env);
+  if (!o.ok()) return o.status();
+
+  // The partition factory recurses through the registry with the shared
+  // pool and frame domain; VpIndex::Build turns a null partition into an
+  // error, and the first recorded child error is surfaced instead.
+  Status child_error;
+  const IndexFactory factory =
+      MakePartitionFactory(spec.children[0], env, &child_error);
+  auto built = VpIndex::Build(factory, *o, env.sample_velocities);
+  if (!child_error.ok()) return child_error;
+  if (!built.ok()) return built.status();
+  return std::unique_ptr<MovingObjectIndex>(std::move(built).value());
+}
+
+StatusOr<std::unique_ptr<MovingObjectIndex>> BuildEngine(const IndexSpec& spec,
+                                                         const IndexEnv& env) {
+  if (env.shared_pool != nullptr) {
+    return Status::InvalidArgument(
+        "'engine' cannot be a 'vp' partition; it must be the outermost "
+        "spec: engine(vp(...),threads=N)");
+  }
+  VPMOI_RETURN_IF_ERROR(RequireOneChild(spec));
+  const IndexSpec& vp_spec = spec.children[0];
+  if (vp_spec.kind != "vp") {
+    return Status::InvalidArgument(
+        "'engine' requires a vp(...) sub-spec (the shards are the velocity "
+        "partitions), got '" + vp_spec.kind + "'");
+  }
+  VPMOI_RETURN_IF_ERROR(RequireOneChild(vp_spec));
+  engine::VpEngineOptions eo;
+  {
+    auto vp_options = ReadVpOptions(vp_spec, env);
+    if (!vp_options.ok()) return vp_options.status();
+    eo.vp = std::move(vp_options).value();
+  }
+  OptionReader opts(spec);
+  opts.Int("threads", &eo.threads);
+  VPMOI_RETURN_IF_ERROR(opts.Finish());
+
+  // Null pools: each engine partition owns its pages so shard workers
+  // never contend on storage.
+  Status child_error;
+  const IndexFactory factory =
+      MakePartitionFactory(vp_spec.children[0], env, &child_error);
+  auto built = engine::VpEngine::Build(factory, eo, env.sample_velocities);
   if (!child_error.ok()) return child_error;
   if (!built.ok()) return built.status();
   return std::unique_ptr<MovingObjectIndex>(std::move(built).value());
@@ -320,6 +374,7 @@ IndexRegistry& IndexRegistry::Global() {
     (void)r->Register("bx", BuildBx);
     (void)r->Register("bdual", BuildBdual);
     (void)r->Register("vp", BuildVp);
+    (void)r->Register("engine", BuildEngine);
     (void)r->Register("threadsafe", BuildThreadSafe);
     return r;
   }();

@@ -20,6 +20,10 @@
 //   vp         one child spec (the per-partition index), k,
 //              strategy=pca_kmeans|pca_only|centroid_kmeans, restarts,
 //              seed, fixed_tau, tau_refresh, buffer_pages
+//   engine     one vp(...) sub-spec, threads (worker shards; 0 = one per
+//              velocity partition). The partition-parallel engine: sharded
+//              concurrent ingestion + snapshot-consistent queries
+//              (engine/vp_engine.h); buffer_pages apply per partition
 //   threadsafe one child spec
 #ifndef VPMOI_COMMON_INDEX_REGISTRY_H_
 #define VPMOI_COMMON_INDEX_REGISTRY_H_

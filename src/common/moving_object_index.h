@@ -174,6 +174,24 @@ class MovingObjectIndex {
   /// Cumulative I/O statistics (page reads/writes through the buffer pool).
   virtual IoStats Stats() const = 0;
   virtual void ResetStats() = 0;
+
+  /// Prepares the index for concurrent read-only operations (Search, Knn,
+  /// GetObject, Size) from multiple threads, provided all mutations are
+  /// externally excluded — the contract the ThreadSafeIndex reader-writer
+  /// decorator provides. The structures themselves are read-only during
+  /// searches; what needs protection is the buffer pool (LRU chain and I/O
+  /// counters mutate on every page touch), so implementations switch their
+  /// pool to internal locking. Default: nothing to prepare.
+  virtual void EnableConcurrentReads() {}
+
+  /// Blocks until all asynchronously accepted maintenance work has been
+  /// applied and reports the first asynchronous failure. Synchronous
+  /// indexes apply everything before returning from the mutation itself,
+  /// so the default is an immediate OK; the partition-parallel engine
+  /// overrides this with its queue barrier, and decorators forward it.
+  /// Benchmarks call it inside their timed window so throughput measures
+  /// applied work, not enqueue latency.
+  virtual Status Drain() { return Status::OK(); }
 };
 
 }  // namespace vpmoi

@@ -1,90 +1,112 @@
 // Thread-safety decorator. Section 5.3 notes that moving an object
 // between DVA indexes requires locking both indexes so a concurrent query
 // cannot miss it; this wrapper takes the coarse-grained version of that
-// position: one mutex around the whole composite index, making every
-// operation atomic with respect to every other.
+// position: one reader-writer lock around the whole composite index.
+// Mutations (insert/delete/update/batch/advance) hold the lock
+// exclusively; read-only operations (Search, Knn, GetObject, Size) share
+// it, so concurrent queries no longer serialize.
 //
-// Note that even Search mutates internal state (the buffer pool's LRU
-// chain and I/O counters), so readers cannot share the lock; this is a
-// correctness decorator, not a scalability feature.
+// Sharing the lock across searches is only sound because the constructor
+// calls EnableConcurrentReads() on the wrapped index, which switches its
+// buffer pool to internal locking — the index structures themselves are
+// read-only during a search, but every page touch mutates the pool's LRU
+// chain and I/O counters. Stats()/ResetStats() take the exclusive lock for
+// the same reason: counter reads must not race concurrent searches.
+//
+// For scalable *write* concurrency this is still the wrong tool — use the
+// partition-parallel engine (engine/vp_engine.h), which shards updates
+// across worker threads instead of serializing them.
 #ifndef VPMOI_COMMON_THREAD_SAFE_INDEX_H_
 #define VPMOI_COMMON_THREAD_SAFE_INDEX_H_
 
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 #include "common/moving_object_index.h"
 
 namespace vpmoi {
 
-/// Serializes all operations on a wrapped MovingObjectIndex.
+/// Serializes mutations of a wrapped MovingObjectIndex while letting
+/// read-only queries proceed concurrently.
 class ThreadSafeIndex final : public MovingObjectIndex {
  public:
   explicit ThreadSafeIndex(std::unique_ptr<MovingObjectIndex> inner)
-      : inner_(std::move(inner)) {}
+      : inner_(std::move(inner)) {
+    inner_->EnableConcurrentReads();
+  }
 
   /// Lock-free: every index's name is immutable after construction.
   std::string Name() const override { return inner_->Name(); }
 
   Status Insert(const MovingObject& o) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
     return inner_->Insert(o);
   }
   Status BulkLoad(std::span<const MovingObject> objects) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
     return inner_->BulkLoad(objects);
   }
   Status Delete(ObjectId id) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
     return inner_->Delete(id);
   }
   Status Update(const MovingObject& o) override {
-    // Delete + insert under one lock: a concurrent query observes either
-    // the old or the new trajectory, never neither (Section 5.3).
-    std::lock_guard<std::mutex> lock(mu_);
+    // Delete + insert under one exclusive lock: a concurrent query
+    // observes either the old or the new trajectory, never neither
+    // (Section 5.3).
+    std::unique_lock<std::shared_mutex> lock(mu_);
     return inner_->Update(o);
   }
   /// One lock acquisition for the whole batch: concurrent queries observe
   /// either none or all of its operations.
   Status ApplyBatch(std::span<const IndexOp> ops) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
     return inner_->ApplyBatch(ops);
   }
-  /// The lock is held while `sink` callbacks run; sinks must not call
-  /// back into this index.
+  /// Readers share the lock: any number of searches run concurrently,
+  /// excluded only by writers. The lock is held while `sink` callbacks
+  /// run; sinks must not call back into this index.
   Status Search(const RangeQuery& q, ResultSink& sink) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return inner_->Search(q, sink);
   }
   using MovingObjectIndex::Search;
   Status Knn(const Point2& center, std::size_t k, Timestamp t,
              const KnnOptions& options,
              std::vector<KnnNeighbor>* out) override {
-    // Forwarded under one lock so every probe of the growing-radius driver
-    // sees the same population (the base default would lock per probe).
-    std::lock_guard<std::mutex> lock(mu_);
+    // Forwarded under one shared lock so every probe of the growing-radius
+    // driver sees the same population (the base default would lock per
+    // probe).
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return inner_->Knn(center, k, t, options, out);
   }
   std::size_t Size() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return inner_->Size();
   }
   StatusOr<MovingObject> GetObject(ObjectId id) const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return inner_->GetObject(id);
   }
   void AdvanceTime(Timestamp now) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
     inner_->AdvanceTime(now);
   }
+  /// Exclusive, not shared: a concurrent search would be mutating the
+  /// counters this reads.
   IoStats Stats() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
     return inner_->Stats();
   }
   void ResetStats() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
     inner_->ResetStats();
+  }
+  Status Drain() override {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    return inner_->Drain();
   }
 
   /// The wrapped index (callers must provide their own synchronization
@@ -93,7 +115,7 @@ class ThreadSafeIndex final : public MovingObjectIndex {
   const MovingObjectIndex* inner() const { return inner_.get(); }
 
  private:
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
   std::unique_ptr<MovingObjectIndex> inner_;
 };
 

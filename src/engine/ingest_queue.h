@@ -1,0 +1,81 @@
+// Per-shard ingestion queue: multi-producer (any client thread routing
+// work through the engine), single-consumer (the shard's worker thread).
+// The consumer drains the whole backlog in one pop so a burst of update
+// batches costs one wakeup, and Close() guarantees drain-before-exit —
+// a stopping worker keeps popping until the queue is closed AND empty, so
+// no enqueued update is ever lost on shutdown.
+//
+// A mutex + condvar deque is deliberately chosen over a lock-free ring:
+// producers only hold the lock for a push_back, the consumer swaps the
+// whole deque out, and the simple happens-before story keeps the engine
+// trivially ThreadSanitizer-clean.
+#ifndef VPMOI_ENGINE_INGEST_QUEUE_H_
+#define VPMOI_ENGINE_INGEST_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace vpmoi {
+namespace engine {
+
+/// MPSC command queue with blocking drain.
+template <typename Command>
+class IngestQueue {
+ public:
+  /// Enqueues one command. Returns false (dropping the command) when the
+  /// queue is closed — callers stop producing before closing, so a false
+  /// return indicates a caller bug, not expected flow.
+  bool Push(Command cmd) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(cmd));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until commands are pending or the queue is closed, then moves
+  /// the whole backlog into `*out` (cleared first), preserving FIFO order.
+  /// Returns false only when the queue is closed and fully drained — the
+  /// consumer's signal to exit.
+  bool WaitDrain(std::vector<Command>* out) {
+    out->clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // implies closed_
+    out->reserve(items_.size());
+    for (Command& c : items_) out->push_back(std::move(c));
+    items_.clear();
+    return true;
+  }
+
+  /// Closes the queue: no further pushes are accepted, the consumer drains
+  /// what remains and then sees WaitDrain return false.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Command> items_;
+  bool closed_ = false;
+};
+
+}  // namespace engine
+}  // namespace vpmoi
+
+#endif  // VPMOI_ENGINE_INGEST_QUEUE_H_

@@ -1,0 +1,92 @@
+#include "engine/shard.h"
+
+#include <utility>
+
+#include "common/result_sink.h"
+
+namespace vpmoi {
+namespace engine {
+
+EngineShard::~EngineShard() { Stop(); }
+
+int EngineShard::AddPartition(std::unique_ptr<MovingObjectIndex> index) {
+  partitions_.push_back(std::move(index));
+  return static_cast<int>(partitions_.size()) - 1;
+}
+
+void EngineShard::Start() {
+  thread_ = std::thread([this] { WorkerLoop(); });
+}
+
+void EngineShard::Stop() {
+  if (!thread_.joinable()) return;
+  queue_.Close();
+  thread_.join();
+}
+
+TickBarrier::Ticket EngineShard::Enqueue(ShardCommand cmd) {
+  std::lock_guard<std::mutex> lock(enqueue_mu_);
+  cmd.ticket = barrier_.Issue();
+  const TickBarrier::Ticket ticket = cmd.ticket;
+  if (!queue_.Push(std::move(cmd))) {
+    // Closed queue: the engine never enqueues after Stop(), so this is
+    // unreachable in correct use; complete the ticket so no one blocks.
+    barrier_.CompleteThrough(ticket);
+  }
+  return ticket;
+}
+
+void EngineShard::WorkerLoop() {
+  std::vector<ShardCommand> backlog;
+  while (queue_.WaitDrain(&backlog)) {
+    for (ShardCommand& cmd : backlog) {
+      Execute(cmd);
+      // Completing after each command (not once per backlog) wakes query
+      // issuers as soon as their own sub-query is done.
+      barrier_.CompleteThrough(cmd.ticket);
+    }
+  }
+}
+
+void EngineShard::Execute(ShardCommand& cmd) {
+  switch (cmd.kind) {
+    case ShardCommand::Kind::kBatch:
+      LatchError(partitions_[cmd.partition]->ApplyBatch(cmd.ops));
+      break;
+    case ShardCommand::Kind::kBulkLoad:
+      LatchError(partitions_[cmd.partition]->BulkLoad(cmd.objects));
+      break;
+    case ShardCommand::Kind::kQuery: {
+      // A query aborted by the engine's early-terminating sink leaves its
+      // partial hits behind; the engine discards them.
+      if (cmd.stop != nullptr && cmd.stop->load(std::memory_order_relaxed)) {
+        break;
+      }
+      CallbackSink sink([&](ObjectId id) {
+        cmd.hits->push_back(id);
+        return cmd.stop == nullptr ||
+               !cmd.stop->load(std::memory_order_relaxed);
+      });
+      LatchError(partitions_[cmd.partition]->Search(*cmd.query, sink));
+      break;
+    }
+    case ShardCommand::Kind::kAdvanceTime:
+      for (auto& p : partitions_) p->AdvanceTime(cmd.now);
+      break;
+  }
+}
+
+void EngineShard::LatchError(const Status& st) {
+  if (st.ok()) return;
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (error_.ok()) error_ = st;
+}
+
+IoStats EngineShard::MergedStats() const {
+  IoStats total;
+  for (const auto& p : partitions_) total.MergeFrom(p->Stats());
+  return total;
+}
+
+}  // namespace engine
+}  // namespace vpmoi

@@ -1,0 +1,127 @@
+// One engine shard: a worker thread that owns a set of velocity-partition
+// indexes outright and is the ONLY thread that ever executes operations on
+// them. Work arrives through an MPSC ingest queue as ShardCommands; the
+// worker drains the backlog in FIFO order and publishes progress through a
+// TickBarrier so the engine can align queries with the update stream.
+//
+// Single-ownership is the engine's whole concurrency story: because a
+// partition index is touched by exactly one thread, the hot index and
+// buffer-pool code runs completely lock-free — the synchronization lives
+// in the queue and barrier, not in the data structures.
+#ifndef VPMOI_ENGINE_SHARD_H_
+#define VPMOI_ENGINE_SHARD_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/moving_object_index.h"
+#include "engine/ingest_queue.h"
+#include "engine/tick_barrier.h"
+#include "storage/io_stats.h"
+
+namespace vpmoi {
+namespace engine {
+
+/// One unit of shard work. Pointer operands (query, hits, stop) live on
+/// the issuing caller's stack; the caller must Await the command's ticket
+/// before releasing them.
+struct ShardCommand {
+  enum class Kind {
+    /// ApplyBatch `ops` on partition slot `partition`.
+    kBatch,
+    /// BulkLoad `objects` into partition slot `partition`.
+    kBulkLoad,
+    /// Search `*query` on partition slot `partition`, appending matches to
+    /// `*hits`; aborts early when `*stop` becomes true.
+    kQuery,
+    /// AdvanceTime(now) on every partition of the shard.
+    kAdvanceTime,
+  };
+
+  Kind kind = Kind::kBatch;
+  /// Partition slot within this shard (kBatch / kBulkLoad / kQuery).
+  int partition = 0;
+  std::vector<IndexOp> ops;
+  std::vector<MovingObject> objects;
+  const RangeQuery* query = nullptr;
+  std::vector<ObjectId>* hits = nullptr;
+  const std::atomic<bool>* stop = nullptr;
+  Timestamp now = 0.0;
+  TickBarrier::Ticket ticket = TickBarrier::kNone;
+};
+
+/// Worker thread + ingest queue + the partition indexes it owns.
+class EngineShard {
+ public:
+  EngineShard() = default;
+  /// Stops the worker (draining the backlog) if still running.
+  ~EngineShard();
+
+  EngineShard(const EngineShard&) = delete;
+  EngineShard& operator=(const EngineShard&) = delete;
+
+  /// Registers a partition index before Start(); returns its slot id.
+  int AddPartition(std::unique_ptr<MovingObjectIndex> index);
+
+  void Start();
+  /// Closes the queue and joins the worker. Every command enqueued before
+  /// the close is executed first — shutdown never loses updates.
+  void Stop();
+  bool running() const { return thread_.joinable(); }
+
+  /// Issues a ticket and enqueues the command under one lock, so ticket
+  /// order always equals queue order (the barrier completes in order).
+  TickBarrier::Ticket Enqueue(ShardCommand cmd);
+
+  /// Blocks until the command with ticket `t` has been executed.
+  void Await(TickBarrier::Ticket t) const { barrier_.Await(t); }
+  /// Blocks until the queue backlog is fully applied.
+  void AwaitIdle() const { barrier_.AwaitAll(); }
+
+  /// Runs a command on the calling thread — the stopped-engine fallback.
+  /// Callers must hold the engine's exclusive lock (or otherwise guarantee
+  /// the worker is not running and no other thread touches this shard).
+  void ExecuteInline(ShardCommand& cmd) { Execute(cmd); }
+
+  /// First asynchronous failure observed by the worker; sticky. OK while
+  /// the shard has processed everything without error.
+  Status error() const {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    return error_;
+  }
+
+  std::size_t partition_count() const { return partitions_.size(); }
+  /// Direct partition access. Only safe when the shard is quiescent: the
+  /// caller holds the engine's exclusive lock and has called AwaitIdle(),
+  /// or the shard is stopped.
+  MovingObjectIndex* partition(int slot) { return partitions_[slot].get(); }
+  const MovingObjectIndex* partition(int slot) const {
+    return partitions_[slot].get();
+  }
+
+  /// Sum of the partitions' IoStats (IoStats::MergeFrom). Quiescent-only,
+  /// like partition().
+  IoStats MergedStats() const;
+
+ private:
+  void WorkerLoop();
+  void Execute(ShardCommand& cmd);
+  void LatchError(const Status& st);
+
+  std::vector<std::unique_ptr<MovingObjectIndex>> partitions_;
+  IngestQueue<ShardCommand> queue_;
+  TickBarrier barrier_;
+  /// Orders Issue() with Push() across producers.
+  std::mutex enqueue_mu_;
+  mutable std::mutex error_mu_;
+  Status error_;
+  std::thread thread_;
+};
+
+}  // namespace engine
+}  // namespace vpmoi
+
+#endif  // VPMOI_ENGINE_SHARD_H_

@@ -1,0 +1,72 @@
+// The engine's snapshot barrier: a monotone ticket counter shared between
+// the producers that enqueue work onto a shard and the shard worker that
+// drains it. Producers Issue() a ticket per enqueued command; the worker
+// CompleteThrough()s tickets in queue order after executing each command;
+// Await(t) blocks until every command ticketed <= t has been applied.
+//
+// This is what makes engine queries snapshot-consistent per tick: a query
+// records each shard's last issued ticket at the moment it starts (while
+// holding the engine's table lock, so no update can slip in between) and
+// awaits those tickets before trusting the shards' contents — it therefore
+// observes every update enqueued before it and none after.
+#ifndef VPMOI_ENGINE_TICK_BARRIER_H_
+#define VPMOI_ENGINE_TICK_BARRIER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace vpmoi {
+namespace engine {
+
+/// Issue/complete ticket pair with blocking waits. Thread-safe.
+class TickBarrier {
+ public:
+  using Ticket = std::uint64_t;
+  /// Tickets start at 1; 0 means "nothing issued" and is always complete.
+  static constexpr Ticket kNone = 0;
+
+  /// Reserves the next ticket. Callers must enqueue commands in ticket
+  /// order (the shard holds one mutex across Issue + queue push).
+  Ticket Issue() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ++issued_;
+  }
+
+  Ticket LastIssued() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return issued_;
+  }
+
+  /// Marks every ticket up to and including `t` complete. Monotone: stale
+  /// calls are no-ops.
+  void CompleteThrough(Ticket t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (t <= completed_) return;
+    completed_ = t;
+    cv_.notify_all();
+  }
+
+  /// Blocks until ticket `t` (and all before it) completed.
+  void Await(Ticket t) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return completed_ >= t; });
+  }
+
+  /// Blocks until everything issued so far completed.
+  void AwaitAll() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return completed_ >= issued_; });
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  Ticket issued_ = kNone;
+  Ticket completed_ = kNone;
+};
+
+}  // namespace engine
+}  // namespace vpmoi
+
+#endif  // VPMOI_ENGINE_TICK_BARRIER_H_

@@ -1,0 +1,383 @@
+#include "engine/vp_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+#include "common/knn.h"
+#include "common/result_sink.h"
+
+namespace vpmoi {
+namespace engine {
+
+VpEngine::VpEngine(VpEngineOptions options, std::unique_ptr<VpRouter> router)
+    : options_(std::move(options)), router_(std::move(router)) {}
+
+StatusOr<std::unique_ptr<VpEngine>> VpEngine::Build(
+    const IndexFactory& factory, const VpEngineOptions& options,
+    std::span<const Vec2> sample_velocities) {
+  if (options.threads < 0) {
+    return Status::InvalidArgument("engine thread count must be >= 0");
+  }
+  auto router =
+      VpRouter::Build(options.vp.RouterOptions(), sample_velocities);
+  if (!router.ok()) return router.status();
+
+  std::unique_ptr<VpEngine> engine(
+      new VpEngine(options, std::move(router).value()));
+  const int partitions = engine->router_->PartitionCount();
+  const int shard_count =
+      options.threads == 0 ? partitions
+                           : std::min(options.threads, partitions);
+  for (int s = 0; s < shard_count; ++s) {
+    engine->shards_.push_back(std::make_unique<EngineShard>());
+  }
+  // Partitions are assigned to shards round-robin.
+  for (int p = 0; p < partitions; ++p) {
+    EngineShard* shard = engine->shards_[p % shard_count].get();
+    auto child = factory(nullptr, engine->router_->PartitionDomain(p));
+    if (child == nullptr) {
+      return Status::InvalidArgument(
+          "index factory failed to build an engine partition");
+    }
+    engine->slots_.push_back(
+        PartitionSlot{shard, shard->AddPartition(std::move(child))});
+  }
+  engine->name_ =
+      engine->slots_.back().shard->partition(engine->slots_.back().slot)
+          ->Name() +
+      "(VP-E" + std::to_string(shard_count) + ")";
+  for (auto& shard : engine->shards_) shard->Start();
+  engine->running_ = true;
+  return engine;
+}
+
+VpEngine::~VpEngine() { Stop(); }
+
+void VpEngine::Stop() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!running_) return;
+  // Close + join drains every queue first: no update enqueued before the
+  // stop is lost.
+  for (auto& shard : shards_) shard->Stop();
+  running_ = false;
+}
+
+Status VpEngine::FirstShardError() const {
+  for (const auto& shard : shards_) {
+    VPMOI_RETURN_IF_ERROR(shard->error());
+  }
+  return Status::OK();
+}
+
+Status VpEngine::FlushLocked() const {
+  for (const auto& shard : shards_) shard->AwaitIdle();
+  return FirstShardError();
+}
+
+Status VpEngine::Flush() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return FlushLocked();
+}
+
+void VpEngine::Dispatch(EngineShard* shard, ShardCommand cmd,
+                        TickBarrier::Ticket* ticket) {
+  if (running_) {
+    const TickBarrier::Ticket t = shard->Enqueue(std::move(cmd));
+    if (ticket != nullptr) *ticket = t;
+  } else {
+    shard->ExecuteInline(cmd);
+    if (ticket != nullptr) *ticket = TickBarrier::kNone;
+  }
+}
+
+void VpEngine::EnqueueBatch(int partition, std::vector<IndexOp> ops) {
+  ShardCommand cmd;
+  cmd.kind = ShardCommand::Kind::kBatch;
+  cmd.partition = slots_[partition].slot;
+  cmd.ops = std::move(ops);
+  Dispatch(slots_[partition].shard, std::move(cmd));
+}
+
+Status VpEngine::InsertLocked(const MovingObject& o) {
+  auto plan = router_->PlanInsert(o);
+  if (!plan.ok()) return plan.status();
+  router_->CommitInsert(*plan);
+  EnqueueBatch(plan->partition, {IndexOp::Inserting(plan->stored)});
+  return Status::OK();
+}
+
+Status VpEngine::DeleteLocked(ObjectId id) {
+  auto plan = router_->PlanDelete(id);
+  if (!plan.ok()) return plan.status();
+  router_->CommitDelete(id);
+  EnqueueBatch(plan->partition, {IndexOp::Deleting(id)});
+  return Status::OK();
+}
+
+Status VpEngine::UpdateLocked(const MovingObject& o) {
+  // Delete + insert routed under one lock hold; the router cannot fail the
+  // insert half after the delete half succeeded (the id was just freed),
+  // so no rollback path is needed.
+  auto del = router_->PlanDelete(o.id);
+  if (!del.ok()) return del.status();
+  router_->CommitDelete(o.id);
+  auto ins = router_->PlanInsert(o);
+  router_->CommitInsert(*ins);
+  if (del->partition == ins->partition) {
+    EnqueueBatch(ins->partition, {IndexOp::Updating(ins->stored)});
+  } else {
+    // Partition migration (Section 5.3): the shards may apply the two
+    // halves in any relative order — distinct indexes, same object id —
+    // and the query barrier keeps both invisible until applied.
+    EnqueueBatch(del->partition, {IndexOp::Deleting(o.id)});
+    EnqueueBatch(ins->partition, {IndexOp::Inserting(ins->stored)});
+  }
+  return Status::OK();
+}
+
+Status VpEngine::Insert(const MovingObject& o) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return InsertLocked(o);
+}
+
+Status VpEngine::Delete(ObjectId id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return DeleteLocked(id);
+}
+
+Status VpEngine::Update(const MovingObject& o) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return UpdateLocked(o);
+}
+
+Status VpEngine::BulkLoad(std::span<const MovingObject> objects) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::vector<MovingObject>> groups;
+  VPMOI_RETURN_IF_ERROR(router_->RouteBulkLoad(objects, &groups));
+  for (int p = 0; p < router_->PartitionCount(); ++p) {
+    ShardCommand cmd;
+    cmd.kind = ShardCommand::Kind::kBulkLoad;
+    cmd.partition = slots_[p].slot;
+    cmd.objects = std::move(groups[p]);
+    Dispatch(slots_[p].shard, std::move(cmd));
+  }
+  return Status::OK();
+}
+
+Status VpEngine::ApplyBatch(std::span<const IndexOp> ops) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::vector<IndexOp>> grouped;
+  if (router_->TryGroupBatch(ops, &grouped)) {
+    for (int p = 0; p < router_->PartitionCount(); ++p) {
+      if (grouped[p].empty()) continue;
+      EnqueueBatch(p, std::move(grouped[p]));
+    }
+    router_->MaybeRefreshTaus();
+    return Status::OK();
+  }
+  // Dependent or failing batch: in-order per-op routing with
+  // stop-at-first-error, mirroring the sequential default.
+  for (const IndexOp& op : ops) {
+    Status st;
+    switch (op.kind) {
+      case IndexOpKind::kInsert:
+        st = InsertLocked(op.object);
+        break;
+      case IndexOpKind::kDelete:
+        st = DeleteLocked(op.object.id);
+        break;
+      case IndexOpKind::kUpdate:
+        st = UpdateLocked(op.object);
+        break;
+    }
+    if (!st.ok()) {
+      router_->MaybeRefreshTaus();
+      return st;
+    }
+  }
+  router_->MaybeRefreshTaus();
+  return Status::OK();
+}
+
+void VpEngine::AdvanceTime(Timestamp now) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  router_->ObserveTime(now);
+  for (auto& shard : shards_) {
+    ShardCommand cmd;
+    cmd.kind = ShardCommand::Kind::kAdvanceTime;
+    cmd.now = router_->now();
+    Dispatch(shard.get(), std::move(cmd));
+  }
+  router_->MaybeRefreshTaus();
+}
+
+void VpEngine::LaunchFanOut(const RangeQuery& world,
+                            const std::atomic<bool>* stop, QueryFanOut* fan) {
+  const int n = router_->PartitionCount();
+  // The fan's operands live until the caller awaited every issued ticket
+  // (AwaitFanOut for all partitions) — even after early termination.
+  fan->frame_q.resize(n);
+  fan->hits.assign(n, std::vector<ObjectId>{});
+  fan->tickets.assign(n, TickBarrier::kNone);
+  fan->fanned.assign(n, false);
+  for (int p = 0; p < n; ++p) {
+    fan->frame_q[p] = router_->ToPartitionQuery(p, world);
+    if (!router_->PartitionMayMatch(p, fan->frame_q[p])) continue;
+    fan->fanned[p] = true;
+    ShardCommand cmd;
+    cmd.kind = ShardCommand::Kind::kQuery;
+    cmd.partition = slots_[p].slot;
+    cmd.query = &fan->frame_q[p];
+    cmd.hits = &fan->hits[p];
+    cmd.stop = stop;
+    Dispatch(slots_[p].shard, std::move(cmd), &fan->tickets[p]);
+  }
+}
+
+void VpEngine::AwaitFanOut(int p, const QueryFanOut& fan) const {
+  if (fan.tickets[p] != TickBarrier::kNone) {
+    slots_[p].shard->Await(fan.tickets[p]);
+  }
+}
+
+Status VpEngine::SearchLocked(const RangeQuery& q, ResultSink& sink) {
+  if (q.t_end < q.t_begin) {
+    // The partitions would reject this; checking here keeps the error
+    // synchronous instead of latching it as a sticky shard failure.
+    return Status::InvalidArgument("query interval end precedes begin");
+  }
+  std::atomic<bool> stop{false};
+  QueryFanOut fan;
+  LaunchFanOut(q, &stop, &fan);
+  // Merge in partition order (matching the sequential index's visit
+  // order), refining each candidate against the world-frame query.
+  bool stopped = false;
+  for (int p = 0; p < router_->PartitionCount(); ++p) {
+    if (!fan.fanned[p]) continue;
+    AwaitFanOut(p, fan);
+    if (stopped) continue;  // keep awaiting the rest; buffers are ours
+    for (ObjectId id : fan.hits[p]) {
+      if (!router_->MatchesWorld(id, q)) continue;
+      if (!sink.Emit(id)) {
+        stopped = true;
+        stop.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+  return FirstShardError();
+}
+
+Status VpEngine::Search(const RangeQuery& q, ResultSink& sink) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    // running_ only ever transitions true -> false, and Stop() needs the
+    // exclusive lock, so the flag cannot change while we hold the shared
+    // one.
+    if (running_) return SearchLocked(q, sink);
+  }
+  // Stopped engine: sub-queries execute inline on this thread, which
+  // requires exclusive access to the partition indexes.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return SearchLocked(q, sink);
+}
+
+Status VpEngine::KnnLocked(const Point2& center, std::size_t k, Timestamp t,
+                           const KnnOptions& options,
+                           std::vector<KnnNeighbor>* out) {
+  // Identical schedule and candidate sets to VpIndex::Knn: the probes are
+  // circular time-slice queries, fanned out in parallel here. Partition
+  // results need no refinement (rotations preserve circles) and no
+  // deduplication (partitions are disjoint).
+  return internal::GrowingRadiusKnn(
+      router_->Size(), center, k, t, options,
+      [&](double radius, std::vector<ObjectId>* candidates) -> Status {
+        candidates->clear();
+        const RangeQuery world = RangeQuery::TimeSlice(
+            QueryRegion::MakeCircle(Circle{center, radius}), t);
+        QueryFanOut fan;
+        LaunchFanOut(world, /*stop=*/nullptr, &fan);
+        for (int p = 0; p < router_->PartitionCount(); ++p) {
+          AwaitFanOut(p, fan);
+          candidates->insert(candidates->end(), fan.hits[p].begin(),
+                             fan.hits[p].end());
+        }
+        return FirstShardError();
+      },
+      [&](ObjectId id) { return router_->WorldObject(id); }, out);
+}
+
+Status VpEngine::Knn(const Point2& center, std::size_t k, Timestamp t,
+                     const KnnOptions& options,
+                     std::vector<KnnNeighbor>* out) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (running_) return KnnLocked(center, k, t, options, out);
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return KnnLocked(center, k, t, options, out);
+}
+
+std::size_t VpEngine::Size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return router_->Size();
+}
+
+StatusOr<MovingObject> VpEngine::GetObject(ObjectId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return router_->WorldObject(id);
+}
+
+StatusOr<int> VpEngine::PartitionOfObject(ObjectId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return router_->PartitionOfObject(id);
+}
+
+IoStats VpEngine::Stats() const {
+  // Exclusive: shard pools must be quiescent while their counters are
+  // read, and the flush must not race new enqueues.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (const auto& shard : shards_) shard->AwaitIdle();
+  IoStats total;
+  for (const auto& shard : shards_) total.MergeFrom(shard->MergedStats());
+  return total;
+}
+
+void VpEngine::ResetStats() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (const auto& shard : shards_) shard->AwaitIdle();
+  for (auto& shard : shards_) {
+    for (std::size_t s = 0; s < shard->partition_count(); ++s) {
+      shard->partition(static_cast<int>(s))->ResetStats();
+    }
+  }
+}
+
+MovingObjectIndex* VpEngine::Partition(int i) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  slots_[i].shard->AwaitIdle();
+  return slots_[i].shard->partition(slots_[i].slot);
+}
+
+Status VpEngine::CheckInvariants() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  VPMOI_RETURN_IF_ERROR(FlushLocked());
+  std::size_t partition_total = 0;
+  for (int p = 0; p < router_->PartitionCount(); ++p) {
+    const std::size_t size = slots_[p].shard->partition(slots_[p].slot)->Size();
+    partition_total += size;
+    if (size != router_->PartitionPopulation(p)) {
+      return Status::Corruption(
+          "a partition's size disagrees with the router's population count");
+    }
+  }
+  if (partition_total != router_->Size()) {
+    return Status::Corruption("partition sizes disagree with object table");
+  }
+  return Status::OK();
+}
+
+}  // namespace engine
+}  // namespace vpmoi

@@ -1,0 +1,198 @@
+// The partition-parallel engine: velocity partitioning's sub-indexes are
+// independent by construction (an object lives in exactly one partition,
+// Section 5.3), which makes the partition the natural unit of parallelism
+// — the insight MOIST applies to distributed moving-object indexing and
+// the cloud spatial-partitioning line applies to scale-out. VpEngine turns
+// each VP partition (k DVA frames + the outlier) into shard-owned state:
+//
+//   clients ──route (VpRouter, writer lock)──► per-shard ingest queues
+//                                                 │ MPSC, FIFO
+//                                             shard workers (1 thread
+//                                             each, sole owner of its
+//                                             partition indexes; hot path
+//                                             stays lock-free)
+//   queries ──readers lock──► fan transformed sub-queries to the shards,
+//             await their TickBarrier tickets, merge + refine against the
+//             router's world-frame table (Algorithm 3, line 8).
+//
+// Snapshot consistency per tick: updates acquire the engine lock
+// exclusively, mutate the routing table, and enqueue ticketed commands;
+// a query acquires the lock shared — so the update stream is frozen while
+// it runs — and awaits each shard's last ticket before merging. A query
+// therefore observes exactly the updates enqueued before it and none
+// after, and the engine provably returns the same result sets as the
+// sequential VpIndex fed the same operation stream (the equivalence suite
+// pins this for N ∈ {1,2,4} threads).
+//
+// Unlike VpIndex, whose partitions share one buffer pool, every partition
+// here owns private pages + pool (factory invoked with a null pool), so
+// shards never contend on storage. IoStats are therefore per-shard and
+// merged on demand (IoStats::MergeFrom).
+//
+// Failure model: routing-level errors (AlreadyExists, NotFound, bad
+// batches) surface synchronously, exactly like the sequential index.
+// Errors raised later by a shard worker (which cannot happen for
+// operations the router validated) are latched sticky and surface on the
+// next Flush()/query — fail-fast instead of silently dropping updates.
+#ifndef VPMOI_ENGINE_VP_ENGINE_H_
+#define VPMOI_ENGINE_VP_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/moving_object_index.h"
+#include "engine/shard.h"
+#include "vp/vp_index.h"
+#include "vp/vp_router.h"
+
+namespace vpmoi {
+namespace engine {
+
+/// Options of the partition-parallel engine.
+struct VpEngineOptions {
+  /// The underlying velocity-partitioning configuration. `buffer_pages`
+  /// applies per partition (each owns its pool).
+  VpIndexOptions vp;
+  /// Worker threads (= shards). Partitions are assigned round-robin, so
+  /// `threads` may be smaller than the partition count; larger values are
+  /// clamped. 0 means one shard per partition (k + 1 workers).
+  int threads = 0;
+};
+
+/// A multi-threaded, snapshot-consistent velocity-partitioned index.
+/// All MovingObjectIndex operations are thread-safe.
+class VpEngine final : public MovingObjectIndex {
+ public:
+  /// Runs the velocity analyzer, builds one child index per partition via
+  /// `factory` (called with a null pool: children own their storage), and
+  /// starts the shard workers.
+  static StatusOr<std::unique_ptr<VpEngine>> Build(
+      const IndexFactory& factory, const VpEngineOptions& options,
+      std::span<const Vec2> sample_velocities);
+
+  ~VpEngine() override;
+
+  std::string Name() const override { return name_; }
+  /// Mutations validate + route synchronously (so their Status matches the
+  /// sequential index exactly) and return once the work is enqueued; the
+  /// index work itself happens on the shard workers.
+  Status Insert(const MovingObject& o) override;
+  Status BulkLoad(std::span<const MovingObject> objects) override;
+  Status Delete(ObjectId id) override;
+  /// Routed as one atomic delete+insert under the writer lock: concurrent
+  /// queries observe the old or the new trajectory, never neither.
+  Status Update(const MovingObject& o) override;
+  /// Independent batches become one sub-batch per partition, enqueued to
+  /// the owning shards (which drain them through the children's sorted
+  /// group-update path); anything else falls back to in-order per-op
+  /// routing, preserving stop-at-first-error semantics.
+  Status ApplyBatch(std::span<const IndexOp> ops) override;
+  /// Fans rotated-frame sub-queries to the shards whose search space may
+  /// intersect them (VpRouter::PartitionMayMatch), awaits the snapshot
+  /// barrier, then merges shard results partition by partition, refining
+  /// each candidate against the original region. Early-terminating sinks
+  /// abort the still-running sub-queries via a shared stop flag.
+  Status Search(const RangeQuery& q, ResultSink& sink) override;
+  using MovingObjectIndex::Search;
+  /// The growing-radius driver over parallel fan-out probes; identical
+  /// answers to the sequential VpIndex::Knn (same schedule, same
+  /// candidates, rotations preserve circles).
+  Status Knn(const Point2& center, std::size_t k, Timestamp t,
+             const KnnOptions& options,
+             std::vector<KnnNeighbor>* out) override;
+  std::size_t Size() const override;
+  StatusOr<MovingObject> GetObject(ObjectId id) const override;
+  void AdvanceTime(Timestamp now) override;
+  /// Per-shard counters merged on demand; drains the queues first so the
+  /// numbers cover everything enqueued so far (exclusive lock).
+  IoStats Stats() const override;
+  void ResetStats() override;
+  /// The queue barrier, as the generic index verb (same as Flush()).
+  Status Drain() override { return Flush(); }
+
+  // -- Engine surface -------------------------------------------------------
+
+  /// Barrier: blocks until every enqueued operation is applied, then
+  /// reports the first asynchronous shard failure, if any (sticky).
+  Status Flush();
+
+  /// Drains every queue and joins the workers. Idempotent. Afterwards the
+  /// engine still answers every operation (executed inline on the calling
+  /// thread), so a stopped engine remains fully inspectable.
+  void Stop();
+
+  int ThreadCount() const { return static_cast<int>(shards_.size()); }
+  /// DVA partitions + 1 outlier.
+  int PartitionCount() const { return router_->PartitionCount(); }
+  int DvaCount() const { return router_->DvaCount(); }
+  const VpRouter& Router() const { return *router_; }
+  StatusOr<int> PartitionOfObject(ObjectId id) const;
+
+  /// Partition `i`'s index (i == DvaCount() is the outlier). Flushes and
+  /// locks out other threads first; do not retain across engine use.
+  MovingObjectIndex* Partition(int i);
+
+  /// Flushes, then validates the router table against every partition
+  /// index (population counts must agree) and surfaces shard errors.
+  Status CheckInvariants();
+
+ private:
+  VpEngine(VpEngineOptions options, std::unique_ptr<VpRouter> router);
+
+  /// Partition -> owning shard + slot within it.
+  struct PartitionSlot {
+    EngineShard* shard = nullptr;
+    int slot = 0;
+  };
+
+  /// One in-flight parallel query: per-partition operands (which must
+  /// outlive every issued ticket) plus the fan-out bookkeeping.
+  struct QueryFanOut {
+    std::vector<RangeQuery> frame_q;
+    std::vector<std::vector<ObjectId>> hits;
+    std::vector<TickBarrier::Ticket> tickets;
+    std::vector<bool> fanned;
+  };
+
+  Status InsertLocked(const MovingObject& o);
+  Status DeleteLocked(ObjectId id);
+  Status UpdateLocked(const MovingObject& o);
+  /// Hands `cmd` to its shard: enqueued while the workers run, executed
+  /// inline after Stop(). `ticket` (optional) receives the issued ticket
+  /// (TickBarrier::kNone when inline).
+  void Dispatch(EngineShard* shard, ShardCommand cmd,
+                TickBarrier::Ticket* ticket = nullptr);
+  void EnqueueBatch(int partition, std::vector<IndexOp> ops);
+  /// Dispatches `world`, transformed per frame, to every shard whose
+  /// partition may hold matches (`stop` may be null).
+  void LaunchFanOut(const RangeQuery& world, const std::atomic<bool>* stop,
+                    QueryFanOut* fan);
+  /// Blocks until partition `p`'s sub-query (if fanned) completed.
+  void AwaitFanOut(int p, const QueryFanOut& fan) const;
+  Status SearchLocked(const RangeQuery& q, ResultSink& sink);
+  Status KnnLocked(const Point2& center, std::size_t k, Timestamp t,
+                   const KnnOptions& options, std::vector<KnnNeighbor>* out);
+  Status FlushLocked() const;
+  Status FirstShardError() const;
+
+  VpEngineOptions options_;
+  std::unique_ptr<VpRouter> router_;
+  std::vector<std::unique_ptr<EngineShard>> shards_;
+  std::vector<PartitionSlot> slots_;
+  std::string name_;
+
+  /// Guards the router (table, histograms, taus) and the running flag.
+  /// Writers: mutations, AdvanceTime, Stats, Flush, Stop. Readers:
+  /// Search/Knn/GetObject/Size — concurrent queries proceed in parallel.
+  mutable std::shared_mutex mu_;
+  bool running_ = false;
+};
+
+}  // namespace engine
+}  // namespace vpmoi
+
+#endif  // VPMOI_ENGINE_VP_ENGINE_H_

@@ -63,6 +63,7 @@ bool BufferPool::MissTouch(PageId id, bool charge_read) {
 }
 
 PageId BufferPool::AllocatePage() {
+  const auto lock = MaybeLock();
   PageId id = store_->Allocate();
   ++stats_.logical_writes;
   // A freshly allocated id is never resident (FreePage dropped it if it
@@ -77,6 +78,7 @@ PageId BufferPool::AllocatePage() {
 }
 
 void BufferPool::FreePage(PageId id) {
+  const auto lock = MaybeLock();
   if (id < page_to_frame_.size()) {
     const Slot s = page_to_frame_[id];
     if (s != kNoFrame) {
@@ -94,6 +96,7 @@ void BufferPool::FreePage(PageId id) {
 }
 
 void BufferPool::FlushAll() {
+  const auto lock = MaybeLock();
   for (Slot s = head_; s != kNoFrame; s = frames_[s].next) {
     if (frames_[s].dirty) {
       ++stats_.physical_writes;
@@ -103,6 +106,7 @@ void BufferPool::FlushAll() {
 }
 
 void BufferPool::Invalidate() {
+  const auto lock = MaybeLock();
   for (Slot s = head_; s != kNoFrame;) {
     const Slot next = frames_[s].next;
     page_to_frame_[frames_[s].id] = kNoFrame;

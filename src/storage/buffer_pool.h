@@ -20,6 +20,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/types.h"
@@ -43,27 +45,36 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
+  /// Opts this pool into internal locking: every subsequent access takes a
+  /// private mutex, so an index whose Search runs under a shared (reader)
+  /// lock can be probed by several threads at once — the pool's LRU chain
+  /// and I/O counters stay race-free while the per-page computation above
+  /// the pool parallelizes. Off by default: the single-threaded hot path
+  /// pays only one predictable branch (see PR 3's hit-path numbers).
+  /// Call before the pool is shared between threads.
+  void EnableInternalLocking() {
+    if (mu_ == nullptr) mu_ = std::make_unique<std::mutex>();
+  }
+  bool InternalLockingEnabled() const { return mu_ != nullptr; }
+
   /// Fetches a page for reading. Inline fast path: a resident page costs
   /// two counter bumps, one frame-table load and (if not already MRU) a
   /// constant-time relink.
   const Page* Read(PageId id) {
-    ++stats_.logical_reads;
-    if (!TouchHit(id)) {
-      MissTouch(id, /*charge_read=*/true);
+    if (mu_ != nullptr) [[unlikely]] {
+      std::lock_guard<std::mutex> lock(*mu_);
+      return ReadUnlocked(id);
     }
-    return store_->Get(id);
+    return ReadUnlocked(id);
   }
 
   /// Fetches a page for writing; the frame is marked dirty.
   Page* Write(PageId id) {
-    ++stats_.logical_writes;
-    if (TouchHit(id) || MissTouch(id, /*charge_read=*/true)) {
-      frames_[page_to_frame_[id]].dirty = true;
-    } else {
-      // Capacity 0: write-through.
-      ++stats_.physical_writes;
+    if (mu_ != nullptr) [[unlikely]] {
+      std::lock_guard<std::mutex> lock(*mu_);
+      return WriteUnlocked(id);
     }
-    return store_->Get(id);
+    return WriteUnlocked(id);
   }
 
   /// Allocates a fresh page, resident and dirty (no physical read is
@@ -80,6 +91,10 @@ class BufferPool {
   /// experiment phases to cold-start the cache.
   void Invalidate();
 
+  /// Counter snapshot. Not internally locked even when EnableInternalLocking
+  /// is on: read it only while no other thread is touching the pool (the
+  /// thread-safe decorator reads it under its exclusive writer lock, the
+  /// parallel engine after a tick barrier).
   const IoStats& stats() const { return stats_; }
   void ResetStats() { stats_ = IoStats{}; }
 
@@ -106,6 +121,31 @@ class BufferPool {
   /// Frame-slot index type; slots never exceed `capacity_`.
   using Slot = std::uint32_t;
   static constexpr Slot kNoFrame = static_cast<Slot>(-1);
+
+  /// Holds the internal mutex when locking is enabled; empty otherwise.
+  std::unique_lock<std::mutex> MaybeLock() {
+    return mu_ != nullptr ? std::unique_lock<std::mutex>(*mu_)
+                          : std::unique_lock<std::mutex>();
+  }
+
+  const Page* ReadUnlocked(PageId id) {
+    ++stats_.logical_reads;
+    if (!TouchHit(id)) {
+      MissTouch(id, /*charge_read=*/true);
+    }
+    return store_->Get(id);
+  }
+
+  Page* WriteUnlocked(PageId id) {
+    ++stats_.logical_writes;
+    if (TouchHit(id) || MissTouch(id, /*charge_read=*/true)) {
+      frames_[page_to_frame_[id]].dirty = true;
+    } else {
+      // Capacity 0: write-through.
+      ++stats_.physical_writes;
+    }
+    return store_->Get(id);
+  }
 
   struct Frame {
     PageId id = kInvalidPageId;
@@ -179,6 +219,9 @@ class BufferPool {
   Slot tail_ = kNoFrame;                // least recently used
   std::size_t resident_ = 0;
   IoStats stats_;
+  /// Null until EnableInternalLocking(); guards every member above when
+  /// set. unique_ptr keeps the disabled-mode branch a plain pointer test.
+  std::unique_ptr<std::mutex> mu_;
 };
 
 }  // namespace vpmoi

@@ -46,6 +46,11 @@ struct IoStats {
     buffer_misses += o.buffer_misses;
     return *this;
   }
+  /// Accumulates another counter set into this one. The parallel engine
+  /// keeps one IoStats per shard (each shard's buffer pool is touched by
+  /// exactly one worker thread, so the counters need no atomics) and rolls
+  /// them up on demand with MergeFrom when a caller asks for totals.
+  IoStats& MergeFrom(const IoStats& o) { return *this += o; }
   friend IoStats operator+(IoStats a, const IoStats& b) { return a += b; }
   friend IoStats operator-(IoStats a, const IoStats& b) {
     a.logical_reads -= b.logical_reads;

@@ -78,6 +78,8 @@ class TprStarTree final : public MovingObjectIndex {
   void AdvanceTime(Timestamp now) override;
   IoStats Stats() const override { return pool_->stats(); }
   void ResetStats() override { pool_->ResetStats(); }
+  /// Search only mutates buffer-pool state; locking the pool suffices.
+  void EnableConcurrentReads() override { pool_->EnableInternalLocking(); }
 
   /// Tree height (1 = root is a leaf).
   int Height() const { return height_; }

@@ -1,51 +1,32 @@
 #include "vp/vp_index.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
+#include <utility>
 #include <vector>
 
 #include "common/knn.h"
 
 namespace vpmoi {
 
-VpIndex::VpIndex(const VpIndexOptions& options, VelocityAnalysis analysis)
-    : options_(options), analysis_(std::move(analysis)) {}
+VpIndex::VpIndex(std::unique_ptr<VpRouter> router)
+    : router_(std::move(router)) {}
 
 StatusOr<std::unique_ptr<VpIndex>> VpIndex::Build(
     const IndexFactory& factory, const VpIndexOptions& options,
     std::span<const Vec2> sample_velocities) {
-  VelocityAnalyzer analyzer(options.analyzer);
-  auto analyzed = analyzer.Analyze(sample_velocities);
-  if (!analyzed.ok()) return analyzed.status();
+  auto router = VpRouter::Build(options.RouterOptions(), sample_velocities);
+  if (!router.ok()) return router.status();
 
-  std::unique_ptr<VpIndex> index(
-      new VpIndex(options, std::move(analyzed).value()));
+  std::unique_ptr<VpIndex> index(new VpIndex(std::move(router).value()));
   index->store_ = std::make_unique<PageStore>();
   index->pool_ = std::make_unique<BufferPool>(index->store_.get(),
                                               options.buffer_pages);
 
-  // Histogram range: generously above the largest perpendicular speed seen
-  // in the sample so refreshed taus are not clipped.
-  double max_perp = 1.0;
-  for (const Vec2& v : sample_velocities) {
-    for (const Dva& d : index->analysis_.dvas) {
-      max_perp = std::max(max_perp, d.PerpendicularSpeed(v));
-    }
-  }
-  for (int i = 0; i < index->DvaCount(); ++i) {
-    index->perp_histograms_.emplace_back(0.0, max_perp * 2.0,
-                                         options.refresh_histogram_buckets);
-  }
-
   // k DVA indexes in their rotated frames plus the outlier index in the
-  // world frame.
-  for (int i = 0; i < index->DvaCount(); ++i) {
-    index->transforms_.emplace_back(index->analysis_.dvas[i], options.domain);
-    index->partitions_.push_back(factory(
-        index->pool_.get(), index->transforms_.back().frame_domain()));
+  // world frame, all over the one shared pool.
+  for (int i = 0; i < index->router_->PartitionCount(); ++i) {
+    index->partitions_.push_back(
+        factory(index->pool_.get(), index->router_->PartitionDomain(i)));
   }
-  index->partitions_.push_back(factory(index->pool_.get(), options.domain));
   for (const auto& p : index->partitions_) {
     if (p == nullptr) {
       return Status::InvalidArgument(
@@ -53,84 +34,20 @@ StatusOr<std::unique_ptr<VpIndex>> VpIndex::Build(
     }
   }
   index->name_ = index->partitions_.back()->Name() + "(VP)";
-
-  // Baseline direction fit of the sample, for drift detection later.
-  double perp_total = 0.0, speed_total = 0.0;
-  for (const Vec2& v : sample_velocities) {
-    const int c = index->analysis_.ClosestDva(v);
-    if (c >= 0) perp_total += index->analysis_.dvas[c].PerpendicularSpeed(v);
-    speed_total += v.Norm();
-  }
-  index->baseline_drift_ =
-      speed_total > 0.0 ? perp_total / speed_total : 0.0;
   return index;
 }
 
-double VpIndex::DirectionDriftIndicator() const {
-  double perp_total = 0.0, speed_total = 0.0;
-  for (const auto& [id, entry] : objects_) {
-    const Vec2& v = entry.world.vel;
-    const int c = analysis_.ClosestDva(v);
-    if (c >= 0) perp_total += analysis_.dvas[c].PerpendicularSpeed(v);
-    speed_total += v.Norm();
-  }
-  return speed_total > 0.0 ? perp_total / speed_total : 0.0;
-}
-
-bool VpIndex::NeedsReanalysis(double factor) const {
-  if (objects_.empty()) return false;
-  // The floor handles near-perfect baselines where any real change is an
-  // "infinite" ratio.
-  const double threshold = std::max(baseline_drift_ * factor, 0.05);
-  return DirectionDriftIndicator() > threshold;
-}
-
-int VpIndex::RoutePartition(const Vec2& v, int* closest_dva,
-                            double* perp) const {
-  const int c = analysis_.ClosestDva(v);
-  *closest_dva = c;
-  if (c < 0) {
-    *perp = 0.0;
-    return DvaCount();  // no DVAs at all: everything is an outlier
-  }
-  *perp = analysis_.dvas[c].PerpendicularSpeed(v);
-  return (*perp <= analysis_.dvas[c].tau) ? c : DvaCount();
-}
-
 Status VpIndex::Insert(const MovingObject& o) {
-  if (objects_.contains(o.id)) {
-    return Status::AlreadyExists("object already indexed");
-  }
-  now_ = std::max(now_, o.t_ref);
-  int closest = -1;
-  double perp = 0.0;
-  const int target = RoutePartition(o.vel, &closest, &perp);
-  const MovingObject stored =
-      target < DvaCount() ? transforms_[target].ToFrame(o) : o;
-  VPMOI_RETURN_IF_ERROR(partitions_[target]->Insert(stored));
-  objects_.emplace(o.id, ObjectEntry{target, o});
-  if (closest >= 0) perp_histograms_[closest].Add(perp);
+  auto plan = router_->PlanInsert(o);
+  if (!plan.ok()) return plan.status();
+  VPMOI_RETURN_IF_ERROR(partitions_[plan->partition]->Insert(plan->stored));
+  router_->CommitInsert(*plan);
   return Status::OK();
 }
 
 Status VpIndex::BulkLoad(std::span<const MovingObject> objects) {
-  if (!objects_.empty()) {
-    return Status::InvalidArgument("bulk load requires an empty index");
-  }
-  std::vector<std::vector<MovingObject>> groups(partitions_.size());
-  for (const MovingObject& o : objects) {
-    now_ = std::max(now_, o.t_ref);
-    int closest = -1;
-    double perp = 0.0;
-    const int target = RoutePartition(o.vel, &closest, &perp);
-    groups[target].push_back(target < DvaCount() ? transforms_[target].ToFrame(o)
-                                                 : o);
-    if (!objects_.emplace(o.id, ObjectEntry{target, o}).second) {
-      objects_.clear();
-      return Status::InvalidArgument("duplicate object id in bulk load");
-    }
-    if (closest >= 0) perp_histograms_[closest].Add(perp);
-  }
+  std::vector<std::vector<MovingObject>> groups;
+  VPMOI_RETURN_IF_ERROR(router_->RouteBulkLoad(objects, &groups));
   for (std::size_t i = 0; i < partitions_.size(); ++i) {
     const Status st = partitions_[i]->BulkLoad(groups[i]);
     if (!st.ok()) return st;
@@ -139,17 +56,10 @@ Status VpIndex::BulkLoad(std::span<const MovingObject> objects) {
 }
 
 Status VpIndex::Delete(ObjectId id) {
-  auto it = objects_.find(id);
-  if (it == objects_.end()) {
-    return Status::NotFound("object is not indexed");
-  }
-  VPMOI_RETURN_IF_ERROR(partitions_[it->second.partition]->Delete(id));
-  const int closest = analysis_.ClosestDva(it->second.world.vel);
-  if (closest >= 0) {
-    perp_histograms_[closest].Remove(
-        analysis_.dvas[closest].PerpendicularSpeed(it->second.world.vel));
-  }
-  objects_.erase(it);
+  auto plan = router_->PlanDelete(id);
+  if (!plan.ok()) return plan.status();
+  VPMOI_RETURN_IF_ERROR(partitions_[plan->partition]->Delete(id));
+  router_->CommitDelete(id);
   return Status::OK();
 }
 
@@ -160,9 +70,7 @@ Status VpIndex::Search(const RangeQuery& q, ResultSink& sink) {
   // the original region using the object's world-frame trajectory.
   bool stopped = false;
   CallbackSink refine([&](ObjectId id) {
-    auto it = objects_.find(id);
-    if (it == objects_.end()) return true;  // should not happen
-    if (!q.Matches(it->second.world)) return true;
+    if (!router_->MatchesWorld(id, q)) return true;
     if (!sink.Emit(id)) {
       stopped = true;
       return false;
@@ -170,7 +78,7 @@ Status VpIndex::Search(const RangeQuery& q, ResultSink& sink) {
     return true;
   });
   for (int i = 0; i < DvaCount(); ++i) {
-    const RangeQuery tq = transforms_[i].TransformQuery(q);
+    const RangeQuery tq = router_->ToPartitionQuery(i, q);
     VPMOI_RETURN_IF_ERROR(partitions_[i]->Search(tq, refine));
     if (stopped) return Status::OK();
   }
@@ -193,9 +101,8 @@ Status VpIndex::Knn(const Point2& center, std::size_t k, Timestamp t,
         const RangeQuery world = RangeQuery::TimeSlice(
             QueryRegion::MakeCircle(Circle{center, radius}), t);
         for (int i = 0; i < DvaCount(); ++i) {
-          VPMOI_RETURN_IF_ERROR(
-              partitions_[i]->Search(transforms_[i].TransformQuery(world),
-                                     collect));
+          VPMOI_RETURN_IF_ERROR(partitions_[i]->Search(
+              router_->ToPartitionQuery(i, world), collect));
         }
         return partitions_[DvaCount()]->Search(world, collect);
       },
@@ -206,134 +113,43 @@ Status VpIndex::ApplyBatch(std::span<const IndexOp> ops) {
   // Group ops per partition so each child index receives one sub-batch
   // (preserving the relative order of its own ops) and can amortize it —
   // the Bx/Bdual children turn theirs into key-sorted group updates. Only
-  // sound when IndexOpsAreIndependent; otherwise fall back to the
+  // sound when the ops are independent; otherwise fall back to the
   // sequential base path.
-  if (!IndexOpsAreIndependent(
-          ops, [&](ObjectId id) { return objects_.contains(id); })) {
+  std::vector<std::vector<IndexOp>> grouped;
+  if (!router_->TryGroupBatch(ops, &grouped)) {
     const Status st = MovingObjectIndex::ApplyBatch(ops);
-    MaybeRefreshTaus();
+    router_->MaybeRefreshTaus();
     return st;
-  }
-
-  std::vector<std::vector<IndexOp>> grouped(partitions_.size());
-  for (const IndexOp& op : ops) {
-    if (op.kind == IndexOpKind::kDelete) {
-      auto it = objects_.find(op.object.id);
-      const int p = it->second.partition;
-      const int closest = analysis_.ClosestDva(it->second.world.vel);
-      if (closest >= 0) {
-        perp_histograms_[closest].Remove(
-            analysis_.dvas[closest].PerpendicularSpeed(it->second.world.vel));
-      }
-      objects_.erase(it);
-      grouped[p].push_back(op);
-      continue;
-    }
-    // Insert, or the delete+insert halves of an update.
-    const MovingObject& o = op.object;
-    now_ = std::max(now_, o.t_ref);
-    int closest = -1;
-    double perp = 0.0;
-    const int target = RoutePartition(o.vel, &closest, &perp);
-    const MovingObject stored =
-        target < DvaCount() ? transforms_[target].ToFrame(o) : o;
-    if (op.kind == IndexOpKind::kUpdate) {
-      auto it = objects_.find(o.id);
-      const int old_partition = it->second.partition;
-      const int old_closest = analysis_.ClosestDva(it->second.world.vel);
-      if (old_closest >= 0) {
-        perp_histograms_[old_closest].Remove(
-            analysis_.dvas[old_closest].PerpendicularSpeed(
-                it->second.world.vel));
-      }
-      if (old_partition == target) {
-        grouped[target].push_back(IndexOp::Updating(stored));
-      } else {
-        grouped[old_partition].push_back(IndexOp::Deleting(o.id));
-        grouped[target].push_back(IndexOp::Inserting(stored));
-      }
-      it->second = ObjectEntry{target, o};
-    } else {
-      grouped[target].push_back(IndexOp::Inserting(stored));
-      objects_.emplace(o.id, ObjectEntry{target, o});
-    }
-    if (closest >= 0) perp_histograms_[closest].Add(perp);
   }
   for (std::size_t i = 0; i < partitions_.size(); ++i) {
     if (grouped[i].empty()) continue;
     const Status st = partitions_[i]->ApplyBatch(grouped[i]);
     if (!st.ok()) {
-      MaybeRefreshTaus();
+      router_->MaybeRefreshTaus();
       return st;
     }
   }
-  MaybeRefreshTaus();
+  router_->MaybeRefreshTaus();
   return Status::OK();
 }
 
 void VpIndex::AdvanceTime(Timestamp now) {
-  now_ = std::max(now_, now);
-  for (auto& p : partitions_) p->AdvanceTime(now_);
-  MaybeRefreshTaus();
-}
-
-void VpIndex::MaybeRefreshTaus() {
-  if (options_.tau_refresh_interval > 0.0 &&
-      now_ - last_tau_refresh_ >= options_.tau_refresh_interval) {
-    RecomputeTaus();
-    last_tau_refresh_ = now_;
-  }
-}
-
-void VpIndex::RecomputeTaus() {
-  // Section 5.5: re-derive tau from the continuously maintained
-  // histograms (Equation 10 over bucket upper bounds). The new tau steers
-  // future inserts/updates; resident objects migrate on their next update.
-  for (int c = 0; c < DvaCount(); ++c) {
-    const EqualWidthHistogram& h = perp_histograms_[c];
-    if (h.TotalCount() == 0) continue;
-    std::size_t last_nonempty = 0;
-    for (std::size_t b = 0; b < h.BucketCount(); ++b) {
-      if (h.BucketValue(b) > 0) last_nonempty = b;
-    }
-    const double vymax = h.BucketUpperBound(last_nonempty);
-    double best_tau = vymax;
-    double best_cost = std::numeric_limits<double>::infinity();
-    std::uint64_t nd = 0;
-    for (std::size_t b = 0; b <= last_nonempty; ++b) {
-      nd += h.BucketValue(b);
-      const double tau = h.BucketUpperBound(b);
-      const double cost = static_cast<double>(nd) * (tau - vymax);
-      if (cost < best_cost) {
-        best_cost = cost;
-        best_tau = tau;
-      }
-    }
-    analysis_.dvas[c].tau = best_tau;
-  }
-}
-
-StatusOr<MovingObject> VpIndex::GetObject(ObjectId id) const {
-  auto it = objects_.find(id);
-  if (it == objects_.end()) return Status::NotFound("object is not indexed");
-  return it->second.world;
-}
-
-StatusOr<int> VpIndex::PartitionOfObject(ObjectId id) const {
-  auto it = objects_.find(id);
-  if (it == objects_.end()) return Status::NotFound("object is not indexed");
-  return it->second.partition;
-}
-
-std::size_t VpIndex::PartitionSize(int i) const {
-  return partitions_[i]->Size();
+  router_->ObserveTime(now);
+  for (auto& p : partitions_) p->AdvanceTime(router_->now());
+  router_->MaybeRefreshTaus();
 }
 
 Status VpIndex::CheckInvariants() const {
   std::size_t partition_total = 0;
   for (const auto& p : partitions_) partition_total += p->Size();
-  if (partition_total != objects_.size()) {
+  if (partition_total != router_->Size()) {
     return Status::Corruption("partition sizes disagree with object table");
+  }
+  for (int i = 0; i < router_->PartitionCount(); ++i) {
+    if (partitions_[i]->Size() != router_->PartitionPopulation(i)) {
+      return Status::Corruption(
+          "a partition's size disagrees with the router's population count");
+    }
   }
   return Status::OK();
 }

@@ -6,8 +6,11 @@
 // transformed into every frame, executed, merged and refined against the
 // original region (Algorithm 3).
 //
-// All partitions share one buffer pool so a VP index and its unpartitioned
-// counterpart compete with identical RAM (Table 1: 50 pages).
+// Routing decisions (analysis, transforms, object table, tau maintenance)
+// live in VpRouter (vp_router.h), shared verbatim with the
+// partition-parallel engine; this class adds the sequential storage side:
+// the partition indexes over one shared buffer pool, so a VP index and its
+// unpartitioned counterpart compete with identical RAM (Table 1: 50 pages).
 #ifndef VPMOI_VP_VP_INDEX_H_
 #define VPMOI_VP_VP_INDEX_H_
 
@@ -15,22 +18,22 @@
 #include <memory>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/moving_object_index.h"
-#include "math/histogram.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
 #include "vp/transform.h"
 #include "vp/velocity_analyzer.h"
+#include "vp/vp_router.h"
 
 namespace vpmoi {
 
 /// Builds one partition's underlying index over the given (shared) buffer
 /// pool and (frame) domain. The VP wrapper is generic over this factory —
 /// "the VP technique can be applied to a wide range of moving object index
-/// structures" (Section 1).
+/// structures" (Section 1). The partition-parallel engine reuses the same
+/// factory shape with a null pool (each shard owns its pages).
 using IndexFactory = std::function<std::unique_ptr<MovingObjectIndex>(
     BufferPool* pool, const Rect& domain)>;
 
@@ -47,6 +50,16 @@ struct VpIndexOptions {
   double tau_refresh_interval = 60.0;
   /// Buckets of the maintained histograms.
   int refresh_histogram_buckets = 100;
+
+  /// The router half of these options.
+  VpRouterOptions RouterOptions() const {
+    VpRouterOptions o;
+    o.domain = domain;
+    o.analyzer = analyzer;
+    o.tau_refresh_interval = tau_refresh_interval;
+    o.refresh_histogram_buckets = refresh_histogram_buckets;
+    return o;
+  }
 };
 
 /// A velocity-partitioned moving-object index.
@@ -85,23 +98,30 @@ class VpIndex final : public MovingObjectIndex {
   Status Knn(const Point2& center, std::size_t k, Timestamp t,
              const KnnOptions& options,
              std::vector<KnnNeighbor>* out) override;
-  std::size_t Size() const override { return objects_.size(); }
-  StatusOr<MovingObject> GetObject(ObjectId id) const override;
+  std::size_t Size() const override { return router_->Size(); }
+  StatusOr<MovingObject> GetObject(ObjectId id) const override {
+    return router_->WorldObject(id);
+  }
   void AdvanceTime(Timestamp now) override;
   IoStats Stats() const override { return pool_->stats(); }
   void ResetStats() override { pool_->ResetStats(); }
+  /// Partitions share one pool; locking it makes concurrent searches safe
+  /// (the router table is read-only during searches).
+  void EnableConcurrentReads() override { pool_->EnableInternalLocking(); }
 
   /// Number of DVA partitions (excluding the outlier partition).
-  int DvaCount() const { return static_cast<int>(analysis_.dvas.size()); }
-  const Dva& GetDva(int i) const { return analysis_.dvas[i]; }
-  const DvaTransform& Transform(int i) const { return transforms_[i]; }
-  const VelocityAnalysis& Analysis() const { return analysis_; }
+  int DvaCount() const { return router_->DvaCount(); }
+  const Dva& GetDva(int i) const { return router_->GetDva(i); }
+  const DvaTransform& Transform(int i) const { return router_->Transform(i); }
+  const VelocityAnalysis& Analysis() const { return router_->Analysis(); }
 
   /// Partition index of an object: 0..k-1 for DVA partitions, k for the
   /// outlier partition.
-  StatusOr<int> PartitionOfObject(ObjectId id) const;
+  StatusOr<int> PartitionOfObject(ObjectId id) const {
+    return router_->PartitionOfObject(id);
+  }
   /// Count of objects currently in partition `i` (k = outlier).
-  std::size_t PartitionSize(int i) const;
+  std::size_t PartitionSize(int i) const { return partitions_[i]->Size(); }
 
   /// Underlying index of partition i (i == DvaCount() is the outlier
   /// index). Exposed for instrumentation benches (Figure 7).
@@ -110,21 +130,28 @@ class VpIndex final : public MovingObjectIndex {
     return partitions_[i].get();
   }
 
+  /// The routing core (analysis, transforms, object table, taus).
+  const VpRouter& Router() const { return *router_; }
+
   /// Section 5.5 drift detection. In theory the DVAs must be recomputed
   /// when the dominant travel directions change; in practice directions
   /// are stable, so the library only *measures* fit instead of rebuilding
   /// automatically. Returns the mean perpendicular speed of the current
   /// population to its closest DVA, normalized by the mean speed
   /// (0 = perfectly axis-aligned, ~0.6 = directionless).
-  double DirectionDriftIndicator() const;
+  double DirectionDriftIndicator() const {
+    return router_->DirectionDriftIndicator();
+  }
 
   /// The same indicator measured over the build-time sample.
-  double BaselineDrift() const { return baseline_drift_; }
+  double BaselineDrift() const { return router_->BaselineDrift(); }
 
   /// True when the population's drift indicator exceeds `factor` times the
   /// build-time baseline (plus a small floor for near-zero baselines) —
   /// the caller should re-run the velocity analyzer and rebuild.
-  bool NeedsReanalysis(double factor = 3.0) const;
+  bool NeedsReanalysis(double factor = 3.0) const {
+    return router_->NeedsReanalysis(factor);
+  }
 
   /// Validation: every object is registered in exactly the partition the
   /// current DVAs would choose for it at insert time, and each partition's
@@ -132,37 +159,13 @@ class VpIndex final : public MovingObjectIndex {
   Status CheckInvariants() const;
 
  private:
-  VpIndex(const VpIndexOptions& options, VelocityAnalysis analysis);
+  explicit VpIndex(std::unique_ptr<VpRouter> router);
 
-  /// Chooses the partition (0..k-1, or k for outlier) for velocity `v`,
-  /// also reporting the closest DVA and its perpendicular speed.
-  int RoutePartition(const Vec2& v, int* closest_dva, double* perp) const;
-
-  void RecomputeTaus();
-  /// Runs RecomputeTaus when the refresh interval has elapsed.
-  void MaybeRefreshTaus();
-
-  VpIndexOptions options_;
-  VelocityAnalysis analysis_;
-  std::vector<DvaTransform> transforms_;
-
+  std::unique_ptr<VpRouter> router_;
   std::unique_ptr<PageStore> store_;
   std::unique_ptr<BufferPool> pool_;
   /// k DVA indexes followed by the outlier index.
   std::vector<std::unique_ptr<MovingObjectIndex>> partitions_;
-
-  struct ObjectEntry {
-    int partition;
-    MovingObject world;
-  };
-  std::unordered_map<ObjectId, ObjectEntry> objects_;
-
-  /// Per-DVA histograms of perpendicular speeds (Section 5.5), indexed by
-  /// closest DVA regardless of acceptance.
-  std::vector<EqualWidthHistogram> perp_histograms_;
-  Timestamp now_ = 0.0;
-  Timestamp last_tau_refresh_ = 0.0;
-  double baseline_drift_ = 0.0;
   std::string name_;
 };
 

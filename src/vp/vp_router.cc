@@ -1,0 +1,278 @@
+#include "vp/vp_router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace vpmoi {
+
+VpRouter::VpRouter(const VpRouterOptions& options, VelocityAnalysis analysis)
+    : options_(options), analysis_(std::move(analysis)) {}
+
+StatusOr<std::unique_ptr<VpRouter>> VpRouter::Build(
+    const VpRouterOptions& options, std::span<const Vec2> sample_velocities) {
+  VelocityAnalyzer analyzer(options.analyzer);
+  auto analyzed = analyzer.Analyze(sample_velocities);
+  if (!analyzed.ok()) return analyzed.status();
+
+  std::unique_ptr<VpRouter> router(
+      new VpRouter(options, std::move(analyzed).value()));
+
+  // Histogram range: generously above the largest perpendicular speed seen
+  // in the sample so refreshed taus are not clipped.
+  double max_perp = 1.0;
+  for (const Vec2& v : sample_velocities) {
+    for (const Dva& d : router->analysis_.dvas) {
+      max_perp = std::max(max_perp, d.PerpendicularSpeed(v));
+    }
+  }
+  for (int i = 0; i < router->DvaCount(); ++i) {
+    router->perp_histograms_.emplace_back(0.0, max_perp * 2.0,
+                                          options.refresh_histogram_buckets);
+    router->transforms_.emplace_back(router->analysis_.dvas[i],
+                                     options.domain);
+  }
+  router->footprints_.resize(router->PartitionCount());
+
+  // Baseline direction fit of the sample, for drift detection later.
+  double perp_total = 0.0, speed_total = 0.0;
+  for (const Vec2& v : sample_velocities) {
+    const int c = router->analysis_.ClosestDva(v);
+    if (c >= 0) perp_total += router->analysis_.dvas[c].PerpendicularSpeed(v);
+    speed_total += v.Norm();
+  }
+  router->baseline_drift_ =
+      speed_total > 0.0 ? perp_total / speed_total : 0.0;
+  return router;
+}
+
+int VpRouter::RoutePartition(const Vec2& v, int* closest_dva,
+                             double* perp) const {
+  const int c = analysis_.ClosestDva(v);
+  *closest_dva = c;
+  if (c < 0) {
+    *perp = 0.0;
+    return DvaCount();  // no DVAs at all: everything is an outlier
+  }
+  *perp = analysis_.dvas[c].PerpendicularSpeed(v);
+  return (*perp <= analysis_.dvas[c].tau) ? c : DvaCount();
+}
+
+StatusOr<MovingObject> VpRouter::WorldObject(ObjectId id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return Status::NotFound("object is not indexed");
+  return it->second.world;
+}
+
+StatusOr<int> VpRouter::PartitionOfObject(ObjectId id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return Status::NotFound("object is not indexed");
+  return it->second.partition;
+}
+
+void VpRouter::RecordStored(int partition, const MovingObject& stored) {
+  Footprint& f = footprints_[partition];
+  if (!f.ever_occupied) {
+    f.ever_occupied = true;
+    f.t_ref_min = f.t_ref_max = stored.t_ref;
+    f.stored_mbr = Rect::FromPoint(stored.pos);
+  } else {
+    f.t_ref_min = std::min(f.t_ref_min, stored.t_ref);
+    f.t_ref_max = std::max(f.t_ref_max, stored.t_ref);
+    f.stored_mbr.ExtendToCover(stored.pos);
+  }
+  f.max_speed = std::max(f.max_speed, stored.vel.Norm());
+}
+
+void VpRouter::AddToHistogram(int closest_dva, double perp) {
+  if (closest_dva >= 0) perp_histograms_[closest_dva].Add(perp);
+}
+
+void VpRouter::RemoveFromHistogram(const Vec2& world_vel) {
+  const int closest = analysis_.ClosestDva(world_vel);
+  if (closest >= 0) {
+    perp_histograms_[closest].Remove(
+        analysis_.dvas[closest].PerpendicularSpeed(world_vel));
+  }
+}
+
+StatusOr<VpRouter::InsertPlan> VpRouter::PlanInsert(
+    const MovingObject& o) const {
+  if (objects_.contains(o.id)) {
+    return Status::AlreadyExists("object already indexed");
+  }
+  InsertPlan plan;
+  plan.partition = RoutePartition(o.vel, &plan.closest_dva, &plan.perp);
+  plan.stored = ToPartitionFrame(plan.partition, o);
+  plan.world = o;
+  return plan;
+}
+
+void VpRouter::CommitInsert(const InsertPlan& plan) {
+  ObserveTime(plan.world.t_ref);
+  objects_.emplace(plan.world.id, ObjectEntry{plan.partition, plan.world});
+  AddToHistogram(plan.closest_dva, plan.perp);
+  RecordStored(plan.partition, plan.stored);
+  ++footprints_[plan.partition].count;
+}
+
+StatusOr<VpRouter::DeletePlan> VpRouter::PlanDelete(ObjectId id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("object is not indexed");
+  }
+  return DeletePlan{it->second.partition};
+}
+
+void VpRouter::CommitDelete(ObjectId id) {
+  auto it = objects_.find(id);
+  RemoveFromHistogram(it->second.world.vel);
+  --footprints_[it->second.partition].count;
+  objects_.erase(it);
+}
+
+bool VpRouter::TryGroupBatch(std::span<const IndexOp> ops,
+                             std::vector<std::vector<IndexOp>>* grouped) {
+  if (!IndexOpsAreIndependent(
+          ops, [&](ObjectId id) { return objects_.contains(id); })) {
+    return false;
+  }
+
+  grouped->assign(PartitionCount(), std::vector<IndexOp>{});
+  for (const IndexOp& op : ops) {
+    if (op.kind == IndexOpKind::kDelete) {
+      auto it = objects_.find(op.object.id);
+      const int p = it->second.partition;
+      RemoveFromHistogram(it->second.world.vel);
+      --footprints_[p].count;
+      objects_.erase(it);
+      (*grouped)[p].push_back(op);
+      continue;
+    }
+    // Insert, or the delete+insert halves of an update.
+    const MovingObject& o = op.object;
+    ObserveTime(o.t_ref);
+    int closest = -1;
+    double perp = 0.0;
+    const int target = RoutePartition(o.vel, &closest, &perp);
+    const MovingObject stored = ToPartitionFrame(target, o);
+    if (op.kind == IndexOpKind::kUpdate) {
+      auto it = objects_.find(o.id);
+      const int old_partition = it->second.partition;
+      RemoveFromHistogram(it->second.world.vel);
+      --footprints_[old_partition].count;
+      if (old_partition == target) {
+        (*grouped)[target].push_back(IndexOp::Updating(stored));
+      } else {
+        (*grouped)[old_partition].push_back(IndexOp::Deleting(o.id));
+        (*grouped)[target].push_back(IndexOp::Inserting(stored));
+      }
+      it->second = ObjectEntry{target, o};
+    } else {
+      (*grouped)[target].push_back(IndexOp::Inserting(stored));
+      objects_.emplace(o.id, ObjectEntry{target, o});
+    }
+    AddToHistogram(closest, perp);
+    RecordStored(target, stored);
+    ++footprints_[target].count;
+  }
+  return true;
+}
+
+Status VpRouter::RouteBulkLoad(std::span<const MovingObject> objects,
+                               std::vector<std::vector<MovingObject>>* groups) {
+  if (!objects_.empty()) {
+    return Status::InvalidArgument("bulk load requires an empty index");
+  }
+  groups->assign(PartitionCount(), std::vector<MovingObject>{});
+  for (const MovingObject& o : objects) {
+    ObserveTime(o.t_ref);
+    int closest = -1;
+    double perp = 0.0;
+    const int target = RoutePartition(o.vel, &closest, &perp);
+    const MovingObject stored = ToPartitionFrame(target, o);
+    (*groups)[target].push_back(stored);
+    if (!objects_.emplace(o.id, ObjectEntry{target, o}).second) {
+      objects_.clear();
+      footprints_.assign(PartitionCount(), Footprint{});
+      return Status::InvalidArgument("duplicate object id in bulk load");
+    }
+    AddToHistogram(closest, perp);
+    RecordStored(target, stored);
+    ++footprints_[target].count;
+  }
+  return Status::OK();
+}
+
+void VpRouter::MaybeRefreshTaus() {
+  if (options_.tau_refresh_interval > 0.0 &&
+      now_ - last_tau_refresh_ >= options_.tau_refresh_interval) {
+    RecomputeTaus();
+    last_tau_refresh_ = now_;
+  }
+}
+
+void VpRouter::RecomputeTaus() {
+  // Section 5.5: re-derive tau from the continuously maintained
+  // histograms (Equation 10 over bucket upper bounds). The new tau steers
+  // future inserts/updates; resident objects migrate on their next update.
+  for (int c = 0; c < DvaCount(); ++c) {
+    const EqualWidthHistogram& h = perp_histograms_[c];
+    if (h.TotalCount() == 0) continue;
+    std::size_t last_nonempty = 0;
+    for (std::size_t b = 0; b < h.BucketCount(); ++b) {
+      if (h.BucketValue(b) > 0) last_nonempty = b;
+    }
+    const double vymax = h.BucketUpperBound(last_nonempty);
+    double best_tau = vymax;
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::uint64_t nd = 0;
+    for (std::size_t b = 0; b <= last_nonempty; ++b) {
+      nd += h.BucketValue(b);
+      const double tau = h.BucketUpperBound(b);
+      const double cost = static_cast<double>(nd) * (tau - vymax);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_tau = tau;
+      }
+    }
+    analysis_.dvas[c].tau = best_tau;
+  }
+}
+
+double VpRouter::DirectionDriftIndicator() const {
+  double perp_total = 0.0, speed_total = 0.0;
+  for (const auto& [id, entry] : objects_) {
+    const Vec2& v = entry.world.vel;
+    const int c = analysis_.ClosestDva(v);
+    if (c >= 0) perp_total += analysis_.dvas[c].PerpendicularSpeed(v);
+    speed_total += v.Norm();
+  }
+  return speed_total > 0.0 ? perp_total / speed_total : 0.0;
+}
+
+bool VpRouter::NeedsReanalysis(double factor) const {
+  if (objects_.empty()) return false;
+  // The floor handles near-perfect baselines where any real change is an
+  // "infinite" ratio.
+  const double threshold = std::max(baseline_drift_ * factor, 0.05);
+  return DirectionDriftIndicator() > threshold;
+}
+
+bool VpRouter::PartitionMayMatch(int p, const RangeQuery& frame_q) const {
+  const Footprint& f = footprints_[p];
+  if (f.count == 0) return false;
+  // Max displacement of any stored trajectory over the query interval:
+  // |pos(t) - pos(t_ref)| <= max_speed * |t - t_ref| with t in
+  // [t_begin, t_end] and t_ref in [t_ref_min, t_ref_max].
+  const double dt =
+      std::max({std::abs(frame_q.t_begin - f.t_ref_min),
+                std::abs(frame_q.t_begin - f.t_ref_max),
+                std::abs(frame_q.t_end - f.t_ref_min),
+                std::abs(frame_q.t_end - f.t_ref_max)});
+  const Rect reach = f.stored_mbr.Inflated(f.max_speed * dt);
+  return frame_q.SweepMbr().Intersects(reach);
+}
+
+}  // namespace vpmoi

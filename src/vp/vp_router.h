@@ -1,0 +1,209 @@
+// The routing core of velocity partitioning, factored out of the VP index
+// manager so the sequential VpIndex (vp_index.h) and the partition-parallel
+// VpEngine (engine/vp_engine.h) share one brain: DVA analysis, coordinate
+// transforms, the object table (id -> partition + world trajectory), the
+// Section 5.5 perpendicular-speed histograms and tau refresh, and the
+// per-partition sub-batch grouping of ApplyBatch. Keeping the logic in one
+// place is what makes the engine provably equivalent to the sequential
+// index: both route every operation through identical decisions.
+//
+// The router itself performs no index I/O and is not thread-safe; callers
+// serialize access (VpIndex is single-threaded, the engine routes under
+// its writer lock).
+#ifndef VPMOI_VP_VP_ROUTER_H_
+#define VPMOI_VP_VP_ROUTER_H_
+
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/moving_object_index.h"
+#include "math/histogram.h"
+#include "vp/transform.h"
+#include "vp/velocity_analyzer.h"
+
+namespace vpmoi {
+
+/// Options of the routing core (the non-storage half of VpIndexOptions).
+struct VpRouterOptions {
+  /// World data space.
+  Rect domain{{0.0, 0.0}, {100000.0, 100000.0}};
+  /// Velocity analyzer configuration (k, strategy, tau policy).
+  VelocityAnalyzerOptions analyzer;
+  /// Section 5.5: period (in ts) of the tau recomputation from the
+  /// continuously maintained perpendicular-speed histograms; <= 0 disables.
+  double tau_refresh_interval = 60.0;
+  /// Buckets of the maintained histograms.
+  int refresh_histogram_buckets = 100;
+};
+
+/// Routes objects, queries and batches to velocity partitions.
+class VpRouter {
+ public:
+  /// Runs the velocity analyzer on `sample_velocities` and derives the
+  /// DVA frames, histograms and baseline drift.
+  static StatusOr<std::unique_ptr<VpRouter>> Build(
+      const VpRouterOptions& options, std::span<const Vec2> sample_velocities);
+
+  /// Number of DVA partitions (excluding the outlier partition).
+  int DvaCount() const { return static_cast<int>(analysis_.dvas.size()); }
+  /// DVA partitions plus the outlier partition.
+  int PartitionCount() const { return DvaCount() + 1; }
+  const Dva& GetDva(int i) const { return analysis_.dvas[i]; }
+  const DvaTransform& Transform(int i) const { return transforms_[i]; }
+  const VelocityAnalysis& Analysis() const { return analysis_; }
+  const Rect& WorldDomain() const { return options_.domain; }
+  /// Data space of partition `p`: the rotated frame domain for DVA
+  /// partitions, the world domain for the outlier partition.
+  const Rect& PartitionDomain(int p) const {
+    return p < DvaCount() ? transforms_[p].frame_domain() : options_.domain;
+  }
+
+  /// Chooses the partition (0..k-1, or k for outlier) for velocity `v`,
+  /// also reporting the closest DVA and its perpendicular speed.
+  int RoutePartition(const Vec2& v, int* closest_dva, double* perp) const;
+
+  /// `o` as stored by partition `p` (frame coordinates for DVA
+  /// partitions, unchanged for the outlier partition).
+  MovingObject ToPartitionFrame(int p, const MovingObject& o) const {
+    return p < DvaCount() ? transforms_[p].ToFrame(o) : o;
+  }
+  /// `q` transformed into partition `p`'s frame (Algorithm 3, line 4).
+  RangeQuery ToPartitionQuery(int p, const RangeQuery& q) const {
+    return p < DvaCount() ? transforms_[p].TransformQuery(q) : q;
+  }
+
+  // -- Object table ---------------------------------------------------------
+
+  bool Contains(ObjectId id) const { return objects_.contains(id); }
+  std::size_t Size() const { return objects_.size(); }
+  StatusOr<MovingObject> WorldObject(ObjectId id) const;
+  StatusOr<int> PartitionOfObject(ObjectId id) const;
+  /// Live objects currently routed to partition `p` per the table.
+  std::size_t PartitionPopulation(int p) const {
+    return footprints_[p].count;
+  }
+
+  /// Exact predicate of the stored world trajectory against `q`
+  /// (Algorithm 3, line 8 refinement); false for unknown ids.
+  bool MatchesWorld(ObjectId id, const RangeQuery& q) const {
+    auto it = objects_.find(id);
+    return it != objects_.end() && q.Matches(it->second.world);
+  }
+
+  // -- Per-operation routing ------------------------------------------------
+  //
+  // Mutations are split into a const Plan step (validation + routing
+  // decision) and a Commit step (table/histogram bookkeeping), so callers
+  // choose their failure semantics: the sequential VpIndex commits only
+  // after the partition index accepted the operation, the engine commits
+  // before handing the operation to a shard worker.
+
+  struct InsertPlan {
+    int partition = 0;
+    /// Closest DVA regardless of acceptance (-1 with no DVAs) and its
+    /// perpendicular speed; feeds the Section 5.5 histograms.
+    int closest_dva = -1;
+    double perp = 0.0;
+    /// The object in `partition`'s frame coordinates.
+    MovingObject stored;
+    /// The original world-frame object, kept for the table.
+    MovingObject world;
+  };
+  /// Fails with AlreadyExists when `o.id` is in the table.
+  StatusOr<InsertPlan> PlanInsert(const MovingObject& o) const;
+  void CommitInsert(const InsertPlan& plan);
+
+  struct DeletePlan {
+    int partition = 0;
+  };
+  /// Fails with NotFound when `id` is not in the table.
+  StatusOr<DeletePlan> PlanDelete(ObjectId id) const;
+  void CommitDelete(ObjectId id);
+
+  // -- Batch routing --------------------------------------------------------
+
+  /// The grouped ApplyBatch path: when `ops` are independent
+  /// (IndexOpsAreIndependent against the table), applies all table and
+  /// histogram bookkeeping exactly as the per-op path would and fills
+  /// `grouped[p]` with partition `p`'s sub-batch in frame coordinates
+  /// (updates that migrate partitions become a delete in the old partition
+  /// plus an insert in the new one). Returns false — leaving the router
+  /// untouched and `grouped` undefined — when the batch must take the
+  /// sequential per-op path instead.
+  bool TryGroupBatch(std::span<const IndexOp> ops,
+                     std::vector<std::vector<IndexOp>>* grouped);
+
+  /// Routes a bulk load: requires an empty table; commits every object and
+  /// fills `groups[p]` with partition `p`'s objects in frame coordinates.
+  /// On a duplicate id the table is cleared and InvalidArgument returned.
+  Status RouteBulkLoad(std::span<const MovingObject> objects,
+                       std::vector<std::vector<MovingObject>>* groups);
+
+  // -- Time and tau maintenance (Section 5.5) -------------------------------
+
+  Timestamp now() const { return now_; }
+  /// Advances the router's notion of "now" (never decreases).
+  void ObserveTime(Timestamp t) { now_ = std::max(now_, t); }
+  /// Runs RecomputeTaus when the refresh interval has elapsed.
+  void MaybeRefreshTaus();
+  /// Re-derives every partition's tau from the maintained histograms
+  /// (Equation 10 over bucket upper bounds).
+  void RecomputeTaus();
+
+  double DirectionDriftIndicator() const;
+  double BaselineDrift() const { return baseline_drift_; }
+  bool NeedsReanalysis(double factor = 3.0) const;
+
+  // -- Query fan-out pruning ------------------------------------------------
+
+  /// Sound partition-level prune: false only when provably no currently
+  /// indexed object of partition `p` can match `frame_q` (`p`'s frame-
+  /// coordinate transform of the world query). Derived from monotone
+  /// per-partition trackers (stored-position MBR, max speed, reference-time
+  /// range), so it never prunes a partition that could contribute a result
+  /// — conservative under deletions, exact for empty partitions.
+  bool PartitionMayMatch(int p, const RangeQuery& frame_q) const;
+
+ private:
+  VpRouter(const VpRouterOptions& options, VelocityAnalysis analysis);
+
+  struct ObjectEntry {
+    int partition;
+    MovingObject world;
+  };
+
+  /// Monotone occupancy summary of one partition (count excepted): grows
+  /// with every insert, never shrinks on delete, so PartitionMayMatch
+  /// stays conservative without tracking exact extrema.
+  struct Footprint {
+    std::size_t count = 0;
+    double max_speed = 0.0;
+    Timestamp t_ref_min = 0.0;
+    Timestamp t_ref_max = 0.0;
+    Rect stored_mbr = Rect::Empty();
+    bool ever_occupied = false;
+  };
+
+  void RecordStored(int partition, const MovingObject& stored);
+  void AddToHistogram(int closest_dva, double perp);
+  void RemoveFromHistogram(const Vec2& world_vel);
+
+  VpRouterOptions options_;
+  VelocityAnalysis analysis_;
+  std::vector<DvaTransform> transforms_;
+  std::unordered_map<ObjectId, ObjectEntry> objects_;
+  std::vector<Footprint> footprints_;
+
+  /// Per-DVA histograms of perpendicular speeds (Section 5.5), indexed by
+  /// closest DVA regardless of acceptance.
+  std::vector<EqualWidthHistogram> perp_histograms_;
+  Timestamp now_ = 0.0;
+  Timestamp last_tau_refresh_ = 0.0;
+  double baseline_drift_ = 0.0;
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_VP_VP_ROUTER_H_

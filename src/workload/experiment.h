@@ -32,6 +32,12 @@ struct ExperimentOptions {
   /// default so the paper's per-update I/O figures are untouched; per-op
   /// latency percentiles then derive from the batch mean.
   bool batch_updates = false;
+  /// Multi-threaded driver mode: number of client threads issuing each
+  /// tick's updates concurrently, each submitting its slice of the tick as
+  /// one ApplyBatch call (implies batch-style accounting, like
+  /// batch_updates). 1 = the sequential driver. Values > 1 require a
+  /// thread-safe index — engine(...) or threadsafe(...) specs.
+  int client_threads = 1;
 };
 
 /// Aggregated metrics of one run.

@@ -1,0 +1,491 @@
+// The partition-parallel engine suite.
+//
+// The heart is the equivalence matrix: engine(vp(child),threads=N) must
+// return byte-identical sorted result sets — ranges, kNN, per-object state
+// and per-object partition assignment — to the sequential vp(child) fed
+// the same multi-tick workload, for N in {1,2,4} and child in {tpr, bx}.
+// Both sides share VpRouter, so any divergence is an engine bug (a lost
+// update, a torn snapshot, an unsound fan-out prune).
+//
+// Around it: the snapshot/shutdown guarantees (no lost updates on Stop,
+// inline operation afterwards), a stress test alternating queries and
+// batched updates from concurrent threads (also the ThreadSanitizer
+// workhorse), and unit tests of the TickBarrier / IngestQueue primitives
+// and the engine spec grammar.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/ingest_queue.h"
+#include "engine/tick_barrier.h"
+#include "engine/vp_engine.h"
+#include "test_util.h"
+
+namespace vpmoi {
+namespace {
+
+using engine::IngestQueue;
+using engine::TickBarrier;
+using engine::VpEngine;
+using testing_util::MakeIndex;
+using testing_util::MakeObjects;
+using testing_util::Sorted;
+
+const Rect kDomain{{0.0, 0.0}, {10000.0, 10000.0}};
+
+std::vector<Vec2> SkewedSample() {
+  testing_util::ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.8;
+  gen.axis_angle = 0.5;
+  const auto objs = MakeObjects(2000, gen, 881);
+  std::vector<Vec2> sample;
+  sample.reserve(objs.size());
+  for (const auto& o : objs) sample.push_back(o.vel);
+  return sample;
+}
+
+MovingObject RandomObject(Rng& rng, ObjectId id, Timestamp t_ref) {
+  const double angle = rng.Uniform(0.0, 2.0 * M_PI);
+  const double speed = rng.Uniform(5.0, 100.0);
+  return MovingObject(id, rng.PointIn(kDomain),
+                      {std::cos(angle) * speed, std::sin(angle) * speed},
+                      t_ref);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence matrix
+
+class EngineEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+/// Applies `op` to both indexes and asserts identical status codes.
+#define APPLY_BOTH(op_seq, op_eng)                      \
+  do {                                                  \
+    const Status _s1 = (op_seq);                        \
+    const Status _s2 = (op_eng);                        \
+    ASSERT_EQ(_s1.code(), _s2.code()) << _s1.ToString() \
+                                      << " vs " << _s2.ToString(); \
+  } while (0)
+
+TEST_P(EngineEquivalenceTest, MultiTickWorkloadMatchesSequential) {
+  const auto [child, threads] = GetParam();
+  const std::string child_spec(child);
+  const auto sample = SkewedSample();
+  auto seq = MakeIndex("vp(" + child_spec + ")", kDomain, sample);
+  auto eng = MakeIndex("engine(vp(" + child_spec + "),threads=" +
+                           std::to_string(threads) + ")",
+                       kDomain, sample);
+  ASSERT_NE(seq, nullptr);
+  ASSERT_NE(eng, nullptr);
+  auto* vp = dynamic_cast<VpIndex*>(seq.get());
+  auto* vpe = dynamic_cast<VpEngine*>(eng.get());
+  ASSERT_NE(vp, nullptr);
+  ASSERT_NE(vpe, nullptr);
+  EXPECT_LE(vpe->ThreadCount(), vpe->PartitionCount());
+
+  // Initial population, inserted per-op through both.
+  constexpr ObjectId kInitial = 700;
+  Rng rng(4242);
+  for (ObjectId id = 0; id < kInitial; ++id) {
+    const MovingObject o = RandomObject(rng, id, 0.0);
+    APPLY_BOTH(seq->Insert(o), eng->Insert(o));
+  }
+  ObjectId next_id = kInitial;
+
+  const auto compare_queries = [&](double now) {
+    // Range queries of every flavor, including a moving region and a
+    // region outside the domain (exercising the fan-out prune).
+    std::vector<RangeQuery> queries;
+    for (int i = 0; i < 4; ++i) {
+      queries.push_back(RangeQuery::TimeSlice(
+          QueryRegion::MakeCircle(Circle{rng.PointIn(kDomain), 900.0}),
+          now + rng.Uniform(0.0, 30.0)));
+    }
+    queries.push_back(RangeQuery::TimeInterval(
+        QueryRegion::MakeRect(
+            Rect::FromCenter(rng.PointIn(kDomain), 700.0, 500.0)),
+        now, now + 20.0));
+    queries.push_back(RangeQuery::Moving(
+        QueryRegion::MakeRect(
+            Rect::FromCenter(rng.PointIn(kDomain), 400.0, 400.0),
+            {30.0, -20.0}),
+        now, now + 15.0));
+    queries.push_back(RangeQuery::TimeSlice(
+        QueryRegion::MakeRect(kDomain.Inflated(100000.0)), now));
+    queries.push_back(RangeQuery::TimeSlice(
+        QueryRegion::MakeCircle(Circle{{-50000.0, -50000.0}, 10.0}), now));
+    for (const RangeQuery& q : queries) {
+      std::vector<ObjectId> seq_hits, eng_hits;
+      ASSERT_TRUE(seq->Search(q, &seq_hits).ok());
+      ASSERT_TRUE(eng->Search(q, &eng_hits).ok());
+      EXPECT_EQ(Sorted(seq_hits), Sorted(eng_hits));
+    }
+    // kNN: identical neighbor ids and distances.
+    KnnOptions kopt;
+    kopt.domain = kDomain;
+    for (int i = 0; i < 3; ++i) {
+      const Point2 center = rng.PointIn(kDomain);
+      std::vector<KnnNeighbor> seq_nn, eng_nn;
+      ASSERT_TRUE(seq->Knn(center, 5, now + 10.0, kopt, &seq_nn).ok());
+      ASSERT_TRUE(eng->Knn(center, 5, now + 10.0, kopt, &eng_nn).ok());
+      ASSERT_EQ(seq_nn.size(), eng_nn.size());
+      for (std::size_t j = 0; j < seq_nn.size(); ++j) {
+        EXPECT_EQ(seq_nn[j].id, eng_nn[j].id);
+        EXPECT_DOUBLE_EQ(seq_nn[j].distance, eng_nn[j].distance);
+      }
+    }
+  };
+
+  for (int tick = 1; tick <= 6; ++tick) {
+    const double now = 10.0 * tick;
+    seq->AdvanceTime(now);
+    eng->AdvanceTime(now);
+
+    // A batched group update with distinct ids (the grouped fast path).
+    std::vector<IndexOp> batch;
+    std::vector<ObjectId> shuffled(seq->Size());
+    for (ObjectId id = 0; id < shuffled.size(); ++id) shuffled[id] = id;
+    for (int i = 0; i < 120; ++i) {
+      const std::size_t pick =
+          rng.UniformInt(static_cast<std::uint64_t>(shuffled.size() - i)) + i;
+      std::swap(shuffled[i], shuffled[pick]);
+      if (!seq->GetObject(shuffled[i]).ok()) continue;  // deleted earlier
+      batch.push_back(IndexOp::Updating(RandomObject(rng, shuffled[i], now)));
+    }
+    APPLY_BOTH(seq->ApplyBatch(batch), eng->ApplyBatch(batch));
+
+    // Per-op traffic: updates, deletes, fresh inserts.
+    for (int i = 0; i < 20; ++i) {
+      const MovingObject o = RandomObject(rng, next_id++, now);
+      APPLY_BOTH(seq->Insert(o), eng->Insert(o));
+    }
+    for (int i = 0; i < 10; ++i) {
+      const ObjectId id = rng.UniformInt(next_id);
+      APPLY_BOTH(seq->Delete(id), eng->Delete(id));
+    }
+    for (int i = 0; i < 30; ++i) {
+      const ObjectId id = rng.UniformInt(next_id);
+      const MovingObject o = RandomObject(rng, id, now);
+      APPLY_BOTH(seq->Update(o), eng->Update(o));
+    }
+
+    // A dependent batch (same id twice + a doomed delete): exercises the
+    // sequential fallback and its stop-at-first-error semantics.
+    const MovingObject twice = RandomObject(rng, 3, now);
+    std::vector<IndexOp> dependent{
+        IndexOp::Updating(twice), IndexOp::Updating(RandomObject(rng, 3, now)),
+        IndexOp::Deleting(next_id + 100000)};
+    APPLY_BOTH(seq->ApplyBatch(dependent), eng->ApplyBatch(dependent));
+
+    ASSERT_EQ(seq->Size(), eng->Size());
+    compare_queries(now);
+
+    // Per-object state and partition assignment stay in lockstep.
+    for (int i = 0; i < 40; ++i) {
+      const ObjectId id = rng.UniformInt(next_id);
+      const auto seq_obj = seq->GetObject(id);
+      const auto eng_obj = eng->GetObject(id);
+      ASSERT_EQ(seq_obj.ok(), eng_obj.ok());
+      if (!seq_obj.ok()) continue;
+      EXPECT_EQ(seq_obj->pos, eng_obj->pos);
+      EXPECT_EQ(seq_obj->vel, eng_obj->vel);
+      EXPECT_EQ(seq_obj->t_ref, eng_obj->t_ref);
+      const auto seq_part = vp->PartitionOfObject(id);
+      const auto eng_part = vpe->PartitionOfObject(id);
+      ASSERT_TRUE(seq_part.ok());
+      ASSERT_TRUE(eng_part.ok());
+      EXPECT_EQ(*seq_part, *eng_part);
+    }
+  }
+
+  EXPECT_TRUE(testing_util::CheckIndexInvariants(seq.get()).ok());
+  EXPECT_TRUE(testing_util::CheckIndexInvariants(eng.get()).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChildrenAndThreads, EngineEquivalenceTest,
+    ::testing::Combine(::testing::Values("tpr", "bx"),
+                       ::testing::Values(1, 2, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, int>>& info) {
+      return std::string(std::get<0>(info.param)) + "_threads" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Shutdown / drain
+
+TEST(EngineShutdownTest, StopDrainsEveryEnqueuedUpdate) {
+  auto built =
+      MakeIndex("engine(vp(tpr),threads=2)", kDomain, SkewedSample());
+  ASSERT_NE(built, nullptr);
+  auto* eng = dynamic_cast<VpEngine*>(built.get());
+  ASSERT_NE(eng, nullptr);
+
+  // A grouped batch plus per-op traffic, stopped immediately after the
+  // last enqueue — nothing may be lost.
+  Rng rng(99);
+  constexpr ObjectId kObjects = 1500;
+  std::vector<IndexOp> batch;
+  for (ObjectId id = 0; id < kObjects; ++id) {
+    batch.push_back(IndexOp::Inserting(RandomObject(rng, id, 0.0)));
+  }
+  ASSERT_TRUE(built->ApplyBatch(batch).ok());
+  for (ObjectId id = 0; id < 200; ++id) {
+    ASSERT_TRUE(built->Update(RandomObject(rng, id, 1.0)).ok());
+  }
+  eng->Stop();
+
+  EXPECT_EQ(built->Size(), kObjects);
+  std::vector<ObjectId> hits;
+  const RangeQuery everything = RangeQuery::TimeSlice(
+      QueryRegion::MakeRect(kDomain.Inflated(100000.0)), 1.0);
+  ASSERT_TRUE(built->Search(everything, &hits).ok());
+  EXPECT_EQ(hits.size(), kObjects);
+  EXPECT_TRUE(testing_util::CheckIndexInvariants(built.get()).ok());
+
+  // A stopped engine still serves every operation, inline.
+  ASSERT_TRUE(built->Insert(RandomObject(rng, kObjects, 2.0)).ok());
+  ASSERT_TRUE(built->Delete(kObjects).ok());
+  ASSERT_TRUE(built->Update(RandomObject(rng, 7, 2.0)).ok());
+  std::vector<KnnNeighbor> nn;
+  KnnOptions kopt;
+  kopt.domain = kDomain;
+  ASSERT_TRUE(built->Knn({5000, 5000}, 3, 2.0, kopt, &nn).ok());
+  EXPECT_EQ(nn.size(), 3u);
+  EXPECT_EQ(built->Size(), kObjects);
+  EXPECT_TRUE(eng->Flush().ok());
+  eng->Stop();  // idempotent
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency stress: queries interleaved with batched updates
+
+TEST(EngineStressTest, AlternatingQueriesAndBatchedUpdates) {
+  auto built =
+      MakeIndex("engine(vp(tpr),threads=4)", kDomain, SkewedSample());
+  ASSERT_NE(built, nullptr);
+  auto* eng = dynamic_cast<VpEngine*>(built.get());
+  ASSERT_NE(eng, nullptr);
+
+  constexpr ObjectId kObjects = 300;
+  {
+    Rng rng(7);
+    std::vector<IndexOp> load;
+    for (ObjectId id = 0; id < kObjects; ++id) {
+      load.push_back(IndexOp::Inserting(RandomObject(rng, id, 0.0)));
+    }
+    ASSERT_TRUE(built->ApplyBatch(load).ok());
+  }
+
+  // Writers submit update-only batches (population is invariant), readers
+  // run full-domain queries: thanks to the snapshot barrier every query
+  // must observe each object exactly once, never a half-applied batch.
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> searches{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(5000 + w);
+      std::vector<IndexOp> batch;
+      while (!stop.load(std::memory_order_relaxed)) {
+        batch.clear();
+        // Distinct ids within the batch (stride pattern) keep it on the
+        // grouped path.
+        const ObjectId base = rng.UniformInt(kObjects);
+        for (ObjectId i = 0; i < 24; ++i) {
+          batch.push_back(IndexOp::Updating(
+              RandomObject(rng, (base + i * 12) % kObjects, 1.0)));
+        }
+        (void)built->ApplyBatch(batch);
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&] {
+      std::vector<ObjectId> hits;
+      const RangeQuery everything = RangeQuery::TimeSlice(
+          QueryRegion::MakeRect(kDomain.Inflated(100000.0)), 1.0);
+      while (!stop.load(std::memory_order_relaxed)) {
+        hits.clear();
+        ASSERT_TRUE(built->Search(everything, &hits).ok());
+        ASSERT_EQ(hits.size(), kObjects);
+        searches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    KnnOptions kopt;
+    kopt.domain = kDomain;
+    Rng rng(6000);
+    std::vector<KnnNeighbor> nn;
+    while (!stop.load(std::memory_order_relaxed)) {
+      nn.clear();
+      ASSERT_TRUE(built->Knn(rng.PointIn(kDomain), 4, 5.0, kopt, &nn).ok());
+      ASSERT_EQ(nn.size(), 4u);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+
+  EXPECT_GT(searches.load(), 0u);
+  EXPECT_TRUE(eng->Flush().ok());
+  EXPECT_EQ(built->Size(), kObjects);
+  EXPECT_TRUE(testing_util::CheckIndexInvariants(built.get()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Behavior details
+
+TEST(EngineBehaviorTest, EarlyTerminatingSinkStopsTheFanOut) {
+  auto built =
+      MakeIndex("engine(vp(tpr),threads=2)", kDomain, SkewedSample());
+  ASSERT_NE(built, nullptr);
+  Rng rng(31);
+  for (ObjectId id = 0; id < 500; ++id) {
+    ASSERT_TRUE(built->Insert(RandomObject(rng, id, 0.0)).ok());
+  }
+  FirstNSink first3(3);
+  const RangeQuery everything = RangeQuery::TimeSlice(
+      QueryRegion::MakeRect(kDomain.Inflated(100000.0)), 0.0);
+  ASSERT_TRUE(built->Search(everything, first3).ok());
+  EXPECT_EQ(first3.ids().size(), 3u);
+}
+
+TEST(EngineBehaviorTest, StatsMergePerShardCounters) {
+  auto built =
+      MakeIndex("engine(vp(tpr),threads=4)", kDomain, SkewedSample());
+  ASSERT_NE(built, nullptr);
+  Rng rng(32);
+  for (ObjectId id = 0; id < 400; ++id) {
+    ASSERT_TRUE(built->Insert(RandomObject(rng, id, 0.0)).ok());
+  }
+  const IoStats all = built->Stats();
+  EXPECT_GT(all.LogicalTotal(), 0u);
+  // The merged total equals the sum over the (quiescent) partitions.
+  auto* eng = dynamic_cast<VpEngine*>(built.get());
+  ASSERT_NE(eng, nullptr);
+  IoStats manual;
+  for (int p = 0; p < eng->PartitionCount(); ++p) {
+    manual.MergeFrom(eng->Partition(p)->Stats());
+  }
+  EXPECT_EQ(all, manual);
+  built->ResetStats();
+  EXPECT_EQ(built->Stats().LogicalTotal(), 0u);
+}
+
+TEST(EngineBehaviorTest, InvalidQueryIntervalFailsSynchronously) {
+  auto built =
+      MakeIndex("engine(vp(tpr),threads=2)", kDomain, SkewedSample());
+  ASSERT_NE(built, nullptr);
+  RangeQuery bad = RangeQuery::TimeSlice(
+      QueryRegion::MakeCircle(Circle{{100, 100}, 10.0}), 10.0);
+  bad.t_begin = 10.0;
+  bad.t_end = 5.0;
+  std::vector<ObjectId> hits;
+  const Status st = built->Search(bad, &hits);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  // ... and does not poison the engine.
+  auto* eng = dynamic_cast<VpEngine*>(built.get());
+  EXPECT_TRUE(eng->Flush().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Registry grammar
+
+TEST(EngineSpecTest, RequiresAVpChild) {
+  const auto sample = SkewedSample();
+  EXPECT_EQ(MakeIndex("engine(tpr)", kDomain, sample), nullptr);
+  EXPECT_EQ(MakeIndex("engine(bx,threads=2)", kDomain, sample), nullptr);
+  EXPECT_EQ(MakeIndex("engine(threadsafe(vp(tpr)))", kDomain, sample),
+            nullptr);
+}
+
+TEST(EngineSpecTest, RejectsBadOptionsAndNesting) {
+  const auto sample = SkewedSample();
+  EXPECT_EQ(MakeIndex("engine(vp(tpr),threads=-1)", kDomain, sample), nullptr);
+  EXPECT_EQ(MakeIndex("engine(vp(tpr),bogus=1)", kDomain, sample), nullptr);
+  // engine cannot serve as a vp partition (it would need a shared pool).
+  EXPECT_EQ(MakeIndex("vp(engine(vp(tpr)))", kDomain, sample), nullptr);
+}
+
+TEST(EngineSpecTest, ThreadCountClampsToPartitions) {
+  // Default k=2 -> 3 partitions; threads=64 clamps, threads=0 means one
+  // worker per partition.
+  const auto sample = SkewedSample();
+  auto big = MakeIndex("engine(vp(tpr),threads=64)", kDomain, sample);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(dynamic_cast<VpEngine*>(big.get())->ThreadCount(), 3);
+  auto def = MakeIndex("engine(vp(tpr))", kDomain, sample);
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(dynamic_cast<VpEngine*>(def.get())->ThreadCount(), 3);
+  auto one = MakeIndex("engine(vp(tpr),threads=1)", kDomain, sample);
+  ASSERT_NE(one, nullptr);
+  EXPECT_EQ(dynamic_cast<VpEngine*>(one.get())->ThreadCount(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+
+TEST(EngineTickBarrierTest, AwaitObservesCompletionOrder) {
+  TickBarrier barrier;
+  EXPECT_EQ(barrier.LastIssued(), TickBarrier::kNone);
+  const auto t1 = barrier.Issue();
+  const auto t2 = barrier.Issue();
+  EXPECT_EQ(t1, 1u);
+  EXPECT_EQ(t2, 2u);
+  std::thread completer([&] {
+    barrier.CompleteThrough(t1);
+    barrier.CompleteThrough(t2);
+  });
+  barrier.Await(t2);  // returns only after both completions
+  barrier.AwaitAll();
+  completer.join();
+  // Monotonicity: a stale completion is a no-op and Await(t1) still holds.
+  barrier.CompleteThrough(t1);
+  barrier.Await(t1);
+}
+
+TEST(EngineIngestQueueTest, DrainsFifoAndHonorsClose) {
+  IngestQueue<int> q;
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.Push(2));
+  std::vector<int> got;
+  ASSERT_TRUE(q.WaitDrain(&got));
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+  // Close with a backlog: the consumer sees the backlog, then the closed
+  // signal; producers are rejected.
+  ASSERT_TRUE(q.Push(3));
+  q.Close();
+  EXPECT_FALSE(q.Push(4));
+  ASSERT_TRUE(q.WaitDrain(&got));
+  EXPECT_EQ(got, (std::vector<int>{3}));
+  EXPECT_FALSE(q.WaitDrain(&got));
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(EngineIngestQueueTest, BlockingConsumerWakesOnPush) {
+  IngestQueue<int> q;
+  std::vector<int> got;
+  std::thread consumer([&] {
+    std::vector<int> local;
+    while (q.WaitDrain(&local)) {
+      got.insert(got.end(), local.begin(), local.end());
+    }
+  });
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(q.Push(i));
+  q.Close();
+  consumer.join();
+  ASSERT_EQ(got.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+}
+
+}  // namespace
+}  // namespace vpmoi

@@ -208,5 +208,43 @@ TEST(IoStatsTest, Arithmetic) {
   EXPECT_EQ(diff, a);
 }
 
+TEST(IoStatsTest, MergeFromAccumulatesShardCounters) {
+  // The engine's per-shard roll-up: merging N shard counter sets must
+  // equal their sum, and merging a default-constructed IoStats is the
+  // identity.
+  IoStats total;
+  IoStats shard1{10, 5, 3, 2, 7, 4};
+  IoStats shard2{1, 2, 3, 4, 5, 6};
+  total.MergeFrom(shard1).MergeFrom(shard2);
+  EXPECT_EQ(total, shard1 + shard2);
+  const IoStats before = total;
+  total.MergeFrom(IoStats{});
+  EXPECT_EQ(total, before);
+}
+
+TEST(BufferPoolTest, InternalLockingPreservesAccounting) {
+  // EnableInternalLocking must not change any counter or the eviction
+  // order — it only adds mutual exclusion. Replay the HitAndMissCounters
+  // trace on a locked pool.
+  PageStore store;
+  BufferPool pool(&store, 2);
+  EXPECT_FALSE(pool.InternalLockingEnabled());
+  pool.EnableInternalLocking();
+  EXPECT_TRUE(pool.InternalLockingEnabled());
+  const PageId a = store.Allocate();
+  const PageId b = store.Allocate();
+  const PageId c = store.Allocate();
+  pool.Read(a);
+  pool.Read(a);
+  pool.Read(b);
+  pool.Read(a);
+  pool.Read(c);
+  pool.Read(b);
+  EXPECT_EQ(pool.stats().buffer_hits, 2u);
+  EXPECT_EQ(pool.stats().buffer_misses, 4u);
+  EXPECT_EQ(pool.stats().physical_reads, 4u);
+  EXPECT_EQ(pool.ResidentPagesMruOrder(), (std::vector<PageId>{b, c}));
+}
+
 }  // namespace
 }  // namespace vpmoi

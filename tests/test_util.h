@@ -20,6 +20,7 @@
 #include "common/random.h"
 #include "common/thread_safe_index.h"
 #include "dual/bdual_tree.h"
+#include "engine/vp_engine.h"
 #include "tpr/tpr_tree.h"
 #include "vp/vp_index.h"
 
@@ -121,6 +122,15 @@ inline std::string SpecTestName(const std::string& spec) {
 inline Status CheckIndexInvariants(MovingObjectIndex* index) {
   if (auto* ts = dynamic_cast<ThreadSafeIndex*>(index)) {
     return CheckIndexInvariants(ts->inner());
+  }
+  if (auto* eng = dynamic_cast<engine::VpEngine*>(index)) {
+    // Flushes + cross-checks the router table, then descends into each
+    // (quiescent) partition index.
+    VPMOI_RETURN_IF_ERROR(eng->CheckInvariants());
+    for (int i = 0; i < eng->PartitionCount(); ++i) {
+      VPMOI_RETURN_IF_ERROR(CheckIndexInvariants(eng->Partition(i)));
+    }
+    return Status::OK();
   }
   if (auto* vp = dynamic_cast<VpIndex*>(index)) {
     VPMOI_RETURN_IF_ERROR(vp->CheckInvariants());

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "common/random.h"
@@ -156,6 +157,94 @@ TEST_P(ThreadSafeMatrixTest, ConcurrentBatchesAreAtomic) {
   stop.store(true);
   for (auto& t : threads) t.join();
   EXPECT_EQ(index->Size(), kObjects);
+  EXPECT_TRUE(CheckIndexInvariants(index.get()).ok());
+}
+
+TEST_P(ThreadSafeMatrixTest, ConcurrentReadersDoNotSerialize) {
+  // Regression for the reader-writer lock: two queries must be able to be
+  // *inside* Search at the same time. Each reader parks in its sink until
+  // it has seen the other reader in a sink too (bounded wait) — with the
+  // old exclusive mutex the searches serialize, the rendezvous never
+  // happens, and the flags stay false.
+  auto index = MakeWrapped(GetParam());
+  ASSERT_NE(index, nullptr);
+  for (ObjectId id = 0; id < 64; ++id) {
+    ASSERT_TRUE(
+        index->Insert(MovingObject(id, {100.0 + id, 100.0}, {1, 0}, 0.0))
+            .ok());
+  }
+  const RangeQuery everything = RangeQuery::TimeSlice(
+      QueryRegion::MakeRect(kDomain.Inflated(100000.0)), 0.0);
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlapped{false};
+  const auto reader = [&] {
+    bool parked = false;
+    CallbackSink sink([&](ObjectId) {
+      if (!parked) {
+        parked = true;
+        inside.fetch_add(1);
+        // Bounded rendezvous: wait (max ~5 s) for the sibling reader.
+        for (int spin = 0; spin < 5000 && inside.load() < 2; ++spin) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        if (inside.load() >= 2) overlapped.store(true);
+      }
+      return true;
+    });
+    ASSERT_TRUE(index->Search(everything, sink).ok());
+  };
+  std::thread a(reader), b(reader);
+  a.join();
+  b.join();
+  EXPECT_TRUE(overlapped.load())
+      << "two concurrent Search calls never overlapped - readers are "
+         "serializing";
+}
+
+TEST_P(ThreadSafeMatrixTest, ManyConcurrentReadersAgree) {
+  // Read-only hammering from many threads (searches, kNN, point lookups)
+  // over a static population: every thread must see identical, complete
+  // answers. Catches races in the shared-lock path (e.g. an unprotected
+  // buffer pool).
+  auto index = MakeWrapped(GetParam());
+  ASSERT_NE(index, nullptr);
+  constexpr ObjectId kObjects = 400;
+  Rng load_rng(4711);
+  for (ObjectId id = 0; id < kObjects; ++id) {
+    ASSERT_TRUE(index
+                    ->Insert(MovingObject(
+                        id, load_rng.PointIn(kDomain),
+                        {load_rng.Uniform(-50, 50), load_rng.Uniform(-50, 50)},
+                        0.0))
+                    .ok());
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 6; ++r) {
+    threads.emplace_back([&, r] {
+      Rng rng(8000 + r);
+      std::vector<ObjectId> hits;
+      std::vector<KnnNeighbor> nn;
+      KnnOptions kopt;
+      kopt.domain = kDomain;
+      const RangeQuery everything = RangeQuery::TimeSlice(
+          QueryRegion::MakeRect(kDomain.Inflated(100000.0)), 0.0);
+      while (!stop.load(std::memory_order_relaxed)) {
+        hits.clear();
+        ASSERT_TRUE(index->Search(everything, &hits).ok());
+        ASSERT_EQ(hits.size(), kObjects);
+        nn.clear();
+        ASSERT_TRUE(index->Knn(rng.PointIn(kDomain), 3, 10.0, kopt, &nn).ok());
+        ASSERT_EQ(nn.size(), 3u);
+        const ObjectId id = rng.UniformInt(kObjects);
+        ASSERT_TRUE(index->GetObject(id).ok());
+        ASSERT_EQ(index->Size(), kObjects);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  stop.store(true);
+  for (auto& t : threads) t.join();
   EXPECT_TRUE(CheckIndexInvariants(index.get()).ok());
 }
 

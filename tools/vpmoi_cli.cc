@@ -28,6 +28,9 @@ struct CliArgs {
   std::string index = "all";
   BenchConfig cfg;
   int k = 2;
+  /// > 0: run the spec through the partition-parallel engine with this
+  /// many worker shards (wraps the spec in engine(...,threads=N)).
+  int threads = 0;
   bool json = false;
 };
 
@@ -47,6 +50,12 @@ void PrintUsage() {
       "  --k=N                number of DVA partitions\n"
       "  --seed=N             workload seed\n"
       "  --rect               rectangular 1000x1000 queries\n"
+      "  --threads=N          run through the partition-parallel engine\n"
+      "                       with N worker shards: wraps the spec in\n"
+      "                       engine(...,threads=N); needs a vp(...) spec\n"
+      "  --clients=N          client threads submitting each tick's\n"
+      "                       updates concurrently (implies batching;\n"
+      "                       needs an engine(...) or threadsafe(...) run)\n"
       "  --batch-updates      apply each tick's updates as one group\n"
       "                       update (ApplyBatch) instead of per-object\n"
       "  --json               also write BENCH_cli.json "
@@ -86,6 +95,10 @@ std::optional<CliArgs> ParseArgs(int argc, char** argv) {
       args.cfg.buffer_pages = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--k", &value)) {
       args.k = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--threads", &value)) {
+      args.threads = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--clients", &value)) {
+      args.cfg.client_threads = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--seed", &value)) {
       args.cfg.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--rect") == 0) {
@@ -129,16 +142,55 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> specs;
   if (args.index == "all") {
+    if (args.threads > 0) {
+      std::fprintf(stderr,
+                   "--threads needs an explicit --index=vp(...) spec\n");
+      return 1;
+    }
+    if (args.cfg.client_threads > 1) {
+      std::fprintf(stderr,
+                   "--clients > 1 needs a thread-safe --index spec "
+                   "(engine(...) or threadsafe(...)); the 'all' specs are "
+                   "unsynchronized\n");
+      return 1;
+    }
     specs.assign(std::begin(kAllIndexSpecs), std::end(kAllIndexSpecs));
   } else {
     // Fail fast on an unparsable spec; build errors (unknown kind, bad
     // option) surface from MakeBenchIndex when the run starts.
-    const auto spec = ParseIndexSpec(args.index);
+    auto spec = ParseIndexSpec(args.index);
     if (!spec.ok()) {
       std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
       return 1;
     }
-    specs.push_back(args.index);
+    if (args.threads > 0) {
+      // Wrap in the partition-parallel engine (or retarget an existing
+      // engine spec's thread count).
+      if (spec->kind == "engine") {
+        spec->SetOption("threads", std::to_string(args.threads));
+      } else {
+        IndexSpec wrapped;
+        wrapped.kind = "engine";
+        wrapped.children.push_back(std::move(spec).value());
+        wrapped.SetOption("threads", std::to_string(args.threads));
+        spec = std::move(wrapped);
+      }
+      specs.push_back(FormatIndexSpec(*spec));
+    } else {
+      specs.push_back(args.index);
+    }
+    // Concurrent clients hammer one index from several threads; a plain
+    // spec would race. Only the engine and the threadsafe decorator
+    // synchronize (the --threads wrap above already yields an engine).
+    if (args.cfg.client_threads > 1 && spec->kind != "engine" &&
+        spec->kind != "threadsafe") {
+      std::fprintf(stderr,
+                   "--clients > 1 needs a thread-safe --index spec: wrap it "
+                   "as engine(%s,threads=N) or threadsafe(%s), or pass "
+                   "--threads=N\n",
+                   args.index.c_str(), args.index.c_str());
+      return 1;
+    }
   }
 
   VelocityAnalyzerOptions analyzer;
@@ -160,6 +212,10 @@ int main(int argc, char** argv) {
     rep->SetContext("duration", args.cfg.duration);
     rep->SetContext("seed", args.cfg.seed);
     rep->SetContext("batch_updates", args.cfg.batch_updates);
+    rep->SetContext("engine_threads",
+                    static_cast<std::int64_t>(args.threads));
+    rep->SetContext("client_threads",
+                    static_cast<std::int64_t>(args.cfg.client_threads));
   }
 
   std::printf("%-16s %12s %14s %12s %14s %12s\n", "index", "query I/O",
