@@ -135,6 +135,9 @@ inline workload::ObjectSimulator MakeSimulator(workload::Dataset dataset,
   so.max_update_interval = cfg.max_update_interval;
   so.domain = cfg.domain;
   so.seed = cfg.seed;
+  // Drifting datasets shape the free-movement population over time; the
+  // stationary five return kNone.
+  so.drift = workload::DatasetDrift(dataset, cfg.duration);
   return workload::ObjectSimulator(
       net_holder.has_value() ? &*net_holder : nullptr, so);
 }

@@ -1,0 +1,277 @@
+// Static vs adaptive velocity partitioning under velocity drift: the
+// experiment the paper's Section 5.5 anticipates but never runs. A
+// drifting workload (default: the regime switch, whose dominant axes jump
+// 60 degrees at T/2) is replayed against vp(child,repartition=off) and
+// vp(child,repartition=auto) side by side, and the query/update I/O is
+// bucketed into the pre-switch and post-switch halves — the post-switch
+// gap is the payoff of closing the drift loop, and the repartition
+// counters price it (plans applied, objects migrated, migration I/O).
+//
+// Every run ends with an oracle check: a domain-covering query must
+// return every live object exactly once (no lost or duplicated objects
+// across migrations), and each object's stored trajectory must match the
+// simulator's. A violation fails the bench.
+//
+//   bench_fig_drift [--objects=N] [--duration=T] [--queries=N] [--radius=M]
+//                   [--dataset=drift-switch|drift-rot|drift-rush]
+//
+// Emits BENCH_drift.json (rows keyed by `phase`, one per index variant).
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "vp/vp_index.h"
+
+namespace {
+
+using namespace vpmoi;
+using namespace vpmoi::bench;
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+struct PhaseTotals {
+  std::uint64_t queries = 0, query_io = 0;
+  std::uint64_t updates = 0, update_io = 0;
+  double AvgQueryIo() const {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(query_io) /
+                              static_cast<double>(queries);
+  }
+  double AvgUpdateIo() const {
+    return updates == 0 ? 0.0
+                        : static_cast<double>(update_io) /
+                              static_cast<double>(updates);
+  }
+};
+
+struct DriftRun {
+  /// pre: before the switch; post: everything after it; tail: the last
+  /// quarter of the run — by then the population has settled and an
+  /// adaptive index has replanned, so the tail gap is the steady-state
+  /// payoff (post still contains the turnover transition).
+  PhaseTotals pre, post, tail;
+  workload::ExperimentMetrics final_metrics;  // repartition counters
+};
+
+/// Replays the drifting workload against `spec_text`, splitting I/O at
+/// `switch_time`, then runs the oracle check. Exits non-zero on an oracle
+/// violation.
+DriftRun RunDrift(workload::Dataset dataset, const std::string& spec_text,
+                  const BenchConfig& cfg, double switch_time) {
+  workload::ObjectSimulator sim = MakeSimulator(dataset, cfg);
+  const auto sample = sim.SampleVelocities(cfg.sample_size, cfg.seed + 5);
+  auto index = MakeBenchIndex(spec_text, cfg, sample);
+  workload::QueryGenerator qgen(MakeQueryOptions(cfg));
+
+  for (const MovingObject& o : sim.InitialObjects()) {
+    const Status st = index->Insert(o);
+    if (!st.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  DriftRun run;
+  const double spacing =
+      cfg.duration / static_cast<double>(cfg.total_queries);
+  double next_query_at = spacing;
+  std::uint64_t issued = 0;
+  const double tail_begin = cfg.duration * 0.75;
+  for (double t = 1.0; t <= cfg.duration; t += 1.0) {
+    PhaseTotals& phase = t <= switch_time ? run.pre
+                         : t > tail_begin ? run.tail
+                                          : run.post;
+    std::vector<MovingObject> updates = sim.Tick();
+    index->AdvanceTime(sim.Now());
+    if (!updates.empty()) {
+      std::vector<IndexOp> ops;
+      ops.reserve(updates.size());
+      for (const MovingObject& u : updates) ops.push_back(IndexOp::Updating(u));
+      const std::uint64_t before = index->Stats().PhysicalTotal();
+      Status st = index->ApplyBatch(ops);
+      if (st.ok()) st = index->Drain();
+      if (!st.ok()) {
+        std::fprintf(stderr, "update failed: %s\n", st.ToString().c_str());
+        std::exit(1);
+      }
+      phase.update_io += index->Stats().PhysicalTotal() - before;
+      phase.updates += ops.size();
+    }
+    while (issued < cfg.total_queries && next_query_at <= t) {
+      next_query_at += spacing;
+      const RangeQuery q = qgen.Next(sim.Now());
+      CountingSink result;
+      const std::uint64_t before = index->Stats().PhysicalTotal();
+      const Status st = index->Search(q, result);
+      if (!st.ok()) {
+        std::fprintf(stderr, "query failed: %s\n", st.ToString().c_str());
+        std::exit(1);
+      }
+      phase.query_io += index->Stats().PhysicalTotal() - before;
+      ++phase.queries;
+      ++issued;
+    }
+  }
+
+  // Oracle: every simulated object indexed exactly once, trajectories
+  // intact — migrations must never lose or duplicate an object.
+  std::vector<ObjectId> ids;
+  const RangeQuery everything = RangeQuery::TimeSlice(
+      QueryRegion::MakeRect(cfg.domain.Inflated(cfg.domain.Width())),
+      sim.Now());
+  if (!index->Search(everything, &ids).ok() ||
+      ids.size() != sim.ObjectCount()) {
+    std::fprintf(stderr, "ORACLE FAILURE [%s]: %zu of %zu objects found\n",
+                 spec_text.c_str(), ids.size(), sim.ObjectCount());
+    std::exit(1);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (ObjectId id = 0; id < ids.size(); ++id) {
+    const auto stored = index->GetObject(id);
+    const MovingObject& truth = sim.Current(id);
+    if (ids[id] != id || !stored.ok() || stored->pos != truth.pos ||
+        stored->vel != truth.vel || stored->t_ref != truth.t_ref) {
+      std::fprintf(stderr, "ORACLE FAILURE [%s]: object %llu diverged\n",
+                   spec_text.c_str(), static_cast<unsigned long long>(id));
+      std::exit(1);
+    }
+  }
+
+  // Borrow the metrics struct for its repartition counters.
+  run.final_metrics.index_name = index->Name();
+  run.final_metrics.total_io = index->Stats();
+  if (auto* vp = dynamic_cast<VpIndex*>(index.get())) {
+    const RepartitionStats rs = vp->repartition_stats();
+    run.final_metrics.repartitions = rs.repartitions;
+    run.final_metrics.repartition_migrated = rs.migrated_objects;
+    run.final_metrics.repartition_reinserted = rs.reinserted_objects;
+    run.final_metrics.repartition_io = rs.migration_io;
+  }
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg;
+  cfg.num_objects = PaperScale() ? 100000 : 20000;
+  cfg.duration = PaperScale() ? 240.0 : 120.0;
+  cfg.total_queries = 240;
+  // Faster re-reporting than Table 1's 120 ts: drift only reaches the
+  // index through object updates, so the population must turn over within
+  // each phase for the scenario to mean anything.
+  cfg.max_update_interval = 30.0;
+  std::string dataset_name = "drift-switch";
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--objects", &value)) {
+      cfg.num_objects = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--duration", &value)) {
+      cfg.duration = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--queries", &value)) {
+      cfg.total_queries = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--radius", &value)) {
+      cfg.query_radius = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--dataset", &value)) {
+      dataset_name = value;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return 1;
+    }
+  }
+  workload::Dataset dataset = workload::Dataset::kDriftSwitch;
+  bool known = false;
+  for (workload::Dataset d : workload::kDriftDatasets) {
+    if (workload::DatasetName(d) == dataset_name) {
+      dataset = d;
+      known = true;
+    }
+  }
+  if (!known) {
+    std::fprintf(stderr, "unknown drifting dataset '%s'\n",
+                 dataset_name.c_str());
+    return 1;
+  }
+  const double switch_time = cfg.duration / 2.0;
+
+  BenchReporter rep("drift");
+  rep.SetContext("dataset", dataset_name);
+  rep.SetContext("objects", static_cast<std::uint64_t>(cfg.num_objects));
+  rep.SetContext("duration", cfg.duration);
+  rep.SetContext("switch_time", switch_time);
+  rep.SetRowKey("phase");
+
+  std::printf("== static vs adaptive VP under drift (%s, switch at %.0f) ==\n",
+              dataset_name.c_str(), switch_time);
+  std::printf("%-34s %-5s %12s %12s %14s\n", "index", "phase", "query I/O",
+              "update I/O", "repartitions");
+
+  // drift_check=10: probe the drift indicator every 10 ts so the replan
+  // lands shortly after the post-switch population turns over.
+  const char* kSpecs[] = {
+      "vp(bx,repartition=off)",
+      "vp(bx,repartition=auto,drift_check=10)",
+      "vp(tpr,repartition=off)",
+      "vp(tpr,repartition=auto,drift_check=10)",
+  };
+  double static_tail[2] = {0.0, 0.0}, adaptive_tail[2] = {0.0, 0.0};
+  int spec_i = 0;
+  for (const char* spec : kSpecs) {
+    const DriftRun run = RunDrift(dataset, spec, cfg, switch_time);
+    const bool adaptive = spec_i % 2 == 1;
+    double* const tail_slot = adaptive ? adaptive_tail : static_tail;
+    tail_slot[spec_i / 2] = run.tail.AvgQueryIo();
+    const PhaseTotals* phases[] = {&run.pre, &run.post, &run.tail};
+    const char* phase_names[] = {"pre", "post", "tail"};
+    for (int ph = 0; ph < 3; ++ph) {
+      const PhaseTotals& phase = *phases[ph];
+      const bool is_tail = ph == 2;  // counters reported once, on the tail
+      auto& row = rep.AddRow();
+      row.Set("phase", phase_names[ph])
+          .Set("index", spec)
+          .Set("avg_query_io", phase.AvgQueryIo())
+          .Set("avg_update_io", phase.AvgUpdateIo())
+          .Set("num_queries", phase.queries)
+          .Set("num_updates", phase.updates)
+          .Set("repartitions",
+               is_tail ? run.final_metrics.repartitions : 0)
+          .Set("repartition_migrated",
+               is_tail ? run.final_metrics.repartition_migrated : 0)
+          .Set("repartition_reinserted",
+               is_tail ? run.final_metrics.repartition_reinserted : 0)
+          .Set("repartition_io",
+               is_tail ? run.final_metrics.repartition_io : 0);
+      std::printf("%-38s %-5s %12.2f %12.3f %14llu\n", spec,
+                  phase_names[ph], phase.AvgQueryIo(), phase.AvgUpdateIo(),
+                  static_cast<unsigned long long>(
+                      is_tail ? run.final_metrics.repartitions : 0));
+    }
+    std::fflush(stdout);
+    ++spec_i;
+  }
+  for (int c = 0; c < 2; ++c) {
+    if (static_tail[c] > 0.0) {
+      std::printf("settled (tail) query I/O, %s: static %.2f vs adaptive "
+                  "%.2f (%.2fx)\n",
+                  c == 0 ? "bx" : "tpr", static_tail[c], adaptive_tail[c],
+                  static_tail[c] / std::max(1e-9, adaptive_tail[c]));
+    }
+  }
+
+  const Status st = rep.Write();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -120,7 +120,11 @@ BenchReporter::Row& BenchReporter::Row::SetMetrics(
       .Set("io_physical_writes", m.total_io.physical_writes)
       .Set("io_buffer_hits", m.total_io.buffer_hits)
       .Set("io_buffer_misses", m.total_io.buffer_misses)
-      .Set("buffer_hit_rate", m.total_io.BufferHitRate());
+      .Set("buffer_hit_rate", m.total_io.BufferHitRate())
+      .Set("repartitions", m.repartitions)
+      .Set("repartition_migrated", m.repartition_migrated)
+      .Set("repartition_reinserted", m.repartition_reinserted)
+      .Set("repartition_io", m.repartition_io);
   return *this;
 }
 

@@ -265,7 +265,20 @@ StatusOr<VpIndexOptions> ReadVpOptions(const IndexSpec& spec,
   opts.Double("fixed_tau", &o.analyzer.fixed_tau);
   opts.Double("tau_refresh", &o.tau_refresh_interval);
   opts.SizeT("buffer_pages", &o.buffer_pages);
+  // Section 5.5 closed loop: `repartition=auto` re-runs the analyzer and
+  // migrates partitions live when drift exceeds `drift_factor` times the
+  // build-time baseline, probed every `drift_check` timestamps.
+  static constexpr std::pair<const char*, int> kRepartition[] = {
+      {"auto", 1}, {"off", 0}};
+  int repartition = o.repartition.enabled ? 1 : 0;
+  opts.Choice("repartition", kRepartition, &repartition);
+  o.repartition.enabled = repartition == 1;
+  opts.Double("drift_factor", &o.repartition.drift_factor);
+  opts.Double("drift_check", &o.repartition.check_interval);
   VPMOI_RETURN_IF_ERROR(opts.Finish());
+  if (o.repartition.drift_factor <= 0.0) {
+    return Status::InvalidArgument("drift_factor must be > 0");
+  }
   return o;
 }
 
@@ -273,12 +286,20 @@ StatusOr<VpIndexOptions> ReadVpOptions(const IndexSpec& spec,
 /// vp kind passes its shared pool; the engine passes null pools (each
 /// partition owns its storage). The first child build error is recorded in
 /// `*child_error` and the partition comes back null.
+///
+/// The factory outlives this call: VpIndex/VpEngine retain it and invoke
+/// it again when a live repartition rebuilds partitions in new frames. It
+/// therefore owns everything it needs — the child spec and env by value
+/// (the velocity-sample span is dropped: partition children are leaf kinds
+/// that never read it) and the error slot by shared ownership.
 IndexFactory MakePartitionFactory(const IndexSpec& child, const IndexEnv& env,
-                                  Status* child_error) {
-  return [&child, &env, child_error](
+                                  std::shared_ptr<Status> child_error) {
+  IndexEnv owned_env = env;
+  owned_env.sample_velocities = {};
+  return [child, owned_env, child_error = std::move(child_error)](
              BufferPool* pool,
              const Rect& frame_domain) -> std::unique_ptr<MovingObjectIndex> {
-    IndexEnv child_env = env;
+    IndexEnv child_env = owned_env;
     child_env.shared_pool = pool;
     child_env.domain = frame_domain;
     auto built = BuildIndex(child, child_env);
@@ -304,11 +325,11 @@ StatusOr<std::unique_ptr<MovingObjectIndex>> BuildVp(const IndexSpec& spec,
   // The partition factory recurses through the registry with the shared
   // pool and frame domain; VpIndex::Build turns a null partition into an
   // error, and the first recorded child error is surfaced instead.
-  Status child_error;
+  auto child_error = std::make_shared<Status>();
   const IndexFactory factory =
-      MakePartitionFactory(spec.children[0], env, &child_error);
+      MakePartitionFactory(spec.children[0], env, child_error);
   auto built = VpIndex::Build(factory, *o, env.sample_velocities);
-  if (!child_error.ok()) return child_error;
+  if (!child_error->ok()) return *child_error;
   if (!built.ok()) return built.status();
   return std::unique_ptr<MovingObjectIndex>(std::move(built).value());
 }
@@ -340,11 +361,11 @@ StatusOr<std::unique_ptr<MovingObjectIndex>> BuildEngine(const IndexSpec& spec,
 
   // Null pools: each engine partition owns its pages so shard workers
   // never contend on storage.
-  Status child_error;
+  auto child_error = std::make_shared<Status>();
   const IndexFactory factory =
-      MakePartitionFactory(vp_spec.children[0], env, &child_error);
+      MakePartitionFactory(vp_spec.children[0], env, child_error);
   auto built = engine::VpEngine::Build(factory, eo, env.sample_velocities);
-  if (!child_error.ok()) return child_error;
+  if (!child_error->ok()) return *child_error;
   if (!built.ok()) return built.status();
   return std::unique_ptr<MovingObjectIndex>(std::move(built).value());
 }

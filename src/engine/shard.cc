@@ -49,13 +49,44 @@ void EngineShard::WorkerLoop() {
 }
 
 void EngineShard::Execute(ShardCommand& cmd) {
+  // Physical-I/O delta of this command on its partition, fed to the
+  // command's io_sink (live-migration accounting). Partitions own private
+  // pools, so the counter read is a cheap local aggregate.
+  const auto physical = [&] {
+    return cmd.io_sink == nullptr
+               ? 0
+               : partitions_[cmd.partition]->Stats().PhysicalTotal();
+  };
+  const auto account = [&](std::uint64_t before) {
+    if (cmd.io_sink != nullptr) {
+      cmd.io_sink->fetch_add(physical() - before, std::memory_order_relaxed);
+    }
+  };
   switch (cmd.kind) {
-    case ShardCommand::Kind::kBatch:
+    case ShardCommand::Kind::kBatch: {
+      const std::uint64_t before = physical();
       LatchError(partitions_[cmd.partition]->ApplyBatch(cmd.ops));
+      account(before);
       break;
-    case ShardCommand::Kind::kBulkLoad:
+    }
+    case ShardCommand::Kind::kBulkLoad: {
+      const std::uint64_t before = physical();
       LatchError(partitions_[cmd.partition]->BulkLoad(cmd.objects));
+      account(before);
       break;
+    }
+    case ShardCommand::Kind::kReplacePartition: {
+      // The displaced index dies with this command; keep its lifetime
+      // counters so the shard's merged stats stay monotone.
+      retired_.MergeFrom(partitions_[cmd.partition]->Stats());
+      partitions_[cmd.partition] = std::move(cmd.new_index);
+      const std::uint64_t before = physical();
+      if (!cmd.objects.empty()) {
+        LatchError(partitions_[cmd.partition]->BulkLoad(cmd.objects));
+      }
+      account(before);
+      break;
+    }
     case ShardCommand::Kind::kQuery: {
       // A query aborted by the engine's early-terminating sink leaves its
       // partial hits behind; the engine discards them.
@@ -83,7 +114,7 @@ void EngineShard::LatchError(const Status& st) {
 }
 
 IoStats EngineShard::MergedStats() const {
-  IoStats total;
+  IoStats total = retired_;
   for (const auto& p : partitions_) total.MergeFrom(p->Stats());
   return total;
 }

@@ -12,6 +12,7 @@
 #define VPMOI_ENGINE_SHARD_H_
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -25,8 +26,9 @@
 namespace vpmoi {
 namespace engine {
 
-/// One unit of shard work. Pointer operands (query, hits, stop) live on
-/// the issuing caller's stack; the caller must Await the command's ticket
+/// One unit of shard work (move-only: a replace command owns the new
+/// index). Pointer operands (query, hits, stop, io_sink) live on the
+/// issuing caller's side; the caller must Await the command's ticket
 /// before releasing them.
 struct ShardCommand {
   enum class Kind {
@@ -39,16 +41,25 @@ struct ShardCommand {
     kQuery,
     /// AdvanceTime(now) on every partition of the shard.
     kAdvanceTime,
+    /// Swap slot `partition`'s index for `new_index`, then BulkLoad
+    /// `objects` into it — how a live repartition rebuilds a partition
+    /// whose frame changed, in queue order, without pausing ingestion.
+    /// The displaced index (and its private pages) dies with the command.
+    kReplacePartition,
   };
 
   Kind kind = Kind::kBatch;
-  /// Partition slot within this shard (kBatch / kBulkLoad / kQuery).
+  /// Partition slot within this shard (all kinds but kAdvanceTime).
   int partition = 0;
   std::vector<IndexOp> ops;
   std::vector<MovingObject> objects;
+  std::unique_ptr<MovingObjectIndex> new_index;
   const RangeQuery* query = nullptr;
   std::vector<ObjectId>* hits = nullptr;
   const std::atomic<bool>* stop = nullptr;
+  /// When set, the physical I/O this command causes on its partition is
+  /// added here (repartition migration accounting).
+  std::atomic<std::uint64_t>* io_sink = nullptr;
   Timestamp now = 0.0;
   TickBarrier::Ticket ticket = TickBarrier::kNone;
 };
@@ -101,10 +112,21 @@ class EngineShard {
   const MovingObjectIndex* partition(int slot) const {
     return partitions_[slot].get();
   }
+  /// Releases ownership of a partition index (the slot keeps its id but
+  /// holds null afterwards) — the engine's shard-rebalance path extracts
+  /// surviving indexes this way. Quiescent-only, like partition().
+  std::unique_ptr<MovingObjectIndex> TakePartition(int slot) {
+    return std::move(partitions_[slot]);
+  }
 
-  /// Sum of the partitions' IoStats (IoStats::MergeFrom). Quiescent-only,
-  /// like partition().
+  /// Sum of the partitions' IoStats plus the counters retired by replaced
+  /// partitions (kReplacePartition folds the displaced index's lifetime
+  /// stats in before dropping it, keeping the shard's totals monotone
+  /// across live repartitions). Quiescent-only, like partition().
   IoStats MergedStats() const;
+  /// Counters inherited from replaced partitions. Quiescent-only.
+  const IoStats& retired_stats() const { return retired_; }
+  void ResetRetiredStats() { retired_ = IoStats{}; }
 
  private:
   void WorkerLoop();
@@ -112,6 +134,9 @@ class EngineShard {
   void LatchError(const Status& st);
 
   std::vector<std::unique_ptr<MovingObjectIndex>> partitions_;
+  /// Lifetime IoStats of partitions replaced by kReplacePartition; only
+  /// the worker mutates it, and readers are quiescent-only.
+  IoStats retired_;
   IngestQueue<ShardCommand> queue_;
   TickBarrier barrier_;
   /// Orders Issue() with Push() across producers.

@@ -12,7 +12,9 @@ namespace vpmoi {
 namespace engine {
 
 VpEngine::VpEngine(VpEngineOptions options, std::unique_ptr<VpRouter> router)
-    : options_(std::move(options)), router_(std::move(router)) {}
+    : options_(std::move(options)),
+      router_(std::move(router)),
+      planner_(options_.vp.repartition) {}
 
 StatusOr<std::unique_ptr<VpEngine>> VpEngine::Build(
     const IndexFactory& factory, const VpEngineOptions& options,
@@ -26,6 +28,7 @@ StatusOr<std::unique_ptr<VpEngine>> VpEngine::Build(
 
   std::unique_ptr<VpEngine> engine(
       new VpEngine(options, std::move(router).value()));
+  engine->factory_ = factory;
   const int partitions = engine->router_->PartitionCount();
   const int shard_count =
       options.threads == 0 ? partitions
@@ -65,6 +68,7 @@ void VpEngine::Stop() {
 }
 
 Status VpEngine::FirstShardError() const {
+  VPMOI_RETURN_IF_ERROR(repartition_error_);
   for (const auto& shard : shards_) {
     VPMOI_RETURN_IF_ERROR(shard->error());
   }
@@ -168,12 +172,10 @@ Status VpEngine::BulkLoad(std::span<const MovingObject> objects) {
 
 Status VpEngine::ApplyBatch(std::span<const IndexOp> ops) {
   std::unique_lock<std::shared_mutex> lock(mu_);
-  std::vector<std::vector<IndexOp>> grouped;
-  if (router_->TryGroupBatch(ops, &grouped)) {
-    for (int p = 0; p < router_->PartitionCount(); ++p) {
-      if (grouped[p].empty()) continue;
-      EnqueueBatch(p, std::move(grouped[p]));
-    }
+  if (router_->DispatchGroupedBatch(
+          ops, [&](int partition, std::vector<IndexOp> sub) {
+            EnqueueBatch(partition, std::move(sub));
+          })) {
     router_->MaybeRefreshTaus();
     return Status::OK();
   }
@@ -211,6 +213,188 @@ void VpEngine::AdvanceTime(Timestamp now) {
     Dispatch(shard.get(), std::move(cmd));
   }
   router_->MaybeRefreshTaus();
+  if (planner_.policy().enabled) MaybeRepartitionLocked();
+}
+
+void VpEngine::MaybeRepartitionLocked() {
+  if (!planner_.ShouldRepartition(*router_)) return;
+  auto plan = planner_.Plan(*router_);
+  if (plan.ok() && !planner_.Approves(*plan)) return;  // no genuine gain
+  const Status st = plan.ok() ? ApplyPlanLocked(*plan) : plan.status();
+  if (!st.ok() && repartition_error_.ok()) repartition_error_ = st;
+}
+
+StatusOr<bool> VpEngine::MaybeRepartition() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!planner_.ShouldRepartition(*router_)) return false;
+  auto plan = planner_.Plan(*router_);
+  if (!plan.ok()) return plan.status();
+  if (!planner_.Approves(*plan)) return false;
+  VPMOI_RETURN_IF_ERROR(ApplyPlanLocked(*plan));
+  return true;
+}
+
+Status VpEngine::Repartition() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto plan = planner_.Plan(*router_);
+  if (!plan.ok()) return plan.status();
+  return ApplyPlanLocked(*plan);
+}
+
+RepartitionStats VpEngine::repartition_stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  RepartitionStats s = rep_stats_;
+  s.migration_io = migration_io_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Status VpEngine::ApplyPlanLocked(const RepartitionPlan& plan) {
+  const int old_count = router_->PartitionCount();
+  const int new_count = plan.NewPartitionCount();
+
+  // Build every fresh partition first, from the plan's frames (identical
+  // to what the router derives when the plan is applied): a factory
+  // failure must leave the engine completely untouched — no half-swapped
+  // routing table, no stopped shards with extracted partitions.
+  std::vector<std::unique_ptr<MovingObjectIndex>> fresh(new_count);
+  for (int p = 0; p < new_count; ++p) {
+    if (plan.Inherits(p)) continue;
+    const Rect frame_domain =
+        p < plan.NewDvaCount()
+            ? DvaTransform(plan.analysis.dvas[p], router_->WorldDomain())
+                  .frame_domain()
+            : router_->WorldDomain();
+    fresh[p] = factory_(nullptr, frame_domain);
+    if (fresh[p] == nullptr) {
+      return Status::InvalidArgument(
+          "index factory failed to build a repartitioned engine partition");
+    }
+  }
+
+  VpRouter::PartitionWork work;
+  VPMOI_RETURN_IF_ERROR(router_->ApplyRepartition(plan, &work));
+
+  // The live path needs slot-stable inheritance: every partition either
+  // keeps its slot (same shard, same queue) or is rebuilt in place. Plans
+  // that keep k satisfy this by construction; a k change rebalances.
+  bool live = running_ && new_count == old_count;
+  for (int p = 0; live && p < new_count; ++p) {
+    live = plan.inherited_old_slot[p] == p || plan.inherited_old_slot[p] == -1;
+  }
+  const std::uint64_t migrated = work.migrated;
+  const std::uint64_t reinserted = work.reinserted;
+  const std::uint64_t stable = work.stable;
+
+  if (live) {
+    // Pause-free: the migration rides the ordinary ingest queues. Every
+    // command is ticketed before the writer lock drops, so any later
+    // query's snapshot barrier already covers the whole migration.
+    for (int p = 0; p < new_count; ++p) {
+      if (plan.Inherits(p)) {
+        if (work.inherited_ops[p].empty()) continue;
+        ShardCommand cmd;
+        cmd.kind = ShardCommand::Kind::kBatch;
+        cmd.partition = slots_[p].slot;
+        cmd.ops = std::move(work.inherited_ops[p]);
+        cmd.io_sink = &migration_io_;
+        Dispatch(slots_[p].shard, std::move(cmd));
+      } else {
+        ShardCommand cmd;
+        cmd.kind = ShardCommand::Kind::kReplacePartition;
+        cmd.partition = slots_[p].slot;
+        cmd.new_index = std::move(fresh[p]);
+        cmd.objects = std::move(work.rebuild_objects[p]);
+        cmd.io_sink = &migration_io_;
+        Dispatch(slots_[p].shard, std::move(cmd));
+      }
+    }
+  } else {
+    RebalanceLocked(plan, std::move(work), std::move(fresh));
+  }
+
+  ++rep_stats_.repartitions;
+  rep_stats_.migrated_objects += migrated;
+  rep_stats_.reinserted_objects += reinserted;
+  rep_stats_.stable_objects += stable;
+  rep_stats_.last_drift = plan.drift_before;
+  return Status::OK();
+}
+
+void VpEngine::RebalanceLocked(
+    const RepartitionPlan& plan, VpRouter::PartitionWork work,
+    std::vector<std::unique_ptr<MovingObjectIndex>> fresh) {
+  // Fenced path (partition count changed): drain + join the current
+  // workers, rebuild the shard set round-robin over the new count, restart
+  // — worker threads are rebalanced, surviving indexes carried over, and
+  // dropped ones die with their private pools (no per-object deletes).
+  const bool was_running = running_;
+  for (auto& shard : shards_) shard->Stop();
+  running_ = false;
+
+  const int old_count = static_cast<int>(slots_.size());
+  std::vector<std::unique_ptr<MovingObjectIndex>> old_indexes(old_count);
+  for (int j = 0; j < old_count; ++j) {
+    old_indexes[j] = slots_[j].shard->TakePartition(slots_[j].slot);
+  }
+  // Everything this rebalance drops retires its counters, so Stats()
+  // stays monotone: the old shards' replaced-partition retirements and
+  // every index no new slot inherits.
+  for (const auto& shard : shards_) {
+    retired_io_.MergeFrom(shard->retired_stats());
+  }
+  std::vector<bool> survives(old_count, false);
+  for (int p = 0; p < plan.NewPartitionCount(); ++p) {
+    if (plan.Inherits(p)) survives[plan.inherited_old_slot[p]] = true;
+  }
+  for (int j = 0; j < old_count; ++j) {
+    if (!survives[j]) retired_io_.MergeFrom(old_indexes[j]->Stats());
+  }
+
+  const int new_count = plan.NewPartitionCount();
+  const int shard_count = options_.threads == 0
+                              ? new_count
+                              : std::min(options_.threads, new_count);
+  std::vector<std::unique_ptr<EngineShard>> shards;
+  shards.reserve(shard_count);
+  for (int s = 0; s < shard_count; ++s) {
+    shards.push_back(std::make_unique<EngineShard>());
+  }
+  std::vector<PartitionSlot> slots;
+  slots.reserve(new_count);
+  for (int p = 0; p < new_count; ++p) {
+    EngineShard* shard = shards[p % shard_count].get();
+    std::unique_ptr<MovingObjectIndex> child =
+        plan.Inherits(p) ? std::move(old_indexes[plan.inherited_old_slot[p]])
+                         : std::move(fresh[p]);
+    slots.push_back(PartitionSlot{shard, shard->AddPartition(std::move(child))});
+  }
+  shards_ = std::move(shards);
+  slots_ = std::move(slots);
+  if (was_running) {
+    for (auto& shard : shards_) shard->Start();
+    running_ = true;
+  }
+
+  // Loads and migration batches go through the (fresh) queues — or inline
+  // when the engine was already stopped.
+  for (int p = 0; p < new_count; ++p) {
+    if (!plan.Inherits(p)) {
+      if (work.rebuild_objects[p].empty()) continue;
+      ShardCommand cmd;
+      cmd.kind = ShardCommand::Kind::kBulkLoad;
+      cmd.partition = slots_[p].slot;
+      cmd.objects = std::move(work.rebuild_objects[p]);
+      cmd.io_sink = &migration_io_;
+      Dispatch(slots_[p].shard, std::move(cmd));
+    } else if (!work.inherited_ops[p].empty()) {
+      ShardCommand cmd;
+      cmd.kind = ShardCommand::Kind::kBatch;
+      cmd.partition = slots_[p].slot;
+      cmd.ops = std::move(work.inherited_ops[p]);
+      cmd.io_sink = &migration_io_;
+      Dispatch(slots_[p].shard, std::move(cmd));
+    }
+  }
 }
 
 void VpEngine::LaunchFanOut(const RangeQuery& world,
@@ -340,7 +524,7 @@ IoStats VpEngine::Stats() const {
   // read, and the flush must not race new enqueues.
   std::unique_lock<std::shared_mutex> lock(mu_);
   for (const auto& shard : shards_) shard->AwaitIdle();
-  IoStats total;
+  IoStats total = retired_io_;
   for (const auto& shard : shards_) total.MergeFrom(shard->MergedStats());
   return total;
 }
@@ -348,7 +532,9 @@ IoStats VpEngine::Stats() const {
 void VpEngine::ResetStats() {
   std::unique_lock<std::shared_mutex> lock(mu_);
   for (const auto& shard : shards_) shard->AwaitIdle();
+  retired_io_ = IoStats{};
   for (auto& shard : shards_) {
+    shard->ResetRetiredStats();
     for (std::size_t s = 0; s < shard->partition_count(); ++s) {
       shard->partition(static_cast<int>(s))->ResetStats();
     }

@@ -38,6 +38,7 @@
 #define VPMOI_ENGINE_VP_ENGINE_H_
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <shared_mutex>
 #include <span>
@@ -46,6 +47,7 @@
 
 #include "common/moving_object_index.h"
 #include "engine/shard.h"
+#include "vp/repartition.h"
 #include "vp/vp_index.h"
 #include "vp/vp_router.h"
 
@@ -132,6 +134,29 @@ class VpEngine final : public MovingObjectIndex {
   const VpRouter& Router() const { return *router_; }
   StatusOr<int> PartitionOfObject(ObjectId id) const;
 
+  // -- Adaptive repartitioning ----------------------------------------------
+  //
+  // The engine executes repartition plans *live*: the plan is made and the
+  // routing table swapped under the writer lock, then the storage-side
+  // work rides the ordinary per-shard ingest queues — migration batches
+  // for surviving partitions, whole-index replacements (kReplacePartition)
+  // for partitions whose frame changed. Because every migration command is
+  // ticketed before the lock drops, any later query's snapshot barrier
+  // already covers it: queries stay consistent mid-migration and ingestion
+  // never pauses. Only a change of the partition count (k+1 -> k'+1)
+  // takes the fenced path: drain, rebuild the shard set for the new count
+  // (worker threads rebalanced), restart, then enqueue the loads.
+
+  /// Drift probe + live plan application, like VpIndex::MaybeRepartition.
+  /// Runs automatically from AdvanceTime when the policy is enabled.
+  StatusOr<bool> MaybeRepartition();
+  /// Unconditionally replans and applies, live.
+  Status Repartition();
+  /// Counters of applied plans. `migration_io` is filled in by the shard
+  /// workers as they execute migration commands, so it may trail a live
+  /// migration until the queues drain (Flush() for an exact reading).
+  RepartitionStats repartition_stats() const;
+
   /// Partition `i`'s index (i == DvaCount() is the outlier). Flushes and
   /// locks out other threads first; do not retain across engine use.
   MovingObjectIndex* Partition(int i);
@@ -142,6 +167,18 @@ class VpEngine final : public MovingObjectIndex {
 
  private:
   VpEngine(VpEngineOptions options, std::unique_ptr<VpRouter> router);
+
+  /// Applies a made plan: router swap + live enqueue (same partition
+  /// count) or fenced shard rebalance (count changed). Writer lock held.
+  Status ApplyPlanLocked(const RepartitionPlan& plan);
+  /// The fenced path; `fresh` holds the pre-built indexes of the
+  /// non-inherited slots (built before any state changed, so this cannot
+  /// fail).
+  void RebalanceLocked(const RepartitionPlan& plan,
+                       VpRouter::PartitionWork work,
+                       std::vector<std::unique_ptr<MovingObjectIndex>> fresh);
+  /// Plan + apply, latching failures; writer lock held.
+  void MaybeRepartitionLocked();
 
   /// Partition -> owning shard + slot within it.
   struct PartitionSlot {
@@ -183,6 +220,21 @@ class VpEngine final : public MovingObjectIndex {
   std::unique_ptr<VpRouter> router_;
   std::vector<std::unique_ptr<EngineShard>> shards_;
   std::vector<PartitionSlot> slots_;
+  /// Retained so repartitions can build fresh partition indexes (invoked
+  /// with a null pool: engine partitions own their storage).
+  IndexFactory factory_;
+  RepartitionPlanner planner_;
+  /// Guarded by mu_ except migration_io_, which the shard workers feed.
+  RepartitionStats rep_stats_;
+  std::atomic<std::uint64_t> migration_io_{0};
+  /// Lifetime IoStats of partitions and shards dropped by fenced
+  /// rebalances, so Stats() stays monotone across repartitions (the live
+  /// path's replaced partitions retire into their shard instead). Guarded
+  /// by mu_.
+  IoStats retired_io_;
+  /// First automatic-repartition failure; sticky, surfaced with the shard
+  /// errors (Flush / queries / CheckInvariants).
+  Status repartition_error_;
   std::string name_;
 
   /// Guards the router (table, histograms, taus) and the running flag.

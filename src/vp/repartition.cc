@@ -1,0 +1,148 @@
+#include "vp/repartition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "vp/velocity_analyzer.h"
+#include "vp/vp_router.h"
+
+namespace vpmoi {
+
+bool RepartitionPlanner::ShouldRepartition(const VpRouter& router) {
+  if (!policy_.enabled) return false;
+  const Timestamp now = router.now();
+  if (policy_.check_interval > 0.0 &&
+      now - last_check_ < policy_.check_interval) {
+    return false;
+  }
+  last_check_ = now;
+  if (router.Size() == 0) return false;
+  // Fire when drift exceeds factor x baseline (with the router's floor
+  // for near-zero baselines), capped by the absolute poor-fit level so a
+  // high re-anchored baseline cannot blind the loop. Populations no
+  // replan can fit (e.g. uniform directions) stay above the cap forever;
+  // the acceptance gate is what keeps those from thrashing.
+  const double threshold =
+      std::min(std::max(policy_.drift_factor * router.BaselineDrift(), 0.05),
+               policy_.poor_fit_drift);
+  return router.DirectionDriftIndicator() > threshold;
+}
+
+StatusOr<RepartitionPlan> RepartitionPlanner::Plan(
+    const VpRouter& router) const {
+  const std::vector<VpRouter::RoutedObject> snapshot = router.SnapshotObjects();
+  if (snapshot.empty()) {
+    return Status::InvalidArgument(
+        "cannot replan partitions of an empty index");
+  }
+
+  // Even-stride velocity sample over the id-ordered population: cheap,
+  // unbiased for this purpose, and deterministic — the parallel engine and
+  // the sequential index produce the identical plan from identical tables.
+  const std::size_t cap = std::max<std::size_t>(1, policy_.max_sample);
+  const std::size_t take = std::min(snapshot.size(), cap);
+  std::vector<Vec2> sample;
+  sample.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    sample.push_back(snapshot[i * snapshot.size() / take].world.vel);
+  }
+
+  VelocityAnalyzerOptions aopts = router.options().analyzer;
+  if (policy_.k_override > 0) aopts.k = policy_.k_override;
+  auto analyzed = VelocityAnalyzer(aopts).Analyze(sample);
+  if (!analyzed.ok()) return analyzed.status();
+
+  RepartitionPlan plan;
+  plan.analysis = std::move(analyzed).value();
+  // The assignment describes the sample, not the live population; drop it
+  // so nothing downstream mistakes one for the other.
+  plan.analysis.assignment.clear();
+  plan.drift_before = router.DirectionDriftIndicator();
+
+  // Match new DVAs to current ones by axis alignment (axes are
+  // orientation-free, so |dot| is the similarity). A match within the
+  // angular tolerance keeps the old axis — and with it the partition's
+  // frame, index and resident objects.
+  const int old_k = router.DvaCount();
+  const int new_k = plan.NewDvaCount();
+  const double min_align = std::cos(policy_.axis_tolerance);
+  struct Candidate {
+    double align;
+    int new_i, old_j;
+  };
+  std::vector<Candidate> candidates;
+  for (int i = 0; i < new_k; ++i) {
+    for (int j = 0; j < old_k; ++j) {
+      const double align =
+          std::abs(plan.analysis.dvas[i].axis.Dot(router.GetDva(j).axis));
+      if (align >= min_align) candidates.push_back({align, i, j});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.align != b.align) return a.align > b.align;
+              return std::make_pair(a.new_i, a.old_j) <
+                     std::make_pair(b.new_i, b.old_j);
+            });
+  std::vector<int> match_of_new(new_k, -1);
+  std::vector<bool> old_taken(old_k, false);
+  for (const Candidate& c : candidates) {
+    if (match_of_new[c.new_i] >= 0 || old_taken[c.old_j]) continue;
+    match_of_new[c.new_i] = c.old_j;
+    old_taken[c.old_j] = true;
+  }
+
+  plan.inherited_old_slot.assign(new_k + 1, -1);
+  if (new_k == old_k) {
+    // Same k: matched DVAs keep their old slot numbers, so the engine can
+    // execute the plan live without remapping shards; unmatched new DVAs
+    // fill the freed slots in order.
+    std::vector<Dva> slot_dvas(new_k);
+    std::vector<bool> slot_used(new_k, false);
+    for (int i = 0; i < new_k; ++i) {
+      const int m = match_of_new[i];
+      if (m < 0) continue;
+      slot_dvas[m] = router.GetDva(m);             // old axis/anchor: frame kept
+      slot_dvas[m].tau = plan.analysis.dvas[i].tau;  // fresh outlier threshold
+      slot_used[m] = true;
+      plan.inherited_old_slot[m] = m;
+    }
+    int free_slot = 0;
+    for (int i = 0; i < new_k; ++i) {
+      if (match_of_new[i] >= 0) continue;
+      while (slot_used[free_slot]) ++free_slot;
+      slot_dvas[free_slot] = plan.analysis.dvas[i];
+      slot_used[free_slot] = true;
+    }
+    plan.analysis.dvas = std::move(slot_dvas);
+  } else {
+    // k changed: slots renumber anyway, but a matched DVA still inherits
+    // the old index across the renumbering (the frame is axis-determined).
+    for (int i = 0; i < new_k; ++i) {
+      const int m = match_of_new[i];
+      if (m < 0) continue;
+      const double tau = plan.analysis.dvas[i].tau;
+      plan.analysis.dvas[i] = router.GetDva(m);
+      plan.analysis.dvas[i].tau = tau;
+      plan.inherited_old_slot[i] = m;
+    }
+  }
+  // The outlier partition's frame is the world frame — always inherited.
+  plan.inherited_old_slot[new_k] = old_k;
+
+  // Predicted fit of the final (slot-arranged) axes on the sample, for
+  // the acceptance gate.
+  double perp_total = 0.0, speed_total = 0.0;
+  for (const Vec2& v : sample) {
+    const int c = plan.analysis.ClosestDva(v);
+    if (c >= 0) perp_total += plan.analysis.dvas[c].PerpendicularSpeed(v);
+    speed_total += v.Norm();
+  }
+  plan.drift_after_estimate =
+      speed_total > 0.0 ? perp_total / speed_total : 0.0;
+  return plan;
+}
+
+}  // namespace vpmoi

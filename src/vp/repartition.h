@@ -1,0 +1,159 @@
+// Adaptive live repartitioning (Section 5.5, closed loop): the paper
+// prescribes re-running the velocity analyzer and rebuilding the
+// partitions when the population's dominant travel directions drift away
+// from the build-time DVAs. The RepartitionPlanner turns the drift
+// *measurement* the router already maintains (VpRouter::NeedsReanalysis)
+// into action: when the drift indicator exceeds a configurable factor of
+// the build-time baseline, it re-runs the analysis on the current
+// population's velocities and emits a RepartitionPlan.
+//
+// A plan is a *diff* against the current layout, not a blank-slate
+// rebuild:
+//   * New DVAs whose axis matches a current DVA (within a small angular
+//     tolerance) inherit the old axis verbatim, so the partition's rotated
+//     frame — and therefore every resident object's stored coordinates —
+//     is unchanged; objects staying in such a partition are untouched.
+//   * The outlier partition always keeps the world frame, so objects that
+//     remain outliers are untouched too.
+//   * Partitions whose axis genuinely moved are rebuilt: a fresh index in
+//     the new frame, loaded through the sorted bulk/batch machinery.
+//   * Objects whose routing changes migrate as a sorted delete batch in
+//     the old partition plus a sorted insert batch in the new one.
+//
+// VpIndex::MaybeRepartition() applies plans synchronously over the shared
+// buffer pool; the partition-parallel VpEngine applies them *live* through
+// its per-shard ingest queues, fenced by the TickBarrier so queries stay
+// snapshot-consistent mid-migration (see engine/vp_engine.h).
+#ifndef VPMOI_VP_REPARTITION_H_
+#define VPMOI_VP_REPARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "vp/dva.h"
+
+namespace vpmoi {
+
+class VpRouter;
+
+/// When and how aggressively the closed loop replans.
+struct RepartitionPolicy {
+  /// Master switch (registry option `repartition=auto|off`).
+  bool enabled = false;
+  /// Replan when the drift indicator exceeds `drift_factor` times the
+  /// build-time (or last-repartition) baseline; see
+  /// VpRouter::NeedsReanalysis.
+  double drift_factor = 3.0;
+  /// Absolute ceiling on the firing threshold: above this indicator level
+  /// the layout is a poor fit no matter what the (re-anchored) baseline
+  /// says, so the probe keeps firing. Without it, accepting a mediocre
+  /// mid-transition plan would re-anchor the baseline high and blind the
+  /// detector to the settled population. ~0.6 is a directionless
+  /// population; well-fit axis populations sit near their heading noise.
+  double poor_fit_drift = 0.15;
+  /// Period (ts) of the drift probe — the indicator is O(population), so
+  /// it is not evaluated every tick. <= 0 probes on every opportunity.
+  double check_interval = 60.0;
+  /// Velocity sample cap handed to the re-run analyzer (sampled evenly
+  /// over the live population in id order, so plans are deterministic).
+  std::size_t max_sample = 10000;
+  /// Angular tolerance (radians) under which a re-analyzed axis is
+  /// considered unchanged and the existing partition frame is kept.
+  double axis_tolerance = 0.01;
+  /// Acceptance gate: a plan is applied only when its predicted fit
+  /// (drift under the new DVAs, estimated on the analyzer sample) is at
+  /// most `min_improvement` times the current drift. This rejects
+  /// premature replans made mid-transition — a population half-way
+  /// through a regime switch fits *no* k-axis layout well, and anchoring
+  /// to such a compromise would blind the detector; the loop instead
+  /// retries after `check_interval` until the population settles.
+  double min_improvement = 0.7;
+  /// Overrides the analyzer's k for replans (0 keeps the build-time k).
+  /// The partition count may therefore change across a repartition.
+  int k_override = 0;
+};
+
+/// Cumulative counters of applied repartitions.
+struct RepartitionStats {
+  std::uint64_t repartitions = 0;
+  /// Objects that changed partition (delete in the old + insert in the
+  /// new, both through the sorted-batch machinery).
+  std::uint64_t migrated_objects = 0;
+  /// Objects that kept their partition but live in a rebuilt frame (freshly
+  /// bulk-loaded; no per-object delete was needed).
+  std::uint64_t reinserted_objects = 0;
+  /// Objects left completely untouched (kept partition, kept frame).
+  std::uint64_t stable_objects = 0;
+  /// Physical page I/O spent applying plans (migration cost).
+  std::uint64_t migration_io = 0;
+  /// Drift indicator that triggered the most recent repartition.
+  double last_drift = 0.0;
+};
+
+/// One replan: the new analysis plus the inheritance diff against the
+/// current layout. Slot `p` of `inherited_old_slot` names the current
+/// partition whose index (and frame) new partition `p` takes over, or -1
+/// when the frame changed and the partition must be rebuilt from scratch.
+/// The per-object move/reinsert work is derived from the router's object
+/// table when the plan is applied (VpRouter::ApplyRepartition).
+struct RepartitionPlan {
+  /// New DVAs with taus; axes matched within tolerance carry the *old*
+  /// axis/anchor verbatim (frame preserved). `assignment` is cleared — it
+  /// described the analyzer's sample, not the live population.
+  VelocityAnalysis analysis;
+  /// Size = new partition count (DVAs + outlier). The outlier slot always
+  /// inherits the old outlier index (the world frame never changes).
+  std::vector<int> inherited_old_slot;
+  /// Drift indicator measured when the plan was made.
+  double drift_before = 0.0;
+  /// Predicted drift under the new DVAs (on the analyzer sample) — what
+  /// the acceptance gate compares against drift_before.
+  double drift_after_estimate = 0.0;
+
+  int NewDvaCount() const { return static_cast<int>(analysis.dvas.size()); }
+  int NewPartitionCount() const {
+    return static_cast<int>(inherited_old_slot.size());
+  }
+  /// True when new slot `p` keeps its current index and frame.
+  bool Inherits(int p) const { return inherited_old_slot[p] >= 0; }
+};
+
+/// Owns the drift-probe schedule and plan construction. One planner per
+/// index instance (VpIndex or VpEngine); not thread-safe — callers
+/// serialize exactly like VpRouter access.
+class RepartitionPlanner {
+ public:
+  explicit RepartitionPlanner(const RepartitionPolicy& policy)
+      : policy_(policy) {}
+
+  const RepartitionPolicy& policy() const { return policy_; }
+
+  /// The closed-loop trigger: true when the policy is enabled, the check
+  /// interval elapsed (against `router.now()`), and the drift indicator
+  /// exceeds `drift_factor` times the baseline. Advances the internal
+  /// check clock.
+  bool ShouldRepartition(const VpRouter& router);
+
+  /// Re-runs the velocity analyzer on the live population and diffs the
+  /// result against the router's current layout. Fails with
+  /// InvalidArgument on an empty population.
+  StatusOr<RepartitionPlan> Plan(const VpRouter& router) const;
+
+  /// The acceptance gate (see RepartitionPolicy::min_improvement): true
+  /// when applying `plan` is predicted to genuinely improve the fit.
+  /// Forced Repartition() calls bypass this; the automatic loop honors it.
+  bool Approves(const RepartitionPlan& plan) const {
+    return plan.drift_after_estimate <=
+           policy_.min_improvement * plan.drift_before;
+  }
+
+ private:
+  RepartitionPolicy policy_;
+  Timestamp last_check_ = 0.0;
+};
+
+}  // namespace vpmoi
+
+#endif  // VPMOI_VP_REPARTITION_H_

@@ -7,8 +7,9 @@
 
 namespace vpmoi {
 
-VpIndex::VpIndex(std::unique_ptr<VpRouter> router)
-    : router_(std::move(router)) {}
+VpIndex::VpIndex(std::unique_ptr<VpRouter> router,
+                 const RepartitionPolicy& policy)
+    : router_(std::move(router)), planner_(policy) {}
 
 StatusOr<std::unique_ptr<VpIndex>> VpIndex::Build(
     const IndexFactory& factory, const VpIndexOptions& options,
@@ -16,7 +17,9 @@ StatusOr<std::unique_ptr<VpIndex>> VpIndex::Build(
   auto router = VpRouter::Build(options.RouterOptions(), sample_velocities);
   if (!router.ok()) return router.status();
 
-  std::unique_ptr<VpIndex> index(new VpIndex(std::move(router).value()));
+  std::unique_ptr<VpIndex> index(
+      new VpIndex(std::move(router).value(), options.repartition));
+  index->factory_ = factory;
   index->store_ = std::make_unique<PageStore>();
   index->pool_ = std::make_unique<BufferPool>(index->store_.get(),
                                               options.buffer_pages);
@@ -115,31 +118,116 @@ Status VpIndex::ApplyBatch(std::span<const IndexOp> ops) {
   // the Bx/Bdual children turn theirs into key-sorted group updates. Only
   // sound when the ops are independent; otherwise fall back to the
   // sequential base path.
-  std::vector<std::vector<IndexOp>> grouped;
-  if (!router_->TryGroupBatch(ops, &grouped)) {
-    const Status st = MovingObjectIndex::ApplyBatch(ops);
-    router_->MaybeRefreshTaus();
-    return st;
-  }
-  for (std::size_t i = 0; i < partitions_.size(); ++i) {
-    if (grouped[i].empty()) continue;
-    const Status st = partitions_[i]->ApplyBatch(grouped[i]);
-    if (!st.ok()) {
-      router_->MaybeRefreshTaus();
-      return st;
-    }
-  }
+  Status st;
+  const bool grouped = router_->DispatchGroupedBatch(
+      ops, [&](int partition, std::vector<IndexOp> sub) {
+        if (!st.ok()) return;
+        st = partitions_[partition]->ApplyBatch(sub);
+      });
+  if (!grouped) st = MovingObjectIndex::ApplyBatch(ops);
   router_->MaybeRefreshTaus();
-  return Status::OK();
+  return st;
 }
 
 void VpIndex::AdvanceTime(Timestamp now) {
   router_->ObserveTime(now);
   for (auto& p : partitions_) p->AdvanceTime(router_->now());
   router_->MaybeRefreshTaus();
+  if (planner_.policy().enabled) {
+    const auto did = MaybeRepartition();
+    if (!did.ok() && repartition_error_.ok()) {
+      repartition_error_ = did.status();
+    }
+  }
+}
+
+StatusOr<bool> VpIndex::MaybeRepartition() {
+  if (!planner_.ShouldRepartition(*router_)) return false;
+  auto plan = planner_.Plan(*router_);
+  if (!plan.ok()) return plan.status();
+  // Reject plans that would not genuinely improve the fit (e.g. made
+  // mid-transition); the loop retries after the next check interval.
+  if (!planner_.Approves(*plan)) return false;
+  VPMOI_RETURN_IF_ERROR(ApplyRepartitionPlan(*plan));
+  return true;
+}
+
+Status VpIndex::Repartition() {
+  auto plan = planner_.Plan(*router_);
+  if (!plan.ok()) return plan.status();
+  return ApplyRepartitionPlan(*plan);
+}
+
+Status VpIndex::ApplyRepartitionPlan(const RepartitionPlan& plan) {
+  const int old_count = router_->PartitionCount();
+  const int new_count = plan.NewPartitionCount();
+  const std::uint64_t io_before = pool_->stats().PhysicalTotal();
+
+  // Build every fresh partition first, from the plan's frames (identical
+  // to what the router derives when the plan is applied): a factory
+  // failure must leave the index completely untouched — no moved-from
+  // partition slots, no half-swapped routing table.
+  std::vector<std::unique_ptr<MovingObjectIndex>> fresh(new_count);
+  for (int p = 0; p < new_count; ++p) {
+    if (plan.Inherits(p)) continue;
+    const Rect frame_domain =
+        p < plan.NewDvaCount()
+            ? DvaTransform(plan.analysis.dvas[p], router_->WorldDomain())
+                  .frame_domain()
+            : router_->WorldDomain();
+    fresh[p] = factory_(pool_.get(), frame_domain);
+    if (fresh[p] == nullptr) {
+      return Status::InvalidArgument(
+          "index factory failed to build a repartitioned VP partition");
+    }
+  }
+
+  VpRouter::PartitionWork work;
+  VPMOI_RETURN_IF_ERROR(router_->ApplyRepartition(plan, &work));
+
+  // Empty every dropped partition through the sorted delete-batch
+  // machinery first: its pages return to the shared pool before the index
+  // object goes away (partitions share one pool, so a wholesale drop would
+  // strand them).
+  for (int j = 0; j < old_count; ++j) {
+    if (work.dropped_ops[j].empty()) continue;
+    VPMOI_RETURN_IF_ERROR(partitions_[j]->ApplyBatch(work.dropped_ops[j]));
+  }
+
+  // Rearrange the partition indexes per the plan's inheritance diff.
+  std::vector<std::unique_ptr<MovingObjectIndex>> next(new_count);
+  for (int p = 0; p < new_count; ++p) {
+    next[p] = plan.Inherits(p)
+                  ? std::move(partitions_[plan.inherited_old_slot[p]])
+                  : std::move(fresh[p]);
+  }
+  partitions_ = std::move(next);
+
+  // Load rebuilt partitions in one packing build; migrate objects between
+  // surviving partitions as one grouped batch each (delete+insert, which
+  // Bx/Bdual children lower to key-sorted tree passes).
+  for (int p = 0; p < new_count; ++p) {
+    if (!plan.Inherits(p)) {
+      if (!work.rebuild_objects[p].empty()) {
+        VPMOI_RETURN_IF_ERROR(
+            partitions_[p]->BulkLoad(work.rebuild_objects[p]));
+      }
+    } else if (!work.inherited_ops[p].empty()) {
+      VPMOI_RETURN_IF_ERROR(partitions_[p]->ApplyBatch(work.inherited_ops[p]));
+    }
+  }
+
+  ++rep_stats_.repartitions;
+  rep_stats_.migrated_objects += work.migrated;
+  rep_stats_.reinserted_objects += work.reinserted;
+  rep_stats_.stable_objects += work.stable;
+  rep_stats_.migration_io += pool_->stats().PhysicalTotal() - io_before;
+  rep_stats_.last_drift = plan.drift_before;
+  return Status::OK();
 }
 
 Status VpIndex::CheckInvariants() const {
+  VPMOI_RETURN_IF_ERROR(repartition_error_);
   std::size_t partition_total = 0;
   for (const auto& p : partitions_) partition_total += p->Size();
   if (partition_total != router_->Size()) {

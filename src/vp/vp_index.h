@@ -23,6 +23,7 @@
 #include "common/moving_object_index.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
+#include "vp/repartition.h"
 #include "vp/transform.h"
 #include "vp/velocity_analyzer.h"
 #include "vp/vp_router.h"
@@ -50,6 +51,10 @@ struct VpIndexOptions {
   double tau_refresh_interval = 60.0;
   /// Buckets of the maintained histograms.
   int refresh_histogram_buckets = 100;
+  /// Section 5.5 closed loop: when (and how) drift triggers a live
+  /// repartition. Off by default — `repartition=auto` in the registry
+  /// grammar enables it.
+  RepartitionPolicy repartition;
 
   /// The router half of these options.
   VpRouterOptions RouterOptions() const {
@@ -153,19 +158,45 @@ class VpIndex final : public MovingObjectIndex {
     return router_->NeedsReanalysis(factor);
   }
 
+  // -- Adaptive repartitioning (the closed drift loop) ----------------------
+
+  /// Runs the drift probe and, when it is due and exceeded, replans and
+  /// applies the repartition (new DVAs, rebuilt frames, migrated objects —
+  /// all through the sorted-batch machinery). Invoked automatically from
+  /// AdvanceTime when the policy is enabled. Returns true when a
+  /// repartition was applied.
+  StatusOr<bool> MaybeRepartition();
+  /// Unconditionally re-runs the analysis on the live population and
+  /// applies the resulting plan.
+  Status Repartition();
+  RepartitionStats repartition_stats() const { return rep_stats_; }
+  const RepartitionPolicy& repartition_policy() const {
+    return planner_.policy();
+  }
+  /// First failure of an automatic (AdvanceTime-triggered) repartition;
+  /// sticky, also surfaced by CheckInvariants.
+  Status last_repartition_error() const { return repartition_error_; }
+
   /// Validation: every object is registered in exactly the partition the
   /// current DVAs would choose for it at insert time, and each partition's
   /// own invariants hold (delegated via the registered checker if any).
   Status CheckInvariants() const;
 
  private:
-  explicit VpIndex(std::unique_ptr<VpRouter> router);
+  VpIndex(std::unique_ptr<VpRouter> router, const RepartitionPolicy& policy);
+
+  Status ApplyRepartitionPlan(const RepartitionPlan& plan);
 
   std::unique_ptr<VpRouter> router_;
   std::unique_ptr<PageStore> store_;
   std::unique_ptr<BufferPool> pool_;
   /// k DVA indexes followed by the outlier index.
   std::vector<std::unique_ptr<MovingObjectIndex>> partitions_;
+  /// Retained so repartitions can build fresh partition indexes.
+  IndexFactory factory_;
+  RepartitionPlanner planner_;
+  RepartitionStats rep_stats_;
+  Status repartition_error_;
   std::string name_;
 };
 

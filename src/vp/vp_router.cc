@@ -86,7 +86,10 @@ void VpRouter::RecordStored(int partition, const MovingObject& stored) {
 }
 
 void VpRouter::AddToHistogram(int closest_dva, double perp) {
-  if (closest_dva >= 0) perp_histograms_[closest_dva].Add(perp);
+  if (closest_dva >= 0) {
+    perp_histograms_[closest_dva].Add(perp);
+    histograms_dirty_ = true;
+  }
 }
 
 void VpRouter::RemoveFromHistogram(const Vec2& world_vel) {
@@ -94,7 +97,22 @@ void VpRouter::RemoveFromHistogram(const Vec2& world_vel) {
   if (closest >= 0) {
     perp_histograms_[closest].Remove(
         analysis_.dvas[closest].PerpendicularSpeed(world_vel));
+    histograms_dirty_ = true;
   }
+}
+
+void VpRouter::RecordArrival(int partition, int closest_dva, double perp,
+                             const MovingObject& stored) {
+  AddToHistogram(closest_dva, perp);
+  RecordStored(partition, stored);
+  ++footprints_[partition].count;
+  drift_cache_valid_ = false;
+}
+
+void VpRouter::RecordDeparture(int partition, const Vec2& world_vel) {
+  RemoveFromHistogram(world_vel);
+  --footprints_[partition].count;
+  drift_cache_valid_ = false;
 }
 
 StatusOr<VpRouter::InsertPlan> VpRouter::PlanInsert(
@@ -112,9 +130,7 @@ StatusOr<VpRouter::InsertPlan> VpRouter::PlanInsert(
 void VpRouter::CommitInsert(const InsertPlan& plan) {
   ObserveTime(plan.world.t_ref);
   objects_.emplace(plan.world.id, ObjectEntry{plan.partition, plan.world});
-  AddToHistogram(plan.closest_dva, plan.perp);
-  RecordStored(plan.partition, plan.stored);
-  ++footprints_[plan.partition].count;
+  RecordArrival(plan.partition, plan.closest_dva, plan.perp, plan.stored);
 }
 
 StatusOr<VpRouter::DeletePlan> VpRouter::PlanDelete(ObjectId id) const {
@@ -127,8 +143,7 @@ StatusOr<VpRouter::DeletePlan> VpRouter::PlanDelete(ObjectId id) const {
 
 void VpRouter::CommitDelete(ObjectId id) {
   auto it = objects_.find(id);
-  RemoveFromHistogram(it->second.world.vel);
-  --footprints_[it->second.partition].count;
+  RecordDeparture(it->second.partition, it->second.world.vel);
   objects_.erase(it);
 }
 
@@ -144,8 +159,7 @@ bool VpRouter::TryGroupBatch(std::span<const IndexOp> ops,
     if (op.kind == IndexOpKind::kDelete) {
       auto it = objects_.find(op.object.id);
       const int p = it->second.partition;
-      RemoveFromHistogram(it->second.world.vel);
-      --footprints_[p].count;
+      RecordDeparture(p, it->second.world.vel);
       objects_.erase(it);
       (*grouped)[p].push_back(op);
       continue;
@@ -160,8 +174,7 @@ bool VpRouter::TryGroupBatch(std::span<const IndexOp> ops,
     if (op.kind == IndexOpKind::kUpdate) {
       auto it = objects_.find(o.id);
       const int old_partition = it->second.partition;
-      RemoveFromHistogram(it->second.world.vel);
-      --footprints_[old_partition].count;
+      RecordDeparture(old_partition, it->second.world.vel);
       if (old_partition == target) {
         (*grouped)[target].push_back(IndexOp::Updating(stored));
       } else {
@@ -173,9 +186,18 @@ bool VpRouter::TryGroupBatch(std::span<const IndexOp> ops,
       (*grouped)[target].push_back(IndexOp::Inserting(stored));
       objects_.emplace(o.id, ObjectEntry{target, o});
     }
-    AddToHistogram(closest, perp);
-    RecordStored(target, stored);
-    ++footprints_[target].count;
+    RecordArrival(target, closest, perp, stored);
+  }
+  return true;
+}
+
+bool VpRouter::DispatchGroupedBatch(
+    std::span<const IndexOp> ops,
+    FunctionRef<void(int, std::vector<IndexOp>)> dispatch) {
+  std::vector<std::vector<IndexOp>> grouped;
+  if (!TryGroupBatch(ops, &grouped)) return false;
+  for (int p = 0; p < PartitionCount(); ++p) {
+    if (!grouped[p].empty()) dispatch(p, std::move(grouped[p]));
   }
   return true;
 }
@@ -196,11 +218,10 @@ Status VpRouter::RouteBulkLoad(std::span<const MovingObject> objects,
     if (!objects_.emplace(o.id, ObjectEntry{target, o}).second) {
       objects_.clear();
       footprints_.assign(PartitionCount(), Footprint{});
+      drift_cache_valid_ = false;
       return Status::InvalidArgument("duplicate object id in bulk load");
     }
-    AddToHistogram(closest, perp);
-    RecordStored(target, stored);
-    ++footprints_[target].count;
+    RecordArrival(target, closest, perp, stored);
   }
   return Status::OK();
 }
@@ -208,12 +229,16 @@ Status VpRouter::RouteBulkLoad(std::span<const MovingObject> objects,
 void VpRouter::MaybeRefreshTaus() {
   if (options_.tau_refresh_interval > 0.0 &&
       now_ - last_tau_refresh_ >= options_.tau_refresh_interval) {
-    RecomputeTaus();
     last_tau_refresh_ = now_;
+    // Unchanged histograms would re-derive the exact same taus — skip the
+    // recompute entirely for update-free intervals.
+    if (histograms_dirty_) RecomputeTaus();
   }
 }
 
 void VpRouter::RecomputeTaus() {
+  ++tau_recomputes_;
+  histograms_dirty_ = false;
   // Section 5.5: re-derive tau from the continuously maintained
   // histograms (Equation 10 over bucket upper bounds). The new tau steers
   // future inserts/updates; resident objects migrate on their next update.
@@ -242,6 +267,7 @@ void VpRouter::RecomputeTaus() {
 }
 
 double VpRouter::DirectionDriftIndicator() const {
+  if (drift_cache_valid_) return drift_cache_;
   double perp_total = 0.0, speed_total = 0.0;
   for (const auto& [id, entry] : objects_) {
     const Vec2& v = entry.world.vel;
@@ -249,7 +275,9 @@ double VpRouter::DirectionDriftIndicator() const {
     if (c >= 0) perp_total += analysis_.dvas[c].PerpendicularSpeed(v);
     speed_total += v.Norm();
   }
-  return speed_total > 0.0 ? perp_total / speed_total : 0.0;
+  drift_cache_ = speed_total > 0.0 ? perp_total / speed_total : 0.0;
+  drift_cache_valid_ = true;
+  return drift_cache_;
 }
 
 bool VpRouter::NeedsReanalysis(double factor) const {
@@ -258,6 +286,129 @@ bool VpRouter::NeedsReanalysis(double factor) const {
   // "infinite" ratio.
   const double threshold = std::max(baseline_drift_ * factor, 0.05);
   return DirectionDriftIndicator() > threshold;
+}
+
+std::vector<VpRouter::RoutedObject> VpRouter::SnapshotObjects() const {
+  std::vector<RoutedObject> out;
+  out.reserve(objects_.size());
+  for (const auto& [id, entry] : objects_) {
+    out.push_back(RoutedObject{id, entry.partition, entry.world});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RoutedObject& a, const RoutedObject& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+Status VpRouter::ApplyRepartition(const RepartitionPlan& plan,
+                                  PartitionWork* work) {
+  const int old_partitions = PartitionCount();
+  const int new_k = plan.NewDvaCount();
+  const int new_partitions = plan.NewPartitionCount();
+  if (new_partitions != new_k + 1 || new_k < 1) {
+    return Status::InvalidArgument(
+        "repartition plan layout disagrees with its analysis");
+  }
+  if (plan.inherited_old_slot[new_k] != old_partitions - 1) {
+    return Status::InvalidArgument(
+        "the outlier partition must inherit the old outlier index");
+  }
+  // Old slot -> new slot (-1 = the old index is dropped). Inheritance must
+  // be injective: two new partitions cannot take over one index.
+  std::vector<int> new_slot_of_old(old_partitions, -1);
+  for (int p = 0; p < new_partitions; ++p) {
+    const int m = plan.inherited_old_slot[p];
+    if (m < 0) continue;
+    if (m >= old_partitions || new_slot_of_old[m] >= 0) {
+      return Status::InvalidArgument(
+          "repartition plan inherits an invalid or duplicated slot");
+    }
+    new_slot_of_old[m] = p;
+  }
+
+  const std::vector<RoutedObject> snapshot = SnapshotObjects();
+
+  // Swap in the new analysis; all routing below happens under it. Kept
+  // slots carry the old axis verbatim, so their transforms (pure functions
+  // of axis + domain) reproduce the old frames bit for bit.
+  analysis_ = plan.analysis;
+  transforms_.clear();
+  for (int i = 0; i < new_k; ++i) {
+    transforms_.emplace_back(analysis_.dvas[i], options_.domain);
+  }
+  footprints_.assign(new_partitions, Footprint{});
+
+  // Histogram range, re-derived like Build: generously above the largest
+  // perpendicular speed of the live population against the new DVAs.
+  double max_perp = 1.0;
+  for (const RoutedObject& ro : snapshot) {
+    for (const Dva& d : analysis_.dvas) {
+      max_perp = std::max(max_perp, d.PerpendicularSpeed(ro.world.vel));
+    }
+  }
+  perp_histograms_.clear();
+  for (int i = 0; i < new_k; ++i) {
+    perp_histograms_.emplace_back(0.0, max_perp * 2.0,
+                                  options_.refresh_histogram_buckets);
+  }
+
+  work->inherited_ops.assign(new_partitions, std::vector<IndexOp>{});
+  work->rebuild_objects.assign(new_partitions, std::vector<MovingObject>{});
+  work->dropped_ops.assign(old_partitions, std::vector<IndexOp>{});
+  work->migrated = work->reinserted = work->stable = 0;
+
+  double perp_total = 0.0, speed_total = 0.0;
+  for (const RoutedObject& ro : snapshot) {
+    int closest = -1;
+    double perp = 0.0;
+    const int target = RoutePartition(ro.world.vel, &closest, &perp);
+    const MovingObject stored = ToPartitionFrame(target, ro.world);
+    const int from_old = ro.partition;
+    const bool target_inherited = plan.Inherits(target);
+    if (target_inherited && plan.inherited_old_slot[target] == from_old) {
+      // Same index, same frame: the stored entry is already exactly right.
+      ++work->stable;
+    } else {
+      const int from_new = new_slot_of_old[from_old];
+      if (from_new >= 0) {
+        // The old home survives: an explicit delete migrates the object
+        // out (sorted-batch machinery downstream).
+        work->inherited_ops[from_new].push_back(IndexOp::Deleting(ro.id));
+      } else {
+        // The old home is dropped; shared-storage callers use these ops to
+        // empty it before letting it go.
+        work->dropped_ops[from_old].push_back(IndexOp::Deleting(ro.id));
+      }
+      if (target_inherited) {
+        work->inherited_ops[target].push_back(IndexOp::Inserting(stored));
+        ++work->migrated;
+      } else {
+        work->rebuild_objects[target].push_back(stored);
+        // Rebuilt-into-rebuilt rides the bulk load wholesale (reinsert);
+        // leaving a surviving index is a genuine migration.
+        if (from_new >= 0) {
+          ++work->migrated;
+        } else {
+          ++work->reinserted;
+        }
+      }
+    }
+    objects_[ro.id].partition = target;
+    RecordArrival(target, closest, perp, stored);
+    if (closest >= 0) perp_total += perp;
+    speed_total += ro.world.vel.Norm();
+  }
+
+  // Re-anchor the drift detector on the new layout so it re-arms instead
+  // of immediately re-firing, and settle the tau clock (the plan's taus
+  // were just chosen from this very population).
+  baseline_drift_ = speed_total > 0.0 ? perp_total / speed_total : 0.0;
+  drift_cache_ = baseline_drift_;
+  drift_cache_valid_ = true;
+  histograms_dirty_ = false;
+  last_tau_refresh_ = now_;
+  return Status::OK();
 }
 
 bool VpRouter::PartitionMayMatch(int p, const RangeQuery& frame_q) const {

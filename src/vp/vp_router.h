@@ -13,13 +13,16 @@
 #ifndef VPMOI_VP_VP_ROUTER_H_
 #define VPMOI_VP_VP_ROUTER_H_
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/function_ref.h"
 #include "common/moving_object_index.h"
 #include "math/histogram.h"
+#include "vp/repartition.h"
 #include "vp/transform.h"
 #include "vp/velocity_analyzer.h"
 
@@ -53,6 +56,7 @@ class VpRouter {
   const Dva& GetDva(int i) const { return analysis_.dvas[i]; }
   const DvaTransform& Transform(int i) const { return transforms_[i]; }
   const VelocityAnalysis& Analysis() const { return analysis_; }
+  const VpRouterOptions& options() const { return options_; }
   const Rect& WorldDomain() const { return options_.domain; }
   /// Data space of partition `p`: the rotated frame domain for DVA
   /// partitions, the world domain for the outlier partition.
@@ -135,23 +139,79 @@ class VpRouter {
   bool TryGroupBatch(std::span<const IndexOp> ops,
                      std::vector<std::vector<IndexOp>>* grouped);
 
+  /// The one shared "route, commit bookkeeping, group per partition"
+  /// step behind every grouped ApplyBatch (sequential VpIndex and the
+  /// parallel engine alike): groups an independent batch per partition via
+  /// TryGroupBatch and hands each non-empty sub-batch, in partition order,
+  /// to `dispatch(partition, ops)`. Returns false — router untouched,
+  /// nothing dispatched — when the batch must take the sequential per-op
+  /// path instead.
+  bool DispatchGroupedBatch(std::span<const IndexOp> ops,
+                            FunctionRef<void(int, std::vector<IndexOp>)>
+                                dispatch);
+
   /// Routes a bulk load: requires an empty table; commits every object and
   /// fills `groups[p]` with partition `p`'s objects in frame coordinates.
   /// On a duplicate id the table is cleared and InvalidArgument returned.
   Status RouteBulkLoad(std::span<const MovingObject> objects,
                        std::vector<std::vector<MovingObject>>* groups);
 
+  // -- Repartitioning (Section 5.5 closed loop) -----------------------------
+
+  /// One live object as the repartition planner sees it.
+  struct RoutedObject {
+    ObjectId id = kInvalidObjectId;
+    int partition = 0;
+    MovingObject world;
+  };
+  /// The object table in ascending-id order (deterministic, so plans and
+  /// their application are reproducible across engine and sequential runs).
+  std::vector<RoutedObject> SnapshotObjects() const;
+
+  /// The storage-layer work of one applied plan, keyed by partition slot.
+  /// All op/object lists are in ascending object-id order.
+  struct PartitionWork {
+    /// By NEW slot: delete/insert sub-batches (frame coordinates) for
+    /// partitions that keep their index; empty for rebuilt slots.
+    std::vector<std::vector<IndexOp>> inherited_ops;
+    /// By NEW slot: the full frame-coordinate population of each rebuilt
+    /// partition (BulkLoad input); empty for inherited slots.
+    std::vector<std::vector<MovingObject>> rebuild_objects;
+    /// By OLD slot: delete ops that empty partitions whose index is
+    /// dropped. Needed only when the dropped index shares storage with
+    /// survivors (the sequential VpIndex); engine partitions own private
+    /// pools and drop the whole index instead.
+    std::vector<std::vector<IndexOp>> dropped_ops;
+    /// Plan outcome tallies (see RepartitionStats for the semantics).
+    std::uint64_t migrated = 0, reinserted = 0, stable = 0;
+  };
+
+  /// Swaps in the plan's analysis: new DVAs/transforms/taus, every object
+  /// re-routed in the table, footprints and perpendicular-speed histograms
+  /// rebuilt, and the drift baseline re-anchored to the new layout (so the
+  /// detector re-arms instead of re-firing). Fills `work` with the index
+  /// maintenance the storage layer must perform to match. The partition
+  /// count may change (k+1 -> k'+1).
+  Status ApplyRepartition(const RepartitionPlan& plan, PartitionWork* work);
+
   // -- Time and tau maintenance (Section 5.5) -------------------------------
 
   Timestamp now() const { return now_; }
   /// Advances the router's notion of "now" (never decreases).
   void ObserveTime(Timestamp t) { now_ = std::max(now_, t); }
-  /// Runs RecomputeTaus when the refresh interval has elapsed.
+  /// Runs RecomputeTaus when the refresh interval has elapsed — but only
+  /// if the histograms actually changed since the last recompute, so a
+  /// stretch of update-free ticks costs nothing.
   void MaybeRefreshTaus();
   /// Re-derives every partition's tau from the maintained histograms
   /// (Equation 10 over bucket upper bounds).
   void RecomputeTaus();
+  /// How many times RecomputeTaus actually ran (no-op refreshes skipped).
+  std::uint64_t tau_recompute_count() const { return tau_recomputes_; }
 
+  /// Mean perpendicular speed of the live population to its closest DVA,
+  /// normalized by the mean speed. O(population) when the table changed
+  /// since the last call; cached otherwise.
   double DirectionDriftIndicator() const;
   double BaselineDrift() const { return baseline_drift_; }
   bool NeedsReanalysis(double factor = 3.0) const;
@@ -189,6 +249,14 @@ class VpRouter {
   void RecordStored(int partition, const MovingObject& stored);
   void AddToHistogram(int closest_dva, double perp);
   void RemoveFromHistogram(const Vec2& world_vel);
+  /// The shared arrival-side bookkeeping of every insert path (per-op
+  /// commit, grouped batch, bulk load, repartition): histogram, footprint,
+  /// population count and cache invalidation.
+  void RecordArrival(int partition, int closest_dva, double perp,
+                     const MovingObject& stored);
+  /// The departure-side counterpart (per-op delete, grouped batch,
+  /// update's delete half).
+  void RecordDeparture(int partition, const Vec2& world_vel);
 
   VpRouterOptions options_;
   VelocityAnalysis analysis_;
@@ -202,6 +270,13 @@ class VpRouter {
   Timestamp now_ = 0.0;
   Timestamp last_tau_refresh_ = 0.0;
   double baseline_drift_ = 0.0;
+  /// True when the histograms changed since the last tau recompute; a
+  /// clean interval makes MaybeRefreshTaus a no-op.
+  bool histograms_dirty_ = false;
+  std::uint64_t tau_recomputes_ = 0;
+  /// Memoized DirectionDriftIndicator, invalidated by table mutations.
+  mutable bool drift_cache_valid_ = false;
+  mutable double drift_cache_ = 0.0;
 };
 
 }  // namespace vpmoi

@@ -3,15 +3,35 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "common/thread_safe_index.h"
+#include "engine/vp_engine.h"
+#include "vp/vp_index.h"
 
 namespace vpmoi {
 namespace workload {
 
 namespace {
+
+/// Unwraps decorators to the adaptive-repartitioning counters, if the
+/// index has any (VP index or the partition-parallel engine).
+std::optional<RepartitionStats> FindRepartitionStats(
+    MovingObjectIndex* index) {
+  if (auto* ts = dynamic_cast<ThreadSafeIndex*>(index)) {
+    return FindRepartitionStats(ts->inner());
+  }
+  if (auto* vp = dynamic_cast<VpIndex*>(index)) {
+    return vp->repartition_stats();
+  }
+  if (auto* eng = dynamic_cast<engine::VpEngine*>(index)) {
+    return eng->repartition_stats();
+  }
+  return std::nullopt;
+}
 
 /// Nearest-rank percentile over an ascending-sorted sample vector.
 double PercentileSorted(const std::vector<double>& sorted, double p) {
@@ -178,6 +198,12 @@ ExperimentMetrics RunExperiment(MovingObjectIndex* index,
   m.total_query_ms = query_ms;
   m.total_update_ms = update_ms;
   m.total_io = index->Stats();
+  if (const auto rep = FindRepartitionStats(index); rep.has_value()) {
+    m.repartitions = rep->repartitions;
+    m.repartition_migrated = rep->migrated_objects;
+    m.repartition_reinserted = rep->reinserted_objects;
+    m.repartition_io = rep->migration_io;
+  }
   return m;
 }
 

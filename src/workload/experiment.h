@@ -60,6 +60,14 @@ struct ExperimentMetrics {
   double update_ms_p50 = 0.0;
   double update_ms_p95 = 0.0;
   double update_ms_p99 = 0.0;
+  /// Adaptive repartitioning counters (zero for indexes without the
+  /// closed drift loop): applied plans, objects that changed partition,
+  /// objects reinserted into rebuilt frames, and the physical I/O spent
+  /// on pause-free migration.
+  std::uint64_t repartitions = 0;
+  std::uint64_t repartition_migrated = 0;
+  std::uint64_t repartition_reinserted = 0;
+  std::uint64_t repartition_io = 0;
   /// Total measured time spent inside queries / updates.
   double total_query_ms = 0.0;
   double total_update_ms = 0.0;

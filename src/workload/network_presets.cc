@@ -1,5 +1,6 @@
 #include "workload/network_presets.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace vpmoi {
@@ -17,6 +18,12 @@ std::string DatasetName(Dataset d) {
       return "NY";
     case Dataset::kUniform:
       return "uniform";
+    case Dataset::kDriftRotating:
+      return "drift-rot";
+    case Dataset::kDriftRushHour:
+      return "drift-rush";
+    case Dataset::kDriftSwitch:
+      return "drift-switch";
   }
   return "?";
 }
@@ -67,9 +74,36 @@ std::optional<RoadNetwork> MakeNetwork(Dataset d, const Rect& domain,
       p.dropout = 0.08;
       return MakeGridNetwork(p);
     case Dataset::kUniform:
+    case Dataset::kDriftRotating:
+    case Dataset::kDriftRushHour:
+    case Dataset::kDriftSwitch:
       return std::nullopt;
   }
   return std::nullopt;
+}
+
+DriftOptions DatasetDrift(Dataset d, double duration) {
+  DriftOptions drift;
+  const double half = std::max(1.0, duration) / 2.0;
+  switch (d) {
+    case Dataset::kDriftRotating:
+      drift.kind = DriftKind::kRotating;
+      // A quarter turn over the whole run: by the end the axes are
+      // perpendicular to where any build-time analysis put them.
+      drift.rotation_rate = (M_PI / 2.0) / std::max(1.0, duration);
+      break;
+    case Dataset::kDriftRushHour:
+      drift.kind = DriftKind::kRushHour;
+      drift.switch_time = half;
+      break;
+    case Dataset::kDriftSwitch:
+      drift.kind = DriftKind::kRegimeSwitch;
+      drift.switch_time = half;
+      break;
+    default:
+      break;  // stationary datasets: kNone
+  }
+  return drift;
 }
 
 }  // namespace workload

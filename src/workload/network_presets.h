@@ -15,26 +15,51 @@
 #include <optional>
 #include <string>
 
+#include "workload/object_simulator.h"
 #include "workload/road_network.h"
 
 namespace vpmoi {
 namespace workload {
 
-/// The paper's data distributions.
-enum class Dataset { kChicago, kSanFrancisco, kMelbourne, kNewYork, kUniform };
+/// The paper's five data distributions plus the drifting-velocity
+/// scenarios that exercise adaptive repartitioning (non-stationary
+/// populations the paper's Section 5.5 anticipates but never benchmarks).
+enum class Dataset {
+  kChicago,
+  kSanFrancisco,
+  kMelbourne,
+  kNewYork,
+  kUniform,
+  /// Dominant axes rotate ~90 degrees over the run.
+  kDriftRotating,
+  /// Speed mode collapses to the rush-hour crawl at T/2.
+  kDriftRushHour,
+  /// Dominant axes jump 60 degrees at T/2.
+  kDriftSwitch,
+};
 
-/// Short display name ("CH", "SA", "MEL", "NY", "uniform").
+/// Short display name ("CH", "SA", "MEL", "NY", "uniform", "drift-rot",
+/// "drift-rush", "drift-switch").
 std::string DatasetName(Dataset d);
 
-/// All five datasets in the paper's presentation order.
+/// The paper's five datasets in their presentation order.
 inline constexpr Dataset kAllDatasets[] = {
     Dataset::kChicago, Dataset::kSanFrancisco, Dataset::kMelbourne,
     Dataset::kNewYork, Dataset::kUniform};
 
-/// Builds the road network for a dataset; empty for kUniform (free
-/// movement).
+/// The drifting scenarios (free movement, time-varying velocity mix).
+inline constexpr Dataset kDriftDatasets[] = {
+    Dataset::kDriftRotating, Dataset::kDriftRushHour, Dataset::kDriftSwitch};
+
+/// Builds the road network for a dataset; empty for kUniform and the
+/// drifting scenarios (free movement).
 std::optional<RoadNetwork> MakeNetwork(Dataset d, const Rect& domain,
                                        std::uint64_t seed);
+
+/// Drift profile of a dataset over a run of `duration` timestamps
+/// (kRotating spreads its ~90 degree rotation over the run; the switch
+/// scenarios flip at duration/2). Stationary datasets return kNone.
+DriftOptions DatasetDrift(Dataset d, double duration);
 
 }  // namespace workload
 }  // namespace vpmoi

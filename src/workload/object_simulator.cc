@@ -28,7 +28,7 @@ ObjectSimulator::ObjectSimulator(const RoadNetwork* network,
       ObjectState& st = states_[id];
       st.moving = MovingObject(id, pos, {0, 0}, 0.0);
       st.last_update = 0.0;
-      const double speed = DrawSpeed();
+      const double speed = DrawSpeed(0.0);
       const Vec2 dir = (pb - pos).Normalized();
       st.moving.vel = dir * speed;
       st.to_node = b;
@@ -60,7 +60,7 @@ void ObjectSimulator::PlanFromNode(ObjectId id, std::uint32_t node,
   // junction. Reports must lie exactly on the previous trajectory — an
   // index only ever knows objects through their reported linear motion.
   const Point2 to = network_->NodePos(next);
-  const double speed = DrawSpeed();
+  const double speed = DrawSpeed(t);
   const double dist = std::max(1e-6, Distance(pos, to));
   Vec2 dir = (to - pos) / dist;
   if (options_.heading_noise > 0.0) {
@@ -74,13 +74,38 @@ void ObjectSimulator::PlanFromNode(ObjectId id, std::uint32_t node,
   st.next_event = t + std::min(dist / speed, options_.max_update_interval);
 }
 
+double ObjectSimulator::DriftAxisAngle(Timestamp t) const {
+  const DriftOptions& d = options_.drift;
+  double angle = d.base_angle;
+  if (d.kind == DriftKind::kRotating) angle += d.rotation_rate * t;
+  if (d.kind == DriftKind::kRegimeSwitch && t >= d.switch_time) {
+    angle += d.switch_angle;
+  }
+  return angle;
+}
+
+double ObjectSimulator::DrawHeading(Timestamp t) {
+  const DriftOptions& d = options_.drift;
+  if (d.kind == DriftKind::kNone || !rng_.Bernoulli(d.directed_fraction)) {
+    return rng_.Uniform(0.0, 2.0 * M_PI);
+  }
+  // One of the four dominant directions (two perpendicular two-way axes),
+  // jittered — statistically a road population without the geometry.
+  double angle = DriftAxisAngle(t);
+  if (rng_.Bernoulli(0.5)) angle += M_PI / 2.0;
+  if (rng_.Bernoulli(0.5)) angle += M_PI;
+  return angle + rng_.Gaussian(0.0, d.angle_noise);
+}
+
 void ObjectSimulator::PlanFreely(ObjectId id, const Point2& pos, Timestamp t) {
   ObjectState& st = states_[id];
-  const double speed = DrawSpeed();
+  const double speed = DrawSpeed(t);
   Vec2 vel{speed, 0.0};
   double exit_time = 0.0;
   for (int attempt = 0; attempt < 24; ++attempt) {
-    const double angle = rng_.Uniform(0.0, 2.0 * M_PI);
+    // Under a drift profile each retry re-draws among the four dominant
+    // directions, at least one of which leads away from any wall.
+    const double angle = DrawHeading(t);
     vel = Vec2{std::cos(angle), std::sin(angle)} * speed;
     // Earliest time the trajectory leaves the domain.
     exit_time = std::numeric_limits<double>::infinity();
@@ -113,7 +138,7 @@ void ObjectSimulator::Reissue(ObjectId id, Timestamp t) {
   const Point2 pos = st.moving.PositionAt(t);
   const Point2 dest = network_->NodePos(st.to_node);
   const double dist = std::max(1e-6, Distance(pos, dest));
-  const double speed = DrawSpeed();
+  const double speed = DrawSpeed(t);
   Vec2 dir = (dest - pos) / dist;
   if (options_.heading_noise > 0.0) {
     const Rotation wobble =

@@ -7,6 +7,7 @@
 #ifndef VPMOI_WORKLOAD_OBJECT_SIMULATOR_H_
 #define VPMOI_WORKLOAD_OBJECT_SIMULATOR_H_
 
+#include <cmath>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -17,6 +18,48 @@
 
 namespace vpmoi {
 namespace workload {
+
+/// Non-stationary (drifting) velocity distributions for free movement:
+/// the population follows two perpendicular dominant axes whose direction
+/// or speed mix changes over time — the workloads that exercise the
+/// adaptive repartitioning loop (a static velocity partitioning degrades
+/// on them; see vp/repartition.h).
+enum class DriftKind {
+  /// Stationary: the Table 1 behavior, no drift.
+  kNone,
+  /// The dominant axes rotate continuously at `rotation_rate` rad/ts.
+  kRotating,
+  /// Rush hour: at `switch_time` the speed mode drops to
+  /// `rush_speed_factor` of the normal draw (directions unchanged —
+  /// exercises the tau refresh, not the axis replan).
+  kRushHour,
+  /// Regime switch: at `switch_time` the dominant axes jump by
+  /// `switch_angle` (e.g. commuter flows changing corridors).
+  kRegimeSwitch,
+};
+
+/// Parameters of a drifting-velocity scenario.
+struct DriftOptions {
+  DriftKind kind = DriftKind::kNone;
+  /// Initial angle of the first dominant axis (second is perpendicular).
+  double base_angle = 0.35;
+  /// kRotating: angular velocity of the axes (rad/ts).
+  double rotation_rate = 0.0;
+  /// kRushHour / kRegimeSwitch: when the shift happens.
+  double switch_time = 0.0;
+  /// kRegimeSwitch: the angle jump. 60 degrees leaves the old layout
+  /// maximally awkward: close enough that stale partitions keep accepting
+  /// (and mis-storing) part of the population, far enough that their
+  /// frames fit it badly.
+  double switch_angle = M_PI / 3.0;
+  /// kRushHour: post-switch speed multiplier (the slow mode).
+  double rush_speed_factor = 0.35;
+  /// Fraction of the population following the dominant axes; the rest
+  /// keep moving in uniformly random directions.
+  double directed_fraction = 0.9;
+  /// Heading spread (std dev, radians) around the chosen axis direction.
+  double angle_noise = 0.06;
+};
 
 /// Simulator parameters (defaults follow Table 1).
 struct SimulatorOptions {
@@ -37,6 +80,9 @@ struct SimulatorOptions {
   /// Per-update heading noise (radians, std dev) for network travel —
   /// lane changes, curved roads, GPS noise.
   double heading_noise = 0.01;
+  /// Drifting-velocity scenario applied to free movement (the drifting
+  /// presets run without a network, so this shapes the whole population).
+  DriftOptions drift;
   std::uint64_t seed = 99;
 };
 
@@ -85,9 +131,22 @@ class ObjectSimulator {
   /// heading, redraws the speed.
   void Reissue(ObjectId id, Timestamp t);
 
-  double DrawSpeed() {
-    return rng_.Uniform(options_.min_speed_fraction * options_.max_speed,
-                        options_.max_speed);
+  /// Angle of the first dominant axis at time `t` under the drift profile.
+  double DriftAxisAngle(Timestamp t) const;
+  /// Draws a free-movement heading at time `t`: one of the four dominant
+  /// directions (plus noise) for directed objects under an active drift
+  /// profile, uniform otherwise.
+  double DrawHeading(Timestamp t);
+
+  double DrawSpeed(Timestamp t) {
+    double speed =
+        rng_.Uniform(options_.min_speed_fraction * options_.max_speed,
+                     options_.max_speed);
+    const DriftOptions& d = options_.drift;
+    if (d.kind == DriftKind::kRushHour && t >= d.switch_time) {
+      speed *= d.rush_speed_factor;  // the rush-hour slow mode
+    }
+    return speed;
   }
 
   const RoadNetwork* network_;

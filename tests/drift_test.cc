@@ -1,0 +1,646 @@
+// Adaptive repartitioning under drifting workloads: planner/plan units,
+// the drifting simulator scenarios, the static-vs-adaptive payoff, and
+// the engine/sequential equivalence with live migration (the "Drift"
+// suites also run under ThreadSanitizer in CI).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/vp_engine.h"
+#include "test_util.h"
+#include "vp/repartition.h"
+#include "workload/experiment.h"
+#include "workload/network_presets.h"
+#include "workload/object_simulator.h"
+#include "workload/query_generator.h"
+
+namespace vpmoi {
+namespace {
+
+using engine::VpEngine;
+using testing_util::MakeIndex;
+using testing_util::MakeObjects;
+using testing_util::Sorted;
+
+const Rect kDomain{{0.0, 0.0}, {10000.0, 10000.0}};
+
+/// Velocities concentrated on two perpendicular axes at `angle`.
+std::vector<Vec2> AxisSample(double angle, std::size_t n, std::uint64_t seed) {
+  testing_util::ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.9;
+  gen.axis_angle = angle;
+  const auto objs = MakeObjects(n, gen, seed);
+  std::vector<Vec2> sample;
+  sample.reserve(objs.size());
+  for (const auto& o : objs) sample.push_back(o.vel);
+  return sample;
+}
+
+// ---------------------------------------------------------------------------
+// Plan / apply units (sequential VpIndex)
+
+TEST(DriftRepartitionPlanTest, ForcedRepartitionRealignsAxes) {
+  // Build on axis angle 0.2, then populate with axis angle 1.2 objects:
+  // the live population disagrees with the build-time DVAs.
+  auto built = MakeIndex("vp(bx)", kDomain, AxisSample(0.2, 2000, 11));
+  ASSERT_NE(built, nullptr);
+  auto* vp = dynamic_cast<VpIndex*>(built.get());
+  ASSERT_NE(vp, nullptr);
+
+  testing_util::ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.9;
+  gen.axis_angle = 1.2;
+  const auto objs = MakeObjects(1500, gen, 12);
+  for (const auto& o : objs) ASSERT_TRUE(built->Insert(o).ok());
+
+  const double drift_before = vp->DirectionDriftIndicator();
+  EXPECT_TRUE(vp->NeedsReanalysis(3.0));
+  ASSERT_TRUE(vp->Repartition().ok());
+
+  const RepartitionStats stats = vp->repartition_stats();
+  EXPECT_EQ(stats.repartitions, 1u);
+  EXPECT_EQ(stats.migrated_objects + stats.reinserted_objects +
+                stats.stable_objects,
+            objs.size());
+  EXPECT_GT(stats.migrated_objects + stats.reinserted_objects, 0u);
+  EXPECT_DOUBLE_EQ(stats.last_drift, drift_before);
+
+  // The new axes fit the population: drift collapses and re-arms.
+  EXPECT_LT(vp->DirectionDriftIndicator(), drift_before);
+  EXPECT_FALSE(vp->NeedsReanalysis(3.0));
+
+  // Nothing lost, nothing duplicated, invariants intact.
+  EXPECT_EQ(built->Size(), objs.size());
+  EXPECT_TRUE(testing_util::CheckIndexInvariants(built.get()).ok());
+  std::vector<ObjectId> hits;
+  const RangeQuery everything = RangeQuery::TimeSlice(
+      QueryRegion::MakeRect(kDomain.Inflated(100000.0)), 0.0);
+  ASSERT_TRUE(built->Search(everything, &hits).ok());
+  EXPECT_EQ(hits.size(), objs.size());
+  for (const auto& o : objs) {
+    const auto got = built->GetObject(o.id);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->pos, o.pos);
+    EXPECT_EQ(got->vel, o.vel);
+  }
+}
+
+TEST(DriftRepartitionPlanTest, AutoRepartitionSurvivesDriftingWorkload) {
+  workload::SimulatorOptions so;
+  so.num_objects = 1500;
+  so.domain = kDomain;
+  so.max_speed = 100.0;
+  so.max_update_interval = 10.0;
+  so.seed = 5;
+  so.drift = workload::DatasetDrift(workload::Dataset::kDriftSwitch, 40.0);
+  workload::ObjectSimulator sim(nullptr, so);
+  const auto sample = sim.SampleVelocities(2000, 99);
+
+  auto built = MakeIndex("vp(bx,repartition=auto,drift_factor=2,drift_check=4)",
+                         kDomain, sample);
+  ASSERT_NE(built, nullptr);
+  auto* vp = dynamic_cast<VpIndex*>(built.get());
+  ASSERT_NE(vp, nullptr);
+  for (const MovingObject& o : sim.InitialObjects()) {
+    ASSERT_TRUE(built->Insert(o).ok());
+  }
+  for (double t = 1.0; t <= 40.0; t += 1.0) {
+    std::vector<MovingObject> updates = sim.Tick();
+    built->AdvanceTime(sim.Now());
+    std::vector<IndexOp> ops;
+    for (const MovingObject& u : updates) ops.push_back(IndexOp::Updating(u));
+    if (!ops.empty()) {
+      ASSERT_TRUE(built->ApplyBatch(ops).ok());
+    }
+    std::vector<ObjectId> hits;
+    const RangeQuery everything = RangeQuery::TimeSlice(
+        QueryRegion::MakeRect(kDomain.Inflated(100000.0)), sim.Now());
+    ASSERT_TRUE(built->Search(everything, &hits).ok());
+    ASSERT_EQ(hits.size(), so.num_objects) << "at t=" << t;
+  }
+  EXPECT_GE(vp->repartition_stats().repartitions, 1u);
+  EXPECT_TRUE(vp->last_repartition_error().ok());
+  EXPECT_TRUE(testing_util::CheckIndexInvariants(built.get()).ok());
+}
+
+TEST(DriftRepartitionPlanTest, NoDriftMeansNoRepartition) {
+  // Population agrees with the build sample: the probe must never fire.
+  const auto sample = AxisSample(0.4, 2000, 21);
+  auto built = MakeIndex("vp(bx,repartition=auto,drift_check=1)", kDomain,
+                         sample);
+  ASSERT_NE(built, nullptr);
+  auto* vp = dynamic_cast<VpIndex*>(built.get());
+  ASSERT_NE(vp, nullptr);
+  testing_util::ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.9;
+  gen.axis_angle = 0.4;
+  for (const auto& o : MakeObjects(1200, gen, 22)) {
+    ASSERT_TRUE(built->Insert(o).ok());
+  }
+  for (double t = 1.0; t <= 30.0; t += 1.0) built->AdvanceTime(t);
+  EXPECT_EQ(vp->repartition_stats().repartitions, 0u);
+}
+
+TEST(DriftRepartitionPlanTest, StableObjectsAreUntouchedWhenOneAxisHolds) {
+  // Two axes at 0.3 and 0.3+pi/2; the population keeps the first axis but
+  // abandons the second for a new direction. The matched axis (and the
+  // outlier frame) must survive the replan; only the moved population
+  // migrates.
+  std::vector<Vec2> build_sample;
+  Rng rng(31);
+  for (int i = 0; i < 1500; ++i) {
+    const bool second = rng.Bernoulli(0.5);
+    const double angle = 0.3 + (second ? M_PI / 2.0 : 0.0) +
+                         (rng.Bernoulli(0.5) ? M_PI : 0.0) +
+                         rng.Gaussian(0.0, 0.02);
+    const double speed = rng.Uniform(20.0, 100.0);
+    build_sample.push_back(Vec2{std::cos(angle), std::sin(angle)} * speed);
+  }
+  auto built = MakeIndex("vp(bx)", kDomain, build_sample);
+  ASSERT_NE(built, nullptr);
+  auto* vp = dynamic_cast<VpIndex*>(built.get());
+  ASSERT_NE(vp, nullptr);
+
+  // Live population: half on the kept axis 0.3, half on a new axis 1.2.
+  ObjectId next_id = 0;
+  for (int i = 0; i < 1600; ++i) {
+    const bool kept = i % 2 == 0;
+    const double angle = (kept ? 0.3 : 1.2) +
+                         (rng.Bernoulli(0.5) ? M_PI : 0.0) +
+                         rng.Gaussian(0.0, 0.02);
+    const double speed = rng.Uniform(20.0, 100.0);
+    const MovingObject o(next_id++, rng.PointIn(kDomain),
+                         Vec2{std::cos(angle), std::sin(angle)} * speed, 0.0);
+    ASSERT_TRUE(built->Insert(o).ok());
+  }
+  ASSERT_TRUE(vp->Repartition().ok());
+  const RepartitionStats stats = vp->repartition_stats();
+  EXPECT_EQ(stats.repartitions, 1u);
+  // The kept-axis half stays in its partition with its frame intact.
+  EXPECT_GT(stats.stable_objects, 400u);
+  EXPECT_GT(stats.migrated_objects + stats.reinserted_objects, 400u);
+  EXPECT_TRUE(testing_util::CheckIndexInvariants(built.get()).ok());
+}
+
+/// Test-scale Bx partition factory for direct VpIndex/VpEngine builds.
+IndexFactory BxFactory() {
+  return [](BufferPool* pool,
+            const Rect& domain) -> std::unique_ptr<MovingObjectIndex> {
+    BxTreeOptions o;
+    o.domain = domain;
+    o.curve_order = 8;
+    o.velocity_grid_side = 32;
+    if (pool != nullptr) return std::make_unique<BxTree>(pool, o);
+    return std::make_unique<BxTree>(o);
+  };
+}
+
+TEST(DriftRepartitionPlanTest, KOverrideChangesPartitionCount) {
+  // A forced replan with k_override=3 grows the layout from 2+1 to 3+1
+  // partitions — the plan machinery handles k changes end to end.
+  VpIndexOptions options;
+  options.domain = kDomain;
+  options.repartition.k_override = 3;
+  const auto sample = AxisSample(0.2, 2000, 41);
+  auto built = VpIndex::Build(BxFactory(), options, sample);
+  ASSERT_TRUE(built.ok());
+  VpIndex& vp = **built;
+  EXPECT_EQ(vp.DvaCount(), 2);
+
+  testing_util::ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.7;
+  gen.axis_angle = 0.9;
+  const auto objs = MakeObjects(1200, gen, 42);
+  for (const auto& o : objs) ASSERT_TRUE(vp.Insert(o).ok());
+
+  ASSERT_TRUE(vp.Repartition().ok());
+  EXPECT_EQ(vp.DvaCount(), 3);
+  EXPECT_EQ(vp.Size(), objs.size());
+  EXPECT_TRUE(testing_util::CheckIndexInvariants(&vp).ok());
+  std::vector<ObjectId> hits;
+  const RangeQuery everything = RangeQuery::TimeSlice(
+      QueryRegion::MakeRect(kDomain.Inflated(100000.0)), 0.0);
+  ASSERT_TRUE(vp.Search(everything, &hits).ok());
+  EXPECT_EQ(hits.size(), objs.size());
+}
+
+TEST(DriftEngineTest, KOverrideRebalancesShards) {
+  // The engine's fenced path: a k change rebuilds the shard set (threads=0
+  // means one worker per partition, so the thread count follows k).
+  engine::VpEngineOptions options;
+  options.vp.domain = kDomain;
+  options.vp.repartition.k_override = 3;
+  options.threads = 0;
+  const auto sample = AxisSample(0.2, 2000, 43);
+  auto built = engine::VpEngine::Build(BxFactory(), options, sample);
+  ASSERT_TRUE(built.ok());
+  VpEngine& eng = **built;
+  EXPECT_EQ(eng.PartitionCount(), 3);
+  EXPECT_EQ(eng.ThreadCount(), 3);
+
+  testing_util::ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.7;
+  gen.axis_angle = 0.9;
+  const auto objs = MakeObjects(1500, gen, 44);
+  std::vector<IndexOp> load;
+  for (const auto& o : objs) load.push_back(IndexOp::Inserting(o));
+  ASSERT_TRUE(eng.ApplyBatch(load).ok());
+
+  ASSERT_TRUE(eng.Repartition().ok());
+  EXPECT_EQ(eng.PartitionCount(), 4);
+  EXPECT_EQ(eng.ThreadCount(), 4);
+  ASSERT_TRUE(eng.Flush().ok());
+  EXPECT_EQ(eng.Size(), objs.size());
+  EXPECT_GE(eng.repartition_stats().repartitions, 1u);
+  EXPECT_TRUE(testing_util::CheckIndexInvariants(&eng).ok());
+  std::vector<ObjectId> hits;
+  const RangeQuery everything = RangeQuery::TimeSlice(
+      QueryRegion::MakeRect(kDomain.Inflated(100000.0)), 0.0);
+  ASSERT_TRUE(eng.Search(everything, &hits).ok());
+  EXPECT_EQ(hits.size(), objs.size());
+}
+
+// ---------------------------------------------------------------------------
+// Static vs adaptive on the regime switch (the acceptance experiment)
+
+struct DriftRunResult {
+  double tail_query_io = 0.0;  // settled post-switch window
+  std::uint64_t repartitions = 0;
+};
+
+/// Replays a regime-switch workload (world-scale domain, Table-1-ish
+/// parameters matching bench_fig_drift) and reports the settled
+/// post-switch query I/O plus an oracle check that no object was lost,
+/// duplicated or corrupted by migrations.
+DriftRunResult RunRegimeSwitch(const std::string& spec,
+                               std::size_t num_objects, double duration) {
+  const Rect domain{{0.0, 0.0}, {100000.0, 100000.0}};
+  workload::SimulatorOptions so;
+  so.num_objects = num_objects;
+  so.domain = domain;
+  so.max_speed = 100.0;
+  so.max_update_interval = 30.0;
+  so.seed = 4242;
+  so.drift = workload::DatasetDrift(workload::Dataset::kDriftSwitch, duration);
+  workload::ObjectSimulator sim(nullptr, so);
+  const auto sample = sim.SampleVelocities(10000, 4247);
+
+  auto index = MakeIndex(spec, domain, sample);
+  EXPECT_NE(index, nullptr) << spec;
+  if (index == nullptr) return {};
+  for (const MovingObject& o : sim.InitialObjects()) {
+    EXPECT_TRUE(index->Insert(o).ok());
+  }
+
+  workload::QueryGeneratorOptions qo;
+  qo.domain = domain;
+  qo.radius = 500.0;
+  qo.predictive_time = 60.0;
+  qo.seed = 4259;
+  workload::QueryGenerator qgen(qo);
+
+  DriftRunResult result;
+  std::uint64_t tail_queries = 0, tail_io = 0;
+  const double tail_begin = duration * 0.75;
+  for (double t = 1.0; t <= duration; t += 1.0) {
+    std::vector<MovingObject> updates = sim.Tick();
+    index->AdvanceTime(sim.Now());
+    std::vector<IndexOp> ops;
+    ops.reserve(updates.size());
+    for (const MovingObject& u : updates) ops.push_back(IndexOp::Updating(u));
+    if (!ops.empty()) {
+      EXPECT_TRUE(index->ApplyBatch(ops).ok());
+    }
+    for (int i = 0; i < 2; ++i) {
+      const RangeQuery q = qgen.Next(sim.Now());
+      CountingSink count;
+      const std::uint64_t before = index->Stats().PhysicalTotal();
+      EXPECT_TRUE(index->Search(q, count).ok());
+      if (t > tail_begin) {
+        tail_io += index->Stats().PhysicalTotal() - before;
+        ++tail_queries;
+      }
+    }
+  }
+  result.tail_query_io =
+      static_cast<double>(tail_io) / static_cast<double>(tail_queries);
+
+  // Oracle: exactly the simulated population, trajectories intact.
+  std::vector<ObjectId> ids;
+  const RangeQuery everything = RangeQuery::TimeSlice(
+      QueryRegion::MakeRect(domain.Inflated(domain.Width())), sim.Now());
+  EXPECT_TRUE(index->Search(everything, &ids).ok());
+  EXPECT_EQ(ids.size(), sim.ObjectCount()) << spec;
+  std::sort(ids.begin(), ids.end());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], static_cast<ObjectId>(i)) << spec;  // no loss, no dupes
+    if (ids[i] != static_cast<ObjectId>(i)) break;
+  }
+  for (ObjectId id = 0; id < sim.ObjectCount(); id += 7) {
+    const auto got = index->GetObject(id);
+    EXPECT_TRUE(got.ok());
+    if (!got.ok()) continue;
+    const MovingObject& truth = sim.Current(id);
+    EXPECT_EQ(got->pos, truth.pos);
+    EXPECT_EQ(got->vel, truth.vel);
+  }
+  if (auto* vp = dynamic_cast<VpIndex*>(index.get())) {
+    result.repartitions = vp->repartition_stats().repartitions;
+    EXPECT_TRUE(vp->last_repartition_error().ok());
+  }
+  EXPECT_TRUE(testing_util::CheckIndexInvariants(index.get()).ok());
+  return result;
+}
+
+class DriftAdaptiveTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DriftAdaptiveTest, AdaptiveBeatsStaticAfterRegimeSwitch) {
+  // Same configuration as bench_fig_drift's default run (explicit child
+  // options so the test-scale defaults do not shrink the grids).
+  const std::string child = std::string(GetParam()) == "bx"
+                                ? "bx(curve_order=10,velocity_grid_side=128,"
+                                  "bucket_duration=15)"
+                                : "tpr(horizon=60)";
+  const std::size_t objects = 10000;
+  const double duration = 120.0;
+  const DriftRunResult stat = RunRegimeSwitch(
+      "vp(" + child + ",repartition=off)", objects, duration);
+  const DriftRunResult adap = RunRegimeSwitch(
+      "vp(" + child + ",repartition=auto,drift_check=10)", objects, duration);
+  EXPECT_EQ(stat.repartitions, 0u);
+  EXPECT_GE(adap.repartitions, 1u);
+  // The settled post-switch window: the adaptive index replanned onto the
+  // new axes and must serve queries with less I/O than the stale layout.
+  EXPECT_LT(adap.tail_query_io, stat.tail_query_io) << child;
+}
+
+INSTANTIATE_TEST_SUITE_P(Children, DriftAdaptiveTest,
+                         ::testing::Values("bx", "tpr"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Drifting workload scenarios
+
+TEST(DriftWorkloadTest, RegimeSwitchRotatesDominantDirections) {
+  workload::SimulatorOptions so;
+  so.num_objects = 3000;
+  so.domain = kDomain;
+  so.max_update_interval = 8.0;
+  so.seed = 7;
+  so.drift = workload::DatasetDrift(workload::Dataset::kDriftSwitch, 40.0);
+  ASSERT_EQ(so.drift.kind, workload::DriftKind::kRegimeSwitch);
+  workload::ObjectSimulator sim(nullptr, so);
+
+  const auto fit = [&](double axis_angle) {
+    // Mean |sin(angle to nearest of the two axes)| over the population.
+    double total = 0.0;
+    for (ObjectId id = 0; id < sim.ObjectCount(); ++id) {
+      const Vec2& v = sim.Current(id).vel;
+      const double a = std::atan2(v.y, v.x) - axis_angle;
+      total += std::min(std::abs(std::sin(a)), std::abs(std::cos(a)));
+    }
+    return total / static_cast<double>(sim.ObjectCount());
+  };
+
+  const double base = so.drift.base_angle;
+  const double shifted = base + so.drift.switch_angle;
+  // Before the switch the population fits the base axes, not the shifted.
+  for (int t = 0; t < 10; ++t) sim.Tick();
+  EXPECT_LT(fit(base), 0.15);
+  EXPECT_GT(fit(shifted), 0.3);
+  // Well after the switch (turnover <= max_update_interval) it flips.
+  while (sim.Now() < 35.0) sim.Tick();
+  EXPECT_LT(fit(shifted), 0.15);
+  EXPECT_GT(fit(base), 0.3);
+}
+
+TEST(DriftWorkloadTest, RushHourShiftsSpeedMode) {
+  workload::SimulatorOptions so;
+  so.num_objects = 2000;
+  so.domain = kDomain;
+  so.max_update_interval = 8.0;
+  so.seed = 8;
+  so.drift = workload::DatasetDrift(workload::Dataset::kDriftRushHour, 40.0);
+  ASSERT_EQ(so.drift.kind, workload::DriftKind::kRushHour);
+  workload::ObjectSimulator sim(nullptr, so);
+  const auto mean_speed = [&] {
+    double total = 0.0;
+    for (ObjectId id = 0; id < sim.ObjectCount(); ++id) {
+      total += sim.Current(id).vel.Norm();
+    }
+    return total / static_cast<double>(sim.ObjectCount());
+  };
+  for (int t = 0; t < 10; ++t) sim.Tick();
+  const double before = mean_speed();
+  while (sim.Now() < 35.0) sim.Tick();
+  const double after = mean_speed();
+  EXPECT_LT(after, before * 0.6);
+}
+
+TEST(DriftWorkloadTest, RotatingDriftKeepsTurning) {
+  workload::SimulatorOptions so;
+  so.num_objects = 2000;
+  so.domain = kDomain;
+  so.max_update_interval = 6.0;
+  so.seed = 9;
+  so.drift = workload::DatasetDrift(workload::Dataset::kDriftRotating, 60.0);
+  ASSERT_EQ(so.drift.kind, workload::DriftKind::kRotating);
+  ASSERT_GT(so.drift.rotation_rate, 0.0);
+  workload::ObjectSimulator sim(nullptr, so);
+  // After ~T the axes have rotated a quarter turn: the population fits the
+  // perpendicular of the original axes... which is the same two-axis set,
+  // so check the halfway point (eighth turn = maximally misaligned).
+  const auto fit = [&](double axis_angle) {
+    double total = 0.0;
+    for (ObjectId id = 0; id < sim.ObjectCount(); ++id) {
+      const Vec2& v = sim.Current(id).vel;
+      const double a = std::atan2(v.y, v.x) - axis_angle;
+      total += std::min(std::abs(std::sin(a)), std::abs(std::cos(a)));
+    }
+    return total / static_cast<double>(sim.ObjectCount());
+  };
+  const double base = so.drift.base_angle;
+  while (sim.Now() < 30.0) sim.Tick();
+  const double mid_expected = base + so.drift.rotation_rate * 30.0;
+  EXPECT_LT(fit(mid_expected), 0.15);
+  EXPECT_GT(fit(base), 0.2);
+}
+
+// ---------------------------------------------------------------------------
+// Engine equivalence with live migration (ThreadSanitizer workhorse)
+
+TEST(DriftEngineTest, LiveRepartitionMatchesSequential) {
+  // The same drifting stream drives the sequential index and the engine;
+  // both replan through the shared planner, the engine executing its plan
+  // live through the ingest queues. Results, sizes and per-object
+  // partition assignments must stay byte-identical throughout.
+  workload::SimulatorOptions so;
+  so.num_objects = 1200;
+  so.domain = kDomain;
+  so.max_speed = 100.0;
+  so.max_update_interval = 8.0;
+  so.seed = 77;
+  so.drift = workload::DatasetDrift(workload::Dataset::kDriftSwitch, 40.0);
+  workload::ObjectSimulator sim(nullptr, so);
+  const auto sample = sim.SampleVelocities(2000, 78);
+
+  const std::string vp_spec =
+      "vp(bx,repartition=auto,drift_factor=2,drift_check=4)";
+  auto seq = MakeIndex(vp_spec, kDomain, sample);
+  auto eng = MakeIndex("engine(" + vp_spec + ",threads=2)", kDomain, sample);
+  ASSERT_NE(seq, nullptr);
+  ASSERT_NE(eng, nullptr);
+  auto* vp = dynamic_cast<VpIndex*>(seq.get());
+  auto* vpe = dynamic_cast<VpEngine*>(eng.get());
+  ASSERT_NE(vp, nullptr);
+  ASSERT_NE(vpe, nullptr);
+
+  for (const MovingObject& o : sim.InitialObjects()) {
+    ASSERT_TRUE(seq->Insert(o).ok());
+    ASSERT_TRUE(eng->Insert(o).ok());
+  }
+  Rng rng(79);
+  for (double t = 1.0; t <= 40.0; t += 1.0) {
+    std::vector<MovingObject> updates = sim.Tick();
+    seq->AdvanceTime(sim.Now());
+    eng->AdvanceTime(sim.Now());
+    std::vector<IndexOp> ops;
+    for (const MovingObject& u : updates) ops.push_back(IndexOp::Updating(u));
+    if (!ops.empty()) {
+      ASSERT_TRUE(seq->ApplyBatch(ops).ok());
+      ASSERT_TRUE(eng->ApplyBatch(ops).ok());
+    }
+    ASSERT_EQ(seq->Size(), eng->Size());
+    for (int i = 0; i < 3; ++i) {
+      const RangeQuery q = RangeQuery::TimeSlice(
+          QueryRegion::MakeCircle(Circle{rng.PointIn(kDomain), 1200.0}),
+          sim.Now() + rng.Uniform(0.0, 20.0));
+      std::vector<ObjectId> seq_hits, eng_hits;
+      ASSERT_TRUE(seq->Search(q, &seq_hits).ok());
+      ASSERT_TRUE(eng->Search(q, &eng_hits).ok());
+      ASSERT_EQ(Sorted(seq_hits), Sorted(eng_hits)) << "at t=" << t;
+    }
+    for (int i = 0; i < 20; ++i) {
+      const ObjectId id = rng.UniformInt(so.num_objects);
+      const auto sp = vp->PartitionOfObject(id);
+      const auto ep = vpe->PartitionOfObject(id);
+      ASSERT_TRUE(sp.ok());
+      ASSERT_TRUE(ep.ok());
+      ASSERT_EQ(*sp, *ep) << "at t=" << t;
+    }
+  }
+  // Both sides actually repartitioned — and identically often.
+  EXPECT_GE(vp->repartition_stats().repartitions, 1u);
+  EXPECT_EQ(vp->repartition_stats().repartitions,
+            vpe->repartition_stats().repartitions);
+  EXPECT_EQ(vp->repartition_stats().migrated_objects,
+            vpe->repartition_stats().migrated_objects);
+  EXPECT_TRUE(testing_util::CheckIndexInvariants(seq.get()).ok());
+  EXPECT_TRUE(testing_util::CheckIndexInvariants(eng.get()).ok());
+}
+
+TEST(DriftEngineTest, ConcurrentQueriesDuringLiveMigration) {
+  // Queries hammer the engine from two threads while the main thread
+  // pushes drifted updates and forces a live repartition mid-stream: the
+  // snapshot barrier must keep every query seeing the full population.
+  auto built = MakeIndex("engine(vp(bx),threads=3)", kDomain,
+                         AxisSample(0.3, 2000, 91));
+  ASSERT_NE(built, nullptr);
+  auto* eng = dynamic_cast<VpEngine*>(built.get());
+  ASSERT_NE(eng, nullptr);
+
+  constexpr ObjectId kObjects = 600;
+  {
+    Rng rng(92);
+    testing_util::ObjectGenOptions gen;
+    gen.domain = kDomain;
+    gen.axis_fraction = 0.9;
+    gen.axis_angle = 0.3;
+    std::vector<IndexOp> load;
+    for (const auto& o : MakeObjects(kObjects, gen, 93)) {
+      load.push_back(IndexOp::Inserting(o));
+    }
+    ASSERT_TRUE(built->ApplyBatch(load).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      std::vector<ObjectId> hits;
+      const RangeQuery everything = RangeQuery::TimeSlice(
+          QueryRegion::MakeRect(kDomain.Inflated(100000.0)), 1.0);
+      while (!stop.load(std::memory_order_relaxed)) {
+        hits.clear();
+        ASSERT_TRUE(built->Search(everything, &hits).ok());
+        ASSERT_EQ(hits.size(), kObjects);
+      }
+    });
+  }
+  // Drift the population onto a new axis pair in batches, then force the
+  // live replan while the readers keep going.
+  Rng rng(94);
+  testing_util::ObjectGenOptions drifted;
+  drifted.domain = kDomain;
+  drifted.axis_fraction = 0.9;
+  drifted.axis_angle = 1.1;
+  const auto moved = MakeObjects(kObjects, drifted, 95);
+  for (ObjectId base = 0; base < kObjects; base += 100) {
+    std::vector<IndexOp> batch;
+    for (ObjectId id = base; id < base + 100; ++id) {
+      MovingObject o = moved[id];
+      o.t_ref = 1.0;
+      batch.push_back(IndexOp::Updating(o));
+    }
+    ASSERT_TRUE(built->ApplyBatch(batch).ok());
+  }
+  ASSERT_TRUE(eng->Repartition().ok());
+  // Population-preserving churn right behind the migration commands.
+  for (int i = 0; i < 50; ++i) {
+    const ObjectId id = rng.UniformInt(kObjects);
+    MovingObject o = moved[id];
+    o.pos = rng.PointIn(kDomain);
+    o.t_ref = 2.0;
+    ASSERT_TRUE(built->Update(o).ok());
+  }
+  stop.store(true);
+  for (auto& r : readers) r.join();
+
+  EXPECT_GE(eng->repartition_stats().repartitions, 1u);
+  EXPECT_GT(eng->repartition_stats().migrated_objects +
+                eng->repartition_stats().reinserted_objects,
+            0u);
+  EXPECT_TRUE(eng->Flush().ok());
+  EXPECT_EQ(built->Size(), kObjects);
+  EXPECT_TRUE(testing_util::CheckIndexInvariants(built.get()).ok());
+}
+
+TEST(DriftWorkloadTest, PresetsExposeDriftDatasets) {
+  for (workload::Dataset d : workload::kDriftDatasets) {
+    EXPECT_EQ(workload::MakeNetwork(d, kDomain, 1), std::nullopt);
+    EXPECT_NE(workload::DatasetDrift(d, 100.0).kind,
+              workload::DriftKind::kNone);
+    EXPECT_FALSE(workload::DatasetName(d).empty());
+  }
+  for (workload::Dataset d : workload::kAllDatasets) {
+    EXPECT_EQ(workload::DatasetDrift(d, 100.0).kind,
+              workload::DriftKind::kNone);
+  }
+}
+
+}  // namespace
+}  // namespace vpmoi

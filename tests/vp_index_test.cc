@@ -287,5 +287,140 @@ TEST(VpIndexTest, StatsAggregateAcrossPartitions) {
   EXPECT_GT(vp->Stats().physical_reads, 0u);
 }
 
+TEST(VpRouterMaintenanceTest, TauRefreshSkipsUpdateFreeIntervals) {
+  // tau_refresh=5: the refresh clock fires every 5 ts, but RecomputeTaus
+  // must only run when the histograms actually changed since the last
+  // recompute — idle ticks are free.
+  auto vp = MakeVp(AxisSample(0.5, 2000, 77), "vp(tpr,tau_refresh=5)");
+  ASSERT_NE(vp, nullptr);
+  ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.9;
+  gen.axis_angle = 0.5;
+  for (const auto& o : MakeObjects(300, gen, 78)) {
+    ASSERT_TRUE(vp->Insert(o).ok());
+  }
+  // First interval with update traffic: one recompute.
+  vp->AdvanceTime(6.0);
+  const std::uint64_t after_active = vp->Router().tau_recompute_count();
+  EXPECT_GE(after_active, 1u);
+  // Many refresh intervals without a single update: zero recomputes.
+  for (double t = 12.0; t <= 60.0; t += 6.0) vp->AdvanceTime(t);
+  EXPECT_EQ(vp->Router().tau_recompute_count(), after_active);
+  // Traffic resumes: the next due refresh recomputes again.
+  MovingObject o(100000, {5000, 5000}, {40, 4}, 61.0);
+  ASSERT_TRUE(vp->Insert(o).ok());
+  vp->AdvanceTime(70.0);
+  EXPECT_EQ(vp->Router().tau_recompute_count(), after_active + 1);
+}
+
+TEST(VpRouterMaintenanceTest, DriftIndicatorCacheTracksMutations) {
+  auto vp = MakeVp(AxisSample(0.2, 2000, 79));
+  ASSERT_NE(vp, nullptr);
+  ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 1.0;
+  gen.axis_angle = 0.2;
+  const auto objs = MakeObjects(200, gen, 80);
+  for (const auto& o : objs) ASSERT_TRUE(vp->Insert(o).ok());
+  const double aligned = vp->DirectionDriftIndicator();
+  EXPECT_EQ(vp->DirectionDriftIndicator(), aligned);  // cached, stable
+  // A mutation invalidates the cache: inserting a cross-direction cohort
+  // must be reflected immediately.
+  ObjectGenOptions cross = gen;
+  cross.axis_angle = 1.0;
+  for (const auto& o : MakeObjects(200, cross, 81)) {
+    MovingObject shifted = o;
+    shifted.id += 10000;
+    ASSERT_TRUE(vp->Insert(shifted).ok());
+  }
+  EXPECT_GT(vp->DirectionDriftIndicator(), aligned);
+  // Deleting the cohort restores the aligned population's indicator
+  // (NEAR: the recomputed sum may associate in a different order).
+  for (const auto& o : MakeObjects(200, cross, 81)) {
+    ASSERT_TRUE(vp->Delete(o.id + 10000).ok());
+  }
+  EXPECT_NEAR(vp->DirectionDriftIndicator(), aligned, 1e-9);
+}
+
+TEST(VpRouterBatchTest, DispatchGroupedBatchMatchesPerOpRouting) {
+  // The shared grouping helper must commit exactly what the per-op
+  // Plan/Commit path would: same table state, same per-partition ops.
+  const auto sample = AxisSample(0.3, 2000, 82);
+  auto grouped_vp = MakeVp(sample);
+  auto perop_vp = MakeVp(sample);
+  ASSERT_NE(grouped_vp, nullptr);
+  ASSERT_NE(perop_vp, nullptr);
+
+  ObjectGenOptions gen;
+  gen.domain = kDomain;
+  gen.axis_fraction = 0.8;
+  gen.axis_angle = 0.3;
+  const auto objs = MakeObjects(400, gen, 83);
+  for (const auto& o : objs) {
+    ASSERT_TRUE(grouped_vp->Insert(o).ok());
+    ASSERT_TRUE(perop_vp->Insert(o).ok());
+  }
+
+  // A mixed independent batch: updates (some migrating), deletes, inserts.
+  Rng rng(84);
+  std::vector<IndexOp> batch;
+  for (ObjectId id = 0; id < 120; ++id) {
+    const double angle = rng.Uniform(0.0, 2.0 * M_PI);
+    const double speed = rng.Uniform(5.0, 100.0);
+    batch.push_back(IndexOp::Updating(
+        MovingObject(id, rng.PointIn(kDomain),
+                     {std::cos(angle) * speed, std::sin(angle) * speed},
+                     1.0)));
+  }
+  for (ObjectId id = 120; id < 160; ++id) batch.push_back(IndexOp::Deleting(id));
+  for (ObjectId id = 1000; id < 1050; ++id) {
+    batch.push_back(IndexOp::Inserting(
+        MovingObject(id, rng.PointIn(kDomain), {30.0, 2.0}, 1.0)));
+  }
+
+  ASSERT_TRUE(grouped_vp->ApplyBatch(batch).ok());  // grouped fast path
+  for (const IndexOp& op : batch) {                 // per-op reference
+    switch (op.kind) {
+      case IndexOpKind::kInsert:
+        ASSERT_TRUE(perop_vp->Insert(op.object).ok());
+        break;
+      case IndexOpKind::kDelete:
+        ASSERT_TRUE(perop_vp->Delete(op.object.id).ok());
+        break;
+      case IndexOpKind::kUpdate:
+        ASSERT_TRUE(perop_vp->Update(op.object).ok());
+        break;
+    }
+  }
+
+  ASSERT_EQ(grouped_vp->Size(), perop_vp->Size());
+  for (ObjectId id = 0; id < 1050; ++id) {
+    const auto a = grouped_vp->PartitionOfObject(id);
+    const auto b = perop_vp->PartitionOfObject(id);
+    ASSERT_EQ(a.ok(), b.ok()) << id;
+    if (a.ok()) {
+      EXPECT_EQ(*a, *b) << id;
+    }
+    const auto oa = grouped_vp->GetObject(id);
+    const auto ob = perop_vp->GetObject(id);
+    ASSERT_EQ(oa.ok(), ob.ok());
+    if (oa.ok()) {
+      EXPECT_EQ(oa->pos, ob->pos);
+      EXPECT_EQ(oa->vel, ob->vel);
+    }
+  }
+  EXPECT_TRUE(testing_util::CheckIndexInvariants(grouped_vp.get()).ok());
+
+  // Dependent batches refuse to group: the helper reports false and the
+  // router is untouched.
+  std::vector<IndexOp> dependent{IndexOp::Deleting(0), IndexOp::Deleting(0)};
+  VpRouter& router = const_cast<VpRouter&>(grouped_vp->Router());
+  int dispatched = 0;
+  EXPECT_FALSE(router.DispatchGroupedBatch(
+      dependent, [&](int, std::vector<IndexOp>) { ++dispatched; }));
+  EXPECT_EQ(dispatched, 0);
+}
+
 }  // namespace
 }  // namespace vpmoi

@@ -29,6 +29,16 @@ def is_throughput(field):
     return field.endswith("_per_s") or "throughput" in field
 
 
+def is_counter(field):
+    """Adaptive-repartitioning counters: how often the drift loop fired and
+    how much it moved (repartition_io included — it scales with plans
+    applied, not with per-op efficiency). Neither higher nor lower is
+    inherently a regression (that depends on the workload), so changes are
+    reported informationally instead of being flagged."""
+    return field.startswith("repartition") or field.endswith("_migrated") or (
+        field.endswith("_reinserted"))
+
+
 def is_cost(field):
     return (
         field.endswith("_ms")
@@ -84,6 +94,7 @@ def main():
 
     regressions = []
     improvements = []
+    counter_changes = []
     for key, base in base_rows.items():
         cur = cur_rows.get(key)
         if cur is None:
@@ -94,6 +105,10 @@ def main():
             if not isinstance(bval, (int, float)) or isinstance(bval, bool):
                 continue
             if not isinstance(cval, (int, float)) or isinstance(cval, bool):
+                continue
+            if is_counter(field):
+                if cval != bval:
+                    counter_changes.append((fmt_key(key), field, bval, cval))
                 continue
             if bval == 0:
                 continue
@@ -112,6 +127,8 @@ def main():
     for key in cur_rows.keys() - base_rows.keys():
         print(f"~ new row: {fmt_key(key)}")
 
+    for key, field, bval, cval in counter_changes:
+        print(f"~ {key} :: {field}: {bval:g} -> {cval:g}")
     for key, field, bval, cval, rel in improvements:
         print(f"+ {key} :: {field}: {bval:g} -> {cval:g} ({rel:+.1%})")
     for key, field, bval, cval, rel in regressions:

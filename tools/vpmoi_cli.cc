@@ -31,6 +31,9 @@ struct CliArgs {
   /// > 0: run the spec through the partition-parallel engine with this
   /// many worker shards (wraps the spec in engine(...,threads=N)).
   int threads = 0;
+  /// Turn on adaptive repartitioning (repartition=auto) on the spec's vp
+  /// node(s).
+  bool repartition = false;
   bool json = false;
 };
 
@@ -38,6 +41,9 @@ void PrintUsage() {
   std::printf(
       "usage: vpmoi_cli [options]\n"
       "  --dataset=CH|SA|MEL|NY|uniform   (default CH)\n"
+      "           |drift-rot|drift-rush|drift-switch  drifting-velocity\n"
+      "                       scenarios (rotating axes, rush-hour speed\n"
+      "                       shift, regime switch at T/2)\n"
       "  --index=<spec>|all   index spec, e.g. tpr, bx, bdual, vp(bx,k=4),\n"
       "                       threadsafe(vp(tpr)), tpr(horizon=120)\n"
       "  --objects=N          number of moving objects\n"
@@ -46,6 +52,9 @@ void PrintUsage() {
       "  --radius=M           circular query radius (m)\n"
       "  --predictive=T       query predictive time (ts)\n"
       "  --max-speed=V        max object speed (m/ts)\n"
+      "  --update-interval=T  max update interval (ts; Table 1: 120).\n"
+      "                       Drifting datasets want ~T/4 or less so the\n"
+      "                       population turns over within each regime\n"
       "  --buffer-pages=N     shared buffer pool size\n"
       "  --k=N                number of DVA partitions\n"
       "  --seed=N             workload seed\n"
@@ -56,6 +65,9 @@ void PrintUsage() {
       "  --clients=N          client threads submitting each tick's\n"
       "                       updates concurrently (implies batching;\n"
       "                       needs an engine(...) or threadsafe(...) run)\n"
+      "  --repartition        adaptive repartitioning: sets\n"
+      "                       repartition=auto on the spec's vp node(s)\n"
+      "                       (needs a vp(...) spec)\n"
       "  --batch-updates      apply each tick's updates as one group\n"
       "                       update (ApplyBatch) instead of per-object\n"
       "  --json               also write BENCH_cli.json "
@@ -91,6 +103,8 @@ std::optional<CliArgs> ParseArgs(int argc, char** argv) {
       args.cfg.predictive_time = std::strtod(value.c_str(), nullptr);
     } else if (ParseFlag(argv[i], "--max-speed", &value)) {
       args.cfg.max_speed = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--update-interval", &value)) {
+      args.cfg.max_update_interval = std::strtod(value.c_str(), nullptr);
     } else if (ParseFlag(argv[i], "--buffer-pages", &value)) {
       args.cfg.buffer_pages = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--k", &value)) {
@@ -101,6 +115,8 @@ std::optional<CliArgs> ParseArgs(int argc, char** argv) {
       args.cfg.client_threads = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--seed", &value)) {
       args.cfg.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--repartition") == 0) {
+      args.repartition = true;
     } else if (std::strcmp(argv[i], "--rect") == 0) {
       args.cfg.rect_queries = true;
     } else if (std::strcmp(argv[i], "--batch-updates") == 0) {
@@ -124,7 +140,22 @@ std::optional<workload::Dataset> DatasetFromName(const std::string& name) {
   for (workload::Dataset d : workload::kAllDatasets) {
     if (workload::DatasetName(d) == name) return d;
   }
+  for (workload::Dataset d : workload::kDriftDatasets) {
+    if (workload::DatasetName(d) == name) return d;
+  }
   return std::nullopt;
+}
+
+/// Sets repartition=auto on every vp node of the spec tree; returns how
+/// many nodes were armed.
+int EnableRepartition(IndexSpec& spec) {
+  int armed = 0;
+  if (spec.kind == "vp") {
+    spec.SetOption("repartition", "auto");
+    ++armed;
+  }
+  for (IndexSpec& child : spec.children) armed += EnableRepartition(child);
+  return armed;
 }
 
 }  // namespace
@@ -145,6 +176,11 @@ int main(int argc, char** argv) {
     if (args.threads > 0) {
       std::fprintf(stderr,
                    "--threads needs an explicit --index=vp(...) spec\n");
+      return 1;
+    }
+    if (args.repartition) {
+      std::fprintf(stderr,
+                   "--repartition needs an explicit --index=vp(...) spec\n");
       return 1;
     }
     if (args.cfg.client_threads > 1) {
@@ -175,6 +211,15 @@ int main(int argc, char** argv) {
         wrapped.SetOption("threads", std::to_string(args.threads));
         spec = std::move(wrapped);
       }
+    }
+    if (args.repartition && EnableRepartition(*spec) == 0) {
+      std::fprintf(stderr,
+                   "--repartition needs a vp(...) node in the spec, got "
+                   "'%s'\n",
+                   args.index.c_str());
+      return 1;
+    }
+    if (args.threads > 0 || args.repartition) {
       specs.push_back(FormatIndexSpec(*spec));
     } else {
       specs.push_back(args.index);
@@ -226,6 +271,14 @@ int main(int argc, char** argv) {
     std::printf("%-16s %12.2f %14.4f %12.3f %14.5f %12.1f\n", spec.c_str(),
                 m.avg_query_io, m.avg_query_ms, m.avg_update_io,
                 m.avg_update_ms, m.avg_result_size);
+    if (m.repartitions > 0) {
+      std::printf("  ^ repartitions=%llu migrated=%llu reinserted=%llu "
+                  "migration_io=%llu\n",
+                  static_cast<unsigned long long>(m.repartitions),
+                  static_cast<unsigned long long>(m.repartition_migrated),
+                  static_cast<unsigned long long>(m.repartition_reinserted),
+                  static_cast<unsigned long long>(m.repartition_io));
+    }
     std::fflush(stdout);
   }
   if (rep.has_value()) {
